@@ -1,0 +1,1 @@
+bench/bench_tables.ml: Agreement Array Asim Dhw_util Doall List Printf Shmem Simkit

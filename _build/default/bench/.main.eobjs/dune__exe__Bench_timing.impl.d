@@ -1,0 +1,1 @@
+bench/bench_timing.ml: Agreement Analyze Asim Bechamel Benchmark Dhw_util Doall Hashtbl Instance List Measure Printf Simkit Staged Test Time Toolkit

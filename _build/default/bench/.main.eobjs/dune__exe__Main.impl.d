@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_tables Bench_timing Sys

@@ -1,0 +1,757 @@
+(* Experiments E1-E10 (see DESIGN.md §3): one table per theorem/claim of the
+   paper, printing measured costs against the stated bounds. *)
+
+module Table = Dhw_util.Table
+module Intmath = Dhw_util.Intmath
+module Metrics = Simkit.Metrics
+module Bounds = Doall.Bounds
+
+let fmt_ratio v bound =
+  if bound = 0 then "-" else Table.fmt_ratio (float_of_int v /. float_of_int bound)
+
+let run ?fault spec proto = Doall.Runner.run ?fault spec proto
+
+let m_work r = Metrics.work (Doall.Runner.(r.metrics))
+let m_msgs r = Metrics.messages (Doall.Runner.(r.metrics))
+let m_rounds r = Metrics.rounds (Doall.Runner.(r.metrics))
+
+let verdict r = if Doall.Runner.correct r then "ok" else "FAIL"
+
+(* ------------------------------------------------------------------ *)
+(* E1 / E2: Theorems 2.3 and 2.8 — Protocols A and B on perfect-square
+   instances under three adversaries. *)
+
+let adversaries spec =
+  let t = Doall.Spec.processes spec in
+  let n = Doall.Spec.n spec in
+  [
+    ("none", fun () -> Simkit.Fault.none);
+    ( "kill active @1 unit",
+      fun () ->
+        Simkit.Fault.crash_active_after_work ~units_between_crashes:1
+          ~max_crashes:(t - 1) );
+    ( "kill active @chunk",
+      fun () ->
+        Simkit.Fault.crash_active_after_work
+          ~units_between_crashes:(max 1 (n * Intmath.isqrt t / t))
+          ~max_crashes:(t - 1) );
+    ( "staggered all-but-one",
+      fun () ->
+        Simkit.Fault.crash_silently_at
+          (List.init (t - 1) (fun i -> (i, 50 * i))) );
+  ]
+
+let e_thm_ab ~id ~title proto work_bound msg_bound round_bound =
+  let table =
+    Table.create ~title
+      [ ("t", Table.Right); ("n", Right); ("adversary", Left); ("f", Right);
+        ("work", Right); ("W-bound", Right); ("w/W", Right);
+        ("msgs", Right); ("M-bound", Right); ("m/M", Right);
+        ("rounds", Right); ("R-bound", Right); ("ok", Left) ]
+  in
+  List.iter
+    (fun t ->
+      let n = 16 * t in
+      let spec = Doall.Spec.make ~n ~t in
+      let grid = Doall.Grid.make spec in
+      List.iter
+        (fun (aname, mk_fault) ->
+          let r = run ~fault:(mk_fault ()) spec proto in
+          Table.add_row table
+            [
+              string_of_int t; Table.fmt_int n; aname;
+              string_of_int (Doall.Runner.crashed r);
+              Table.fmt_int (m_work r); Table.fmt_int (work_bound grid);
+              fmt_ratio (m_work r) (work_bound grid);
+              Table.fmt_int (m_msgs r); Table.fmt_int (msg_bound grid);
+              fmt_ratio (m_msgs r) (msg_bound grid);
+              Table.fmt_int (m_rounds r); Table.fmt_int (round_bound grid);
+              verdict r;
+            ])
+        (adversaries spec);
+      Table.add_rule table)
+    [ 16; 25; 36; 64; 100 ];
+  Printf.printf "\n== %s ==\n" id;
+  Table.print table
+
+let e1 () =
+  e_thm_ab ~id:"E1"
+    ~title:
+      "Theorem 2.3 (Protocol A): work <= 3n, msgs <= 9t*sqrt(t), rounds <= nt+3t^2"
+    Doall.Protocol_a.protocol Bounds.a_work Bounds.a_msgs Bounds.a_rounds
+
+let e2 () =
+  e_thm_ab ~id:"E2"
+    ~title:
+      "Theorem 2.8 (Protocol B): work <= 3n, msgs <= 10t*sqrt(t), rounds <= 3n+8t"
+    Doall.Protocol_b.protocol Bounds.b_work Bounds.b_msgs Bounds.b_rounds
+
+(* ------------------------------------------------------------------ *)
+(* E3: Theorem 3.8 — Protocol C. Small instances (63-bit deadlines). *)
+
+let e3 () =
+  let table =
+    Table.create
+      ~title:
+        "Theorem 3.8 (Protocol C): work <= n+2t, msgs <= n+8t log t; time exponential"
+      [ ("t", Table.Right); ("n", Right); ("adversary", Left); ("f", Right);
+        ("work", Right); ("n+2t", Right); ("msgs", Right); ("M-bound", Right);
+        ("rounds (measured)", Right); ("R-bound", Right); ("ok", Left) ]
+  in
+  List.iter
+    (fun (t, n) ->
+      let spec = Doall.Spec.make ~n ~t in
+      List.iter
+        (fun (aname, fault) ->
+          let r = run ~fault spec Doall.Protocol_c.protocol in
+          Table.add_row table
+            [
+              string_of_int t; string_of_int n; aname;
+              string_of_int (Doall.Runner.crashed r);
+              Table.fmt_int (m_work r); Table.fmt_int (Bounds.c_work spec);
+              Table.fmt_int (m_msgs r); Table.fmt_int (Bounds.c_msgs spec);
+              Table.fmt_int (m_rounds r);
+              Printf.sprintf "%.2e" (Bounds.c_rounds spec ~period:1);
+              verdict r;
+            ])
+        [
+          ("none", Simkit.Fault.none);
+          ( "kill active @2 units",
+            Simkit.Fault.crash_active_after_work ~units_between_crashes:2
+              ~max_crashes:(t - 1) );
+          ( "staggered all-but-one",
+            Simkit.Fault.crash_silently_at
+              (List.init (t - 1) (fun i -> (i, 1000 * i))) );
+        ];
+      Table.add_rule table)
+    [ (4, 16); (8, 24); (16, 24); (32, 10) ];
+  print_string "\n== E3 ==\n";
+  Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* E4: Corollary 3.9 — chunked reporting makes messages independent of n. *)
+
+let e4 () =
+  let table =
+    Table.create
+      ~title:
+        "Corollary 3.9: C reports every unit (msgs ~ n + 8t log t), chunked C every\n\
+         n/t units (msgs ~ O(t log t), independent of n). t = 8, no faults."
+      [ ("n", Table.Right); ("C msgs", Right); ("C-chunked msgs", Right);
+        ("bound O(t log t)", Right); ("C work", Right); ("chunked work", Right) ]
+  in
+  List.iter
+    (fun n ->
+      let spec = Doall.Spec.make ~n ~t:8 in
+      let rc = run spec Doall.Protocol_c.protocol in
+      let rk = run spec Doall.Protocol_c.protocol_chunked in
+      Table.add_row table
+        [
+          string_of_int n; Table.fmt_int (m_msgs rc); Table.fmt_int (m_msgs rk);
+          Table.fmt_int (Bounds.c_chunked_msgs spec);
+          Table.fmt_int (m_work rc); Table.fmt_int (m_work rk);
+        ])
+    [ 8; 16; 24; 32 ];
+  print_string "\n== E4 ==\n";
+  Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* E5: Theorem 4.1 — Protocol D. *)
+
+let e5 () =
+  let t = 16 in
+  let n = 40 * t in
+  let spec = Doall.Spec.make ~n ~t in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Theorem 4.1 (Protocol D), n=%d t=%d: failure-free n/t+2 rounds & 2t^2 msgs;\n\
+            with f failures <= 2n work, (4f+2)t^2 msgs, (f+1)n/t+4f+2 rounds" n t)
+      [ ("schedule", Table.Left); ("f", Right); ("work", Right); ("2n", Right);
+        ("msgs", Right); ("(4f+2)t^2", Right); ("rounds", Right);
+        ("R-bound", Right); ("ok", Left) ]
+  in
+  let row name fault ~reverted =
+    let r = run ~fault spec Doall.Protocol_d.protocol in
+    let f = Doall.Runner.crashed r in
+    let wb = if reverted then Bounds.d_work_revert spec else Bounds.d_work spec in
+    let mb = if reverted then Bounds.d_msgs_revert spec ~f else Bounds.d_msgs spec ~f in
+    let rb = if reverted then Bounds.d_rounds_revert spec ~f else Bounds.d_rounds spec ~f in
+    Table.add_row table
+      [
+        name; string_of_int f; Table.fmt_int (m_work r); Table.fmt_int wb;
+        Table.fmt_int (m_msgs r); Table.fmt_int mb; Table.fmt_int (m_rounds r);
+        Table.fmt_int rb; verdict r;
+      ]
+  in
+  row "failure-free" Simkit.Fault.none ~reverted:false;
+  List.iter
+    (fun f ->
+      row
+        (Printf.sprintf "%d staggered crashes" f)
+        (Simkit.Fault.crash_silently_at
+           (List.init f (fun i -> (i, 3 + (7 * i)))))
+        ~reverted:false)
+    [ 1; 2; 4; 7 ];
+  row "9/16 die in phase 1 (revert to A)"
+    (Simkit.Fault.crash_silently_at (List.init 9 (fun i -> (i, 2))))
+    ~reverted:true;
+  row "15/16 die (revert, lone survivor)"
+    (Simkit.Fault.crash_silently_at (List.init 15 (fun i -> (i, 2))))
+    ~reverted:true;
+  print_string "\n== E5 ==\n";
+  Table.print table;
+  (* the end-of-Section-4 coordinator variant: failure-free messages drop
+     from 2t(t-1) to 2(t-1) per phase *)
+  let coord_table =
+    Table.create
+      ~title:
+        "End of Section 4: the central-coordinator variant cuts failure-free\n\
+         agreement to 2(t-1) messages (coordinator crashes abandon the\n\
+         optimization and fall back to an embedded Protocol A)."
+      [ ("schedule", Table.Left); ("work", Right); ("msgs", Right);
+        ("rounds", Right); ("ok", Left) ]
+  in
+  let coord_row name fault =
+    let r = run ~fault spec Doall.Protocol_d_coord.protocol in
+    Table.add_row coord_table
+      [ name; Table.fmt_int (m_work r); Table.fmt_int (m_msgs r);
+        Table.fmt_int (m_rounds r); verdict r ]
+  in
+  coord_row "failure-free" Simkit.Fault.none;
+  coord_row "2 worker crashes" (Simkit.Fault.crash_silently_at [ (3, 5); (9, 30) ]);
+  coord_row "coordinator dies (fallback)" (Simkit.Fault.crash_silently_at [ (0, 7) ]);
+  Table.print coord_table
+
+(* ------------------------------------------------------------------ *)
+(* E6: Section 5 — Byzantine agreement message complexity. *)
+
+let e6 () =
+  let table =
+    Table.create
+      ~title:
+        "Section 5: crash-model Byzantine agreement via work protocols.\n\
+         Lines: Bracha (nonconstructive) n + t*sqrt(t); Galil-Mayer-Yung O(n) (~4n)."
+      [ ("n", Table.Right); ("t", Right); ("via A", Right); ("via B", Right);
+        ("via C-chunked", Right); ("Bracha", Right); ("GMY", Right) ]
+  in
+  List.iter
+    (fun (n, t_bound) ->
+      let msgs proto =
+        let o = Agreement.Crash_ba.run ~n ~t_bound ~value:1 proto in
+        assert (o.agreement && o.validity);
+        o.messages
+      in
+      let c_msgs =
+        (* C's deadline arithmetic caps the instance size *)
+        if n + t_bound + 1 <= 42 then
+          string_of_int (msgs Agreement.Crash_ba.C_chunked)
+        else "(n+t too large)"
+      in
+      Table.add_row table
+        [
+          Table.fmt_int n; string_of_int t_bound;
+          Table.fmt_int (msgs Agreement.Crash_ba.A);
+          Table.fmt_int (msgs Agreement.Crash_ba.B);
+          c_msgs;
+          Table.fmt_int (Agreement.Crash_ba.bracha_msgs ~n ~t:t_bound);
+          Table.fmt_int (Agreement.Crash_ba.gmy_msgs ~n);
+        ])
+    [ (16, 7); (32, 9); (64, 15); (128, 24); (256, 35); (512, 49) ];
+  print_string "\n== E6 ==\n";
+  Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* E7: the Section 1 effort comparison across all protocols. *)
+
+let e7 () =
+  let print_sub title specs protos fault_of =
+    let table =
+      Table.create ~title
+        [ ("protocol", Table.Left); ("n", Right); ("t", Right); ("f", Right);
+          ("work", Right); ("msgs", Right); ("effort", Right); ("rounds", Right);
+          ("ok", Left) ]
+    in
+    List.iter
+      (fun (n, t) ->
+        let spec = Doall.Spec.make ~n ~t in
+        List.iter
+          (fun proto ->
+            let r = run ~fault:(fault_of n t) spec proto in
+            Table.add_row table
+              [
+                r.Doall.Runner.protocol; Table.fmt_int n; string_of_int t;
+                string_of_int (Doall.Runner.crashed r);
+                Table.fmt_int (m_work r); Table.fmt_int (m_msgs r);
+                Table.fmt_int (Metrics.effort r.metrics);
+                Table.fmt_int (m_rounds r); verdict r;
+              ])
+          protos;
+        Table.add_rule table)
+      specs;
+    Table.print table
+  in
+  print_string "\n== E7 ==\n";
+  print_sub
+    "Section 1 effort comparison, failure-free (large instances; C excluded: deadlines)"
+    [ (400, 16); (1600, 64) ]
+    [
+      Doall.Baseline_trivial.protocol;
+      Doall.Baseline_checkpoint.protocol ~period:1;
+      Doall.Protocol_a.protocol;
+      Doall.Protocol_b.protocol;
+      Doall.Protocol_d.protocol;
+    ]
+    (fun _ _ -> Simkit.Fault.none);
+  print_sub "Same, under a takeover storm (kill active every ~n/t units)"
+    [ (400, 16); (1600, 64) ]
+    [
+      Doall.Baseline_trivial.protocol;
+      Doall.Baseline_checkpoint.protocol ~period:1;
+      Doall.Protocol_a.protocol;
+      Doall.Protocol_b.protocol;
+      Doall.Protocol_d.protocol;
+    ]
+    (fun n t ->
+      Simkit.Fault.crash_active_after_work ~units_between_crashes:(n / t)
+        ~max_crashes:(t - 1));
+  print_sub "Small instance including Protocol C variants (staggered crashes)"
+    [ (20, 16) ]
+    [
+      Doall.Baseline_trivial.protocol;
+      Doall.Baseline_checkpoint.protocol ~period:1;
+      Doall.Protocol_a.protocol;
+      Doall.Protocol_b.protocol;
+      Doall.Protocol_c.protocol;
+      Doall.Protocol_c.protocol_chunked;
+      Doall.Protocol_d.protocol;
+    ]
+    (fun _ t ->
+      Simkit.Fault.crash_silently_at (List.init (t - 1) (fun i -> (i, 1000 * i))))
+
+(* ------------------------------------------------------------------ *)
+(* E8: the Section 3 ablation — naive knowledge spreading vs Protocol C. *)
+
+let e8 () =
+  let table =
+    Table.create
+      ~title:
+        "Section 3 ablation, the paper's nested-crash scenario (n = t-1, processes\n\
+         t/2+1..t-1 dead from round 1): the naive spreader re-informs the dead and\n\
+         redoes Theta(t^2) units across the takeover cascade; Protocol C's\n\
+         fault-detection keeps redo around 2t."
+      [ ("t", Table.Right); ("n", Right); ("naive work", Right);
+        ("naive msgs", Right); ("C work", Right); ("C msgs", Right);
+        ("naive redo", Right); ("t^2", Right); ("C redo", Right); ("2t", Right) ]
+  in
+  List.iter
+    (fun t ->
+      let n = t - 1 in
+      let spec = Doall.Spec.make ~n ~t in
+      (* Process 0 informs process u of unit u; units above t/2 are reported
+         only to the dead, so each successive survivor must rediscover them. *)
+      let schedule () =
+        Simkit.Fault.crash_silently_at
+          (List.init ((t / 2) - 1) (fun i -> ((t / 2) + 1 + i, 1)))
+      in
+      let rn = run ~fault:(schedule ()) spec Doall.Protocol_c_naive.protocol in
+      let rc = run ~fault:(schedule ()) spec Doall.Protocol_c.protocol in
+      Table.add_row table
+        [
+          string_of_int t; string_of_int n;
+          Table.fmt_int (m_work rn); Table.fmt_int (m_msgs rn);
+          Table.fmt_int (m_work rc); Table.fmt_int (m_msgs rc);
+          Table.fmt_int (m_work rn - n); Table.fmt_int (t * t);
+          Table.fmt_int (m_work rc - n); Table.fmt_int (2 * t);
+        ])
+    (* n + t <= ~40: the deadline arithmetic caps instance sizes *)
+    [ 4; 8; 12; 16; 20 ];
+  print_string "\n== E8 ==\n";
+  Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* E9: the asynchronous Protocol A (Section 2.1). *)
+
+let e9 () =
+  let spec = Doall.Spec.make ~n:160 ~t:16 in
+  let grid = Doall.Grid.make spec in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Section 2.1: asynchronous Protocol A with a failure detector; n=160 t=16.\n\
+            Work stays within Theorem 2.3's budget (%d) whatever the timing adversary."
+           (Bounds.a_work grid))
+      [ ("max delay", Table.Right); ("max FD lag", Right); ("crashes", Right);
+        ("work", Right); ("msgs", Right); ("ticks", Right); ("done", Left) ]
+  in
+  List.iter
+    (fun (delay, lag, crashes) ->
+      let crash_at = List.init crashes (fun i -> (i, 25 * (i + 1))) in
+      let r =
+        Asim.Async_protocol_a.run ~crash_at ~max_delay:delay ~max_lag:lag
+          ~seed:11L spec
+      in
+      Table.add_row table
+        [
+          string_of_int delay; string_of_int lag; string_of_int crashes;
+          Table.fmt_int (Metrics.work r.metrics);
+          Table.fmt_int (Metrics.messages r.metrics);
+          Table.fmt_int (Metrics.rounds r.metrics);
+          (if r.completed && Metrics.all_units_done r.metrics then "ok" else "FAIL");
+        ])
+    [
+      (1, 1, 0); (5, 10, 0); (5, 10, 8); (20, 60, 8); (20, 600, 15); (50, 50, 15);
+    ];
+  print_string "\n== E9 ==\n";
+  Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* E10: checkpoint-frequency ablation (the Section 2 motivation). *)
+
+let e10 () =
+  let n = 240 and t = 16 in
+  let spec = Doall.Spec.make ~n ~t in
+  let adversary () =
+    (* crashes land at arbitrary positions inside checkpoint intervals, so
+       the expected loss per crash grows with the period *)
+    Simkit.Fault.crash_active_after_random_work ~seed:31L ~min_units:1
+      ~max_units:60 ~max_crashes:(t - 1)
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Section 2 motivation: single-level checkpointing every k units, n=%d t=%d,\n\
+            active killed after a random 1..60 further units. Small k wastes messages,\n\
+            large k wastes work; Protocol A's two-level scheme needs no tuning." n t)
+      [ ("k", Table.Right); ("work", Right); ("msgs", Right); ("effort", Right);
+        ("ok", Left) ]
+  in
+  List.iter
+    (fun k ->
+      let r = run ~fault:(adversary ()) spec (Doall.Baseline_checkpoint.protocol ~period:k) in
+      Table.add_row table
+        [
+          string_of_int k; Table.fmt_int (m_work r); Table.fmt_int (m_msgs r);
+          Table.fmt_int (Metrics.effort r.metrics); verdict r;
+        ])
+    [ 1; 2; 5; 10; 15; 30; 60; 120; 240 ];
+  let ra = run ~fault:(adversary ()) spec Doall.Protocol_a.protocol in
+  Table.add_rule table;
+  Table.add_row table
+    [
+      "A (2-level)"; Table.fmt_int (m_work ra); Table.fmt_int (m_msgs ra);
+      Table.fmt_int (Metrics.effort ra.Doall.Runner.metrics); verdict ra;
+    ];
+  print_string "\n== E10 ==\n";
+  Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* E11: message sizes (end of Section 1.1) — count vs width trade-offs. *)
+
+let e11 () =
+  let table =
+    Table.create
+      ~title:
+        "Section 1.1 (end): message sizes in bits. A/B ship O(log n + log t) indices;\n\
+         C ships whole views, Theta(t log t + t(n+t)) bits, buying its low count;\n\
+         BA via A/B needs O(log n) + |value| per message vs GMY's Omega(n + log^2|V|)."
+      [ ("n", Table.Right); ("t", Right); ("A/B ckpt", Right); ("C view", Right);
+        ("D view", Right); ("BA via A (16-bit V)", Right); ("GMY (16-bit V)", Right) ]
+  in
+  List.iter
+    (fun (n, t) ->
+      let spec = Doall.Spec.make ~n ~t in
+      let grid = Doall.Grid.make spec in
+      Table.add_row table
+        [
+          Table.fmt_int n; string_of_int t;
+          Table.fmt_int (Doall.Msg_size.a_msg_bits grid);
+          Table.fmt_int (Doall.Msg_size.c_msg_bits spec ~round_bits:(n + t));
+          Table.fmt_int (Doall.Msg_size.d_msg_bits spec);
+          Table.fmt_int (Doall.Msg_size.ba_msg_bits grid ~value_bits:16);
+          Table.fmt_int (Doall.Msg_size.gmy_msg_bits ~n ~value_bits:16);
+        ])
+    [ (64, 16); (256, 16); (1024, 64); (4096, 256) ];
+  print_string "\n== E11 ==\n";
+  Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* E12: the √t group-size choice of Section 2, validated by sweeping s. *)
+
+let e12 () =
+  let n = 1024 and t = 64 in
+  let spec = Doall.Spec.make ~n ~t in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Section 2's group-size argument, n=%d t=%d: partial checkpoints cost ~t*s\n\
+            messages, full checkpoints ~2t^2/s; s = sqrt(t) = 8 balances them. Active\n\
+            process killed after every chunk of work." n t)
+      [ ("group size s", Table.Right); ("msgs (ff)", Right);
+        ("msgs (chunk killer)", Right); ("work (chunk killer)", Right);
+        ("ok", Left) ]
+  in
+  List.iter
+    (fun s ->
+      let proto = Doall.Protocol_a.protocol_with_group_size s in
+      let ff = run spec proto in
+      let grid = Doall.Grid.make_with_group_size spec s in
+      let chunk = max 1 (Doall.Grid.subchunk_size_max grid * s) in
+      let fault =
+        Simkit.Fault.crash_active_after_work ~units_between_crashes:chunk
+          ~max_crashes:(t - 1)
+      in
+      let adv = run ~fault spec proto in
+      Table.add_row table
+        [
+          string_of_int s; Table.fmt_int (m_msgs ff); Table.fmt_int (m_msgs adv);
+          Table.fmt_int (m_work adv);
+          (if Doall.Runner.correct ff && Doall.Runner.correct adv then "ok"
+           else "FAIL");
+        ])
+    [ 1; 2; 4; 8; 16; 32; 64 ];
+  print_string "\n== E12 ==\n";
+  Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* E13: Section 1.1 — message passing vs shared memory, effort vs APS. *)
+
+let aps_of_report (r : Doall.Runner.report) =
+  let final = Metrics.rounds r.metrics in
+  Array.fold_left
+    (fun acc st ->
+      acc
+      +
+      match st with
+      | Simkit.Types.Terminated x | Simkit.Types.Crashed x -> x + 1
+      | Simkit.Types.Running -> final + 1)
+    0 r.statuses
+
+let e13 () =
+  let n = 200 and t = 16 in
+  let spec = Doall.Spec.make ~n ~t in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Section 1.1: message passing vs shared memory, n=%d t=%d, three crashes.\n\
+            Effort = work + (messages | reads+writes); APS = the Kanellakis-Shvartsman\n\
+            available-processor-steps measure, which also bills idle-but-alive processes." n t)
+      [ ("model", Table.Left); ("algorithm", Left); ("work", Right);
+        ("comms", Right); ("effort", Right); ("rounds", Right); ("APS", Right);
+        ("ok", Left) ]
+  in
+  let crashes = [ (0, 9); (1, 40); (5, 77) ] in
+  List.iter
+    (fun proto ->
+      let r = run ~fault:(Simkit.Fault.crash_silently_at crashes) spec proto in
+      Table.add_row table
+        [
+          "msg-passing"; r.Doall.Runner.protocol; Table.fmt_int (m_work r);
+          Table.fmt_int (m_msgs r);
+          Table.fmt_int (Metrics.effort r.metrics);
+          Table.fmt_int (m_rounds r); Table.fmt_int (aps_of_report r);
+          verdict r;
+        ])
+    [ Doall.Protocol_a.protocol; Doall.Protocol_b.protocol; Doall.Protocol_d.protocol ];
+  List.iter
+    (fun (name, algo) ->
+      let (o : Shmem.Writeall.outcome) = algo ~crash_at:crashes ~n ~t () in
+      Table.add_row table
+        [
+          "shared-mem"; name;
+          Table.fmt_int (Metrics.work o.result.metrics);
+          Table.fmt_int (o.result.reads + o.result.writes);
+          Table.fmt_int o.effort;
+          Table.fmt_int (Metrics.rounds o.result.metrics);
+          Table.fmt_int o.result.aps;
+          (if Shmem.Writeall.work_complete o then "ok" else "FAIL");
+        ])
+    [
+      ( "checkpointed (seq)",
+        fun ~crash_at ~n ~t () -> Shmem.Writeall.checkpointed ~crash_at ~n ~t () );
+      ( "parallel scan",
+        fun ~crash_at ~n ~t () -> Shmem.Writeall.parallel_scan ~crash_at ~n ~t () );
+    ];
+  print_string "\n== E13 ==\n";
+  Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* E14: the Section 1 bootstrap — cost at most doubles when the pool is not
+   common knowledge — and the online-arrival variant's overhead. *)
+
+let e14 () =
+  let table =
+    Table.create
+      ~title:
+        "Section 1 extensions. Top: the common-knowledge bootstrap (BA on the pool,\n\
+         then the work) costs at most 2x the direct run for n = Omega(t).\n\
+         Bottom: Protocol D with the same work arriving online in four waves."
+      [ ("scenario", Table.Left); ("n", Right); ("t", Right); ("work", Right);
+        ("msgs", Right); ("effort", Right); ("rounds", Right); ("ok", Left) ]
+  in
+  List.iter
+    (fun (n, t) ->
+      let spec = Doall.Spec.make ~n ~t in
+      let direct = run spec Doall.Protocol_a.protocol in
+      Table.add_row table
+        [
+          "A, pool common knowledge"; Table.fmt_int n; string_of_int t;
+          Table.fmt_int (m_work direct); Table.fmt_int (m_msgs direct);
+          Table.fmt_int (Metrics.effort direct.metrics);
+          Table.fmt_int (m_rounds direct); verdict direct;
+        ];
+      let boot = Agreement.Bootstrap.run ~n ~t Agreement.Crash_ba.A in
+      Table.add_row table
+        [
+          "A, bootstrap (BA first)"; Table.fmt_int n; string_of_int t;
+          Table.fmt_int boot.total_work; Table.fmt_int boot.total_messages;
+          Table.fmt_int (boot.total_work + boot.total_messages);
+          Table.fmt_int boot.total_rounds;
+          (if boot.ok then "ok" else "FAIL");
+        ];
+      Table.add_rule table)
+    [ (200, 10); (800, 25) ];
+  List.iter
+    (fun (n, t) ->
+      let spec = Doall.Spec.make ~n ~t in
+      let wave = n / 4 in
+      let arrivals =
+        List.init n (fun u -> (u / wave * 20, u, u mod t))
+      in
+      let cfg =
+        { Doall.Protocol_d_online.arrivals; horizon = 100; idle_block = 5 }
+      in
+      let r = run spec (Doall.Protocol_d_online.protocol cfg) in
+      Table.add_row table
+        [
+          "D-online, 4 arrival waves"; Table.fmt_int n; string_of_int t;
+          Table.fmt_int (m_work r); Table.fmt_int (m_msgs r);
+          Table.fmt_int (Metrics.effort r.metrics); Table.fmt_int (m_rounds r);
+          verdict r;
+        ])
+    [ (200, 10); (800, 25) ];
+  print_string "\n== E14 ==\n";
+  Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* E15: De Prisco–Mayer–Yung's observation quoted in Section 1.1 — in the
+   message-passing model with t ≈ n, ANY algorithm needs n² available
+   processor steps (whereas shared memory admits O(n log² n)). *)
+
+let e15 () =
+  let table =
+    Table.create
+      ~title:
+        "Section 1.1 / De Prisco et al.: at t = n, the WORST-CASE available-processor-\n\
+         steps cost of message-passing Do-All is >= ~n^2 (shared memory escapes with\n\
+         O(n log^2 n)). Failure-free runs can be cheap (D pays 2n); an adversary that\n\
+         kills one process per takeover/phase forces the quadratic bill."
+      [ ("n = t", Table.Right); ("protocol", Left); ("APS (ff)", Right);
+        ("APS (adversary)", Right); ("n^2", Right); ("adv/n^2", Right) ]
+  in
+  List.iter
+    (fun n ->
+      let spec = Doall.Spec.make ~n ~t:n in
+      List.iter
+        (fun proto ->
+          let ff = run spec proto in
+          let adv =
+            (* one crash per phase: process i dies at round 3i *)
+            run
+              ~fault:
+                (Simkit.Fault.crash_silently_at
+                   (List.init (n - 1) (fun i -> (i, 3 * i))))
+              spec proto
+          in
+          let aps_adv = aps_of_report adv in
+          Table.add_row table
+            [
+              string_of_int n; ff.Doall.Runner.protocol;
+              Table.fmt_int (aps_of_report ff); Table.fmt_int aps_adv;
+              Table.fmt_int (n * n);
+              Table.fmt_ratio (float_of_int aps_adv /. float_of_int (n * n));
+            ])
+        [
+          Doall.Protocol_a.protocol; Doall.Protocol_b.protocol;
+          Doall.Protocol_d.protocol; Doall.Baseline_trivial.protocol;
+        ];
+      Table.add_rule table)
+    [ 16; 32; 64 ];
+  print_string "\n== E15 ==\n";
+  Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* E16: statistical sweep — the single-schedule tables above could hide
+   lucky seeds; run 100 random schedules per protocol and report the
+   mean and max of each cost against its bound. *)
+
+let e16 () =
+  let n = 128 and t = 16 and runs = 100 in
+  let spec = Doall.Spec.make ~n ~t in
+  let grid = Doall.Grid.make spec in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Robustness sweep: %d random crash schedules (up to t-1 victims, random\n\
+            rounds), n=%d t=%d. Every max must sit below its theorem bound." runs n t)
+      [ ("protocol", Table.Left); ("work mean", Right); ("work max", Right);
+        ("W-bound", Right); ("msgs mean", Right); ("msgs max", Right);
+        ("M-bound", Right); ("rounds max", Right); ("R-bound", Right);
+        ("failures", Right) ]
+  in
+  let g = Dhw_util.Prng.create 20260706L in
+  List.iter
+    (fun (proto, wb, mb, rb) ->
+      let works = ref [] and msgs = ref [] and rounds = ref [] in
+      let bad = ref 0 in
+      (* crash rounds drawn within twice the failure-free running time, so
+         they actually land while processes are alive *)
+      let window = (2 * m_rounds (run spec proto)) + 1 in
+      for _ = 1 to runs do
+        let victims = Dhw_util.Prng.int g t in
+        let pids = Dhw_util.Prng.sample_without_replacement g victims t in
+        let schedule =
+          List.map (fun p -> (p, Dhw_util.Prng.int g window)) pids
+        in
+        let r = run ~fault:(Simkit.Fault.crash_silently_at schedule) spec proto in
+        if not (Doall.Runner.correct r) then incr bad;
+        works := m_work r :: !works;
+        msgs := m_msgs r :: !msgs;
+        rounds := m_rounds r :: !rounds
+      done;
+      let mean xs =
+        float_of_int (List.fold_left ( + ) 0 xs) /. float_of_int (List.length xs)
+      in
+      let mx xs = List.fold_left max 0 xs in
+      Table.add_row table
+        [
+          (run spec proto).Doall.Runner.protocol;
+          Table.fmt_float (mean !works); Table.fmt_int (mx !works);
+          Table.fmt_int wb;
+          Table.fmt_float (mean !msgs); Table.fmt_int (mx !msgs);
+          Table.fmt_int mb;
+          Table.fmt_int (mx !rounds); Table.fmt_int rb;
+          string_of_int !bad;
+        ])
+    [
+      (Doall.Protocol_a.protocol, Bounds.a_work grid, Bounds.a_msgs grid,
+       Bounds.a_rounds grid);
+      (Doall.Protocol_b.protocol, Bounds.b_work grid, Bounds.b_msgs grid,
+       Bounds.b_rounds grid);
+      (* D's bounds use the revert-path envelope: random schedules can kill
+         more than half a phase's processes *)
+      (Doall.Protocol_d.protocol, Bounds.d_work_revert spec,
+       Bounds.d_msgs_revert spec ~f:(t - 1), Bounds.d_rounds_revert spec ~f:(t - 1));
+    ];
+  print_string "\n== E16 ==\n";
+  Table.print table
+
+let all () =
+  e1 (); e2 (); e3 (); e4 (); e5 (); e6 (); e7 (); e8 (); e9 (); e10 ();
+  e11 (); e12 (); e13 (); e14 (); e15 (); e16 ()

@@ -1,0 +1,89 @@
+(* Bechamel wall-clock timings: one Test.make per experiment's representative
+   workload, so the simulator's own throughput is tracked alongside the
+   logical cost tables. *)
+
+open Bechamel
+open Toolkit
+
+let run_protocol ?fault spec proto () =
+  ignore (Doall.Runner.run ?fault spec proto)
+
+let tests =
+  let a_spec = Doall.Spec.make ~n:400 ~t:25 in
+  let b_storm () =
+    Simkit.Fault.crash_active_after_work ~units_between_crashes:1 ~max_crashes:24
+  in
+  let c_spec = Doall.Spec.make ~n:24 ~t:16 in
+  let d_spec = Doall.Spec.make ~n:1024 ~t:32 in
+  [
+    Test.make ~name:"E1: A n=400 t=25 storm"
+      (Staged.stage (fun () ->
+           run_protocol ~fault:(b_storm ()) a_spec Doall.Protocol_a.protocol ()));
+    Test.make ~name:"E2: B n=400 t=25 storm"
+      (Staged.stage (fun () ->
+           run_protocol ~fault:(b_storm ()) a_spec Doall.Protocol_b.protocol ()));
+    Test.make ~name:"E3: C n=24 t=16 (exp deadlines)"
+      (Staged.stage (run_protocol c_spec Doall.Protocol_c.protocol));
+    Test.make ~name:"E4: C-chunked n=24 t=16"
+      (Staged.stage (run_protocol c_spec Doall.Protocol_c.protocol_chunked));
+    Test.make ~name:"E5: D n=1024 t=32 ff"
+      (Staged.stage (run_protocol d_spec Doall.Protocol_d.protocol));
+    Test.make ~name:"E6: BA via A n=128 t=24"
+      (Staged.stage (fun () ->
+           ignore
+             (Agreement.Crash_ba.run ~n:128 ~t_bound:24 ~value:1
+                Agreement.Crash_ba.A)));
+    Test.make ~name:"E7: trivial n=400 t=25"
+      (Staged.stage (run_protocol a_spec Doall.Baseline_trivial.protocol));
+    Test.make ~name:"E8: naive-C n=20 t=16 cascade"
+      (Staged.stage (fun () ->
+           run_protocol
+             ~fault:
+               (Simkit.Fault.crash_silently_at
+                  (List.init 15 (fun i -> (i, 500 * i))))
+             (Doall.Spec.make ~n:20 ~t:16)
+             Doall.Protocol_c_naive.protocol ()));
+    Test.make ~name:"E9: async A n=160 t=16"
+      (Staged.stage (fun () ->
+           ignore (Asim.Async_protocol_a.run (Doall.Spec.make ~n:160 ~t:16))));
+    Test.make ~name:"E10: checkpoint/10 n=240 t=16"
+      (Staged.stage
+         (run_protocol (Doall.Spec.make ~n:240 ~t:16)
+            (Doall.Baseline_checkpoint.protocol ~period:10)));
+  ]
+
+let run () =
+  let grouped = Test.make_grouped ~name:"dhw" tests in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let table =
+    Dhw_util.Table.create ~title:"Bechamel wall-clock per full run (monotonic clock)"
+      [ ("benchmark", Dhw_util.Table.Left); ("time/run", Right); ("r^2", Right) ]
+  in
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  List.iter
+    (fun (name, ols_result) ->
+      let estimate =
+        match Analyze.OLS.estimates ols_result with
+        | Some (e :: _) -> e
+        | _ -> nan
+      in
+      let pretty =
+        if estimate > 1e9 then Printf.sprintf "%.2f s" (estimate /. 1e9)
+        else if estimate > 1e6 then Printf.sprintf "%.2f ms" (estimate /. 1e6)
+        else if estimate > 1e3 then Printf.sprintf "%.2f us" (estimate /. 1e3)
+        else Printf.sprintf "%.0f ns" estimate
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols_result with
+        | Some r -> Printf.sprintf "%.3f" r
+        | None -> "-"
+      in
+      Dhw_util.Table.add_row table [ name; pretty; r2 ])
+    (List.sort compare rows);
+  print_string "\n== Wall-clock timings ==\n";
+  Dhw_util.Table.print table

@@ -1,0 +1,17 @@
+(* Benchmark harness: regenerates every evaluation claim of the paper
+   (experiments E1-E10, DESIGN.md section 3) and times representative runs
+   with Bechamel.
+
+     dune exec bench/main.exe            # all tables + timings
+     dune exec bench/main.exe -- tables  # logical-cost tables only
+     dune exec bench/main.exe -- timing  # Bechamel only *)
+
+let () =
+  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  (match what with
+  | "tables" -> Bench_tables.all ()
+  | "timing" -> Bench_timing.run ()
+  | _ ->
+      Bench_tables.all ();
+      Bench_timing.run ());
+  print_newline ()

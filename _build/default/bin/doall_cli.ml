@@ -1,0 +1,203 @@
+(* Command-line front-end: run any protocol of the paper on any instance
+   under a configurable fault schedule and print the cost measures.
+
+     dune exec bin/doall_cli.exe -- run -p A -n 100 -t 16 --crash 0@5 --trace 40
+     dune exec bin/doall_cli.exe -- run -p D -n 1000 -t 32 --random 31 --window 40
+     dune exec bin/doall_cli.exe -- ba -n 64 -t 8 --value 7 --protocol C
+     dune exec bin/doall_cli.exe -- async -n 100 -t 16 --crash 3@9 *)
+
+open Cmdliner
+module D = Doall
+
+let protocol_of_name name =
+  match String.lowercase_ascii name with
+  | "a" -> Ok D.Protocol_a.protocol
+  | "b" -> Ok D.Protocol_b.protocol
+  | "c" -> Ok D.Protocol_c.protocol
+  | "c-chunked" | "cchunked" -> Ok D.Protocol_c.protocol_chunked
+  | "c-naive" | "cnaive" -> Ok D.Protocol_c_naive.protocol
+  | "d" -> Ok D.Protocol_d.protocol
+  | "d-coord" | "dcoord" -> Ok D.Protocol_d_coord.protocol
+  | "trivial" -> Ok D.Baseline_trivial.protocol
+  | s when String.length s > 11 && String.sub s 0 11 = "checkpoint:" ->
+      (try Ok (D.Baseline_checkpoint.protocol ~period:(int_of_string (String.sub s 11 (String.length s - 11))))
+       with _ -> Error (`Msg "checkpoint:<period> needs an integer period"))
+  | "checkpoint" -> Ok (D.Baseline_checkpoint.protocol ~period:1)
+  | _ -> Error (`Msg ("unknown protocol: " ^ name ^ " (A, B, C, C-chunked, C-naive, D, D-coord, trivial, checkpoint[:k])"))
+
+let crash_conv =
+  let parse s =
+    match String.split_on_char '@' s with
+    | [ p; r ] -> (
+        try Ok (int_of_string p, int_of_string r)
+        with _ -> Error (`Msg "expected pid@round"))
+    | _ -> Error (`Msg "expected pid@round")
+  in
+  let print ppf (p, r) = Format.fprintf ppf "%d@%d" p r in
+  Arg.conv (parse, print)
+
+let n_arg = Arg.(value & opt int 100 & info [ "n"; "units" ] ~doc:"Units of work.")
+let t_arg = Arg.(value & opt int 16 & info [ "t"; "processes" ] ~doc:"Processes.")
+
+let crashes_arg =
+  Arg.(value & opt_all crash_conv [] & info [ "crash" ] ~docv:"PID@ROUND"
+       ~doc:"Silently crash $(i,PID) at $(i,ROUND) (repeatable).")
+
+let random_arg =
+  Arg.(value & opt (some int) None & info [ "random" ] ~docv:"VICTIMS"
+       ~doc:"Crash $(i,VICTIMS) random processes at random rounds.")
+
+let window_arg =
+  Arg.(value & opt int 200 & info [ "window" ] ~doc:"Random crash-round window.")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Adversary seed.")
+
+let adversary_arg =
+  Arg.(value & opt (some int) None & info [ "kill-active-every" ] ~docv:"UNITS"
+       ~doc:"Crash whichever process is working after every $(i,UNITS) units (keeps the work, drops the messages).")
+
+let trace_arg =
+  Arg.(value & opt (some int) None & info [ "trace" ] ~docv:"N"
+       ~doc:"Print the first $(i,N) trace events.")
+
+let build_fault ~t ~crashes ~random ~window ~seed ~adversary =
+  match (crashes, random, adversary) with
+  | [], None, None -> Simkit.Fault.none
+  | cs, None, None -> Simkit.Fault.crash_silently_at cs
+  | [], Some v, None ->
+      Simkit.Fault.random ~seed:(Int64.of_int seed) ~t ~victims:v ~window
+  | [], None, Some k ->
+      Simkit.Fault.crash_active_after_work ~units_between_crashes:k ~max_crashes:(t - 1)
+  | _ -> failwith "combine at most one of --crash/--random/--kill-active-every"
+
+let run_cmd =
+  let proto_arg =
+    Arg.(value & opt string "A" & info [ "p"; "protocol" ] ~doc:"Protocol (A, B, C, C-chunked, C-naive, D, trivial, checkpoint[:k]).")
+  in
+  let run proto n t crashes random window seed adversary trace_n =
+    match protocol_of_name proto with
+    | Error (`Msg m) -> prerr_endline m; exit 2
+    | Ok p ->
+        let spec = D.Spec.make ~n ~t in
+        let fault = build_fault ~t ~crashes ~random ~window ~seed ~adversary in
+        let trace = Option.map (fun _ -> Simkit.Trace.create ()) trace_n in
+        let report = D.Runner.run ~fault ?trace spec p in
+        Format.printf "%a@." D.Runner.pp report;
+        Format.printf "verdict: %s@."
+          (if D.Runner.correct report then "CORRECT" else "INCORRECT");
+        (match (trace, trace_n) with
+        | Some tr, Some limit -> Simkit.Trace.pp ~limit Format.std_formatter tr
+        | _ -> ());
+        if not (D.Runner.correct report) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a Do-All protocol under a fault schedule")
+    Term.(
+      const run $ proto_arg $ n_arg $ t_arg $ crashes_arg $ random_arg
+      $ window_arg $ seed_arg $ adversary_arg $ trace_arg)
+
+let ba_cmd =
+  let value_arg = Arg.(value & opt int 1 & info [ "value" ] ~doc:"General's value.") in
+  let tb_arg = Arg.(value & opt int 8 & info [ "t" ] ~doc:"Failure bound (senders = t+1).") in
+  let proto_arg =
+    Arg.(value & opt string "A" & info [ "p"; "protocol" ] ~doc:"Sender protocol (A, B, C, C-chunked).")
+  in
+  let cut_arg =
+    Arg.(value & opt (some int) None & info [ "general-cut" ] ~docv:"K"
+         ~doc:"General crashes mid-broadcast after informing $(i,K) senders.")
+  in
+  let run n t_bound value proto crashes cut =
+    let wp =
+      match String.lowercase_ascii proto with
+      | "a" -> Agreement.Crash_ba.A
+      | "b" -> Agreement.Crash_ba.B
+      | "c" -> Agreement.Crash_ba.C
+      | "c-chunked" | "cchunked" -> Agreement.Crash_ba.C_chunked
+      | other -> prerr_endline ("unknown sender protocol: " ^ other); exit 2
+    in
+    let o = Agreement.Crash_ba.run ~n ~t_bound ~value ~crash_at:crashes ?general_cut:cut wp in
+    Format.printf
+      "agreement=%b validity=%b messages=%d (work-protocol %d) rounds=%d sender-work=%d@."
+      o.agreement o.validity o.messages o.work_messages o.rounds o.sender_work;
+    if not (o.agreement && o.validity) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "ba" ~doc:"Byzantine agreement (crash model) via a work protocol (Section 5)")
+    Term.(const run $ n_arg $ tb_arg $ value_arg $ proto_arg $ crashes_arg $ cut_arg)
+
+let async_cmd =
+  let delay_arg = Arg.(value & opt int 5 & info [ "max-delay" ] ~doc:"Max message delay.") in
+  let lag_arg = Arg.(value & opt int 8 & info [ "max-lag" ] ~doc:"Max failure-detector lag.") in
+  let run n t crashes seed max_delay max_lag =
+    let spec = D.Spec.make ~n ~t in
+    let r =
+      Asim.Async_protocol_a.run ~crash_at:crashes ~max_delay ~max_lag
+        ~seed:(Int64.of_int seed) spec
+    in
+    Format.printf "%a completed=%b@." Simkit.Metrics.pp_summary r.metrics r.completed;
+    let ok = r.completed && Simkit.Metrics.all_units_done r.metrics in
+    Format.printf "verdict: %s@." (if ok then "CORRECT" else "INCORRECT");
+    if not ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "async" ~doc:"Asynchronous Protocol A with a failure detector (Section 2.1)")
+    Term.(const run $ n_arg $ t_arg $ crashes_arg $ seed_arg $ delay_arg $ lag_arg)
+
+let shmem_cmd =
+  let algo_arg =
+    Arg.(value & opt string "checkpointed" & info [ "a"; "algorithm" ]
+         ~doc:"Shared-memory algorithm (checkpointed, parallel-scan).")
+  in
+  let run n t algo crashes =
+    let go =
+      match String.lowercase_ascii algo with
+      | "checkpointed" | "seq" -> Shmem.Writeall.checkpointed ~crash_at:crashes
+      | "parallel-scan" | "scan" -> Shmem.Writeall.parallel_scan ~crash_at:crashes
+      | other -> prerr_endline ("unknown algorithm: " ^ other); exit 2
+    in
+    let o = go ~n ~t () in
+    Format.printf
+      "work=%d reads=%d writes=%d effort=%d rounds=%d aps=%d all-done=%b@."
+      (Simkit.Metrics.work o.result.metrics)
+      o.result.reads o.result.writes o.effort
+      (Simkit.Metrics.rounds o.result.metrics)
+      o.result.aps
+      (Shmem.Writeall.work_complete o);
+    if not (Shmem.Writeall.work_complete o) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "shmem" ~doc:"Shared-memory Write-All (Section 1.1 comparison)")
+    Term.(const run $ n_arg $ t_arg $ algo_arg $ crashes_arg)
+
+let bootstrap_cmd =
+  let proto_arg =
+    Arg.(value & opt string "A" & info [ "p"; "protocol" ] ~doc:"Work protocol (A, B, C, C-chunked).")
+  in
+  let run n t proto crashes =
+    let wp =
+      match String.lowercase_ascii proto with
+      | "a" -> Agreement.Crash_ba.A
+      | "b" -> Agreement.Crash_ba.B
+      | "c" -> Agreement.Crash_ba.C
+      | "c-chunked" | "cchunked" -> Agreement.Crash_ba.C_chunked
+      | other -> prerr_endline ("unknown protocol: " ^ other); exit 2
+    in
+    let o = Agreement.Bootstrap.run ~n ~t ~crash_at:crashes wp in
+    Format.printf
+      "ok=%b  stage1: msgs=%d rounds=%d  stage2: %a  totals: msgs=%d work=%d rounds=%d@."
+      o.ok o.ba.messages o.ba.rounds Doall.Runner.pp o.work o.total_messages
+      o.total_work o.total_rounds;
+    if not o.ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "bootstrap"
+       ~doc:"Section 1 bootstrap: agree on the pool, then perform it")
+    Term.(const run $ n_arg $ t_arg $ proto_arg $ crashes_arg)
+
+let () =
+  let doc = "Do-All protocols of Dwork, Halpern and Waarts (PODC 1992)" in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "doall_cli" ~doc)
+          [ run_cmd; ba_cmd; async_cmd; shmem_cmd; bootstrap_cmd ]))

@@ -1,0 +1,1 @@
+examples/async_failover.ml: Asim Doall Format List Simkit

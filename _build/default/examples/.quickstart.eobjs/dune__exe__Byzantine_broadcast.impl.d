@@ -1,0 +1,1 @@
+examples/byzantine_broadcast.ml: Agreement Array Format Hashtbl Option Printf

@@ -1,0 +1,1 @@
+examples/idle_workstations.ml: Dhw_util Doall Int64 List Printf Simkit

@@ -1,0 +1,1 @@
+examples/valve_shutdown.ml: Dhw_util Doall List Simkit

@@ -1,0 +1,1 @@
+examples/valve_shutdown.mli:

@@ -1,0 +1,50 @@
+(* The paper's opening scenario: before fuel is added to the reactor, every
+   one of 400 valves must be verified closed. Verifying a valve is idempotent
+   work; the 25 controller processes may crash at any moment, and the
+   verification must complete as long as a single controller survives.
+
+   This example contrasts the two strawmen of Section 1 with the paper's
+   protocols under an aggressive crash schedule (controllers failing every
+   20 verifications), printing the effort = work + messages for each.
+
+     dune exec examples/valve_shutdown.exe *)
+
+let () =
+  let n_valves = 400 and n_controllers = 25 in
+  let spec = Doall.Spec.make ~n:n_valves ~t:n_controllers in
+  let protocols =
+    [
+      Doall.Baseline_trivial.protocol;
+      Doall.Baseline_checkpoint.protocol ~period:1;
+      Doall.Protocol_a.protocol;
+      Doall.Protocol_b.protocol;
+      Doall.Protocol_d.protocol;
+    ]
+  in
+  let table =
+    Dhw_util.Table.create ~title:"Valve verification: 400 valves, 25 controllers, 24 crashes"
+      [ ("protocol", Dhw_util.Table.Left); ("verifications", Right); ("messages", Right);
+        ("effort", Right); ("rounds", Right); ("all closed?", Left) ]
+  in
+  List.iter
+    (fun p ->
+      let fault =
+        Simkit.Fault.crash_active_after_work ~units_between_crashes:20
+          ~max_crashes:(n_controllers - 1)
+      in
+      let r = Doall.Runner.run ~fault spec p in
+      let m = r.Doall.Runner.metrics in
+      Dhw_util.Table.add_row table
+        [
+          r.protocol;
+          Dhw_util.Table.fmt_int (Simkit.Metrics.work m);
+          Dhw_util.Table.fmt_int (Simkit.Metrics.messages m);
+          Dhw_util.Table.fmt_int (Simkit.Metrics.effort m);
+          Dhw_util.Table.fmt_int (Simkit.Metrics.rounds m);
+          (if Doall.Runner.work_complete r then "yes" else "NO");
+        ])
+    protocols;
+  Dhw_util.Table.print table;
+  print_endline
+    "Note how the baselines pay ~t*n effort where A and B stay near n + t^1.5,\n\
+     and how D finishes orders of magnitude sooner by working in parallel."

@@ -1,0 +1,1 @@
+lib/agreement/bootstrap.ml: Crash_ba Doall List Simkit

@@ -1,0 +1,1 @@
+lib/agreement/bootstrap.mli: Crash_ba Doall Simkit

@@ -1,0 +1,1 @@
+lib/agreement/crash_ba.ml: Array Dhw_util Doall List Option Protocol_a Protocol_b Protocol_c Runner Simkit Spec String

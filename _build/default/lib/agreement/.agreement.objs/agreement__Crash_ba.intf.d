@@ -1,0 +1,1 @@
+lib/agreement/crash_ba.mli: Simkit

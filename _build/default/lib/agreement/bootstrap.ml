@@ -1,0 +1,51 @@
+type outcome = {
+  ba : Crash_ba.outcome;
+  work : Doall.Runner.report;
+  total_messages : int;
+  total_work : int;
+  total_rounds : int;
+  ok : bool;
+}
+
+let protocol_of = function
+  | Crash_ba.A -> Doall.Protocol_a.protocol
+  | Crash_ba.B -> Doall.Protocol_b.protocol
+  | Crash_ba.C -> Doall.Protocol_c.protocol
+  | Crash_ba.C_chunked -> Doall.Protocol_c.protocol_chunked
+
+let run ~n ~t ?(crash_at = []) proto =
+  if n < 1 || t < 1 then invalid_arg "Bootstrap.run";
+  (* Stage 1: agree on the pool description. The "value" stands for the pool
+     id; informing process i is work unit i, so the BA instance has n = t
+     (everyone must learn the pool) and the senders are all t processes. *)
+  let ba =
+    Crash_ba.run ~n:t ~t_bound:(t - 1) ~value:1 ~crash_at proto
+  in
+  (* Stage 2: the pool itself, by whoever survived stage 1. Crashes beyond
+     the agreement stage are shifted into work-protocol time. *)
+  let stage2_crashes =
+    List.filter_map
+      (fun (pid, r) -> if r >= ba.rounds then Some (pid, r - ba.rounds) else None)
+      crash_at
+    @ (* processes already dead keep being dead *)
+    List.filter_map
+      (fun (pid, r) -> if r < ba.rounds then Some (pid, 0) else None)
+      crash_at
+  in
+  let spec = Doall.Spec.make ~n ~t in
+  let work =
+    Doall.Runner.run
+      ~fault:(Simkit.Fault.crash_silently_at stage2_crashes)
+      spec (protocol_of proto)
+  in
+  let total_messages = ba.messages + Simkit.Metrics.messages work.metrics in
+  let total_work = ba.sender_work + Simkit.Metrics.work work.metrics in
+  let total_rounds = ba.rounds + Simkit.Metrics.rounds work.metrics in
+  {
+    ba;
+    work;
+    total_messages;
+    total_work;
+    total_rounds;
+    ok = ba.agreement && ba.validity && Doall.Runner.correct work;
+  }

@@ -1,0 +1,32 @@
+(** The common-knowledge bootstrap of Section 1: the protocols assume the
+    work pool is common knowledge at round 0; when instead only one process
+    knows the pool, it acts as general and the system runs {e twice} — first
+    Byzantine agreement on the pool description, then the chosen work
+    protocol on the pool itself. "If n, the amount of actual work, is Ω(t),
+    then the overall cost at most doubles."
+
+    The crash schedule is given in absolute rounds spanning both stages:
+    crashes that land during the agreement stage hit it, the rest are
+    shifted into the work stage. *)
+
+type outcome = {
+  ba : Crash_ba.outcome;  (** stage 1: agreement on the pool description *)
+  work : Doall.Runner.report;  (** stage 2: the actual work *)
+  total_messages : int;
+  total_work : int;
+  total_rounds : int;
+  ok : bool;
+      (** stage-1 agreement+validity and stage-2 completion both hold *)
+}
+
+val run :
+  n:int ->
+  t:int ->
+  ?crash_at:(Simkit.Types.pid * int) list ->
+  Crash_ba.work_protocol ->
+  outcome
+(** [run ~n ~t proto]: [t] processes, pool of [n] units initially known only
+    to process 0, both stages driven by [proto] (with failure bound
+    [t - 1], i.e. senders are all [t] processes).
+
+    @raise Invalid_argument if [n < 1] or [t < 1]. *)

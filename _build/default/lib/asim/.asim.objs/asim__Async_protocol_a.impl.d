@@ -1,0 +1,1 @@
+lib/asim/async_protocol_a.ml: Ckpt_script Doall Event_sim Fun Grid Int List Set Simkit Spec

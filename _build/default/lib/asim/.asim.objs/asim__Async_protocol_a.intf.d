@@ -1,0 +1,1 @@
+lib/asim/async_protocol_a.mli: Doall Event_sim Simkit

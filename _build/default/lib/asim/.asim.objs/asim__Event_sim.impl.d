@@ -1,0 +1,1 @@
+lib/asim/event_sim.ml: Array Dhw_util Int List Map Option Simkit

@@ -1,0 +1,1 @@
+lib/asim/event_sim.mli: Simkit

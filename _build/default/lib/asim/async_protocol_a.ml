@@ -1,0 +1,85 @@
+open Simkit.Types
+open Doall
+module ISet = Set.Make (Int)
+
+type msg = Ckpt_script.ord
+
+let show_msg = Ckpt_script.show_ord
+
+type state =
+  | Awaiting_fd of { retired_below : ISet.t; last : Ckpt_script.last }
+  | Running_script of Ckpt_script.action list
+
+let idle st =
+  {
+    Event_sim.state = st;
+    sends = [];
+    work = [];
+    terminate = false;
+    continue_after = None;
+  }
+
+let aproc spec =
+  let grid = Grid.make spec in
+  let run_script script =
+    (* the round argument only feeds the wakeup, which we discard *)
+    let o = Ckpt_script.run_active ~inject:Fun.id 0 script in
+    {
+      Event_sim.state = Running_script o.state;
+      sends = List.map (fun { dst; payload } -> (dst, payload)) o.sends;
+      work = o.work;
+      terminate = o.terminate;
+      continue_after = (if o.terminate then None else Some 1);
+    }
+  in
+  let a_init _pid = Awaiting_fd { retired_below = ISet.empty; last = Ckpt_script.No_msg } in
+  let a_handle pid _now st (ev : msg Event_sim.aevent) =
+    match st with
+    | Running_script script -> (
+        match ev with
+        | Continue -> run_script script
+        | Started | Got _ | Retired_notice _ ->
+            (* the unique active process ignores stale traffic *)
+            { (idle st) with continue_after = None })
+    | Awaiting_fd { retired_below; last } -> (
+        let try_activate retired_below last =
+          let all_below_retired =
+            let rec check i =
+              i >= pid || (ISet.mem i retired_below && check (i + 1))
+            in
+            check 0
+          in
+          if all_below_retired then
+            run_script (Ckpt_script.takeover_script grid pid last)
+          else idle (Awaiting_fd { retired_below; last })
+        in
+        match ev with
+        | Started ->
+            if pid = 0 then run_script (Ckpt_script.work_script grid 0 1)
+            else idle st
+        | Got { src; payload } ->
+            let last = Ckpt_script.Last_ord { ord = payload; src } in
+            if Ckpt_script.knows_all_done grid pid last then
+              {
+                Event_sim.state = Awaiting_fd { retired_below; last };
+                sends = [];
+                work = [];
+                terminate = true;
+                continue_after = None;
+              }
+            else idle (Awaiting_fd { retired_below; last })
+        | Retired_notice who ->
+            let retired_below =
+              if who < pid then ISet.add who retired_below else retired_below
+            in
+            try_activate retired_below last
+        | Continue -> idle st)
+  in
+  { Event_sim.a_init; a_handle }
+
+let run ?crash_at ?max_delay ?max_lag ?seed ?false_suspicions spec =
+  let cfg =
+    Event_sim.config ?crash_at ?max_delay ?max_lag ?seed ?false_suspicions
+      ~n_processes:(Spec.processes spec) ~n_units:(Spec.n spec) ()
+  in
+  Event_sim.run cfg (aproc spec)

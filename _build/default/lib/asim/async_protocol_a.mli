@@ -1,0 +1,26 @@
+(** The asynchronous variant of Protocol A (the Section 2.1 remark): instead
+    of waiting until round [DD(j)], process [j] takes over as soon as the
+    failure-detection service has reported every process [< j] retired.
+
+    Soundness of the detector gives at-most-one-active; completeness gives
+    liveness. Work and message counts obey Theorem 2.3's bounds — time is
+    whatever the delay adversary makes it. *)
+
+type msg
+
+val show_msg : msg -> string
+
+val run :
+  ?crash_at:(Simkit.Types.pid * Event_sim.time) list ->
+  ?max_delay:int ->
+  ?max_lag:int ->
+  ?seed:int64 ->
+  ?false_suspicions:(Simkit.Types.pid * Simkit.Types.pid * Event_sim.time) list ->
+  Doall.Spec.t ->
+  Event_sim.result
+(** Build and execute the asynchronous Protocol A on an instance. With
+    [false_suspicions] the detector's soundness is deliberately violated:
+    the falsely-convinced process may become active alongside the real one,
+    so work is duplicated — but since the work is idempotent, every unit is
+    still performed (the precise reason Section 2.1 requires soundness is
+    efficiency, not safety). *)

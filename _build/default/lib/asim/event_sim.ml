@@ -1,0 +1,133 @@
+open Simkit.Types
+module Prng = Dhw_util.Prng
+module TMap = Map.Make (Int)
+
+type time = int
+
+type 'm aevent =
+  | Started
+  | Got of { src : pid; payload : 'm }
+  | Retired_notice of pid
+  | Continue
+
+type ('s, 'm) aoutcome = {
+  state : 's;
+  sends : (pid * 'm) list;
+  work : int list;
+  terminate : bool;
+  continue_after : int option;
+}
+
+type ('s, 'm) aproc = {
+  a_init : pid -> 's;
+  a_handle : pid -> time -> 's -> 'm aevent -> ('s, 'm) aoutcome;
+}
+
+type config = {
+  n_processes : int;
+  n_units : int;
+  crash_at : (pid * time) list;
+  max_delay : int;
+  max_lag : int;
+  seed : int64;
+  max_ticks : time;
+  false_suspicions : (pid * pid * time) list;
+}
+
+let config ?(crash_at = []) ?(max_delay = 5) ?(max_lag = 8) ?(seed = 1L)
+    ?(max_ticks = 10_000_000) ?(false_suspicions = []) ~n_processes ~n_units () =
+  if max_delay < 1 || max_lag < 1 then invalid_arg "Event_sim.config";
+  { n_processes; n_units; crash_at; max_delay; max_lag; seed; max_ticks;
+    false_suspicions }
+
+type result = {
+  metrics : Simkit.Metrics.t;
+  statuses : status array;
+  completed : bool;
+}
+
+(* Internal queue items. [Crash_item] realises the crash schedule; the rest
+   are process-visible events. *)
+type 'm item =
+  | Ev of { dst : pid; ev : 'm aevent }
+  | Crash_item of pid
+
+let run cfg proc =
+  let t = cfg.n_processes in
+  let metrics = Simkit.Metrics.create ~n_processes:t ~n_units:cfg.n_units in
+  let statuses = Array.make t Running in
+  let states = Array.init t proc.a_init in
+  let g = Prng.create cfg.seed in
+  let queue : 'm item list TMap.t ref = ref TMap.empty in
+  let push at item =
+    let existing = Option.value ~default:[] (TMap.find_opt at !queue) in
+    queue := TMap.add at (item :: existing) !queue
+  in
+  (* Crash schedule first so a crash at tick τ precedes deliveries at τ. *)
+  List.iter (fun (pid, at) -> push at (Crash_item pid)) cfg.crash_at;
+  (* Injected detector unsoundness: a notice about a live process. *)
+  List.iter
+    (fun (observer, suspect, at) ->
+      push at (Ev { dst = observer; ev = Retired_notice suspect }))
+    cfg.false_suspicions;
+  for pid = 0 to t - 1 do
+    push 0 (Ev { dst = pid; ev = Started })
+  done;
+  let alive pid = statuses.(pid) = Running in
+  let retire_notify who now =
+    (* Failure-detection service: sound by construction (only called on
+       actual retirement), complete because every live process gets a
+       notification after a bounded lag. *)
+    for obs = 0 to t - 1 do
+      if obs <> who && alive obs then
+        push (now + 1 + Prng.int g cfg.max_lag) (Ev { dst = obs; ev = Retired_notice who })
+    done
+  in
+  let handle now dst ev =
+    if alive dst then begin
+      let o = proc.a_handle dst now states.(dst) ev in
+      states.(dst) <- o.state;
+      List.iter (fun u -> Simkit.Metrics.record_work metrics dst u) o.work;
+      List.iter
+        (fun (to_, payload) ->
+          Simkit.Metrics.record_send metrics dst;
+          if to_ >= 0 && to_ < t then
+            push (now + 1 + Prng.int g cfg.max_delay)
+              (Ev { dst = to_; ev = Got { src = dst; payload } }))
+        o.sends;
+      Simkit.Metrics.record_round metrics now;
+      if o.terminate then begin
+        statuses.(dst) <- Terminated now;
+        Simkit.Metrics.record_terminate metrics dst now;
+        retire_notify dst now
+      end
+      else
+        match o.continue_after with
+        | Some d when d >= 1 -> push (now + d) (Ev { dst; ev = Continue })
+        | Some _ -> invalid_arg "Event_sim: continue_after must be >= 1"
+        | None -> ()
+    end
+  in
+  let rec loop () =
+    match TMap.min_binding_opt !queue with
+    | None -> ()
+    | Some (now, items) when now <= cfg.max_ticks ->
+        queue := TMap.remove now !queue;
+        (* items were accumulated in reverse insertion order *)
+        List.iter
+          (fun item ->
+            match item with
+            | Crash_item pid ->
+                if alive pid then begin
+                  statuses.(pid) <- Crashed now;
+                  Simkit.Metrics.record_crash metrics pid now;
+                  retire_notify pid now
+                end
+            | Ev { dst; ev } -> handle now dst ev)
+          (List.rev items);
+        loop ()
+    | Some _ -> ()
+  in
+  loop ();
+  let completed = Array.for_all is_retired statuses in
+  { metrics; statuses; completed }

@@ -1,0 +1,77 @@
+(** Asynchronous event-driven executor with a failure-detection service
+    (the "completely asynchronous system equipped with a failure detection
+    mechanism" of Section 2.1 and Chandra–Toueg [7]).
+
+    Differences from the synchronous kernel:
+    - there are no rounds; each message is delivered after an
+      adversary-chosen delay in [1, max_delay] ticks;
+    - processes are reactive: they act on message delivery, on failure-
+      detector notifications, and on self-scheduled continuations (used to
+      model "one unit of work per time unit");
+    - the failure-detection service notifies every live process of each
+      retirement (crash or termination) after an adversary-chosen lag in
+      [1, max_lag] ticks. It is {e sound} (never reports a non-retired
+      process) and {e complete} (every retirement is eventually reported to
+      every live process) — exactly the two properties the asynchronous
+      Protocol A needs. *)
+
+type time = int
+
+type 'm aevent =
+  | Started  (** delivered once, at the process's start tick *)
+  | Got of { src : Simkit.Types.pid; payload : 'm }
+  | Retired_notice of Simkit.Types.pid
+      (** failure-detector notification: that process has crashed or
+          terminated *)
+  | Continue  (** the continuation the process scheduled *)
+
+type ('s, 'm) aoutcome = {
+  state : 's;
+  sends : (Simkit.Types.pid * 'm) list;
+  work : int list;
+  terminate : bool;
+  continue_after : int option;
+      (** schedule a [Continue] this many ticks from now (>= 1) *)
+}
+
+type ('s, 'm) aproc = {
+  a_init : Simkit.Types.pid -> 's;
+  a_handle : Simkit.Types.pid -> time -> 's -> 'm aevent -> ('s, 'm) aoutcome;
+}
+
+type config = {
+  n_processes : int;
+  n_units : int;
+  crash_at : (Simkit.Types.pid * time) list;  (** silent crashes *)
+  max_delay : int;  (** message delays drawn from [1, max_delay] *)
+  max_lag : int;  (** detector lags drawn from [1, max_lag] *)
+  seed : int64;  (** drives the delay/lag adversary *)
+  max_ticks : time;
+  false_suspicions : (Simkit.Types.pid * Simkit.Types.pid * time) list;
+      (** (observer, suspect, time): deliver a [Retired_notice suspect] to
+          [observer] even though the suspect is alive — deliberately breaks
+          the detector's soundness, to demonstrate why Section 2.1 demands
+          it ("the mechanism must be sound"). With false suspicions two
+          processes can be active at once; idempotence keeps the run
+          correct, but work and messages are duplicated. *)
+}
+
+val config :
+  ?crash_at:(Simkit.Types.pid * time) list ->
+  ?max_delay:int ->
+  ?max_lag:int ->
+  ?seed:int64 ->
+  ?max_ticks:time ->
+  ?false_suspicions:(Simkit.Types.pid * Simkit.Types.pid * time) list ->
+  n_processes:int ->
+  n_units:int ->
+  unit ->
+  config
+
+type result = {
+  metrics : Simkit.Metrics.t;  (** rounds = final tick *)
+  statuses : Simkit.Types.status array;
+  completed : bool;  (** all processes retired before [max_ticks] *)
+}
+
+val run : config -> ('s, 'm) aproc -> result

@@ -1,0 +1,1 @@
+lib/core/baseline_checkpoint.ml: Dhw_util Fun List Printf Protocol Simkit Spec

@@ -1,0 +1,1 @@
+lib/core/baseline_checkpoint.mli: Protocol

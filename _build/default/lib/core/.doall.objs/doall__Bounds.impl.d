@@ -1,0 +1,1 @@
+lib/core/bounds.ml: Dhw_util Grid Protocol_b Protocol_c Spec

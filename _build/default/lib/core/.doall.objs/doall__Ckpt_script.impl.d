@@ -1,0 +1,1 @@
+lib/core/ckpt_script.ml: Fun Grid List Printf Simkit

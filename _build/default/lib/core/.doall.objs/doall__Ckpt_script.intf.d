@@ -1,0 +1,1 @@
+lib/core/ckpt_script.mli: Grid Simkit

@@ -1,0 +1,1 @@
+lib/core/msg_size.ml: Dhw_util Grid Spec

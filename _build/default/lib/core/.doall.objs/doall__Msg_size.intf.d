@@ -1,0 +1,1 @@
+lib/core/msg_size.mli: Grid Spec

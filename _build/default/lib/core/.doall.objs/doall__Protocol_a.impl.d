@@ -1,0 +1,1 @@
+lib/core/protocol_a.ml: Ckpt_script Fun Grid List Printf Protocol Simkit

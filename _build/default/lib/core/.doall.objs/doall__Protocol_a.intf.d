@@ -1,0 +1,1 @@
+lib/core/protocol_a.mli: Ckpt_script Grid Protocol

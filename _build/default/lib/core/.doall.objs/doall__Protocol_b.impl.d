@@ -1,0 +1,1 @@
+lib/core/protocol_b.ml: Ckpt_script Grid List Protocol Simkit Spec

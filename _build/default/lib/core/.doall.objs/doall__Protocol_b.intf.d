@@ -1,0 +1,1 @@
+lib/core/protocol_b.mli: Ckpt_script Grid Protocol

@@ -1,0 +1,1 @@
+lib/core/protocol_c.ml: Array Dhw_util Int List Printf Protocol Set Simkit Spec

@@ -1,0 +1,1 @@
+lib/core/protocol_c.mli: Protocol Spec

@@ -1,0 +1,1 @@
+lib/core/protocol_c_naive.ml: Dhw_util List Printf Protocol Simkit Spec

@@ -1,0 +1,1 @@
+lib/core/protocol_d.ml: Array Ckpt_script Dhw_util Fun Grid Int List Printf Protocol Set Simkit Spec

@@ -1,0 +1,1 @@
+lib/core/protocol_d_coord.mli: Protocol

@@ -1,0 +1,1 @@
+lib/core/protocol_d_online.ml: Array Dhw_util Fun Int List Printf Protocol Set Simkit Spec

@@ -1,0 +1,1 @@
+lib/core/runner.ml: Array Format Printf Protocol Simkit Spec

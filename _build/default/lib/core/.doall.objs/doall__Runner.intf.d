@@ -1,0 +1,1 @@
+lib/core/runner.mli: Format Protocol Simkit Spec

@@ -1,0 +1,13 @@
+(** The straightforward checkpointing solution from Section 1: a single
+    active process performs the work, broadcasting a checkpoint to {e all}
+    processes after every [period] completed units; when the active process
+    crashes, the next-numbered process takes over from the last checkpoint it
+    received.
+
+    With [period = 1] this is the paper's second strawman: at most [n+t-1]
+    units of work but almost [t·n] messages. Larger periods trade messages
+    for redone work — the trade-off that motivates Protocol A's two-level
+    checkpointing (and bench E10 sweeps it). *)
+
+val protocol : period:int -> Protocol.t
+(** @raise Invalid_argument if [period < 1]. *)

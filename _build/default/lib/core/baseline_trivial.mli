@@ -1,0 +1,6 @@
+(** The trivial solution from Section 1: every process performs every unit of
+    work, one unit per round, and never communicates. Zero messages, worst
+    case [t·n] work, [n] rounds. The work-complexity strawman every other
+    protocol is measured against. *)
+
+val protocol : Protocol.t

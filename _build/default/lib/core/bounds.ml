@@ -1,0 +1,90 @@
+module Intmath = Dhw_util.Intmath
+
+(* ---- Theorem 2.3 (Protocol A) ---- *)
+
+let a_work grid =
+  let spec = Grid.spec grid in
+  let n = Spec.n spec and t = Spec.processes spec in
+  let s = Grid.group_size grid in
+  let sub = Grid.subchunk_size_max grid in
+  (* n necessary + one chunk redone per new group + one subchunk per new
+     process (proof of Theorem 2.3). *)
+  n + (Grid.n_groups grid * s * sub) + (t * sub)
+
+let a_msgs grid =
+  let t = Spec.processes (Grid.spec grid) in
+  let s = Grid.group_size grid in
+  let num_groups = Grid.n_groups grid in
+  let n_sub = Grid.n_subchunks grid in
+  let n_fc = Grid.n_chunk_ends grid in
+  (* necessary: one partial checkpoint (≤ s msgs) per subchunk, plus per
+     full checkpoint 2s msgs per informed group *)
+  let necessary = (n_sub * s) + (n_fc * 2 * num_groups * s) in
+  (* resent: per new group one full checkpoint + a chunk of partials; per
+     new process ≤ 3 own-group broadcasts *)
+  let per_group = (2 * num_groups * s) + (s * s) + s in
+  let resent = (num_groups * per_group) + (t * 3 * s) in
+  necessary + resent
+
+let a_rounds grid =
+  Spec.processes (Grid.spec grid) * Grid.max_active_rounds grid
+
+(* ---- Theorem 2.8 (Protocol B) ---- *)
+
+let b_work = a_work
+
+let b_msgs grid =
+  let t = Spec.processes (Grid.spec grid) in
+  a_msgs grid + (t * Grid.group_size grid)
+
+let b_rounds = Protocol_b.round_bound
+
+(* ---- Theorem 3.8 / Corollary 3.9 (Protocol C) ---- *)
+
+let c_work spec = Spec.n spec + (2 * Spec.processes spec)
+
+let padded_t spec = Intmath.next_power_of_two (Spec.processes spec)
+
+let c_log_term spec =
+  let tp = padded_t spec in
+  let l = if tp = 1 then 0 else Intmath.ilog2 tp in
+  (8 * tp * l) + (2 * tp)
+
+let c_msgs spec = Spec.n spec + c_log_term spec
+
+let c_chunked_msgs spec =
+  (* one report per ⌈n/t⌉-unit chunk instead of per unit *)
+  (2 * Spec.processes spec) + c_log_term spec
+
+let c_chunked_work spec =
+  (* each of the ≤ t takeovers can additionally redo up to one unreported
+     chunk of ⌈n/t⌉ units, so the Corollary 3.9 work bound is ~2n + 2t *)
+  let n = Spec.n spec and t = Spec.processes spec in
+  n + (2 * t) + (t * Intmath.ceil_div n t)
+
+let c_rounds spec ~period =
+  let n = Spec.n spec and t = Spec.processes spec in
+  let k = float_of_int (Protocol_c.big_k spec ~period) in
+  float_of_int t *. k *. float_of_int (n + t) *. (2.0 ** float_of_int (n + t))
+
+(* ---- Theorem 4.1 (Protocol D) ---- *)
+
+let d_work spec = 2 * Spec.n spec
+let d_work_revert spec = 4 * Spec.n spec
+
+let d_msgs spec ~f =
+  let t = Spec.processes spec in
+  ((4 * f) + 2) * t * t
+
+let d_msgs_revert spec ~f =
+  let t = Spec.processes spec in
+  let half = Intmath.ceil_div t 2 in
+  d_msgs spec ~f + (9 * half * Intmath.isqrt_up half)
+
+let d_rounds spec ~f =
+  let n = Spec.n spec and t = Spec.processes spec in
+  ((f + 1) * Intmath.ceil_div n t) + (4 * f) + 2
+
+let d_rounds_revert spec ~f =
+  let n = Spec.n spec and t = Spec.processes spec in
+  d_rounds spec ~f + (n * t / 2) + (3 * t * t / 4)

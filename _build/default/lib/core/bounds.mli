@@ -1,0 +1,70 @@
+(** The paper's theorem bounds, as executable formulas.
+
+    Each function computes the guarantee the corresponding theorem states,
+    generalized to arbitrary instances through {!Grid} (on perfect-square,
+    divisible instances the Protocol A/B formulas reduce exactly to the
+    paper's [3n], [9t√t], [10t√t], [nt + 3t²] and [3n + 8t]). The test
+    suite asserts every execution stays within these; the benches print
+    measured-vs-bound ratios. *)
+
+(** {1 Theorem 2.3 — Protocol A} *)
+
+val a_work : Grid.t -> int
+(** [n + (#groups)·(chunk size) + t·(subchunk size)] — paper: [3n]. *)
+
+val a_msgs : Grid.t -> int
+(** Necessary + resent checkpoint messages — paper: [9t√t]. *)
+
+val a_rounds : Grid.t -> int
+(** [t · L] where [L] is the active-lifetime budget — paper: [nt + 3t²]. *)
+
+(** {1 Theorem 2.8 — Protocol B} *)
+
+val b_work : Grid.t -> int
+(** Same work bound as A — paper: [3n]. *)
+
+val b_msgs : Grid.t -> int
+(** A's message bound plus [t·s] go-ahead probes — paper: [10t√t]. *)
+
+val b_rounds : Grid.t -> int
+(** [max useful rounds + TT(t-1, 0)] — paper: [3n + 8t]. *)
+
+(** {1 Theorem 3.8 / Corollary 3.9 — Protocol C} *)
+
+val c_work : Spec.t -> int
+(** [n + 2t]. *)
+
+val c_msgs : Spec.t -> int
+(** [n + 8 t' log t' + 2t'] with [t'] the power-of-two padding — paper:
+    [n + 8t log t]. *)
+
+val c_chunked_msgs : Spec.t -> int
+(** Corollary 3.9: the [n] term replaced by [t] reports. *)
+
+val c_chunked_work : Spec.t -> int
+(** Corollary 3.9 work: [n + 2t + t·⌈n/t⌉] — each takeover can redo one
+    unreported chunk, still [O(n + t)]. *)
+
+val c_rounds : Spec.t -> period:int -> float
+(** [t·K·(n+t)·2^(n+t)], returned as a float because it overflows 63 bits
+    long before the protocol's own instance cap. *)
+
+(** {1 Theorem 4.1 — Protocol D} *)
+
+val d_work : Spec.t -> int
+(** [2n] when no phase loses more than half its live processes. *)
+
+val d_work_revert : Spec.t -> int
+(** [4n] in the catastrophic case (part 2(a)). *)
+
+val d_msgs : Spec.t -> f:int -> int
+(** [(4f+2)·t²]. *)
+
+val d_msgs_revert : Spec.t -> f:int -> int
+(** part 2(b): [(4f+2)t² + 9·(t/2)·√(t/2)]. *)
+
+val d_rounds : Spec.t -> f:int -> int
+(** [(f+1)·⌈n/t⌉ + 4f + 2]. *)
+
+val d_rounds_revert : Spec.t -> f:int -> int
+(** part 2(c): adds [nt/2 + 3t²/4]. *)

@@ -1,0 +1,52 @@
+(** The checkpointing work script shared by Protocols A and B (Figure 1's
+    [DoWork], [Partialcheckpoint] and [Fullcheckpoint] procedures).
+
+    Both protocols have the same active-process behaviour — perform the work
+    subchunk by subchunk, partially checkpointing each subchunk to the
+    own-group remainder and fully checkpointing each chunk to every higher
+    group — and differ only in how a process decides to {e become} active.
+    This module builds the per-round action scripts for an active process. *)
+
+open Simkit.Types
+
+type ord = Partial of int | Full of int * int
+(** Ordinary messages: [(c)] and [(c, g)] of the paper. *)
+
+val show_ord : ord -> string
+
+type action = Do_unit of int | Bcast of ord * pid list
+(** One action = one synchronous round of the active process. *)
+
+type last = No_msg | Last_ord of { ord : ord; src : pid }
+(** A process's knowledge: the last ordinary message it received. *)
+
+val c_of_last : last -> int
+(** Highest completed subchunk the message vouches for; [0] for [No_msg]. *)
+
+val work_script : Grid.t -> pid -> int -> action list
+(** [work_script grid j from_sub] — Figure 1 lines 10–14: perform subchunks
+    [from_sub .. S], checkpointing as required, as process [j]. *)
+
+val takeover_script : Grid.t -> pid -> last -> action list
+(** [takeover_script grid j last] — Figure 1 lines 1–9 followed by the work
+    script: complete the checkpoint the previous active process died in,
+    then resume the work after the last completed subchunk. The first action
+    is always a broadcast to [j]'s own-group remainder (Protocol B's
+    one-round go-ahead response relies on this). *)
+
+val knows_all_done : Grid.t -> pid -> last -> bool
+(** True iff the message says all work is done and [j]'s obligations are
+    discharged: [(S)] or [(S, g_j)] (Section 2.1 termination rule). *)
+
+val run_active :
+  inject:(ord -> 'm) ->
+  ?map_dst:(pid -> pid) ->
+  ?map_unit:(int -> int) ->
+  round ->
+  action list ->
+  (action list, 'm) outcome
+(** Execute the head action as this round's outcome; terminates on script
+    exhaustion. [map_dst]/[map_unit] translate script-local ranks and unit
+    indices to real pids and unit ids (used by Protocol D's embedded copy of
+    Protocol A, which runs over the surviving processes and the remaining
+    units). *)

@@ -1,0 +1,26 @@
+module Intmath = Dhw_util.Intmath
+
+let bits_for k = if k <= 1 then 1 else Intmath.ilog2_up (k + 1)
+
+let a_msg_bits grid =
+  (* tag (partial/full) + subchunk index + group index *)
+  1 + bits_for (Grid.n_subchunks grid) + bits_for (Grid.n_groups grid)
+
+let b_msg_bits grid = 1 + a_msg_bits grid
+
+let c_msg_bits spec ~round_bits =
+  let t = Spec.processes spec in
+  let tp = Intmath.next_power_of_two t in
+  let n_groups = tp - 1 in
+  let f_bits = t (* retired set as a bitmap *) in
+  let g0 = bits_for (Spec.n spec + 1) + round_bits in
+  f_bits + g0 + (n_groups * (bits_for tp + round_bits))
+
+let d_msg_bits spec =
+  let n = Spec.n spec and t = Spec.processes spec in
+  (* S and T as bitmaps + phase counter + done flag *)
+  n + t + bits_for (n + t) + 1
+
+let ba_msg_bits grid ~value_bits = a_msg_bits grid + value_bits
+
+let gmy_msg_bits ~n ~value_bits = n + (value_bits * value_bits)

@@ -1,0 +1,31 @@
+(** Message-size accounting (bits), for the end of Section 1.1: the paper's
+    Byzantine-agreement messages are [O(log n + log²|V|)] bits, versus
+    Galil–Mayer–Yung's [Ω(n + log²|V|)], because GMY messages carry live-set
+    and tree-position information. Protocol C is the interesting case
+    internally: it wins on message {e count} by shipping whole views — each
+    ordinary message carries [F_i] and the per-group pointer/round arrays,
+    i.e. [Θ(t(log t + log R))] bits. *)
+
+val a_msg_bits : Grid.t -> int
+(** Worst-case bits of a Protocol A/B checkpoint message: subchunk and group
+    indices, [⌈log S⌉ + ⌈log G⌉] plus a tag bit. *)
+
+val b_msg_bits : Grid.t -> int
+(** A's plus the go-ahead tag. *)
+
+val c_msg_bits : Spec.t -> round_bits:int -> int
+(** Worst-case bits of a Protocol C ordinary message: the retired set, the
+    work pointer, and pointer+round per group, with [round_bits] bits per
+    round number (C's rounds reach [2^(n+t)], so this is [n+t] by default
+    in the bench). *)
+
+val d_msg_bits : Spec.t -> int
+(** A Protocol D view: the outstanding-unit and live-process sets as
+    bitmaps, phase number, done flag. *)
+
+val ba_msg_bits : Grid.t -> value_bits:int -> int
+(** A Section 5 agreement message via A/B: checkpoint bits plus the value.
+    Compare {!gmy_msg_bits}. *)
+
+val gmy_msg_bits : n:int -> value_bits:int -> int
+(** The Galil–Mayer–Yung lower envelope [n + log²|V|]. *)

@@ -1,0 +1,8 @@
+type packed =
+  | Packed : {
+      proc : ('s, 'm) Simkit.Types.process;
+      show : 'm -> string;
+    }
+      -> packed
+
+type t = { name : string; describe : string; make : Spec.t -> packed }

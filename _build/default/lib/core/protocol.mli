@@ -1,0 +1,16 @@
+(** Uniform interface over the Do-All protocols, hiding each protocol's
+    private state and message types so runners, benches and the CLI can treat
+    them interchangeably. *)
+
+type packed =
+  | Packed : {
+      proc : ('s, 'm) Simkit.Types.process;
+      show : 'm -> string;
+    }
+      -> packed
+
+type t = {
+  name : string;  (** short identifier, e.g. ["A"], ["B"], ["trivial"] *)
+  describe : string;  (** one-line description for --help and tables *)
+  make : Spec.t -> packed;  (** instantiate for a problem instance *)
+}

@@ -1,0 +1,59 @@
+open Simkit.Types
+open Ckpt_script
+
+type msg = Ckpt_script.ord = Partial of int | Full of int * int
+
+let show_msg = Ckpt_script.show_ord
+
+type state = Waiting of last | Active of action list
+
+let deadline grid j = j * Grid.max_active_rounds grid
+
+let make_on_grid grid =
+  let inject = Fun.id in
+  let init pid =
+    if pid = 0 then (Active (work_script grid 0 1), Some 0)
+    else (Waiting No_msg, Some (deadline grid pid))
+  in
+  let step pid r st inbox =
+    match st with
+    | Active script ->
+        let o = run_active ~inject r script in
+        { o with state = Active o.state }
+    | Waiting last ->
+        (* At most one process is active, so at most one ordinary message
+           arrives per round; the fold keeps the latest for robustness. *)
+        let last =
+          List.fold_left
+            (fun _acc { src; payload; _ } -> Last_ord { ord = payload; src })
+            last inbox
+        in
+        if knows_all_done grid pid last then
+          { state = Waiting last; sends = []; work = []; terminate = true; wakeup = None }
+        else if r >= deadline grid pid then
+          let o = run_active ~inject r (takeover_script grid pid last) in
+          { o with state = Active o.state }
+        else
+          {
+            state = Waiting last;
+            sends = [];
+            work = [];
+            terminate = false;
+            wakeup = Some (deadline grid pid);
+          }
+  in
+  Protocol.Packed { proc = { init; step }; show = show_msg }
+
+let protocol =
+  {
+    Protocol.name = "A";
+    describe = "work-optimal, O(t^1.5) msgs, O(nt) worst-case rounds (Thm 2.3)";
+    make = (fun spec -> make_on_grid (Grid.make spec));
+  }
+
+let protocol_with_group_size s =
+  {
+    Protocol.name = Printf.sprintf "A[s=%d]" s;
+    describe = "Protocol A with a non-standard checkpoint-group size";
+    make = (fun spec -> make_on_grid (Grid.make_with_group_size spec s));
+  }

@@ -1,0 +1,41 @@
+(** Protocol A (Section 2, Figure 1).
+
+    Work-optimal Do-All with effort [O(n + t√t)]: at any time at most one
+    process is active. The active process performs the work a subchunk
+    ([≈ n/t] units) at a time, {e partially checkpointing} each completed
+    subchunk to the higher-numbered members of its own √t-sized group, and
+    {e fully checkpointing} each completed chunk ([≈ n/√t] units) to every
+    group — echoing each per-group announcement back to its own group so a
+    successor can resume the full checkpoint where it broke off.
+
+    Process [j] takes over at round [DD(j) = j·L] (paper: [j(n+3t)]) unless
+    it has learned that all work is done.
+
+    Guarantees (Theorem 2.3, adjusted constants on non-perfect-square
+    instances): ≤ 3n work, ≤ 9t√t messages, all processes retired by round
+    [t·L ≈ nt + 3t²].
+
+    The asynchronous variant driven by a failure detector instead of the
+    [DD] deadlines lives in [Asim.Async_protocol_a]. *)
+
+type msg = Ckpt_script.ord =
+  | Partial of int
+      (** [(c)]: subchunk [c] is complete — a partial checkpoint to the
+          sender's own group *)
+  | Full of int * int
+      (** [(c, g)]: subchunk [c] (a chunk boundary) is complete and group
+          [g] is being / has been informed of it *)
+
+val show_msg : msg -> string
+
+val protocol : Protocol.t
+
+val protocol_with_group_size : int -> Protocol.t
+(** Protocol A with checkpoint groups of size [s] instead of [⌈√t⌉] — the
+    ablation knob for the Section 2 message/work trade-off argument (bench
+    E12): [s = √t] balances [t·s] partial-checkpoint messages against
+    [t/s·t] full-checkpoint messages. Correctness is preserved for any
+    [1 <= s <= t]. *)
+
+val deadline : Grid.t -> int -> int
+(** [deadline grid j] is [DD(j)], exposed for tests and benches. *)

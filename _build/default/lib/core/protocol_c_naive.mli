@@ -1,0 +1,20 @@
+(** The naive knowledge-spreading algorithm that Section 3 presents to
+    motivate Protocol C's fault-detection levels: the active process performs
+    unit [u] and reports units [1..u] to process [u mod t] — with no fault
+    detection whatsoever. The most knowledgeable survivor takes over on
+    deadline expiry.
+
+    Worst case (the nested-crash scenario of Section 3, bench E8): Θ(n + t²)
+    work and Θ(n + t²) messages, because each successor re-performs units
+    [t/2+1 .. t-1] and re-reports them to processes that are long dead.
+
+    Deviation noted in DESIGN.md: deadlines carry an extra [+ (t - i)·K]
+    skew so that processes with equal reduced views never fire
+    simultaneously (the paper waves this away with "appropriate
+    deadlines"). *)
+
+type msg = Know of int  (** units [1..c] have been performed *)
+
+val show_msg : msg -> string
+
+val protocol : Protocol.t

@@ -1,0 +1,40 @@
+(** Protocol D (Section 4, Figure 4): the time-optimal algorithm.
+
+    All processes work in parallel: the outstanding units are split evenly
+    among the processes thought correct, a work phase of [⌈|S|/|T|⌉] rounds
+    is followed by an agreement phase (Eventual Byzantine Agreement in the
+    crash model, à la Dolev–Reischuk–Strong) in which the survivors agree on
+    the new outstanding set [S] and live set [T], and the loop repeats until
+    [S] is empty. If an agreement phase reveals that more than half of the
+    processes alive at the previous phase have failed, the survivors revert
+    to (an embedded copy of) Protocol A on the remaining work.
+
+    Guarantees (Theorem 4.1): with [f] failures and no phase losing more
+    than half its processes — ≤ 2n work, ≤ (4f+2)t² messages, all retired by
+    round [(f+1)n/t + 4f + 2]; in the failure-free case [n/t + 2] rounds and
+    [2t²] messages. With a catastrophic phase, Protocol A's bounds are added
+    on the remaining work.
+
+    Round accounting note (DESIGN.md): the paper's synchronous model
+    delivers a message in the round it is sent; this kernel delivers in the
+    next round. The first agreement broadcast is therefore piggybacked on
+    the last work-phase round (the model allows one unit of work and one
+    round of communication per time unit), and each agreement iteration
+    processes the previous round's inbox before broadcasting. Failure-free
+    executions take [⌈n/t⌉ + 1] rounds here versus the paper's [n/t + 2]. *)
+
+type msg
+
+val show_msg : msg -> string
+
+val protocol : Protocol.t
+
+val alpha_default : float
+(** The "half" in "more than half the processes failed": the revert
+    threshold [α = 0.5] used by {!protocol}. *)
+
+val protocol_with_alpha : alpha:float -> name:string -> Protocol.t
+(** Generalized revert threshold (the remark inside Theorem 4.1's proof):
+    revert when [|T'| > |T| / α]... specifically when the surviving fraction
+    drops below [α]. Work is then bounded by [n/(1-α)] per the same
+    induction. @raise Invalid_argument unless [0 < alpha < 1]. *)

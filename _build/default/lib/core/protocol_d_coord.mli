@@ -1,0 +1,34 @@
+(** The central-coordinator variant of Protocol D sketched at the end of
+    Section 4: "We can also cut down the message complexity in the case of
+    no failures to 2(t−1), rather than 2t² ... Instead of messages being
+    broadcast during the agreement phase, they are all sent to a central
+    coordinator, who broadcasts the results. ... Dealing with failures is
+    somewhat subtle if we do this though, so we do not analyze this
+    approach carefully here."
+
+    This implementation fills in the subtle part conservatively:
+
+    - each agreement phase, every worker sends its view to the phase's
+      coordinator (the lowest live pid), which merges and broadcasts a
+      {e decision} — 2(t−1) messages per failure-free phase, as claimed;
+    - a process that misses the decision (coordinator crashed mid-broadcast,
+      or its own report arrived late) broadcasts {e help} requests; any
+      process holding a decision relays its latest one — if {e any} live
+      process holds a decision, every helper eventually obtains one;
+    - only when help rounds exhaust — which implies no live process holds a
+      decision, i.e. the phase system is dead — does a process fall back to
+      an embedded Protocol A over the whole workload, with deadlines spaced
+      so that fallback activations never overlap (window-aligned bases plus
+      pid·L offsets).
+
+    Failure-free cost: n work, ⌈n/t⌉ + 3 rounds, 2(t−1) messages per phase.
+    Under coordinator failures the variant abandons parallelism and pays
+    Protocol A's sequential costs — the price of the optimization the paper
+    declined to analyze. Correctness (every execution with a survivor
+    performs all work) holds for every crash schedule. *)
+
+type msg
+
+val show_msg : msg -> string
+
+val protocol : Protocol.t

@@ -1,0 +1,33 @@
+(** The online variant of Protocol D sketched at the end of Sections 1 and 4
+    (and patented by IBM, [9]): work arrives continually at individual sites
+    and is {e not} initially common knowledge. "Essentially, the idea is to
+    run Eventual Byzantine Agreement periodically."
+
+    Each process keeps two monotone sets: [known] (units it has heard of)
+    and [done] (units it knows performed); agreement phases merge both by
+    union, so newly arrived work spreads system-wide within one phase. Work
+    phases split the outstanding units [known \ done] exactly as in
+    Protocol D; when nothing is outstanding the processes keep exchanging
+    heartbeats every [idle_block] rounds so that fresh arrivals are picked
+    up. Processes terminate at the first agreement that finds nothing
+    outstanding after the [horizon] round (the simulation's stand-in for
+    "the input stream was closed").
+
+    Guarantee: every unit that arrives at a site which survives to
+    participate in one more agreement phase is performed (a unit whose site
+    crashes before ever sharing it is lost, as in any real inbox). No
+    revert-to-A path: the online setting stays in the parallel regime. *)
+
+type config = {
+  arrivals : (int * int * int) list;
+      (** (round, unit id, site): the unit becomes known to the site at the
+          start of that round *)
+  horizon : int;  (** no arrivals at or after this round *)
+  idle_block : int;  (** heartbeat work-phase length when nothing is
+                         outstanding (>= 1) *)
+}
+
+val protocol : config -> Protocol.t
+(** The spec passed by the runner sizes the metrics ([Spec.n] = total number
+    of distinct unit ids used in [arrivals]); no unit is known at round 0
+    unless [arrivals] says so. *)

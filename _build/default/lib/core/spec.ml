@@ -1,0 +1,11 @@
+type t = { n : int; t : int }
+
+let make ~n ~t =
+  if n < 1 then invalid_arg "Spec.make: need n >= 1";
+  if t < 1 then invalid_arg "Spec.make: need t >= 1";
+  { n; t }
+
+let n s = s.n
+let processes s = s.t
+let pp ppf s = Format.fprintf ppf "n=%d t=%d" s.n s.t
+let to_string s = Format.asprintf "%a" pp s

@@ -1,0 +1,14 @@
+(** A Do-All problem instance: [t] synchronous crash-prone processes must
+    perform [n] independent idempotent units of work, numbered [0 .. n-1].
+    The work is common knowledge at round 0 (Section 1; for the bootstrap
+    when it is not, see {!Agreement}). *)
+
+type t = private { n : int; t : int }
+
+val make : n:int -> t:int -> t
+(** @raise Invalid_argument unless [n >= 1] and [t >= 1]. *)
+
+val n : t -> int
+val processes : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

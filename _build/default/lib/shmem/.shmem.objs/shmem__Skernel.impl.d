@@ -1,0 +1,1 @@
+lib/shmem/skernel.ml: Array List Option Simkit

@@ -1,0 +1,1 @@
+lib/shmem/skernel.mli: Simkit

@@ -1,0 +1,1 @@
+lib/shmem/writeall.ml: Dhw_util Simkit Skernel

@@ -1,0 +1,1 @@
+lib/shmem/writeall.mli: Simkit Skernel

@@ -1,0 +1,147 @@
+open Simkit.Types
+
+type mem = {
+  cells : int array;
+  mutable pending : (pid * int * int) list;  (* writer, cell, value *)
+  mutable reads : int;
+  mutable writes : int;
+}
+
+type handle = { mem : mem; pid : pid; mutable ops_left : int }
+
+let read h cell =
+  if h.ops_left <= 0 then invalid_arg "Skernel: one memory op per round";
+  if cell < 0 || cell >= Array.length h.mem.cells then invalid_arg "Skernel.read";
+  h.ops_left <- h.ops_left - 1;
+  h.mem.reads <- h.mem.reads + 1;
+  h.mem.cells.(cell)
+
+let write h cell v =
+  if h.ops_left <= 0 then invalid_arg "Skernel: one memory op per round";
+  if cell < 0 || cell >= Array.length h.mem.cells then invalid_arg "Skernel.write";
+  h.ops_left <- h.ops_left - 1;
+  h.mem.writes <- h.mem.writes + 1;
+  h.mem.pending <- (h.pid, cell, v) :: h.mem.pending
+
+(* Priority CRCW: lowest pid wins on write conflicts; all writes land at the
+   end of the round. *)
+let commit_writes mem =
+  let ordered =
+    List.sort (fun (p1, _, _) (p2, _, _) -> compare p2 p1) mem.pending
+  in
+  List.iter (fun (_, cell, v) -> mem.cells.(cell) <- v) ordered;
+  mem.pending <- []
+
+type 's soutcome = {
+  state : 's;
+  work : int list;
+  terminate : bool;
+  wakeup : round option;
+}
+
+type 's sproc = {
+  s_init : pid -> 's * round option;
+  s_step : pid -> round -> 's -> handle -> 's soutcome;
+}
+
+type result = {
+  metrics : Simkit.Metrics.t;
+  statuses : status array;
+  aps : int;
+  reads : int;
+  writes : int;
+  completed : bool;
+}
+
+let run ?(crash_at = []) ?(max_rounds = 10_000_000) ~n_cells ~n_processes ~n_units
+    proc =
+  let t = n_processes in
+  let mem = { cells = Array.make n_cells 0; pending = []; reads = 0; writes = 0 } in
+  let metrics = Simkit.Metrics.create ~n_processes:t ~n_units in
+  let statuses = Array.make t Running in
+  let wakeups = Array.make t None in
+  let states =
+    Array.init t (fun pid ->
+        let s, w = proc.s_init pid in
+        wakeups.(pid) <- w;
+        s)
+  in
+  let crash_round pid =
+    List.fold_left
+      (fun acc (p, r) ->
+        if p = pid then Some (min r (Option.value ~default:r acc)) else acc)
+      None crash_at
+  in
+  let alive pid = statuses.(pid) = Running in
+  let rec loop r =
+    if r > max_rounds then false
+    else begin
+      (* crashes scheduled at or before this round take effect first *)
+      Array.iteri
+        (fun pid st ->
+          match (st, crash_round pid) with
+          | Running, Some c when c <= r ->
+              statuses.(pid) <- Crashed c;
+              Simkit.Metrics.record_crash metrics pid c
+          | _ -> ())
+        statuses;
+      for pid = 0 to t - 1 do
+        if alive pid then
+          match wakeups.(pid) with
+          | Some w when w <= r ->
+              let h = { mem; pid; ops_left = 1 } in
+              let o = proc.s_step pid r states.(pid) h in
+              states.(pid) <- o.state;
+              List.iter (fun u -> Simkit.Metrics.record_work metrics pid u) o.work;
+              Simkit.Metrics.record_round metrics r;
+              if o.terminate then begin
+                statuses.(pid) <- Terminated r;
+                Simkit.Metrics.record_terminate metrics pid r;
+                wakeups.(pid) <- None
+              end
+              else begin
+                (match o.wakeup with
+                | Some w' when w' <= r ->
+                    invalid_arg "Skernel: wakeup must be in the future"
+                | _ -> ());
+                wakeups.(pid) <- o.wakeup
+              end
+          | Some _ | None -> ()
+      done;
+      commit_writes mem;
+      if Array.for_all is_retired statuses then true
+      else begin
+        (* next interesting round: min pending wakeup or crash *)
+        let next = ref None in
+        let consider x =
+          match !next with Some c when c <= x -> () | _ -> next := Some x
+        in
+        Array.iteri
+          (fun pid w ->
+            if alive pid then begin
+              (match w with Some w -> consider (max w (r + 1)) | None -> ());
+              match crash_round pid with
+              | Some c when c > r -> consider c
+              | _ -> ()
+            end)
+          wakeups;
+        match !next with None -> false | Some r' -> loop r'
+      end
+    end
+  in
+  let completed = loop 0 in
+  (* Available processor steps: each process is charged for every round from
+     the start to its retirement (or to the end of the execution) — the
+     Kanellakis-Shvartsman measure, which bills idle-but-alive processes. *)
+  let final = Simkit.Metrics.rounds metrics in
+  let aps =
+    Array.fold_left
+      (fun acc st ->
+        acc
+        +
+        match st with
+        | Terminated r | Crashed r -> r + 1
+        | Running -> final + 1)
+      0 statuses
+  in
+  { metrics; statuses; aps; reads = mem.reads; writes = mem.writes; completed }

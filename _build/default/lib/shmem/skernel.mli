@@ -1,0 +1,58 @@
+(** Synchronous shared-memory (PRAM-style) substrate with crash faults — the
+    model of Kanellakis–Shvartsman's Write-All problem, which Section 1.1
+    contrasts with the paper's message-passing model.
+
+    Per round a process may issue at most one shared-memory operation (one
+    read or one write) and perform at most one unit of work. Reads observe
+    the memory as of the end of the previous round; concurrent writes to the
+    same cell are resolved by lowest pid (priority CRCW). Crashes are silent.
+
+    Two cost measures are tracked:
+    - {e effort} — work performed + reads + writes (the paper's measure,
+      adapted: "effort now counts both reading and writing into shared
+      memory, as well as doing work");
+    - {e available processor steps} — the Kanellakis–Shvartsman measure:
+      the sum over all rounds of the number of processes alive in that
+      round, whether or not they did anything. *)
+
+open Simkit.Types
+
+type handle
+(** Per-round capability to touch shared memory (at most one operation). *)
+
+val read : handle -> int -> int
+(** @raise Invalid_argument on out-of-range cell or second op this round. *)
+
+val write : handle -> int -> int -> unit
+(** Buffered until the end of the round. Same restrictions as {!read}. *)
+
+type 's soutcome = {
+  state : 's;
+  work : int list;  (** at most one unit per round *)
+  terminate : bool;
+  wakeup : round option;  (** as in the message-passing kernel *)
+}
+
+type 's sproc = {
+  s_init : pid -> 's * round option;
+  s_step : pid -> round -> 's -> handle -> 's soutcome;
+}
+
+type result = {
+  metrics : Simkit.Metrics.t;  (** work and rounds; no messages in this model *)
+  statuses : status array;
+  aps : int;  (** available processor steps *)
+  reads : int;
+  writes : int;
+  completed : bool;
+}
+
+val run :
+  ?crash_at:(pid * round) list ->
+  ?max_rounds:round ->
+  n_cells:int ->
+  n_processes:int ->
+  n_units:int ->
+  's sproc ->
+  result
+(** Cells are zero-initialised. *)

@@ -1,0 +1,107 @@
+
+type outcome = { result : Skernel.result; effort : int }
+
+let finish (result : Skernel.result) =
+  {
+    result;
+    effort = Simkit.Metrics.work result.metrics + result.reads + result.writes;
+  }
+
+let work_complete o = Simkit.Metrics.all_units_done o.result.metrics
+
+(* ------------------------------------------------------------------ *)
+(* The effort-optimal sequential algorithm: cell 0 holds the number of
+   completed units; the active process writes it after every unit. *)
+
+type ckpt_state =
+  | Wait
+  | Active_work of int  (* next 1-based unit to perform *)
+  | Active_write of int  (* unit just performed, about to be recorded *)
+
+let checkpointed ?crash_at ~n ~t () =
+  let lifetime = (2 * n) + 4 in
+  let deadline j = j * lifetime in
+  let s_init pid =
+    if pid = 0 then (Active_work 1, Some 0) else (Wait, Some (deadline pid))
+  in
+  let s_step _pid r st h =
+    match st with
+    | Wait ->
+        let progress = Skernel.read h 0 in
+        if progress >= n then
+          { Skernel.state = Wait; work = []; terminate = true; wakeup = None }
+        else
+          (* take over: perform the next unit in the same round (one memory
+             op plus one unit of work per time step) *)
+          {
+            Skernel.state = Active_write (progress + 1);
+            work = [ progress ];
+            terminate = false;
+            wakeup = Some (r + 1);
+          }
+    | Active_work w ->
+        if w > n then
+          { Skernel.state = st; work = []; terminate = true; wakeup = None }
+        else
+          {
+            Skernel.state = Active_write w;
+            work = [ w - 1 ];
+            terminate = false;
+            wakeup = Some (r + 1);
+          }
+    | Active_write w ->
+        Skernel.write h 0 w;
+        {
+          Skernel.state = Active_work (w + 1);
+          work = [];
+          terminate = w = n;
+          wakeup = (if w = n then None else Some (r + 1));
+        }
+  in
+  finish
+    (Skernel.run ?crash_at ~n_cells:1 ~n_processes:t ~n_units:n
+       { s_init; s_step })
+
+(* ------------------------------------------------------------------ *)
+(* A simple parallel Write-All sweep: cell i is unit i's done flag; each
+   process scans cyclically from its own offset and performs whatever it
+   finds undone, terminating after a full pass of done cells. *)
+
+type scan_state =
+  | Scan of { pos : int; streak : int }
+  | Mark of int  (* unit just performed, flag write pending *)
+
+let parallel_scan ?crash_at ~n ~t () =
+  let offset pid = pid * Dhw_util.Intmath.ceil_div n t mod n in
+  let s_init pid = (Scan { pos = offset pid; streak = 0 }, Some 0) in
+  let s_step _pid r st h =
+    match st with
+    | Scan { pos; streak } ->
+        if Skernel.read h pos = 0 then
+          {
+            Skernel.state = Mark pos;
+            work = [ pos ];
+            terminate = false;
+            wakeup = Some (r + 1);
+          }
+        else if streak + 1 >= n then
+          { Skernel.state = st; work = []; terminate = true; wakeup = None }
+        else
+          {
+            Skernel.state = Scan { pos = (pos + 1) mod n; streak = streak + 1 };
+            work = [];
+            terminate = false;
+            wakeup = Some (r + 1);
+          }
+    | Mark pos ->
+        Skernel.write h pos 1;
+        {
+          Skernel.state = Scan { pos = (pos + 1) mod n; streak = 0 };
+          work = [];
+          terminate = false;
+          wakeup = Some (r + 1);
+        }
+  in
+  finish
+    (Skernel.run ?crash_at ~n_cells:n ~n_processes:t ~n_units:n
+       { s_init; s_step })

@@ -1,0 +1,29 @@
+(** Shared-memory Do-All / Write-All algorithms for the Section 1.1
+    comparison.
+
+    {!checkpointed} is the "straightforward algorithm with optimal effort
+    O(n + t), running in time O(nt)" the paper describes: a single active
+    process performs the work, writing its progress to a shared cell after
+    every unit; successors take over on deadline expiry after one read.
+    Effort = n work + n writes + ≤t reads ∈ O(n + t); but the
+    available-processor-steps bill is Θ(nt²) because idle waiters are
+    charged — precisely the measure disagreement Section 1.1 discusses.
+
+    {!parallel_scan} is a simple Write-All style parallel algorithm: every
+    process sweeps the done-array from its own offset, performing whatever it
+    finds undone. Time is O(n/t) without failures and it is APS-frugal, but
+    effort degrades to Θ(tn) in the worst case (everyone re-reads every
+    cell) — the opposite trade-off. *)
+
+type outcome = {
+  result : Skernel.result;
+  effort : int;  (** work + reads + writes *)
+}
+
+val checkpointed :
+  ?crash_at:(Simkit.Types.pid * int) list -> n:int -> t:int -> unit -> outcome
+
+val parallel_scan :
+  ?crash_at:(Simkit.Types.pid * int) list -> n:int -> t:int -> unit -> outcome
+
+val work_complete : outcome -> bool

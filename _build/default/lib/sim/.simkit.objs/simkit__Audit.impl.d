@@ -1,0 +1,1 @@
+lib/sim/audit.ml: Format Hashtbl List Trace Types

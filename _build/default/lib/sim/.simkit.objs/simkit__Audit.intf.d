@@ -1,0 +1,1 @@
+lib/sim/audit.mli: Format Trace Types

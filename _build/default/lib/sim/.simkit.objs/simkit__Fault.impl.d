@@ -1,0 +1,1 @@
+lib/sim/fault.ml: Dhw_util Hashtbl List Types

@@ -1,0 +1,1 @@
+lib/sim/kernel.ml: Array Fault List Metrics Printf Trace Types

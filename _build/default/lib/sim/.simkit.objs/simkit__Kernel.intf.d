@@ -1,0 +1,1 @@
+lib/sim/kernel.mli: Fault Metrics Trace Types

@@ -1,0 +1,30 @@
+(** Execution-trace auditing: machine-checkable well-formedness and protocol
+    invariants over {!Trace} recordings. Used by the test suite and usable
+    by downstream code to validate custom protocols.
+
+    All functions return the list of violations found (empty = clean). *)
+
+type violation = { round : Types.round; message : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val well_formed : Trace.t -> violation list
+(** Structural sanity of any execution:
+    - no process acts (steps, sends, works) at a round after it crashed or
+      terminated;
+    - rounds are non-decreasing along the trace;
+    - every crash/termination event is the process's last. *)
+
+val at_most_one_active :
+  ?passive_msg:(string -> bool) -> Trace.t -> violation list
+(** The sequential-protocols invariant (Protocols A, B, C): per round, at
+    most one process performs work or sends non-passive messages.
+    [passive_msg] classifies payload renderings that inactive processes may
+    send (Protocol B's go-aheads, Protocol C's alive replies). *)
+
+val work_is_monotone : Trace.t -> violation list
+(** For the sequential protocols (A, B, C and the checkpoint baseline),
+    which perform the work "in increasing order of process number"
+    (Section 5): the {e first} performance of each unit happens in
+    increasing unit order across the whole execution. Does not hold for
+    Protocol D, which works in parallel slices. *)

@@ -1,0 +1,159 @@
+open Types
+module Prng = Dhw_util.Prng
+
+type delivery = All | Prefix of int | Indices of int list
+
+type decision = Survive | Crash of { keep_work : bool; delivery : delivery }
+
+type step_view = {
+  sv_pid : pid;
+  sv_round : round;
+  sv_sends : int;
+  sv_works : int;
+  sv_terminating : bool;
+  sv_works_done_before : int;
+}
+
+type t = {
+  plan_crashed_by : pid -> round -> bool;
+  plan_on_step : step_view -> decision;
+  committed : (pid, round) Hashtbl.t;
+      (* crashes the kernel actually committed; authoritative for all plans *)
+}
+
+let make ~crashed_by ~on_step =
+  { plan_crashed_by = crashed_by; plan_on_step = on_step; committed = Hashtbl.create 16 }
+
+let crashed_by t pid round =
+  (match Hashtbl.find_opt t.committed pid with
+  | Some r -> round > r
+  | None -> false)
+  || t.plan_crashed_by pid round
+
+let on_step t view =
+  if crashed_by t view.sv_pid view.sv_round then
+    Crash { keep_work = false; delivery = Prefix 0 }
+  else t.plan_on_step view
+
+let note_crash t pid round =
+  match Hashtbl.find_opt t.committed pid with
+  | Some r when r <= round -> ()
+  | _ -> Hashtbl.replace t.committed pid round
+
+let none = make ~crashed_by:(fun _ _ -> false) ~on_step:(fun _ -> Survive)
+
+let earliest_per_pid entries key_of =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let pid, r = key_of e in
+      match Hashtbl.find_opt tbl pid with
+      | Some (r', _) when r' <= r -> ()
+      | _ -> Hashtbl.replace tbl pid (r, e))
+    entries;
+  tbl
+
+let crash_silently_at entries =
+  let tbl = earliest_per_pid entries (fun (p, r) -> (p, r)) in
+  let crashed_by pid round =
+    match Hashtbl.find_opt tbl pid with Some (r, _) -> round >= r | None -> false
+  in
+  make ~crashed_by ~on_step:(fun _ -> Survive)
+
+let crash_acting_at entries =
+  let tbl = earliest_per_pid entries (fun (p, r, _) -> (p, r)) in
+  let crashed_by _ _ = false in
+  let on_step view =
+    match Hashtbl.find_opt tbl view.sv_pid with
+    | Some (r, (_, _, decision)) when view.sv_round >= r -> decision
+    | _ -> Survive
+  in
+  make ~crashed_by ~on_step
+
+let dynamic f =
+  let dead = Hashtbl.create 16 in
+  let crashed_by pid round =
+    match Hashtbl.find_opt dead pid with Some r -> round > r | None -> false
+  in
+  let on_step view =
+    match f view with
+    | Survive -> Survive
+    | Crash _ as c ->
+        Hashtbl.replace dead view.sv_pid view.sv_round;
+        c
+  in
+  make ~crashed_by ~on_step
+
+let random ~seed ~t ~victims ~window =
+  if victims >= t then invalid_arg "Fault.random: victims must be < t";
+  let g = Prng.create seed in
+  let pids = Prng.sample_without_replacement g victims t in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun pid ->
+      let r = Prng.int_in g 0 (max 0 window) in
+      let cut = Prng.int_in g 0 4 in
+      Hashtbl.replace tbl pid (r, cut))
+    pids;
+  let crashed_by pid round =
+    (* A victim acting at exactly its crash round crashes via [on_step]
+       (partial delivery); a victim idle at its crash round is dead from
+       the next round on. *)
+    match Hashtbl.find_opt tbl pid with Some (r, _) -> round > r | None -> false
+  in
+  let on_step view =
+    match Hashtbl.find_opt tbl view.sv_pid with
+    | Some (r, cut) when view.sv_round >= r ->
+        Crash { keep_work = false; delivery = Prefix cut }
+    | _ -> Survive
+  in
+  make ~crashed_by ~on_step
+
+let crash_active_after_random_work ~seed ~min_units ~max_units ~max_crashes =
+  if min_units < 1 || max_units < min_units then
+    invalid_arg "Fault.crash_active_after_random_work";
+  let g = Prng.create seed in
+  let crashes = ref 0 in
+  let units_since_last = ref 0 in
+  let next_gap = ref (Prng.int_in g min_units max_units) in
+  let dead = Hashtbl.create 16 in
+  let crashed_by pid round =
+    match Hashtbl.find_opt dead pid with Some r -> round > r | None -> false
+  in
+  let on_step view =
+    if view.sv_works = 0 || !crashes >= max_crashes then Survive
+    else begin
+      units_since_last := !units_since_last + view.sv_works;
+      if !units_since_last >= !next_gap then begin
+        units_since_last := 0;
+        next_gap := Prng.int_in g min_units max_units;
+        incr crashes;
+        Hashtbl.replace dead view.sv_pid view.sv_round;
+        Crash { keep_work = true; delivery = Prefix 0 }
+      end
+      else Survive
+    end
+  in
+  make ~crashed_by ~on_step
+
+let crash_active_after_work ~units_between_crashes ~max_crashes =
+  let crashes = ref 0 in
+  let units_since_last = ref 0 in
+  let dead = Hashtbl.create 16 in
+  let crashed_by pid round =
+    match Hashtbl.find_opt dead pid with Some r -> round > r | None -> false
+  in
+  let on_step view =
+    if view.sv_works = 0 || !crashes >= max_crashes then Survive
+    else begin
+      units_since_last := !units_since_last + view.sv_works;
+      if !units_since_last >= units_between_crashes then begin
+        units_since_last := 0;
+        incr crashes;
+        Hashtbl.replace dead view.sv_pid view.sv_round;
+        Crash { keep_work = true; delivery = Prefix 0 }
+      end
+      else Survive
+    end
+  in
+  make ~crashed_by ~on_step

@@ -1,0 +1,90 @@
+(** Crash-fault adversaries.
+
+    A fault plan decides, online, when each process crashes and — when the
+    crash happens during a round in which the victim was acting — how much of
+    that round's output survives. This realises the paper's adversary: "If
+    process 0 crashes in the middle of a broadcast, we assume only that some
+    subset of the processes receive the message", and the work-lower-bound
+    adversary that kills a process "immediately after performing a unit of
+    work, before reporting that unit to any other process". *)
+
+open Types
+
+type delivery =
+  | All  (** the whole send list leaves the process *)
+  | Prefix of int  (** only the first [k] sends leave *)
+  | Indices of int list  (** an arbitrary subset, by position in the list *)
+
+type decision =
+  | Survive
+  | Crash of { keep_work : bool; delivery : delivery }
+      (** crash during this round. [keep_work = true] means the round's work
+          units were performed before the crash (the classic
+          "did the work, died before telling anyone"). Within a round work
+          precedes sends in program order, so the kernel forces
+          [keep_work = true] whenever [delivery] lets at least one message
+          out. *)
+
+type step_view = {
+  sv_pid : pid;
+  sv_round : round;
+  sv_sends : int;  (** number of messages the victim is about to emit *)
+  sv_works : int;  (** number of work units it is about to perform *)
+  sv_terminating : bool;
+  sv_works_done_before : int;  (** cumulative units this process performed in
+                                   earlier rounds — lets adversaries target
+                                   "after k units" *)
+}
+
+type t
+
+val none : t
+(** No process ever crashes. *)
+
+val crash_silently_at : (pid * round) list -> t
+(** Each listed process is dead from the start of the given round: it takes
+    no action in that round or later. Duplicate pids keep the earliest
+    round. *)
+
+val crash_acting_at : (pid * round * decision) list -> t
+(** Each listed process survives strictly below its round, then the given
+    decision applies at the first round [>= r] in which it acts. If it never
+    acts at or after [r] it is treated as silently crashed from [r]. *)
+
+val dynamic : (step_view -> decision) -> t
+(** Fully online adversary: consulted every time any process acts; once it
+    returns [Crash _] for a pid, that pid is dead forever. *)
+
+val random :
+  seed:int64 -> t:int -> victims:int -> window:round -> t
+(** Picks [victims] distinct victims among the [t] processes (so at least one
+    survives — [victims < t] is enforced) and, for each, a uniform crash
+    round in [\[0, window\]] plus a uniform small prefix cut applied if the
+    victim is acting at that round. Deterministic in [seed]. *)
+
+val crash_active_after_random_work :
+  seed:int64 -> min_units:int -> max_units:int -> max_crashes:int -> t
+(** Like {!crash_active_after_work} but with the gap between crashes drawn
+    uniformly from [\[min_units, max_units\]], so crashes land at arbitrary
+    positions inside checkpoint intervals. *)
+
+val crash_active_after_work :
+  units_between_crashes:int -> max_crashes:int -> t
+(** The work-wasting adversary used by the benches: watches which process is
+    performing work, and kills it right after it has performed
+    [units_between_crashes] further units (keeping the work, dropping all of
+    that round's messages), up to [max_crashes] victims. *)
+
+(** {1 Kernel interface} — used by {!Kernel}, not by protocol code. *)
+
+val crashed_by : t -> pid -> round -> bool
+(** Is [pid] (silently) dead at round [r]? Consulted before stepping. *)
+
+val on_step : t -> step_view -> decision
+(** Consulted when a live process is about to commit a round's outcome.
+    The plan must remember its own [Crash] answers: after crashing a pid it
+    must answer [crashed_by] = true for later rounds. *)
+
+val note_crash : t -> pid -> round -> unit
+(** Kernel informs the plan that it committed the crash (so that
+    [crashed_by] stays consistent for all plan kinds). *)

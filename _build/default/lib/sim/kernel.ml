@@ -1,0 +1,213 @@
+open Types
+
+type run_outcome = Completed | Stalled of round | Round_limit of round
+
+type 'm result = {
+  metrics : Metrics.t;
+  statuses : status array;
+  outcome : run_outcome;
+}
+
+type 'm config = {
+  n_processes : int;
+  n_units : int;
+  fault : Fault.t;
+  max_rounds : round;
+  trace : Trace.t option;
+  show : 'm -> string;
+}
+
+let config ?(fault = Fault.none) ?(max_rounds = max_int / 2) ?trace
+    ?(show = fun _ -> "<msg>") ~n_processes ~n_units () =
+  { n_processes; n_units; fault; max_rounds; trace; show }
+
+let run cfg proc =
+  let t = cfg.n_processes in
+  if t <= 0 then invalid_arg "Kernel.run: need at least one process";
+  let metrics = Metrics.create ~n_processes:t ~n_units:cfg.n_units in
+  let statuses = Array.make t Running in
+  let wakeups = Array.make t None in
+  let states =
+    Array.init t (fun pid ->
+        let s, w = proc.init pid in
+        (match w with
+        | Some w0 when w0 < 0 -> invalid_arg "Kernel.run: negative initial wakeup"
+        | _ -> ());
+        wakeups.(pid) <- w;
+        s)
+  in
+  (* Messages in flight: sent during [fst pending], to be delivered at
+     [fst pending + 1]. At most one round's worth exists at any time. *)
+  let pending : (round * 'm envelope list array) option ref = ref None in
+  let trace_ev e = match cfg.trace with Some tr -> Trace.record tr e | None -> () in
+  let alive pid = statuses.(pid) = Running in
+  let next_round () =
+    (* Smallest round at which anything can happen. *)
+    let candidate = ref None in
+    let consider r =
+      match !candidate with
+      | Some c when c <= r -> ()
+      | _ -> candidate := Some r
+    in
+    (match !pending with Some (sent_at, _) -> consider (sent_at + 1) | None -> ());
+    Array.iteri
+      (fun pid w ->
+        match w with Some r when alive pid -> consider r | _ -> ())
+      wakeups;
+    !candidate
+  in
+  let deliveries_for r =
+    match !pending with
+    | Some (sent_at, boxes) when sent_at + 1 = r ->
+        pending := None;
+        Some boxes
+    | _ -> None
+  in
+  let apply_delivery_filter decision sends =
+    match decision with
+    | Fault.All -> (sends, [])
+    | Fault.Prefix k ->
+        let rec split i acc = function
+          | [] -> (List.rev acc, [])
+          | rest when i = k -> (List.rev acc, rest)
+          | s :: rest -> split (i + 1) (s :: acc) rest
+        in
+        split 0 [] sends
+    | Fault.Indices idx ->
+        let keep = List.sort_uniq compare idx in
+        let kept, dropped =
+          List.fold_left
+            (fun (i, (k, d)) s ->
+              if List.mem i keep then (i + 1, (s :: k, d)) else (i + 1, (k, s :: d)))
+            (0, ([], []))
+            sends
+          |> snd
+        in
+        (List.rev kept, List.rev dropped)
+  in
+  let rec loop r =
+    if r > cfg.max_rounds then Round_limit r
+    else begin
+      let boxes = deliveries_for r in
+      let inbox pid = match boxes with Some b -> b.(pid) | None -> [] in
+      (* Collect this round's sends; delivered next round, grouped per dst. *)
+      let out = Array.make t ([] : 'm envelope list) in
+      let any_sent = ref false in
+      for pid = 0 to t - 1 do
+        if alive pid then begin
+          if Fault.crashed_by cfg.fault pid r then begin
+            statuses.(pid) <- Crashed r;
+            Fault.note_crash cfg.fault pid r;
+            Metrics.record_crash metrics pid r;
+            trace_ev (Trace.Crashed_ev { pid; round = r })
+          end
+          else begin
+            let mail = inbox pid in
+            let due = match wakeups.(pid) with Some w -> w <= r | None -> false in
+            if mail <> [] || due then begin
+              trace_ev (Trace.Stepped { pid; round = r });
+              let o = proc.step pid r states.(pid) mail in
+              let view =
+                {
+                  Fault.sv_pid = pid;
+                  sv_round = r;
+                  sv_sends = List.length o.sends;
+                  sv_works = List.length o.work;
+                  sv_terminating = o.terminate;
+                  sv_works_done_before = Metrics.work_by metrics pid;
+                }
+              in
+              let decision = Fault.on_step cfg.fault view in
+              let commit_sends sends =
+                List.iter
+                  (fun { dst; payload } ->
+                    Metrics.record_send metrics pid;
+                    trace_ev
+                      (Trace.Sent { src = pid; dst; round = r; what = cfg.show payload });
+                    if dst >= 0 && dst < t then begin
+                      out.(dst) <- { src = pid; sent_at = r; payload } :: out.(dst);
+                      any_sent := true
+                    end)
+                  sends
+              in
+              let commit_work () =
+                List.iter
+                  (fun u ->
+                    Metrics.record_work metrics pid u;
+                    trace_ev (Trace.Worked { pid; round = r; unit_id = u }))
+                  o.work
+              in
+              match decision with
+              | Fault.Survive ->
+                  states.(pid) <- o.state;
+                  commit_work ();
+                  commit_sends o.sends;
+                  Metrics.record_round metrics r;
+                  if o.terminate then begin
+                    statuses.(pid) <- Terminated r;
+                    wakeups.(pid) <- None;
+                    Metrics.record_terminate metrics pid r;
+                    trace_ev (Trace.Terminated_ev { pid; round = r })
+                  end
+                  else begin
+                    (match o.wakeup with
+                    | Some w when w <= r ->
+                        invalid_arg
+                          (Printf.sprintf
+                             "Kernel.run: process %d at round %d asked for non-future wakeup %d"
+                             pid r w)
+                    | _ -> ());
+                    wakeups.(pid) <- o.wakeup
+                  end
+              | Fault.Crash { keep_work; delivery } ->
+                  let delivered, dropped = apply_delivery_filter delivery o.sends in
+                  (* Program-order causality: within a round, work precedes
+                     sends, so a crash that lets any message out must also
+                     let the work count (otherwise a victim could announce
+                     work it never performed). *)
+                  let keep_work = keep_work || delivered <> [] in
+                  if keep_work then commit_work ();
+                  commit_sends delivered;
+                  List.iter
+                    (fun { dst; payload } ->
+                      trace_ev
+                        (Trace.Dropped
+                           { src = pid; dst; round = r; what = cfg.show payload }))
+                    dropped;
+                  statuses.(pid) <- Crashed r;
+                  wakeups.(pid) <- None;
+                  Fault.note_crash cfg.fault pid r;
+                  Metrics.record_crash metrics pid r;
+                  Metrics.record_round metrics r;
+                  trace_ev (Trace.Crashed_ev { pid; round = r })
+            end
+          end
+        end
+      done;
+      if !any_sent then begin
+        (* Inboxes sorted by sender for determinism. *)
+        Array.iteri
+          (fun dst msgs ->
+            out.(dst) <- List.sort (fun a b -> compare a.src b.src) msgs;
+            ignore dst)
+          out;
+        pending := Some (r, out)
+      end;
+      let all_retired = Array.for_all is_retired statuses in
+      if all_retired then Completed
+      else
+        match next_round () with
+        | Some r' ->
+            (* r' can equal r only if a wakeup request slipped through the
+               strictness check, which [invalid_arg]s above; assert here. *)
+            assert (r' > r);
+            loop r'
+        | None -> Stalled r
+    end
+  in
+  let outcome =
+    match next_round () with
+    | Some r0 -> loop r0
+    | None -> if Array.for_all is_retired statuses then Completed else Stalled 0
+  in
+  { metrics; statuses; outcome }

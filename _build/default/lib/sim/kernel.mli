@@ -1,0 +1,53 @@
+(** Deterministic, event-driven executor for the synchronous model.
+
+    The kernel advances a round counter, delivering messages sent in round
+    [r] at the start of round [r+1]. A process is stepped at round [r] iff
+    its inbox for [r] is non-empty or it previously asked for a wakeup at a
+    round [<= r]. Rounds in which no process would be stepped are skipped in
+    O(1), so protocols with astronomically long timeouts (Protocol C's
+    [2^(n+t)] deadlines) execute quickly while round arithmetic stays exact.
+
+    Determinism: with a fixed fault plan, processes are stepped in increasing
+    pid order and inboxes are sorted by sender pid, so every run of the same
+    configuration produces the identical execution. *)
+
+open Types
+
+type run_outcome =
+  | Completed  (** every process retired (crashed or terminated) *)
+  | Stalled of round
+      (** live processes remain but none has a pending message or wakeup —
+          a protocol liveness bug, surfaced loudly *)
+  | Round_limit of round  (** the [max_rounds] guard fired *)
+
+type 'm result = {
+  metrics : Metrics.t;
+  statuses : status array;
+  outcome : run_outcome;
+}
+
+type 'm config = {
+  n_processes : int;
+  n_units : int;  (** sizing for per-unit multiplicity accounting *)
+  fault : Fault.t;
+  max_rounds : round;  (** hard abort guard; [max_int] for "no limit" *)
+  trace : Trace.t option;
+  show : 'm -> string;  (** payload printer for traces (unused without) *)
+}
+
+val config :
+  ?fault:Fault.t ->
+  ?max_rounds:round ->
+  ?trace:Trace.t ->
+  ?show:('m -> string) ->
+  n_processes:int ->
+  n_units:int ->
+  unit ->
+  'm config
+(** Convenience constructor; defaults: no faults, [max_rounds = max_int / 2],
+    no trace. *)
+
+val run : 'm config -> ('s, 'm) process -> 'm result
+(** Execute until all processes retire, a stall, or the round limit.
+    @raise Invalid_argument if a step returns a wakeup not strictly in the
+    future. *)

@@ -1,0 +1,78 @@
+open Types
+
+type t = {
+  np : int;
+  nu : int;
+  mutable msgs : int;
+  mutable wrk : int;
+  mutable max_round : round;
+  mutable n_crashes : int;
+  mutable n_terminated : int;
+  unit_mult : int array;
+  per_work : int array;
+  per_msgs : int array;
+}
+
+let create ~n_processes ~n_units =
+  {
+    np = n_processes;
+    nu = n_units;
+    msgs = 0;
+    wrk = 0;
+    max_round = 0;
+    n_crashes = 0;
+    n_terminated = 0;
+    unit_mult = Array.make (max 1 n_units) 0;
+    per_work = Array.make (max 1 n_processes) 0;
+    per_msgs = Array.make (max 1 n_processes) 0;
+  }
+
+let n_processes t = t.np
+let n_units t = t.nu
+
+let record_send t pid =
+  t.msgs <- t.msgs + 1;
+  t.per_msgs.(pid) <- t.per_msgs.(pid) + 1
+
+let record_work t pid unit_id =
+  t.wrk <- t.wrk + 1;
+  t.per_work.(pid) <- t.per_work.(pid) + 1;
+  if unit_id >= 0 && unit_id < t.nu then
+    t.unit_mult.(unit_id) <- t.unit_mult.(unit_id) + 1
+
+let record_round t r = if r > t.max_round then t.max_round <- r
+
+(* A crash does not by itself advance the activity high-water mark: a silent
+   crash is only *observed* by the kernel at the victim's next scheduling
+   point, which may be far later than the actual failure. Rounds are advanced
+   by live activity and by explicit [record_round] calls. *)
+let record_crash t _pid _r = t.n_crashes <- t.n_crashes + 1
+
+let record_terminate t _pid r =
+  t.n_terminated <- t.n_terminated + 1;
+  record_round t r
+
+let messages t = t.msgs
+let work t = t.wrk
+let effort t = t.wrk + t.msgs
+let rounds t = t.max_round
+let crashes t = t.n_crashes
+let terminated t = t.n_terminated
+
+let unit_multiplicity t u =
+  if u < 0 || u >= t.nu then invalid_arg "Metrics.unit_multiplicity";
+  t.unit_mult.(u)
+
+let units_covered t =
+  Array.fold_left (fun acc m -> if m > 0 then acc + 1 else acc) 0 t.unit_mult
+
+let all_units_done t = units_covered t = t.nu
+
+let work_by t pid = t.per_work.(pid)
+let messages_by t pid = t.per_msgs.(pid)
+
+let pp_summary ppf t =
+  Format.fprintf ppf
+    "work=%d msgs=%d effort=%d rounds=%d crashes=%d terminated=%d covered=%d/%d"
+    t.wrk t.msgs (effort t) t.max_round t.n_crashes t.n_terminated
+    (units_covered t) t.nu

@@ -1,0 +1,55 @@
+(** Cost accounting for the three complexity measures of the paper: work
+    (with multiplicity), messages, and time, plus per-process breakdowns. *)
+
+open Types
+
+type t
+
+val create : n_processes:int -> n_units:int -> t
+
+val n_processes : t -> int
+val n_units : t -> int
+
+(** {1 Recording (kernel-side)} *)
+
+val record_send : t -> pid -> unit
+val record_work : t -> pid -> int -> unit
+
+(** Counts a crash. Does not advance {!rounds}: a silent crash is observed
+    by the kernel at the victim's next scheduling point, possibly long after
+    the failure, and must not inflate the running time. *)
+val record_crash : t -> pid -> round -> unit
+val record_terminate : t -> pid -> round -> unit
+val record_round : t -> round -> unit
+(** Note that activity occurred at [round]; keeps the high-water mark. *)
+
+(** {1 Reading} *)
+
+val messages : t -> int
+(** Total messages sent (a broadcast to [k] recipients counts [k]). *)
+
+val work : t -> int
+(** Total units performed, counting multiplicity. *)
+
+val effort : t -> int
+(** [work + messages], the paper's combined measure. *)
+
+val rounds : t -> round
+(** Highest round at which anything happened (sends, work, crash,
+    termination) — the execution's running time. *)
+
+val crashes : t -> int
+val terminated : t -> int
+
+val unit_multiplicity : t -> int -> int
+(** How many times a given unit was performed. *)
+
+val units_covered : t -> int
+(** Number of distinct units performed at least once. *)
+
+val all_units_done : t -> bool
+
+val work_by : t -> pid -> int
+val messages_by : t -> pid -> int
+
+val pp_summary : Format.formatter -> t -> unit

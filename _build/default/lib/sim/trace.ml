@@ -1,0 +1,40 @@
+open Types
+
+type event =
+  | Stepped of { pid : pid; round : round }
+  | Sent of { src : pid; dst : pid; round : round; what : string }
+  | Dropped of { src : pid; dst : pid; round : round; what : string }
+  | Worked of { pid : pid; round : round; unit_id : int }
+  | Crashed_ev of { pid : pid; round : round }
+  | Terminated_ev of { pid : pid; round : round }
+
+type t = { mutable events : event list; mutable len : int }
+
+let create () = { events = []; len = 0 }
+
+let record t e =
+  t.events <- e :: t.events;
+  t.len <- t.len + 1
+
+let events t = List.rev t.events
+let length t = t.len
+
+let pp_event ppf = function
+  | Stepped { pid; round } -> Format.fprintf ppf "[r%d] p%d steps" round pid
+  | Sent { src; dst; round; what } ->
+      Format.fprintf ppf "[r%d] p%d -> p%d : %s" round src dst what
+  | Dropped { src; dst; round; what } ->
+      Format.fprintf ppf "[r%d] p%d -/-> p%d : %s (crash)" round src dst what
+  | Worked { pid; round; unit_id } ->
+      Format.fprintf ppf "[r%d] p%d performs unit %d" round pid unit_id
+  | Crashed_ev { pid; round } -> Format.fprintf ppf "[r%d] p%d CRASHES" round pid
+  | Terminated_ev { pid; round } ->
+      Format.fprintf ppf "[r%d] p%d terminates" round pid
+
+let pp ?limit ppf t =
+  let evs = events t in
+  let evs = match limit with Some k -> List.filteri (fun i _ -> i < k) evs | None -> evs in
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_event e) evs;
+  match limit with
+  | Some k when t.len > k -> Format.fprintf ppf "... (%d more events)@." (t.len - k)
+  | _ -> ()

@@ -1,0 +1,26 @@
+(** Optional execution traces for debugging and the example programs.
+
+    Recording is off by default; the kernel takes an optional sink. Payloads
+    are stringified lazily by the caller-provided printer. *)
+
+open Types
+
+type event =
+  | Stepped of { pid : pid; round : round }
+  | Sent of { src : pid; dst : pid; round : round; what : string }
+  | Dropped of { src : pid; dst : pid; round : round; what : string }
+      (** a send suppressed by a mid-broadcast crash *)
+  | Worked of { pid : pid; round : round; unit_id : int }
+  | Crashed_ev of { pid : pid; round : round }
+  | Terminated_ev of { pid : pid; round : round }
+
+type t
+
+val create : unit -> t
+val record : t -> event -> unit
+val events : t -> event list
+(** In chronological order. *)
+
+val length : t -> int
+val pp_event : Format.formatter -> event -> unit
+val pp : ?limit:int -> Format.formatter -> t -> unit

@@ -1,0 +1,62 @@
+let isqrt n =
+  if n < 0 then invalid_arg "Intmath.isqrt: negative";
+  if n < 2 then n
+  else begin
+    (* Newton iteration on integers; converges from above. *)
+    let x = ref (int_of_float (sqrt (float_of_int n))) in
+    (* Correct float round-off in both directions. *)
+    while !x * !x > n do
+      decr x
+    done;
+    while (!x + 1) * (!x + 1) <= n do
+      incr x
+    done;
+    !x
+  end
+
+let is_perfect_square n =
+  n >= 0
+  &&
+  let r = isqrt n in
+  r * r = n
+
+let isqrt_up n =
+  let r = isqrt n in
+  if r * r = n then r else r + 1
+
+let ilog2 n =
+  if n <= 0 then invalid_arg "Intmath.ilog2: nonpositive";
+  let rec go acc n = if n = 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let ilog2_up n =
+  let l = ilog2 n in
+  if is_power_of_two n then l else l + 1
+
+let next_power_of_two n =
+  if n <= 1 then 1 else 1 lsl ilog2_up n
+
+let ceil_div a b =
+  if a < 0 || b <= 0 then invalid_arg "Intmath.ceil_div";
+  (a + b - 1) / b
+
+let checked_mul a b =
+  if a < 0 || b < 0 then invalid_arg "Intmath.checked_mul: negative";
+  if a = 0 || b = 0 then 0
+  else if a > max_int / b then failwith "Intmath: overflow"
+  else a * b
+
+let checked_add a b =
+  if a < 0 || b < 0 then invalid_arg "Intmath.checked_add: negative";
+  if a > max_int - b then failwith "Intmath: overflow" else a + b
+
+let pow base e =
+  if e < 0 then invalid_arg "Intmath.pow: negative exponent";
+  let rec go acc base e =
+    if e = 0 then acc
+    else if e land 1 = 1 then go (checked_mul acc base) base (e - 1)
+    else go acc (checked_mul base base) (e / 2)
+  in
+  go 1 base e

@@ -1,0 +1,38 @@
+(** Exact integer arithmetic helpers used throughout the protocols.
+
+    The paper's deadline and group-size formulas are stated over
+    [n/t], [√t] and [log t]; all of them must be computed exactly (no float
+    round-off) because they feed safety-critical timeouts. *)
+
+val isqrt : int -> int
+(** [isqrt n] is [⌊√n⌋]. @raise Invalid_argument on negative input. *)
+
+val isqrt_up : int -> int
+(** [isqrt_up n] is [⌈√n⌉]. *)
+
+val is_perfect_square : int -> bool
+
+val ilog2 : int -> int
+(** [ilog2 n] is [⌊log₂ n⌋]. @raise Invalid_argument if [n <= 0]. *)
+
+val ilog2_up : int -> int
+(** [ilog2_up n] is [⌈log₂ n⌉]. *)
+
+val is_power_of_two : int -> bool
+
+val next_power_of_two : int -> int
+(** Smallest power of two [>= n] (for [n >= 1]). *)
+
+val ceil_div : int -> int -> int
+(** [ceil_div a b] is [⌈a/b⌉] for [a >= 0, b > 0]. *)
+
+val pow : int -> int -> int
+(** [pow base e] with overflow check. @raise Invalid_argument on negative
+    exponent, @raise Failure "Intmath.pow: overflow" if the result exceeds
+    [max_int]. *)
+
+val checked_mul : int -> int -> int
+(** Multiplication raising [Failure] on signed overflow (non-negative args). *)
+
+val checked_add : int -> int -> int
+(** Addition raising [Failure] on signed overflow (non-negative args). *)

@@ -1,0 +1,69 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+let copy g = { state = g.state }
+
+(* splitmix64: state advances by the golden gamma; output is the mixed state. *)
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let next_int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  let z = g.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_nonneg g = Int64.to_int (Int64.shift_right_logical (next_int64 g) 2)
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let max_usable = 0x3FFFFFFFFFFFFFFF - (0x3FFFFFFFFFFFFFFF mod bound) in
+  let rec draw () =
+    let v = next_nonneg g in
+    if v >= max_usable then draw () else v mod bound
+  in
+  draw ()
+
+let int_in g lo hi =
+  if hi < lo then invalid_arg "Prng.int_in: empty range";
+  lo + int g (hi - lo + 1)
+
+let bool g = Int64.logand (next_int64 g) 1L = 1L
+
+let float g bound =
+  let v = Int64.to_float (Int64.shift_right_logical (next_int64 g) 11) in
+  bound *. (v /. 9007199254740992.0 (* 2^53 *))
+
+let bernoulli g p =
+  if p <= 0.0 then false
+  else if p >= 1.0 then true
+  else float g 1.0 < p
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose g a =
+  if Array.length a = 0 then invalid_arg "Prng.choose: empty array";
+  a.(int g (Array.length a))
+
+let sample_without_replacement g k bound =
+  if k < 0 || k > bound then invalid_arg "Prng.sample_without_replacement";
+  (* Floyd's algorithm: O(k) expected inserts into a small set. *)
+  let module S = Set.Make (Int) in
+  let s = ref S.empty in
+  for j = bound - k to bound - 1 do
+    let v = int g (j + 1) in
+    if S.mem v !s then s := S.add j !s else s := S.add v !s
+  done;
+  S.elements !s
+
+let split g =
+  let seed = next_int64 g in
+  create (Int64.logxor seed 0xDEADBEEFCAFEF00DL)

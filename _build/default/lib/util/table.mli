@@ -1,0 +1,33 @@
+(** Fixed-width ASCII table rendering for the bench harness.
+
+    Every experiment in [bench/main.ml] prints a paper-shaped table; this
+    module keeps the formatting in one place. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?title:string -> (string * align) list -> t
+(** [create ~title columns] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row. @raise Invalid_argument if the arity differs from the
+    header. *)
+
+val add_rule : t -> unit
+(** Append a horizontal rule (drawn between the surrounding rows). *)
+
+val render : t -> string
+(** Render with box-drawing rules and padded columns. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)
+
+val fmt_int : int -> string
+(** Thousands-separated integer, e.g. [12_345 -> "12,345"]. *)
+
+val fmt_float : ?digits:int -> float -> string
+(** Fixed-point float with default 2 digits. *)
+
+val fmt_ratio : float -> string
+(** A ratio like "0.42x" (2 digits). *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Dhw_util Doall Format List QCheck2 QCheck_alcotest Simkit

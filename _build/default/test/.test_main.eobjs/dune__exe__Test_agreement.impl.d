@@ -1,0 +1,1 @@
+test/test_agreement.ml: Agreement Alcotest Array Dhw_util Doall Fun List Printf

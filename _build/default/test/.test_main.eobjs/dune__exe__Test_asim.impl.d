@@ -1,0 +1,1 @@
+test/test_asim.ml: Alcotest Array Asim Dhw_util Doall Helpers List Printf Simkit

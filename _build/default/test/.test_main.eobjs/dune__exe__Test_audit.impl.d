@@ -1,0 +1,1 @@
+test/test_audit.ml: Alcotest Doall Helpers List Simkit

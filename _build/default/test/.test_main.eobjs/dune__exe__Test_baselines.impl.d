@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Dhw_util Doall Helpers List Printf Simkit

@@ -1,0 +1,1 @@
+test/test_exhaustive.ml: Alcotest Doall Format Helpers List Printf Simkit String

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Agreement Alcotest Dhw_util Doall Fun Helpers List Printf Simkit

@@ -1,0 +1,1 @@
+test/test_grid.ml: Alcotest Array Dhw_util Doall Fun Helpers List QCheck2

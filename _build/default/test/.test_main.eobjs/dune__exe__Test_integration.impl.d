@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Dhw_util Doall Helpers List Printf Simkit

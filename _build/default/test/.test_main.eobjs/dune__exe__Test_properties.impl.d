@@ -1,0 +1,1 @@
+test/test_properties.ml: Doall Fun Helpers List Printf QCheck2 Simkit String

@@ -1,0 +1,1 @@
+test/test_protocol_a.ml: Alcotest Array Dhw_util Doall Fun Helpers List Printf Simkit

@@ -1,0 +1,1 @@
+test/test_protocol_c.ml: Alcotest Dhw_util Doall Fun Helpers List Printf Simkit String

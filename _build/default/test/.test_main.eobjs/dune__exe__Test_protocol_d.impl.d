@@ -1,0 +1,1 @@
+test/test_protocol_d.ml: Alcotest Dhw_util Doall Fun Helpers List Printf Simkit

@@ -1,0 +1,1 @@
+test/test_scale.ml: Alcotest Asim Doall Helpers List Simkit

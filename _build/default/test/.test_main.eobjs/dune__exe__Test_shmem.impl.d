@@ -1,0 +1,1 @@
+test/test_shmem.ml: Alcotest Dhw_util Helpers Printf Shmem Simkit

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Dhw_util Fun Helpers List QCheck2 String

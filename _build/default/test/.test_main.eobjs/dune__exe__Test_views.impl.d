@@ -1,0 +1,1 @@
+test/test_views.ml: Doall Helpers List QCheck2

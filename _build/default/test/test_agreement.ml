@@ -1,0 +1,117 @@
+(* Section 5: Byzantine agreement in the crash model, built on the work
+   protocols. Agreement must hold in every execution; validity whenever the
+   general survives. *)
+
+module Prng = Dhw_util.Prng
+module BA = Agreement.Crash_ba
+
+let check name (o : BA.outcome) =
+  if not o.agreement then Alcotest.failf "%s: agreement violated" name;
+  if not o.validity then Alcotest.failf "%s: validity violated" name
+
+let test_general_correct () =
+  (* C's instances must keep n + senders small (63-bit deadlines) *)
+  List.iter
+    (fun (proto, n, t_bound) ->
+      let o = BA.run ~n ~t_bound ~value:9 proto in
+      check "general correct" o;
+      Array.iteri
+        (fun pid v -> if o.correct.(pid) && v <> 9 then Alcotest.failf "p%d decided %d" pid v)
+        o.decisions)
+    [ (BA.A, 48, 6); (BA.B, 48, 6); (BA.C, 24, 5); (BA.C_chunked, 24, 5) ]
+
+let test_general_cut_all_values () =
+  (* general informs k of the senders then dies, for every k *)
+  List.iter
+    (fun proto ->
+      for k = 0 to 7 do
+        let o = BA.run ~n:40 ~t_bound:6 ~value:5 ~general_cut:k proto in
+        check (Printf.sprintf "cut=%d" k) o
+      done)
+    [ BA.A; BA.B ]
+
+let test_general_cut_c () =
+  for k = 0 to 5 do
+    let o = BA.run ~n:24 ~t_bound:4 ~value:5 ~general_cut:k BA.C in
+    check (Printf.sprintf "C cut=%d" k) o
+  done
+
+let test_sender_cascades () =
+  (* senders die one by one after taking over *)
+  let o =
+    BA.run ~n:48 ~t_bound:6 ~value:3 ~general_cut:4
+      ~crash_at:[ (1, 30); (2, 80); (3, 200); (4, 500); (5, 1200) ]
+      BA.A
+  in
+  check "cascade A" o;
+  let o =
+    BA.run ~n:20 ~t_bound:4 ~value:3 ~general_cut:2
+      ~crash_at:[ (1, 15); (2, 60); (3, 50_000) ]
+      BA.C
+  in
+  check "cascade C" o
+
+let test_random_schedules () =
+  let g = Prng.create 888L in
+  List.iter
+    (fun (proto, label, n, t_bound, window) ->
+      for i = 1 to 30 do
+        let crash_at =
+          List.filter_map
+            (fun p ->
+              if Prng.bool g then Some (p, Prng.int g window) else None)
+            (List.init t_bound Fun.id)
+          (* sender t_bound always survives, so at most t_bound crash *)
+        in
+        let cut =
+          if Prng.bool g then Some (Prng.int g (t_bound + 1)) else None
+        in
+        let o = BA.run ~n ~t_bound ~value:7 ~crash_at ?general_cut:cut proto in
+        check (Printf.sprintf "%s random #%d" label i) o
+      done)
+    [ (BA.A, "A", 48, 7, 4000); (BA.B, "B", 48, 7, 2000); (BA.C, "C", 24, 5, 100_000) ]
+
+let test_message_complexity_shape () =
+  (* via A the cost tracks Bracha's n + t√t; via chunked C the n-informs
+     dominate and the protocol overhead is only O(t log t) *)
+  let n = 96 and t_bound = 15 in
+  let oa = BA.run ~n ~t_bound ~value:1 BA.A in
+  Alcotest.(check bool)
+    (Printf.sprintf "A msgs %d within 4x Bracha %d" oa.messages
+       (BA.bracha_msgs ~n ~t:t_bound))
+    true
+    (oa.messages <= 4 * BA.bracha_msgs ~n ~t:t_bound);
+  let oc = BA.run ~n:30 ~t_bound:7 ~value:1 BA.C_chunked in
+  let c_bound =
+    30 + Doall.Bounds.c_chunked_msgs (Doall.Spec.make ~n:30 ~t:8) + 8
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "C msgs %d within bound %d" oc.messages c_bound)
+    true
+    (oc.messages <= c_bound)
+
+let test_all_correct_informed () =
+  (* every correct process must actually receive the value when the general
+     is correct: decisions all = value, none left at default *)
+  let o = BA.run ~n:64 ~t_bound:8 ~value:1234 ~crash_at:[ (1, 50); (4, 100) ] BA.B in
+  check "informed" o;
+  Array.iteri
+    (fun pid v ->
+      if o.correct.(pid) then Alcotest.(check int) (Printf.sprintf "p%d" pid) 1234 v)
+    o.decisions
+
+let test_validation () =
+  Alcotest.check_raises "t_bound+1 > n" (Invalid_argument "Crash_ba.run") (fun () ->
+      ignore (BA.run ~n:4 ~t_bound:4 ~value:1 BA.A))
+
+let suite =
+  [
+    Alcotest.test_case "general correct, all protocols" `Quick test_general_correct;
+    Alcotest.test_case "general dies mid-broadcast (A,B)" `Quick test_general_cut_all_values;
+    Alcotest.test_case "general dies mid-broadcast (C)" `Quick test_general_cut_c;
+    Alcotest.test_case "sender cascades" `Quick test_sender_cascades;
+    Alcotest.test_case "random schedules" `Quick test_random_schedules;
+    Alcotest.test_case "message complexity shape" `Quick test_message_complexity_shape;
+    Alcotest.test_case "all correct informed" `Quick test_all_correct_informed;
+    Alcotest.test_case "input validation" `Quick test_validation;
+  ]

@@ -1,0 +1,193 @@
+(* The asynchronous substrate: event-sim semantics, failure-detector
+   soundness/completeness, and the asynchronous Protocol A. *)
+
+module Prng = Dhw_util.Prng
+module E = Asim.Event_sim
+
+let unit_proc handle = { E.a_init = (fun _ -> ()); a_handle = handle }
+
+let outcome ?(sends = []) ?(work = []) ?(terminate = false) ?continue_after () =
+  { E.state = (); sends; work; terminate; continue_after }
+
+let test_message_delay_bounds () =
+  (* every delivery happens within [1, max_delay] of the send *)
+  let sent_at = ref (-1) and got_at = ref (-1) in
+  let proc =
+    unit_proc (fun pid now () ev ->
+        match ev with
+        | E.Started ->
+            if pid = 0 then begin
+              sent_at := now;
+              outcome ~sends:[ (1, "x") ] ~terminate:true ()
+            end
+            else outcome ()
+        | E.Got _ ->
+            got_at := now;
+            outcome ~terminate:true ()
+        | E.Retired_notice _ | E.Continue -> outcome ())
+  in
+  let cfg = E.config ~max_delay:7 ~seed:3L ~n_processes:2 ~n_units:1 () in
+  let r = E.run cfg proc in
+  Alcotest.(check bool) "completed" true r.completed;
+  let d = !got_at - !sent_at in
+  Alcotest.(check bool) (Printf.sprintf "delay %d in [1,7]" d) true (d >= 1 && d <= 7)
+
+let test_fd_soundness_and_completeness () =
+  (* observers record notifications; the detector must never report a
+     process that is still running, and must eventually report every crash
+     to every survivor *)
+  let notices = Array.make 4 [] in
+  let proc =
+    unit_proc (fun pid now () ev ->
+        match ev with
+        | E.Retired_notice who ->
+            notices.(pid) <- (who, now) :: notices.(pid);
+            outcome ()
+        | E.Started | E.Got _ | E.Continue -> outcome ())
+  in
+  let crash_at = [ (1, 10); (2, 25) ] in
+  let cfg = E.config ~crash_at ~max_lag:6 ~seed:9L ~n_processes:4 ~n_units:1 () in
+  let r = E.run cfg proc in
+  ignore r;
+  List.iter
+    (fun obs ->
+      let got = notices.(obs) in
+      (* soundness: notification strictly after the true crash *)
+      List.iter
+        (fun (who, at) ->
+          let true_crash = List.assoc who crash_at in
+          if at <= true_crash then
+            Alcotest.failf "observer %d notified of %d at %d <= crash %d" obs who
+              at true_crash)
+        got;
+      (* completeness: both crashes reported to live observers *)
+      Alcotest.(check bool)
+        (Printf.sprintf "observer %d saw both" obs)
+        true
+        (List.mem_assoc 1 got && List.mem_assoc 2 got))
+    [ 0; 3 ]
+
+let test_termination_also_notified () =
+  let saw = ref false in
+  let proc =
+    unit_proc (fun pid _ () ev ->
+        match ev with
+        | E.Started -> if pid = 0 then outcome ~terminate:true () else outcome ()
+        | E.Retired_notice 0 ->
+            saw := true;
+            outcome ~terminate:true ()
+        | E.Retired_notice _ | E.Got _ | E.Continue -> outcome ())
+  in
+  let cfg = E.config ~seed:4L ~n_processes:2 ~n_units:1 () in
+  let r = E.run cfg proc in
+  Alcotest.(check bool) "completed" true r.completed;
+  Alcotest.(check bool) "termination notified" true !saw
+
+let test_continue_scheduling () =
+  let ticks = ref [] in
+  let proc =
+    {
+      E.a_init = (fun _ -> 0);
+      a_handle =
+        (fun _ now k ev ->
+          match ev with
+          | E.Started -> { E.state = 0; sends = []; work = []; terminate = false; continue_after = Some 3 }
+          | E.Continue ->
+              ticks := now :: !ticks;
+              {
+                E.state = k + 1;
+                sends = [];
+                work = [];
+                terminate = k >= 2;
+                continue_after = (if k >= 2 then None else Some 3);
+              }
+          | E.Got _ | E.Retired_notice _ ->
+              { E.state = k; sends = []; work = []; terminate = false; continue_after = None });
+    }
+  in
+  let cfg = E.config ~seed:5L ~n_processes:1 ~n_units:1 () in
+  let r = E.run cfg proc in
+  Alcotest.(check bool) "completed" true r.completed;
+  Alcotest.(check (list int)) "continues every 3 ticks" [ 9; 6; 3 ] !ticks
+
+(* --- asynchronous Protocol A --- *)
+
+let check_async name (r : E.result) =
+  Alcotest.(check bool) (name ^ ": completed") true r.completed;
+  let survivors =
+    Array.fold_left
+      (fun acc s -> match s with Simkit.Types.Terminated _ -> acc + 1 | _ -> acc)
+      0 r.statuses
+  in
+  if survivors > 0 then
+    Alcotest.(check bool)
+      (name ^ ": all units done")
+      true
+      (Simkit.Metrics.all_units_done r.metrics)
+
+let test_async_a_failure_free () =
+  let spec = Helpers.spec ~n:80 ~t:16 in
+  let r = Asim.Async_protocol_a.run spec in
+  check_async "ff" r;
+  Alcotest.(check int) "exactly n work" 80 (Simkit.Metrics.work r.metrics)
+
+let test_async_a_failover_chain () =
+  let spec = Helpers.spec ~n:60 ~t:8 in
+  let crash_at = List.init 7 (fun i -> (i, 12 * (i + 1))) in
+  let r = Asim.Async_protocol_a.run ~crash_at ~max_delay:9 ~max_lag:20 spec in
+  check_async "chain" r;
+  (* Theorem 2.3's work bound carries over *)
+  let grid = Doall.Grid.make spec in
+  Alcotest.(check bool) "work bound" true
+    (Simkit.Metrics.work r.metrics <= Doall.Bounds.a_work grid)
+
+let test_async_a_random () =
+  let g = Prng.create 17L in
+  let spec = Helpers.spec ~n:50 ~t:10 in
+  for i = 1 to 25 do
+    let crash_at = Helpers.random_schedule g ~t:10 ~window:600 in
+    let r =
+      Asim.Async_protocol_a.run ~crash_at
+        ~max_delay:(Prng.int_in g 1 15)
+        ~max_lag:(Prng.int_in g 1 40)
+        ~seed:(Prng.next_int64 g) spec
+    in
+    check_async (Printf.sprintf "random #%d" i) r
+  done
+
+let test_async_a_unsound_detector_duplicates_but_completes () =
+  (* Section 2.1 requires a *sound* detector. Violate it: convince process 3
+     early on that 0, 1 and 2 are all gone. Two actives then run
+     concurrently; idempotence keeps the execution correct, only the work
+     count inflates. *)
+  let spec = Helpers.spec ~n:40 ~t:6 in
+  let false_suspicions = [ (3, 0, 5); (3, 1, 5); (3, 2, 5) ] in
+  let sound = Asim.Async_protocol_a.run ~seed:2L spec in
+  let unsound = Asim.Async_protocol_a.run ~seed:2L ~false_suspicions spec in
+  check_async "unsound detector" unsound;
+  Alcotest.(check bool)
+    (Printf.sprintf "duplicated work: %d > %d"
+       (Simkit.Metrics.work unsound.metrics)
+       (Simkit.Metrics.work sound.metrics))
+    true
+    (Simkit.Metrics.work unsound.metrics > Simkit.Metrics.work sound.metrics)
+
+let test_async_a_slow_detector_still_correct () =
+  let spec = Helpers.spec ~n:30 ~t:6 in
+  let crash_at = [ (0, 5); (1, 9); (2, 13) ] in
+  let r = Asim.Async_protocol_a.run ~crash_at ~max_lag:500 spec in
+  check_async "slow detector" r
+
+let suite =
+  [
+    Alcotest.test_case "message delays bounded" `Quick test_message_delay_bounds;
+    Alcotest.test_case "detector sound and complete" `Quick test_fd_soundness_and_completeness;
+    Alcotest.test_case "termination notified too" `Quick test_termination_also_notified;
+    Alcotest.test_case "continue scheduling" `Quick test_continue_scheduling;
+    Alcotest.test_case "async A: failure-free" `Quick test_async_a_failure_free;
+    Alcotest.test_case "async A: failover chain" `Quick test_async_a_failover_chain;
+    Alcotest.test_case "async A: random schedules" `Quick test_async_a_random;
+    Alcotest.test_case "async A: slow detector" `Quick test_async_a_slow_detector_still_correct;
+    Alcotest.test_case "async A: unsound detector duplicates work" `Quick
+      test_async_a_unsound_detector_duplicates_but_completes;
+  ]

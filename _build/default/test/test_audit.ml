@@ -1,0 +1,128 @@
+(* The Simkit.Audit checkers themselves: they must accept clean traces and
+   flag synthetically corrupted ones. *)
+
+module T = Simkit.Trace
+module A = Simkit.Audit
+
+let mk events =
+  let tr = T.create () in
+  List.iter (T.record tr) events;
+  tr
+
+let test_well_formed_accepts () =
+  let tr =
+    mk
+      [
+        T.Stepped { pid = 0; round = 0 };
+        T.Worked { pid = 0; round = 0; unit_id = 0 };
+        T.Sent { src = 0; dst = 1; round = 1; what = "(1)" };
+        T.Terminated_ev { pid = 0; round = 2 };
+        T.Crashed_ev { pid = 1; round = 3 };
+      ]
+  in
+  Alcotest.(check int) "clean" 0 (List.length (A.well_formed tr))
+
+let test_well_formed_flags_zombie () =
+  let tr =
+    mk
+      [
+        T.Crashed_ev { pid = 0; round = 1 };
+        T.Worked { pid = 0; round = 2; unit_id = 3 };
+      ]
+  in
+  Alcotest.(check int) "zombie work flagged" 1 (List.length (A.well_formed tr))
+
+let test_well_formed_flags_double_retire () =
+  let tr =
+    mk
+      [
+        T.Terminated_ev { pid = 0; round = 1 };
+        T.Crashed_ev { pid = 0; round = 2 };
+      ]
+  in
+  Alcotest.(check int) "double retirement flagged" 1 (List.length (A.well_formed tr))
+
+let test_well_formed_flags_time_travel () =
+  let tr =
+    mk
+      [
+        T.Stepped { pid = 0; round = 5 };
+        T.Stepped { pid = 1; round = 3 };
+      ]
+  in
+  Alcotest.(check int) "backwards trace flagged" 1 (List.length (A.well_formed tr))
+
+let test_one_active_flags_pair () =
+  let tr =
+    mk
+      [
+        T.Worked { pid = 0; round = 4; unit_id = 0 };
+        T.Worked { pid = 1; round = 4; unit_id = 1 };
+      ]
+  in
+  Alcotest.(check int) "two actives flagged" 1
+    (List.length (A.at_most_one_active tr))
+
+let test_one_active_respects_passive () =
+  let tr =
+    mk
+      [
+        T.Worked { pid = 0; round = 4; unit_id = 0 };
+        T.Sent { src = 2; dst = 0; round = 4; what = "go_ahead" };
+      ]
+  in
+  Alcotest.(check int) "passive sender tolerated" 0
+    (List.length (A.at_most_one_active ~passive_msg:(( = ) "go_ahead") tr));
+  Alcotest.(check int) "without the classifier it is flagged" 1
+    (List.length (A.at_most_one_active tr))
+
+let test_monotone_work () =
+  let good =
+    mk
+      [
+        T.Worked { pid = 0; round = 0; unit_id = 0 };
+        T.Worked { pid = 0; round = 1; unit_id = 1 };
+        T.Worked { pid = 1; round = 9; unit_id = 1 } (* redo: fine *);
+        T.Worked { pid = 1; round = 10; unit_id = 2 };
+      ]
+  in
+  Alcotest.(check int) "monotone accepted" 0 (List.length (A.work_is_monotone good));
+  let bad =
+    mk
+      [
+        T.Worked { pid = 0; round = 0; unit_id = 5 };
+        T.Worked { pid = 1; round = 3; unit_id = 2 } (* first perf, below 5 *);
+      ]
+  in
+  Alcotest.(check int) "regression flagged" 1 (List.length (A.work_is_monotone bad))
+
+let test_real_traces_clean () =
+  (* every sequential protocol's real trace passes all three checkers *)
+  let spec = Doall.Spec.make ~n:24 ~t:9 in
+  List.iter
+    (fun (proto, passive) ->
+      let trace = Simkit.Trace.create () in
+      let fault = Simkit.Fault.crash_silently_at [ (0, 9); (3, 60) ] in
+      ignore (Doall.Runner.run ~fault ~trace spec proto);
+      Alcotest.(check int) "well formed" 0 (List.length (A.well_formed trace));
+      Alcotest.(check int) "one active" 0
+        (List.length (A.at_most_one_active ~passive_msg:passive trace));
+      Alcotest.(check int) "monotone" 0 (List.length (A.work_is_monotone trace)))
+    [
+      (Doall.Protocol_a.protocol, fun _ -> false);
+      (Doall.Protocol_b.protocol, Helpers.b_passive);
+      (Doall.Protocol_c.protocol, Helpers.c_passive);
+      (Doall.Baseline_checkpoint.protocol ~period:2, fun _ -> false);
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "well-formed: accepts clean" `Quick test_well_formed_accepts;
+    Alcotest.test_case "well-formed: zombie action" `Quick test_well_formed_flags_zombie;
+    Alcotest.test_case "well-formed: double retirement" `Quick test_well_formed_flags_double_retire;
+    Alcotest.test_case "well-formed: time travel" `Quick test_well_formed_flags_time_travel;
+    Alcotest.test_case "one-active: flags a pair" `Quick test_one_active_flags_pair;
+    Alcotest.test_case "one-active: passive classifier" `Quick test_one_active_respects_passive;
+    Alcotest.test_case "monotone work" `Quick test_monotone_work;
+    Alcotest.test_case "real traces audit clean" `Quick test_real_traces_clean;
+  ]

@@ -1,0 +1,92 @@
+(* The two Section 1 strawmen: exact cost profiles and correctness. *)
+
+module Prng = Dhw_util.Prng
+
+let test_trivial_exact () =
+  let spec = Helpers.spec ~n:50 ~t:8 in
+  let report = Helpers.run spec Doall.Baseline_trivial.protocol in
+  Helpers.check_correct "trivial" report;
+  let m = Helpers.metrics report in
+  Alcotest.(check int) "t*n work" (50 * 8) (Simkit.Metrics.work m);
+  Alcotest.(check int) "zero messages" 0 (Simkit.Metrics.messages m);
+  Alcotest.(check int) "n rounds" 49 (Simkit.Metrics.rounds m)
+
+let test_trivial_survives_everything () =
+  let spec = Helpers.spec ~n:20 ~t:6 in
+  let fault = Simkit.Fault.crash_silently_at [ (0, 0); (1, 3); (2, 7); (3, 10); (4, 19) ] in
+  let report = Helpers.run ~fault spec Doall.Baseline_trivial.protocol in
+  Helpers.check_correct "trivial under crashes" report
+
+let test_checkpoint_period1_work_optimal () =
+  (* at most n + t - 1 units even when every active process dies right
+     after an unreported unit *)
+  let spec = Helpers.spec ~n:60 ~t:10 in
+  let fault =
+    Simkit.Fault.crash_active_after_work ~units_between_crashes:1 ~max_crashes:9
+  in
+  let report = Helpers.run ~fault spec (Doall.Baseline_checkpoint.protocol ~period:1) in
+  Helpers.check_correct "checkpoint/1" report;
+  let work = Simkit.Metrics.work (Helpers.metrics report) in
+  Alcotest.(check bool)
+    (Printf.sprintf "work %d <= n+t-1 = %d" work (60 + 10 - 1))
+    true
+    (work <= 60 + 10 - 1)
+
+let test_checkpoint_message_cost () =
+  (* failure-free: one broadcast of t-1 messages per period *)
+  let spec = Helpers.spec ~n:60 ~t:10 in
+  let report = Helpers.run spec (Doall.Baseline_checkpoint.protocol ~period:1) in
+  Alcotest.(check int) "n(t-1) messages" (60 * 9)
+    (Simkit.Metrics.messages (Helpers.metrics report));
+  let report = Helpers.run spec (Doall.Baseline_checkpoint.protocol ~period:6) in
+  Alcotest.(check int) "(n/6)(t-1) messages" (10 * 9)
+    (Simkit.Metrics.messages (Helpers.metrics report))
+
+let test_checkpoint_period_tradeoff () =
+  (* larger periods lose more work per crash *)
+  let spec = Helpers.spec ~n:120 ~t:8 in
+  let work_at period =
+    (* the same adversary for every period: a crash every 10 units loses up
+       to period-1 unannounced units *)
+    let fault =
+      Simkit.Fault.crash_active_after_work ~units_between_crashes:10 ~max_crashes:7
+    in
+    let report = Helpers.run ~fault spec (Doall.Baseline_checkpoint.protocol ~period) in
+    Helpers.check_correct (Printf.sprintf "period %d" period) report;
+    Simkit.Metrics.work (Helpers.metrics report)
+  in
+  Alcotest.(check bool) "period 20 redoes more than period 1" true
+    (work_at 20 > work_at 1)
+
+let test_checkpoint_random () =
+  let g = Prng.create 12321L in
+  List.iter
+    (fun period ->
+      let spec = Helpers.spec ~n:45 ~t:7 in
+      for i = 1 to 10 do
+        let schedule = Helpers.random_schedule g ~t:7 ~window:800 in
+        let report =
+          Helpers.run
+            ~fault:(Simkit.Fault.crash_silently_at schedule)
+            spec
+            (Doall.Baseline_checkpoint.protocol ~period)
+        in
+        Helpers.check_correct (Printf.sprintf "ckpt/%d random #%d" period i) report
+      done)
+    [ 1; 3; 45 ]
+
+let test_checkpoint_validation () =
+  Alcotest.check_raises "period 0"
+    (Invalid_argument "Baseline_checkpoint.protocol: period >= 1") (fun () ->
+      ignore (Doall.Baseline_checkpoint.protocol ~period:0))
+
+let suite =
+  [
+    Alcotest.test_case "trivial: exact costs" `Quick test_trivial_exact;
+    Alcotest.test_case "trivial: survives everything" `Quick test_trivial_survives_everything;
+    Alcotest.test_case "checkpoint/1: work <= n+t-1" `Quick test_checkpoint_period1_work_optimal;
+    Alcotest.test_case "checkpoint: message cost" `Quick test_checkpoint_message_cost;
+    Alcotest.test_case "checkpoint: period trade-off" `Quick test_checkpoint_period_tradeoff;
+    Alcotest.test_case "checkpoint: random schedules" `Quick test_checkpoint_random;
+    Alcotest.test_case "checkpoint: validation" `Quick test_checkpoint_validation;
+  ]

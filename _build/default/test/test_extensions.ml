@@ -1,0 +1,203 @@
+(* The paper's side remarks, made executable: tunable checkpoint-group size,
+   message-size accounting, online work arrival, and the common-knowledge
+   bootstrap. *)
+
+module Prng = Dhw_util.Prng
+
+(* --- Protocol A with non-standard group sizes --- *)
+
+let test_group_size_correctness () =
+  let g = Prng.create 7171L in
+  let spec = Helpers.spec ~n:60 ~t:12 in
+  List.iter
+    (fun s ->
+      let proto = Doall.Protocol_a.protocol_with_group_size s in
+      for i = 1 to 8 do
+        let schedule = Helpers.random_schedule g ~t:12 ~window:8000 in
+        let report =
+          Helpers.run ~fault:(Simkit.Fault.crash_silently_at schedule) spec proto
+        in
+        Helpers.check_correct (Printf.sprintf "s=%d #%d" s i) report
+      done)
+    [ 1; 2; 3; 6; 12 ]
+
+let test_group_size_sweet_spot () =
+  (* failure-free messages are minimised near s = sqrt(t) *)
+  let spec = Helpers.spec ~n:1024 ~t:64 in
+  let msgs s =
+    Simkit.Metrics.messages
+      (Helpers.metrics (Helpers.run spec (Doall.Protocol_a.protocol_with_group_size s)))
+  in
+  let at_sqrt = msgs 8 in
+  Alcotest.(check bool) "sqrt(t) beats s=1" true (at_sqrt < msgs 1);
+  Alcotest.(check bool) "sqrt(t) beats s=t" true (at_sqrt < msgs 64)
+
+let test_group_size_validation () =
+  Alcotest.(check bool) "s=0 rejected" true
+    (try
+       ignore (Doall.Grid.make_with_group_size (Helpers.spec ~n:4 ~t:4) 0);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- message sizes --- *)
+
+let test_msg_size_shapes () =
+  let spec = Helpers.spec ~n:1024 ~t:64 in
+  let grid = Doall.Grid.make spec in
+  (* A/B messages are logarithmic, C views linear-ish in t, D in n+t *)
+  let ab = Doall.Msg_size.a_msg_bits grid in
+  let c = Doall.Msg_size.c_msg_bits spec ~round_bits:32 in
+  let d = Doall.Msg_size.d_msg_bits spec in
+  Alcotest.(check bool) "A/B tiny" true (ab <= 24);
+  Alcotest.(check bool) "C view > t bits" true (c > 64);
+  Alcotest.(check bool) "D view >= n+t bits" true (d >= 1024 + 64);
+  Alcotest.(check bool) "b = a+1" true (Doall.Msg_size.b_msg_bits grid = ab + 1)
+
+let test_msg_size_gmy_gap () =
+  (* ours stays logarithmic in n while GMY grows linearly *)
+  let bits n =
+    let spec = Helpers.spec ~n ~t:16 in
+    let grid = Doall.Grid.make spec in
+    ( Doall.Msg_size.ba_msg_bits grid ~value_bits:16,
+      Doall.Msg_size.gmy_msg_bits ~n ~value_bits:16 )
+  in
+  let ours_small, gmy_small = bits 64 in
+  let ours_big, gmy_big = bits 4096 in
+  Alcotest.(check bool) "ours grows slowly" true (ours_big - ours_small <= 8);
+  Alcotest.(check bool) "gmy grows linearly" true (gmy_big - gmy_small >= 4000)
+
+(* --- online Protocol D --- *)
+
+let online_cfg arrivals horizon =
+  { Doall.Protocol_d_online.arrivals; horizon; idle_block = 4 }
+
+let covered_units (r : Doall.Runner.report) =
+  let m = Helpers.metrics r in
+  List.filter
+    (fun u -> Simkit.Metrics.unit_multiplicity m u > 0)
+    (List.init (Simkit.Metrics.n_units m) Fun.id)
+
+let test_online_single_wave () =
+  let arrivals = List.init 24 (fun u -> (0, u, u mod 6)) in
+  let spec = Helpers.spec ~n:24 ~t:6 in
+  let r = Helpers.run spec (Doall.Protocol_d_online.protocol (online_cfg arrivals 10)) in
+  Helpers.check_correct "single wave" r;
+  Alcotest.(check int) "exactly n work" 24 (Simkit.Metrics.work (Helpers.metrics r))
+
+let test_online_waves_and_gaps () =
+  let arrivals =
+    List.init 10 (fun u -> (0, u, u mod 6))
+    @ List.init 10 (fun u -> (50, u + 10, (u + 1) mod 6))
+    @ [ (120, 20, 3); (120, 21, 4) ]
+  in
+  let spec = Helpers.spec ~n:22 ~t:6 in
+  let r = Helpers.run spec (Doall.Protocol_d_online.protocol (online_cfg arrivals 130)) in
+  Helpers.check_correct "waves" r
+
+let test_online_survivor_arrivals_done () =
+  (* crash sites holding no pending arrivals: everything must complete *)
+  let arrivals = List.init 20 (fun u -> (0, u, 5)) in
+  let spec = Helpers.spec ~n:20 ~t:6 in
+  let fault = Simkit.Fault.crash_silently_at [ (0, 7); (1, 11); (2, 15) ] in
+  let r =
+    Helpers.run ~fault spec (Doall.Protocol_d_online.protocol (online_cfg arrivals 30))
+  in
+  Helpers.check_correct "survivor arrivals" r
+
+let test_online_lost_arrivals_semantics () =
+  (* units arriving at a crashed site are lost — and only those *)
+  let arrivals =
+    [ (0, 0, 0); (0, 1, 1); (40, 2, 0) (* site 0 dead by then *); (40, 3, 1) ]
+  in
+  let spec = Helpers.spec ~n:4 ~t:4 in
+  let fault = Simkit.Fault.crash_silently_at [ (0, 20) ] in
+  let r =
+    Helpers.run ~fault spec (Doall.Protocol_d_online.protocol (online_cfg arrivals 60))
+  in
+  Alcotest.(check bool) "completed" true (r.outcome = Simkit.Kernel.Completed);
+  Alcotest.(check (list int)) "unit 2 lost, others done" [ 0; 1; 3 ] (covered_units r)
+
+let test_online_random () =
+  let g = Prng.create 4711L in
+  for i = 1 to 12 do
+    let n = Prng.int_in g 5 40 and t = Prng.int_in g 2 10 in
+    let arrivals =
+      List.init n (fun u -> (Prng.int g 40, u, Prng.int g t))
+    in
+    let horizon = 60 in
+    (* crash only processes holding no late arrivals, after round 45 *)
+    let holders = List.map (fun (_, _, s) -> s) arrivals in
+    let candidates =
+      List.filter (fun p -> not (List.mem p holders)) (List.init t Fun.id)
+    in
+    let schedule =
+      List.filteri (fun idx _ -> idx < t - 1) candidates
+      |> List.map (fun p -> (p, Prng.int_in g 1 50))
+    in
+    let spec = Helpers.spec ~n ~t in
+    let r =
+      Helpers.run
+        ~fault:(Simkit.Fault.crash_silently_at schedule)
+        spec
+        (Doall.Protocol_d_online.protocol (online_cfg arrivals horizon))
+    in
+    Helpers.check_correct (Printf.sprintf "online random #%d" i) r
+  done
+
+(* --- bootstrap --- *)
+
+let test_bootstrap_ok () =
+  List.iter
+    (fun proto ->
+      let o = Agreement.Bootstrap.run ~n:80 ~t:8 proto in
+      Alcotest.(check bool) "ok" true o.ok)
+    [ Agreement.Crash_ba.A; Agreement.Crash_ba.B ]
+
+let test_bootstrap_with_crashes () =
+  let o =
+    Agreement.Bootstrap.run ~n:60 ~t:8
+      ~crash_at:[ (0, 2); (1, 30); (2, 500) ]
+      Agreement.Crash_ba.A
+  in
+  Alcotest.(check bool) "ok under crashes" true o.ok
+
+let test_bootstrap_cost_at_most_doubles () =
+  (* Section 1: for n = Ω(t) the bootstrap at most doubles the effort,
+     up to the constant-factor slack of the bounds *)
+  let n = 200 and t = 10 in
+  let direct =
+    Simkit.Metrics.effort
+      (Helpers.metrics (Helpers.run (Helpers.spec ~n ~t) Doall.Protocol_a.protocol))
+  in
+  let boot = Agreement.Bootstrap.run ~n ~t Agreement.Crash_ba.A in
+  let total = boot.total_messages + boot.total_work in
+  Alcotest.(check bool)
+    (Printf.sprintf "bootstrap effort %d <= 2x direct %d" total direct)
+    true
+    (total <= 2 * direct)
+
+let suite =
+  [
+    Alcotest.test_case "group sizes: correctness" `Quick test_group_size_correctness;
+    Alcotest.test_case "group sizes: sqrt(t) sweet spot" `Quick test_group_size_sweet_spot;
+    Alcotest.test_case "group sizes: validation" `Quick test_group_size_validation;
+    Alcotest.test_case "message sizes: shapes" `Quick test_msg_size_shapes;
+    Alcotest.test_case "message sizes: GMY gap" `Quick test_msg_size_gmy_gap;
+    Alcotest.test_case "online D: single wave" `Quick test_online_single_wave;
+    Alcotest.test_case "online D: waves and gaps" `Quick test_online_waves_and_gaps;
+    Alcotest.test_case "online D: survivors' arrivals done" `Quick test_online_survivor_arrivals_done;
+    Alcotest.test_case "online D: lost-arrival semantics" `Quick test_online_lost_arrivals_semantics;
+    Alcotest.test_case "online D: random mixes" `Quick test_online_random;
+    Alcotest.test_case "online D: arrival validation" `Quick (fun () ->
+        Alcotest.(check bool) "arrival past horizon rejected" true
+          (try
+             ignore
+               (Helpers.run (Helpers.spec ~n:2 ~t:2)
+                  (Doall.Protocol_d_online.protocol
+                     (online_cfg [ (90, 0, 0) ] 60)));
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "bootstrap: both stages succeed" `Quick test_bootstrap_ok;
+    Alcotest.test_case "bootstrap: with crashes" `Quick test_bootstrap_with_crashes;
+    Alcotest.test_case "bootstrap: cost at most doubles" `Quick test_bootstrap_cost_at_most_doubles;
+  ]

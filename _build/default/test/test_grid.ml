@@ -1,0 +1,119 @@
+(* Property tests for the √t-grid: the group and work partitions must
+   exactly cover their domains for every instance shape, and reduce to the
+   paper's layout on perfect squares. *)
+
+module Grid = Doall.Grid
+module Intmath = Dhw_util.Intmath
+
+let gen_spec =
+  QCheck2.Gen.(
+    map (fun (n, t) -> Doall.Spec.make ~n ~t) (pair (1 -- 300) (1 -- 40)))
+
+let prop_groups_partition =
+  Helpers.qcheck_case ~count:200 ~name:"groups partition the processes" gen_spec
+    (fun spec ->
+      let g = Grid.make spec in
+      let t = Doall.Spec.processes spec in
+      let seen = Array.make t 0 in
+      for grp = 1 to Grid.n_groups g do
+        List.iter (fun pid -> seen.(pid) <- seen.(pid) + 1) (Grid.members g grp)
+      done;
+      Array.for_all (( = ) 1) seen
+      && List.for_all
+           (fun pid -> List.mem pid (Grid.members g (Grid.group_of g pid)))
+           (List.init t Fun.id))
+
+let prop_subchunks_partition =
+  Helpers.qcheck_case ~count:200 ~name:"subchunks partition the units" gen_spec
+    (fun spec ->
+      let g = Grid.make spec in
+      let n = Doall.Spec.n spec in
+      let seen = Array.make n 0 in
+      for c = 1 to Grid.n_subchunks g do
+        List.iter (fun u -> seen.(u) <- seen.(u) + 1) (Grid.subchunk_units g c)
+      done;
+      Array.for_all (( = ) 1) seen)
+
+let prop_subchunk_sizes =
+  Helpers.qcheck_case ~count:200 ~name:"subchunk sizes bounded and ordered" gen_spec
+    (fun spec ->
+      let g = Grid.make spec in
+      let max_size = Grid.subchunk_size_max g in
+      let ok = ref true in
+      let prev_hi = ref (-1) in
+      for c = 1 to Grid.n_subchunks g do
+        let units = Grid.subchunk_units g c in
+        if List.length units > max_size || List.length units < 1 then ok := false;
+        List.iter
+          (fun u ->
+            if u <= !prev_hi then ok := false;
+            prev_hi := u)
+          units
+      done;
+      !ok)
+
+let prop_members_above =
+  Helpers.qcheck_case ~count:200 ~name:"members_above = higher own-group pids" gen_spec
+    (fun spec ->
+      let g = Grid.make spec in
+      let t = Doall.Spec.processes spec in
+      List.for_all
+        (fun pid ->
+          let above = Grid.members_above g pid in
+          List.for_all (fun k -> k > pid && Grid.group_of g k = Grid.group_of g pid) above
+          && List.length above
+             = List.length
+                 (List.filter (fun k -> k > pid) (Grid.members g (Grid.group_of g pid))))
+        (List.init t Fun.id))
+
+let prop_chunk_ends =
+  Helpers.qcheck_case ~count:200 ~name:"chunk ends: multiples of s plus the last" gen_spec
+    (fun spec ->
+      let g = Grid.make spec in
+      let s = Grid.group_size g in
+      let last = Grid.n_subchunks g in
+      Grid.is_chunk_end g last
+      && List.for_all
+           (fun c -> Grid.is_chunk_end g c = (c mod s = 0 || c = last))
+           (List.init last (fun i -> i + 1)))
+
+let test_perfect_square_layout () =
+  (* n = 256, t = 16: the paper's exact layout *)
+  let g = Grid.make (Doall.Spec.make ~n:256 ~t:16) in
+  Alcotest.(check int) "group size √t" 4 (Grid.group_size g);
+  Alcotest.(check int) "√t groups" 4 (Grid.n_groups g);
+  Alcotest.(check int) "t subchunks" 16 (Grid.n_subchunks g);
+  Alcotest.(check int) "subchunk size n/t" 16 (Grid.subchunk_size_max g);
+  Alcotest.(check (list int)) "group 2 members" [ 4; 5; 6; 7 ] (Grid.members g 2);
+  Alcotest.(check int) "group of pid 5" 2 (Grid.group_of g 5);
+  Alcotest.(check int) "rank of pid 5" 1 (Grid.rank_in_group g 5);
+  Alcotest.(check int) "chunk ends" 4 (Grid.n_chunk_ends g);
+  Alcotest.(check (list int)) "subchunk 1 units" (List.init 16 Fun.id)
+    (Grid.subchunk_units g 1)
+
+let test_deadline_budget_dominates () =
+  (* DD separation: the budget L must exceed any active script's length,
+     measured directly on full takeover scripts. *)
+  List.iter
+    (fun (n, t) ->
+      let spec = Doall.Spec.make ~n ~t in
+      let g = Grid.make spec in
+      let l = Grid.max_active_rounds g in
+      for pid = 0 to t - 1 do
+        let script = Doall.Ckpt_script.takeover_script g pid Doall.Ckpt_script.No_msg in
+        if List.length script >= l then
+          Alcotest.failf "script length %d >= budget %d at n=%d t=%d pid=%d"
+            (List.length script) l n t pid
+      done)
+    [ (1, 1); (10, 3); (100, 16); (64, 8); (37, 11); (200, 25); (5, 20) ]
+
+let suite =
+  [
+    prop_groups_partition;
+    prop_subchunks_partition;
+    prop_subchunk_sizes;
+    prop_members_above;
+    prop_chunk_ends;
+    Alcotest.test_case "perfect-square layout" `Quick test_perfect_square_layout;
+    Alcotest.test_case "deadline budget dominates scripts" `Quick test_deadline_budget_dominates;
+  ]

@@ -1,0 +1,134 @@
+(* Cross-protocol integration: every protocol against the same schedules,
+   comparative cost shapes from the paper's introduction, and end-to-end
+   determinism. *)
+
+module Prng = Dhw_util.Prng
+
+let all_protocols ~small =
+  [
+    Doall.Baseline_trivial.protocol;
+    Doall.Baseline_checkpoint.protocol ~period:1;
+    Doall.Baseline_checkpoint.protocol ~period:8;
+    Doall.Protocol_a.protocol;
+    Doall.Protocol_b.protocol;
+    Doall.Protocol_d.protocol;
+    Doall.Protocol_d_coord.protocol;
+  ]
+  @ if small then [ Doall.Protocol_c.protocol; Doall.Protocol_c.protocol_chunked; Doall.Protocol_c_naive.protocol ] else []
+
+let test_every_protocol_same_schedules () =
+  let g = Prng.create 2468L in
+  (* small instances so Protocol C's deadlines stay in range *)
+  let spec = Helpers.spec ~n:18 ~t:6 in
+  for i = 1 to 8 do
+    let schedule = Helpers.random_schedule g ~t:6 ~window:5000 in
+    List.iter
+      (fun proto ->
+        let report =
+          Helpers.run ~fault:(Simkit.Fault.crash_silently_at schedule) spec proto
+        in
+        Helpers.check_correct
+          (Printf.sprintf "%s schedule #%d" report.protocol i)
+          report)
+      (all_protocols ~small:true)
+  done
+
+let test_effort_hierarchy () =
+  (* Section 1's motivation, measured: on n >> t the efficient protocols
+     beat both strawmen on effort in the failure-free case *)
+  let spec = Helpers.spec ~n:400 ~t:16 in
+  let effort proto =
+    Simkit.Metrics.effort (Helpers.metrics (Helpers.run spec proto))
+  in
+  let trivial = effort Doall.Baseline_trivial.protocol in
+  let ckpt = effort (Doall.Baseline_checkpoint.protocol ~period:1) in
+  let a = effort Doall.Protocol_a.protocol in
+  let b = effort Doall.Protocol_b.protocol in
+  let d = effort Doall.Protocol_d.protocol in
+  Alcotest.(check bool)
+    (Printf.sprintf "A(%d) < trivial(%d)" a trivial)
+    true (a < trivial);
+  Alcotest.(check bool) (Printf.sprintf "A(%d) < ckpt(%d)" a ckpt) true (a < ckpt);
+  Alcotest.(check bool) (Printf.sprintf "B(%d) < trivial(%d)" b trivial) true (b < trivial);
+  Alcotest.(check bool) (Printf.sprintf "D(%d) < trivial(%d)" d trivial) true (d < trivial)
+
+let test_c_beats_ab_on_messages () =
+  (* Theorem 3.8's point: fewer messages than A/B. A staggered all-but-one
+     crash forces a takeover per process; A pays checkpoint broadcasts at
+     each takeover, C only its polls and reports. *)
+  let spec = Helpers.spec ~n:20 ~t:16 in
+  let msgs proto =
+    let fault =
+      Simkit.Fault.crash_silently_at (List.init 15 (fun i -> (i, 1000 * i)))
+    in
+    let r = Helpers.run ~fault spec proto in
+    Helpers.check_correct (r.protocol ^ " storm") r;
+    Simkit.Metrics.messages (Helpers.metrics r)
+  in
+  let a = msgs Doall.Protocol_a.protocol in
+  let b = msgs Doall.Protocol_b.protocol in
+  let c = msgs Doall.Protocol_c.protocol_chunked in
+  Alcotest.(check bool)
+    (Printf.sprintf "C-chunked msgs (%d) < half of A's (%d) and B's (%d)" c a b)
+    true
+    (2 * c < a && 2 * c < b)
+
+let test_b_beats_a_on_time () =
+  let spec = Helpers.spec ~n:100 ~t:25 in
+  let rounds proto =
+    let fault = Simkit.Fault.crash_silently_at (List.init 24 (fun i -> (i, 2 * i))) in
+    Simkit.Metrics.rounds (Helpers.metrics (Helpers.run ~fault spec proto))
+  in
+  let a = rounds Doall.Protocol_a.protocol in
+  let b = rounds Doall.Protocol_b.protocol in
+  Alcotest.(check bool) (Printf.sprintf "B rounds (%d) < A rounds (%d)" b a) true (b < a)
+
+let test_d_fastest_failure_free () =
+  let spec = Helpers.spec ~n:300 ~t:20 in
+  let rounds proto = Simkit.Metrics.rounds (Helpers.metrics (Helpers.run spec proto)) in
+  let d = rounds Doall.Protocol_d.protocol in
+  List.iter
+    (fun proto ->
+      let r = rounds proto in
+      Alcotest.(check bool) (Printf.sprintf "D (%d) < %d" d r) true (d < r))
+    [ Doall.Protocol_a.protocol; Doall.Protocol_b.protocol; Doall.Baseline_trivial.protocol ]
+
+let test_cross_run_determinism () =
+  let go proto =
+    let spec = Helpers.spec ~n:18 ~t:6 in
+    let fault = Simkit.Fault.random ~seed:321L ~t:6 ~victims:5 ~window:10_000 in
+    let r = Helpers.run ~fault spec proto in
+    let m = Helpers.metrics r in
+    ( Simkit.Metrics.work m,
+      Simkit.Metrics.messages m,
+      Simkit.Metrics.rounds m,
+      Array.map Simkit.Types.status_to_string r.statuses )
+  in
+  List.iter
+    (fun proto ->
+      let a = go proto and b = go proto in
+      Alcotest.(check bool) "identical rerun" true (a = b))
+    (all_protocols ~small:true)
+
+let test_work_conservation_everywhere () =
+  (* with zero faults, A, B and D perform no redundant work at all *)
+  let spec = Helpers.spec ~n:77 ~t:11 in
+  List.iter
+    (fun proto ->
+      let r = Helpers.run spec proto in
+      Alcotest.(check int)
+        (r.protocol ^ " does exactly n units")
+        77
+        (Simkit.Metrics.work (Helpers.metrics r)))
+    [ Doall.Protocol_a.protocol; Doall.Protocol_b.protocol; Doall.Protocol_d.protocol ]
+
+let suite =
+  [
+    Alcotest.test_case "all protocols, shared schedules" `Quick test_every_protocol_same_schedules;
+    Alcotest.test_case "effort hierarchy (Section 1)" `Quick test_effort_hierarchy;
+    Alcotest.test_case "C beats A/B on messages" `Quick test_c_beats_ab_on_messages;
+    Alcotest.test_case "B beats A on time" `Quick test_b_beats_a_on_time;
+    Alcotest.test_case "D fastest failure-free" `Quick test_d_fastest_failure_free;
+    Alcotest.test_case "cross-run determinism" `Quick test_cross_run_determinism;
+    Alcotest.test_case "no redundant work without faults" `Quick test_work_conservation_everywhere;
+  ]

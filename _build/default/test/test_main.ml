@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "dhw-work"
+    [
+      ("util", Test_util.suite);
+      ("sim-kernel", Test_sim.suite);
+      ("audit", Test_audit.suite);
+      ("grid", Test_grid.suite);
+      ("protocol-A", Test_protocol_a.suite);
+      ("protocol-B", Test_protocol_b.suite);
+      ("protocol-C", Test_protocol_c.suite);
+      ("c-views", Test_views.suite);
+      ("protocol-D", Test_protocol_d.suite);
+      ("baselines", Test_baselines.suite);
+      ("async", Test_asim.suite);
+      ("agreement", Test_agreement.suite);
+      ("shmem", Test_shmem.suite);
+      ("extensions", Test_extensions.suite);
+      ("properties", Test_properties.suite);
+      ("integration", Test_integration.suite);
+      ("scale", Test_scale.suite);
+      ("exhaustive", Test_exhaustive.suite);
+    ]

@@ -1,0 +1,173 @@
+(* Protocol A: correctness under every schedule shape, the at-most-one-active
+   invariant, and Theorem 2.3's work/message/round bounds. *)
+
+module Prng = Dhw_util.Prng
+module Grid = Doall.Grid
+module Bounds = Doall.Bounds
+
+let proto = Doall.Protocol_a.protocol
+
+let check_thm23 name spec (report : Doall.Runner.report) =
+  let grid = Grid.make spec in
+  let m = Helpers.metrics report in
+  let chk what v bound =
+    if v > bound then Alcotest.failf "%s: %s %d exceeds bound %d" name what v bound
+  in
+  chk "work" (Simkit.Metrics.work m) (Bounds.a_work grid);
+  chk "messages" (Simkit.Metrics.messages m) (Bounds.a_msgs grid);
+  chk "rounds" (Simkit.Metrics.rounds m) (Bounds.a_rounds grid)
+
+let exercise name spec fault =
+  let report, trace = Helpers.run_traced ~fault spec proto in
+  Helpers.check_correct name report;
+  Helpers.assert_one_active name trace;
+  check_thm23 name spec report;
+  report
+
+let test_failure_free () =
+  let spec = Helpers.spec ~n:256 ~t:16 in
+  let report = exercise "ff" spec Simkit.Fault.none in
+  let m = Helpers.metrics report in
+  Alcotest.(check int) "exactly n work" 256 (Simkit.Metrics.work m);
+  Alcotest.(check int) "everyone survives" 16 (Doall.Runner.survivors report)
+
+let test_single_survivor_each () =
+  (* for every k, kill everyone except process k at round 0 *)
+  let spec = Helpers.spec ~n:48 ~t:9 in
+  for survivor = 0 to 8 do
+    let schedule =
+      List.filter_map
+        (fun p -> if p = survivor then None else Some (p, 0))
+        (List.init 9 Fun.id)
+    in
+    let report =
+      exercise
+        (Printf.sprintf "lone survivor %d" survivor)
+        spec
+        (Simkit.Fault.crash_silently_at schedule)
+    in
+    Alcotest.(check int) "one survivor" 1 (Doall.Runner.survivors report);
+    Alcotest.(check bool) "did all the work" true
+      (Simkit.Metrics.work_by (Helpers.metrics report) survivor >= 48)
+  done
+
+let test_sequential_takeovers () =
+  (* each process crashes shortly after becoming active *)
+  let spec = Helpers.spec ~n:64 ~t:8 in
+  let fault =
+    Simkit.Fault.crash_active_after_work ~units_between_crashes:9 ~max_crashes:7
+  in
+  let report = exercise "takeover chain" spec fault in
+  Alcotest.(check int) "seven crashes" 7 (Doall.Runner.crashed report)
+
+let test_mid_broadcast_crash () =
+  (* the active process dies while full-checkpointing: only a prefix of the
+     broadcast escapes, and the successor must finish the checkpoint *)
+  let spec = Helpers.spec ~n:64 ~t:16 in
+  List.iter
+    (fun cut ->
+      let fault =
+        Simkit.Fault.dynamic (fun v ->
+            if v.Simkit.Fault.sv_pid = 0 && v.sv_sends > 1 then
+              Simkit.Fault.Crash { keep_work = false; delivery = Prefix cut }
+            else Survive)
+      in
+      ignore (exercise (Printf.sprintf "mid-broadcast cut=%d" cut) spec fault))
+    [ 0; 1; 2; 3 ]
+
+let test_random_schedules () =
+  let g = Prng.create 2024L in
+  List.iter
+    (fun (n, t) ->
+      let spec = Helpers.spec ~n ~t in
+      for i = 1 to 15 do
+        let schedule = Helpers.random_schedule g ~t ~window:(Bounds.a_rounds (Grid.make spec)) in
+        ignore
+          (exercise
+             (Printf.sprintf "random n=%d t=%d #%d" n t i)
+             spec
+             (Simkit.Fault.crash_silently_at schedule))
+      done)
+    [ (100, 16); (37, 7); (9, 9); (1, 5); (80, 25); (13, 2); (50, 1) ]
+
+let test_random_acting_crashes () =
+  (* crashes that hit processes exactly when they act, with partial
+     broadcast delivery *)
+  let g = Prng.create 77L in
+  let spec = Helpers.spec ~n:60 ~t:12 in
+  for i = 1 to 25 do
+    let fault =
+      Simkit.Fault.random
+        ~seed:(Prng.next_int64 g)
+        ~t:12 ~victims:(Prng.int_in g 1 11) ~window:3000
+    in
+    ignore (exercise (Printf.sprintf "acting crash #%d" i) spec fault)
+  done
+
+let test_termination_statuses () =
+  let spec = Helpers.spec ~n:30 ~t:6 in
+  let report = Helpers.run spec proto in
+  Array.iteri
+    (fun pid st ->
+      match st with
+      | Simkit.Types.Terminated _ -> ()
+      | other ->
+          Alcotest.failf "process %d should have terminated, is %s" pid
+            (Simkit.Types.status_to_string other))
+    report.statuses
+
+let test_deadline_formula () =
+  let grid = Grid.make (Helpers.spec ~n:256 ~t:16) in
+  Alcotest.(check int) "DD(0) = 0" 0 (Doall.Protocol_a.deadline grid 0);
+  let l = Grid.max_active_rounds grid in
+  Alcotest.(check int) "DD(5) = 5L" (5 * l) (Doall.Protocol_a.deadline grid 5);
+  (* the budget is the paper's n + 3t up to rounding slack *)
+  Alcotest.(check bool) "L within [n+3t, n+3t+3s+8]" true
+    (l >= 256 + 48 && l <= 256 + 48 + 12 + 8)
+
+let test_work_conservation () =
+  (* every unit performed at least once, and multiplicity bounded by the
+     number of activations (crashes + 1) *)
+  let spec = Helpers.spec ~n:40 ~t:8 in
+  let fault = Simkit.Fault.crash_silently_at [ (0, 10); (1, 300); (2, 700) ] in
+  let report = Helpers.run ~fault spec proto in
+  let m = Helpers.metrics report in
+  for u = 0 to 39 do
+    let mult = Simkit.Metrics.unit_multiplicity m u in
+    if mult < 1 || mult > 4 then
+      Alcotest.failf "unit %d multiplicity %d out of [1,4]" u mult
+  done
+
+let test_stress_perfect_squares () =
+  (* the exact paper setting at several scales, worst-case-ish adversary *)
+  List.iter
+    (fun t ->
+      let n = 4 * t in
+      let spec = Helpers.spec ~n ~t in
+      let fault =
+        Simkit.Fault.crash_active_after_work
+          ~units_between_crashes:(max 1 (n / t))
+          ~max_crashes:(t - 1)
+      in
+      let report = exercise (Printf.sprintf "square t=%d" t) spec fault in
+      (* paper-exact bounds on these instances *)
+      let m = Helpers.metrics report in
+      let sqrt_t = Dhw_util.Intmath.isqrt t in
+      Alcotest.(check bool) "work <= 3n" true (Simkit.Metrics.work m <= 3 * n);
+      Alcotest.(check bool) "msgs <= 9 t sqrt t" true
+        (Simkit.Metrics.messages m <= 9 * t * sqrt_t))
+    [ 4; 9; 16; 25; 36 ]
+
+let suite =
+  [
+    Alcotest.test_case "failure-free" `Quick test_failure_free;
+    Alcotest.test_case "single survivor, all positions" `Quick test_single_survivor_each;
+    Alcotest.test_case "sequential takeovers" `Quick test_sequential_takeovers;
+    Alcotest.test_case "mid-broadcast crash" `Quick test_mid_broadcast_crash;
+    Alcotest.test_case "random silent schedules" `Quick test_random_schedules;
+    Alcotest.test_case "random acting crashes" `Quick test_random_acting_crashes;
+    Alcotest.test_case "all terminate without faults" `Quick test_termination_statuses;
+    Alcotest.test_case "deadline formula" `Quick test_deadline_formula;
+    Alcotest.test_case "work conservation + multiplicity" `Quick test_work_conservation;
+    Alcotest.test_case "paper bounds on perfect squares" `Quick test_stress_perfect_squares;
+  ]

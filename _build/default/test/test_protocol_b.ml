@@ -1,0 +1,159 @@
+(* Protocol B: correctness, the at-most-one-active invariant (go-aheads are
+   legitimate passive traffic), Theorem 2.8 bounds, and the Lemma 2.5
+   additivity identities of the deadline functions. *)
+
+module Prng = Dhw_util.Prng
+module Grid = Doall.Grid
+module B = Doall.Protocol_b
+module Bounds = Doall.Bounds
+
+let proto = B.protocol
+
+let check_thm28 name spec (report : Doall.Runner.report) =
+  let grid = Grid.make spec in
+  let m = Helpers.metrics report in
+  let chk what v bound =
+    if v > bound then Alcotest.failf "%s: %s %d exceeds bound %d" name what v bound
+  in
+  chk "work" (Simkit.Metrics.work m) (Bounds.b_work grid);
+  chk "messages" (Simkit.Metrics.messages m) (Bounds.b_msgs grid);
+  chk "rounds" (Simkit.Metrics.rounds m) (Bounds.b_rounds grid)
+
+let exercise name spec fault =
+  let report, trace = Helpers.run_traced ~fault spec proto in
+  Helpers.check_correct name report;
+  Helpers.assert_one_active ~is_passive:Helpers.b_passive name trace;
+  check_thm28 name spec report;
+  report
+
+let test_failure_free () =
+  let spec = Helpers.spec ~n:256 ~t:16 in
+  let report = exercise "ff" spec Simkit.Fault.none in
+  Alcotest.(check int) "exactly n work" 256
+    (Simkit.Metrics.work (Helpers.metrics report))
+
+let test_linear_time () =
+  (* the whole point of B: rounds stay O(n + t) even under the adversary
+     that maximises A's running time (killing each active at activation) *)
+  let spec = Helpers.spec ~n:100 ~t:16 in
+  let fault = Simkit.Fault.crash_active_after_work ~units_between_crashes:1 ~max_crashes:15 in
+  let rb = exercise "kill-at-first-unit" spec fault in
+  let fault = Simkit.Fault.crash_active_after_work ~units_between_crashes:1 ~max_crashes:15 in
+  let ra = Helpers.run ~fault spec Doall.Protocol_a.protocol in
+  let rounds r = Simkit.Metrics.rounds (Helpers.metrics r) in
+  Alcotest.(check bool)
+    (Printf.sprintf "B (%d rounds) beats A (%d rounds) by >3x" (rounds rb) (rounds ra))
+    true
+    (3 * rounds rb < rounds ra)
+
+let test_single_survivor_each () =
+  let spec = Helpers.spec ~n:48 ~t:9 in
+  for survivor = 0 to 8 do
+    let schedule =
+      List.filter_map
+        (fun p -> if p = survivor then None else Some (p, 0))
+        (List.init 9 Fun.id)
+    in
+    let report =
+      exercise
+        (Printf.sprintf "lone survivor %d" survivor)
+        spec
+        (Simkit.Fault.crash_silently_at schedule)
+    in
+    Alcotest.(check int) "one survivor" 1 (Doall.Runner.survivors report)
+  done
+
+let test_go_ahead_revival () =
+  (* Kill the active process, then the would-be successor's group-mates
+     below it, so the next candidate must discover survivors by go-ahead
+     probing: a probed live process answers within a round by becoming
+     active. *)
+  let spec = Helpers.spec ~n:64 ~t:16 in
+  (* groups of 4: {0..3} {4..7} ... Kill 0 early and 2,3 at start; process 1
+     stays alive and must be found by probes from later processes only if
+     they fire — in the normal flow 1 takes over by deadline. Then kill 1
+     mid-run so group 2's members probe each other. *)
+  let fault = Simkit.Fault.crash_silently_at [ (0, 40); (2, 0); (3, 0); (1, 120) ] in
+  ignore (exercise "go-ahead revival" spec fault)
+
+let test_random_schedules () =
+  let g = Prng.create 4242L in
+  List.iter
+    (fun (n, t) ->
+      let spec = Helpers.spec ~n ~t in
+      let window = Bounds.b_rounds (Grid.make spec) in
+      for i = 1 to 15 do
+        let schedule = Helpers.random_schedule g ~t ~window in
+        ignore
+          (exercise
+             (Printf.sprintf "random n=%d t=%d #%d" n t i)
+             spec
+             (Simkit.Fault.crash_silently_at schedule))
+      done)
+    [ (100, 16); (37, 7); (9, 9); (1, 5); (80, 25); (13, 2); (50, 1); (64, 64) ]
+
+let test_random_acting_crashes () =
+  let g = Prng.create 999L in
+  let spec = Helpers.spec ~n:60 ~t:12 in
+  for i = 1 to 25 do
+    let fault =
+      Simkit.Fault.random
+        ~seed:(Prng.next_int64 g)
+        ~t:12 ~victims:(Prng.int_in g 1 11) ~window:500
+    in
+    ignore (exercise (Printf.sprintf "acting crash #%d" i) spec fault)
+  done
+
+(* Lemma 2.5: TT(j,k) + TT(l,j) = TT(l,k) for l > j > k, and
+   TT(j,k) + DDB(l,j) = DDB(l,k) when additionally g_j < g_l. *)
+let tt grid j i =
+  (* reconstruct TT from the exposed pieces, mirroring the paper *)
+  let gj = Grid.group_of grid j and gi = Grid.group_of grid i in
+  if gj = gi then
+    (Grid.rank_in_group grid j - Grid.rank_in_group grid i) * B.pto grid
+  else B.ddb grid j i + (Grid.rank_in_group grid j * B.pto grid)
+
+let test_lemma_2_5 () =
+  List.iter
+    (fun (n, t) ->
+      let grid = Grid.make (Helpers.spec ~n ~t) in
+      for k = 0 to t - 3 do
+        for j = k + 1 to t - 2 do
+          for l = j + 1 to t - 1 do
+            Alcotest.(check int)
+              (Printf.sprintf "TT additivity l=%d j=%d k=%d (n=%d t=%d)" l j k n t)
+              (tt grid l k)
+              (tt grid j k + tt grid l j);
+            if Grid.group_of grid j < Grid.group_of grid l then
+              Alcotest.(check int)
+                (Printf.sprintf "DDB identity l=%d j=%d k=%d" l j k)
+                (B.ddb grid l k)
+                (tt grid j k + B.ddb grid l j)
+          done
+        done
+      done)
+    [ (256, 16); (100, 9); (40, 25) ]
+
+let test_pto_dominates_active_gaps () =
+  (* PTO - 1 must exceed the longest gap between an active process's
+     consecutive own-group broadcasts: subchunk work + its checkpoint *)
+  List.iter
+    (fun (n, t) ->
+      let grid = Grid.make (Helpers.spec ~n ~t) in
+      Alcotest.(check bool)
+        (Printf.sprintf "PTO ok n=%d t=%d" n t)
+        true
+        (B.pto grid >= Grid.subchunk_size_max grid + 2))
+    [ (256, 16); (10, 10); (1, 1); (33, 12) ]
+
+let suite =
+  [
+    Alcotest.test_case "failure-free" `Quick test_failure_free;
+    Alcotest.test_case "linear time vs A under worst adversary" `Quick test_linear_time;
+    Alcotest.test_case "single survivor, all positions" `Quick test_single_survivor_each;
+    Alcotest.test_case "go-ahead revival" `Quick test_go_ahead_revival;
+    Alcotest.test_case "random silent schedules" `Quick test_random_schedules;
+    Alcotest.test_case "random acting crashes" `Quick test_random_acting_crashes;
+    Alcotest.test_case "Lemma 2.5 deadline identities" `Quick test_lemma_2_5;
+    Alcotest.test_case "PTO dominates active gaps" `Quick test_pto_dominates_active_gaps;
+  ]

@@ -1,0 +1,174 @@
+(* Protocol C: correctness, Theorem 3.8 work/message bounds, the
+   at-most-one-active invariant (alive-responses are passive traffic), the
+   deadline separation D(m), and the Corollary 3.9 variant. Instances are
+   kept small: C's deadlines reach K·(n+t)·2^(n+t-1) rounds. *)
+
+module Prng = Dhw_util.Prng
+module C = Doall.Protocol_c
+module Bounds = Doall.Bounds
+
+let check_thm38 name spec (report : Doall.Runner.report) =
+  let m = Helpers.metrics report in
+  let chk what v bound =
+    if v > bound then Alcotest.failf "%s: %s %d exceeds bound %d" name what v bound
+  in
+  chk "work" (Simkit.Metrics.work m) (Bounds.c_work spec);
+  chk "messages" (Simkit.Metrics.messages m) (Bounds.c_msgs spec)
+
+let exercise ?(proto = C.protocol) ?check name spec fault =
+  let report, trace = Helpers.run_traced ~fault spec proto in
+  Helpers.check_correct name report;
+  Helpers.assert_one_active ~is_passive:Helpers.c_passive name trace;
+  (match check with None -> check_thm38 name spec report | Some f -> f name spec report);
+  report
+
+let test_failure_free () =
+  let spec = Helpers.spec ~n:24 ~t:8 in
+  let report = exercise "ff" spec Simkit.Fault.none in
+  Alcotest.(check int) "everyone survives" 8 (Doall.Runner.survivors report)
+
+let test_single_survivor_each () =
+  let spec = Helpers.spec ~n:16 ~t:6 in
+  for survivor = 0 to 5 do
+    let schedule =
+      List.filter_map
+        (fun p -> if p = survivor then None else Some (p, 0))
+        (List.init 6 Fun.id)
+    in
+    let report =
+      exercise
+        (Printf.sprintf "lone survivor %d" survivor)
+        spec
+        (Simkit.Fault.crash_silently_at schedule)
+    in
+    Alcotest.(check int) "one survivor" 1 (Doall.Runner.survivors report)
+  done
+
+let test_takeover_chain () =
+  let spec = Helpers.spec ~n:20 ~t:8 in
+  let fault =
+    Simkit.Fault.crash_active_after_work ~units_between_crashes:3 ~max_crashes:7
+  in
+  ignore (exercise "takeover chain" spec fault)
+
+let test_random_schedules () =
+  let g = Prng.create 31337L in
+  List.iter
+    (fun (n, t) ->
+      let spec = Helpers.spec ~n ~t in
+      for i = 1 to 12 do
+        (* crash inside the early active window and far beyond it *)
+        let window = if i mod 2 = 0 then 200 else 100_000 in
+        let schedule = Helpers.random_schedule g ~t ~window in
+        ignore
+          (exercise
+             (Printf.sprintf "random n=%d t=%d #%d" n t i)
+             spec
+             (Simkit.Fault.crash_silently_at schedule))
+      done)
+    [ (20, 8); (12, 5); (30, 4); (1, 3); (8, 8); (16, 2); (20, 1) ]
+
+let test_chunked_variant () =
+  let g = Prng.create 808L in
+  let spec = Helpers.spec ~n:28 ~t:6 in
+  let check name spec (report : Doall.Runner.report) =
+    let m = Helpers.metrics report in
+    if Simkit.Metrics.work m > Bounds.c_chunked_work spec then
+      Alcotest.failf "%s: chunked work %d exceeds %d" name (Simkit.Metrics.work m)
+        (Bounds.c_chunked_work spec);
+    if Simkit.Metrics.messages m > Bounds.c_chunked_msgs spec then
+      Alcotest.failf "%s: chunked msgs %d exceed %d" name
+        (Simkit.Metrics.messages m) (Bounds.c_chunked_msgs spec)
+  in
+  for i = 1 to 10 do
+    let schedule = Helpers.random_schedule g ~t:6 ~window:2000 in
+    ignore
+      (exercise ~proto:C.protocol_chunked ~check
+         (Printf.sprintf "chunked #%d" i)
+         spec
+         (Simkit.Fault.crash_silently_at schedule))
+  done
+
+let test_deadline_separation () =
+  (* D(i, m) must exceed the sum of all later gaps plus the K-budget —
+     the super-increasing property Lemma 3.4's proof rests on. *)
+  let spec = Helpers.spec ~n:12 ~t:8 in
+  let period = 1 in
+  let k = C.big_k spec ~period in
+  let cap = 12 + 8 in
+  let d m = C.deadline_gap spec ~period ~pid:3 ~m in
+  for m = 1 to cap - 2 do
+    let tail = ref 0 in
+    for m' = m + 1 to cap - 1 do
+      tail := !tail + d m'
+    done;
+    if d m <= ((cap - m) * k) + !tail then
+      Alcotest.failf "D(%d)=%d not > (cap-m)K + sum tail=%d" m (d m)
+        (((cap - m) * k) + !tail)
+  done;
+  (* m = 0 additionally dominates every other process's D(_, 0) tail *)
+  let d0 pid = C.deadline_gap spec ~period ~pid ~m:0 in
+  for pid = 0 to 6 do
+    Alcotest.(check bool) "D(i,0) decreasing in pid" true (d0 pid > d0 (pid + 1))
+  done
+
+let test_big_k_matches_paper () =
+  (* K = 5t + 2 log t for per-unit reporting on power-of-two t *)
+  let spec = Helpers.spec ~n:16 ~t:8 in
+  Alcotest.(check int) "K" ((5 * 8) + (2 * 3)) (C.big_k spec ~period:1)
+
+let test_instance_cap () =
+  Alcotest.(check bool) "overflowing instance rejected" true
+    (try
+       ignore (Helpers.run (Helpers.spec ~n:60 ~t:16) C.protocol);
+       false
+     with Failure msg ->
+       String.length msg > 0
+       && String.sub msg 0 10 = "Protocol C")
+
+let test_work_multiplicity_bounded () =
+  (* no unit is performed more than a handful of times even across the
+     post-completion activation cascade *)
+  let spec = Helpers.spec ~n:20 ~t:8 in
+  let report = Helpers.run spec C.protocol in
+  let m = Helpers.metrics report in
+  for u = 0 to 19 do
+    let mult = Simkit.Metrics.unit_multiplicity m u in
+    if mult < 1 || mult > 8 then Alcotest.failf "unit %d multiplicity %d" u mult
+  done
+
+let test_naive_blowup_vs_c () =
+  (* the Section 3 scenario: naive spreading redoes Θ(t²) work across the
+     post-crash cascade, real C stays within n + 2t *)
+  let n = 20 and t = 16 in
+  let spec = Helpers.spec ~n ~t in
+  let schedule = List.init (t / 2 - 1) (fun i -> (t / 2 + 1 + i, 1)) in
+  let naive =
+    Helpers.run
+      ~fault:(Simkit.Fault.crash_silently_at schedule)
+      spec Doall.Protocol_c_naive.protocol
+  in
+  Helpers.check_correct "naive" naive;
+  let c =
+    exercise "real C under same schedule" spec
+      (Simkit.Fault.crash_silently_at schedule)
+  in
+  let work r = Simkit.Metrics.work (Helpers.metrics r) in
+  Alcotest.(check bool)
+    (Printf.sprintf "naive work %d > C work %d" (work naive) (work c))
+    true
+    (work naive > work c)
+
+let suite =
+  [
+    Alcotest.test_case "failure-free" `Quick test_failure_free;
+    Alcotest.test_case "single survivor, all positions" `Quick test_single_survivor_each;
+    Alcotest.test_case "takeover chain" `Quick test_takeover_chain;
+    Alcotest.test_case "random silent schedules" `Quick test_random_schedules;
+    Alcotest.test_case "Corollary 3.9 chunked variant" `Quick test_chunked_variant;
+    Alcotest.test_case "deadline separation (Lemma 3.4)" `Quick test_deadline_separation;
+    Alcotest.test_case "K matches paper" `Quick test_big_k_matches_paper;
+    Alcotest.test_case "oversized instance rejected" `Quick test_instance_cap;
+    Alcotest.test_case "multiplicity bounded" `Quick test_work_multiplicity_bounded;
+    Alcotest.test_case "naive variant blows up, C does not" `Quick test_naive_blowup_vs_c;
+  ]

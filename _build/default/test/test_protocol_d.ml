@@ -1,0 +1,216 @@
+(* Protocol D: correctness across schedules, Theorem 4.1's failure-free and
+   f-failure bounds, and the revert-to-Protocol-A path. *)
+
+module Prng = Dhw_util.Prng
+module Bounds = Doall.Bounds
+
+let proto = Doall.Protocol_d.protocol
+
+let exercise name spec fault =
+  let report = Helpers.run ~fault spec proto in
+  Helpers.check_correct name report;
+  report
+
+let test_failure_free_exact () =
+  let spec = Helpers.spec ~n:100 ~t:10 in
+  let report = exercise "ff" spec Simkit.Fault.none in
+  let m = Helpers.metrics report in
+  Alcotest.(check int) "exactly n work" 100 (Simkit.Metrics.work m);
+  (* rounds metric = highest 0-based round index: work occupies rounds
+     0..n/t-1 and the done broadcast lands on round n/t *)
+  Alcotest.(check int) "last activity at round n/t" 10 (Simkit.Metrics.rounds m);
+  (* two broadcast waves of t(t-1) messages = 2t² in the paper's counting *)
+  Alcotest.(check int) "2 t (t-1) messages" (2 * 10 * 9) (Simkit.Metrics.messages m)
+
+let test_failure_free_shapes () =
+  List.iter
+    (fun (n, t) ->
+      let spec = Helpers.spec ~n ~t in
+      let report = exercise (Printf.sprintf "ff n=%d t=%d" n t) spec Simkit.Fault.none in
+      let m = Helpers.metrics report in
+      Alcotest.(check int) "work = n" n (Simkit.Metrics.work m);
+      let expect = Dhw_util.Intmath.ceil_div n t in
+      Alcotest.(check int) "last activity at round ceil(n/t)" expect
+        (Simkit.Metrics.rounds m))
+    [ (100, 10); (1, 1); (7, 3); (12, 12); (5, 9); (1000, 25) ]
+
+let check_thm41 name spec (report : Doall.Runner.report) ~reverted =
+  let m = Helpers.metrics report in
+  let f = Doall.Runner.crashed report in
+  let work_bound =
+    if reverted then Bounds.d_work_revert spec else Bounds.d_work spec
+  in
+  let msg_bound =
+    if reverted then Bounds.d_msgs_revert spec ~f else Bounds.d_msgs spec ~f
+  in
+  let round_bound =
+    if reverted then Bounds.d_rounds_revert spec ~f else Bounds.d_rounds spec ~f
+  in
+  let chk what v bound =
+    if v > bound then Alcotest.failf "%s: %s %d exceeds bound %d" name what v bound
+  in
+  chk "work" (Simkit.Metrics.work m) work_bound;
+  chk "messages" (Simkit.Metrics.messages m) msg_bound;
+  chk "rounds" (Simkit.Metrics.rounds m) round_bound
+
+let test_few_failures_bounds () =
+  let spec = Helpers.spec ~n:120 ~t:12 in
+  List.iter
+    (fun schedule ->
+      let report =
+        exercise "few failures" spec (Simkit.Fault.crash_silently_at schedule)
+      in
+      check_thm41 "few failures" spec report ~reverted:false)
+    [
+      [ (0, 3) ];
+      [ (3, 5); (7, 12) ];
+      [ (1, 2); (2, 8); (5, 14); (11, 20) ];
+      [ (0, 0); (1, 0); (2, 0); (3, 25); (4, 26) ];
+    ]
+
+let test_revert_path () =
+  (* kill far more than half during the first work phase: the survivors must
+     finish under embedded Protocol A *)
+  let spec = Helpers.spec ~n:100 ~t:10 in
+  let fault = Simkit.Fault.crash_silently_at (List.init 8 (fun i -> (i, 3))) in
+  let report = exercise "revert" spec fault in
+  check_thm41 "revert" spec report ~reverted:true;
+  Alcotest.(check int) "two survive" 2 (Doall.Runner.survivors report)
+
+let test_revert_then_more_crashes () =
+  (* crash again inside the embedded Protocol A *)
+  let spec = Helpers.spec ~n:60 ~t:8 in
+  let fault =
+    Simkit.Fault.crash_silently_at
+      ((8, 100) :: (6, 400) :: List.init 6 (fun i -> (i, 2)))
+  in
+  let report = exercise "revert + later crash" spec fault in
+  Alcotest.(check bool) "at least one survivor" true (Doall.Runner.survivors report >= 1)
+
+let test_single_survivor_each () =
+  let spec = Helpers.spec ~n:33 ~t:7 in
+  for survivor = 0 to 6 do
+    let schedule =
+      List.filter_map
+        (fun p -> if p = survivor then None else Some (p, 1))
+        (List.init 7 Fun.id)
+    in
+    let report =
+      exercise
+        (Printf.sprintf "lone survivor %d" survivor)
+        spec
+        (Simkit.Fault.crash_silently_at schedule)
+    in
+    Alcotest.(check int) "one survivor" 1 (Doall.Runner.survivors report)
+  done
+
+let test_random_schedules () =
+  let g = Prng.create 5150L in
+  List.iter
+    (fun (n, t) ->
+      let spec = Helpers.spec ~n ~t in
+      for i = 1 to 20 do
+        let schedule = Helpers.random_schedule g ~t ~window:(n + 60) in
+        ignore
+          (exercise
+             (Printf.sprintf "random n=%d t=%d #%d" n t i)
+             spec
+             (Simkit.Fault.crash_silently_at schedule))
+      done)
+    [ (100, 10); (64, 8); (7, 3); (1, 4); (200, 25); (13, 13); (40, 1); (50, 50) ]
+
+let test_random_acting_crashes () =
+  let g = Prng.create 6066L in
+  let spec = Helpers.spec ~n:90 ~t:9 in
+  for i = 1 to 30 do
+    let fault =
+      Simkit.Fault.random
+        ~seed:(Prng.next_int64 g)
+        ~t:9 ~victims:(Prng.int_in g 1 8) ~window:60
+    in
+    ignore (exercise (Printf.sprintf "acting crash #%d" i) spec fault)
+  done
+
+let test_alpha_variants () =
+  (* generalized revert thresholds stay correct *)
+  let g = Prng.create 4040L in
+  List.iter
+    (fun alpha ->
+      let proto =
+        Doall.Protocol_d.protocol_with_alpha ~alpha
+          ~name:(Printf.sprintf "D[%0.2f]" alpha)
+      in
+      let spec = Helpers.spec ~n:60 ~t:10 in
+      for i = 1 to 10 do
+        let schedule = Helpers.random_schedule g ~t:10 ~window:40 in
+        let report =
+          Helpers.run ~fault:(Simkit.Fault.crash_silently_at schedule) spec proto
+        in
+        Helpers.check_correct (Printf.sprintf "alpha=%.2f #%d" alpha i) report
+      done)
+    [ 0.25; 0.5; 0.75 ]
+
+let test_coord_variant () =
+  (* the end-of-Section-4 coordinator variant: 2(t-1) messages per
+     failure-free phase; correct under every schedule, falling back to an
+     embedded Protocol A when no decision-holder survives *)
+  let spec = Helpers.spec ~n:100 ~t:10 in
+  let ff = Helpers.run spec Doall.Protocol_d_coord.protocol in
+  Helpers.check_correct "coord ff" ff;
+  Alcotest.(check int) "2(t-1) messages" 18
+    (Simkit.Metrics.messages (Helpers.metrics ff));
+  (* coordinator dies mid-broadcast: partial decision, help/relay recovery *)
+  List.iter
+    (fun cut ->
+      let fault =
+        Simkit.Fault.crash_acting_at
+          [ (0, 11, Simkit.Fault.Crash { keep_work = false; delivery = Prefix cut }) ]
+      in
+      let r = Helpers.run ~fault spec Doall.Protocol_d_coord.protocol in
+      Helpers.check_correct (Printf.sprintf "coord cut=%d" cut) r)
+    [ 0; 1; 5; 9 ];
+  (* random storms *)
+  let g = Prng.create 909L in
+  for i = 1 to 25 do
+    let schedule = Helpers.random_schedule g ~t:10 ~window:120 in
+    let r =
+      Helpers.run
+        ~fault:(Simkit.Fault.crash_silently_at schedule)
+        spec Doall.Protocol_d_coord.protocol
+    in
+    Helpers.check_correct (Printf.sprintf "coord random #%d" i) r
+  done;
+  (* irregular shapes *)
+  List.iter
+    (fun (n, t) ->
+      let spec = Helpers.spec ~n ~t in
+      for i = 1 to 5 do
+        let schedule = Helpers.random_schedule g ~t ~window:(n + 40) in
+        let r =
+          Helpers.run
+            ~fault:(Simkit.Fault.crash_silently_at schedule)
+            spec Doall.Protocol_d_coord.protocol
+        in
+        Helpers.check_correct (Printf.sprintf "coord n=%d t=%d #%d" n t i) r
+      done)
+    [ (7, 3); (5, 12); (1, 1); (64, 8) ]
+
+let test_alpha_validation () =
+  Alcotest.check_raises "alpha out of range"
+    (Invalid_argument "Protocol_d: alpha must be in (0,1)") (fun () ->
+      ignore (Doall.Protocol_d.protocol_with_alpha ~alpha:1.0 ~name:"bad"))
+
+let suite =
+  [
+    Alcotest.test_case "failure-free exact costs" `Quick test_failure_free_exact;
+    Alcotest.test_case "failure-free shapes" `Quick test_failure_free_shapes;
+    Alcotest.test_case "Theorem 4.1 bounds, few failures" `Quick test_few_failures_bounds;
+    Alcotest.test_case "revert to Protocol A" `Quick test_revert_path;
+    Alcotest.test_case "revert then more crashes" `Quick test_revert_then_more_crashes;
+    Alcotest.test_case "single survivor, all positions" `Quick test_single_survivor_each;
+    Alcotest.test_case "random silent schedules" `Quick test_random_schedules;
+    Alcotest.test_case "random acting crashes" `Quick test_random_acting_crashes;
+    Alcotest.test_case "generalized alpha thresholds" `Quick test_alpha_variants;
+    Alcotest.test_case "alpha validation" `Quick test_alpha_validation;
+    Alcotest.test_case "coordinator variant (end of Section 4)" `Quick test_coord_variant;
+  ]

@@ -1,0 +1,141 @@
+(* The shared-memory Write-All substrate (Section 1.1 comparison). *)
+
+module Prng = Dhw_util.Prng
+module SK = Shmem.Skernel
+module WA = Shmem.Writeall
+
+let test_one_op_per_round () =
+  let proc =
+    {
+      SK.s_init = (fun _ -> ((), Some 0));
+      s_step =
+        (fun _ _ () h ->
+          ignore (SK.read h 0);
+          ignore (SK.read h 0);
+          { SK.state = (); work = []; terminate = true; wakeup = None });
+    }
+  in
+  Alcotest.(check bool) "second op rejected" true
+    (try
+       ignore (SK.run ~n_cells:1 ~n_processes:1 ~n_units:1 proc);
+       false
+     with Invalid_argument _ -> true)
+
+let test_crcw_lowest_pid_wins () =
+  let seen = ref (-1) in
+  let proc =
+    {
+      SK.s_init = (fun _ -> (0, Some 0));
+      s_step =
+        (fun pid r k h ->
+          match k with
+          | 0 ->
+              SK.write h 0 (100 + pid);
+              { SK.state = 1; work = []; terminate = false; wakeup = Some (r + 1) }
+          | _ ->
+              if pid = 0 then seen := SK.read h 0;
+              { SK.state = 2; work = []; terminate = true; wakeup = None });
+    }
+  in
+  ignore (SK.run ~n_cells:1 ~n_processes:3 ~n_units:1 proc);
+  Alcotest.(check int) "lowest pid's write survives" 100 !seen
+
+let test_reads_see_previous_round () =
+  (* a round-0 write must not be visible to a round-0 read *)
+  let got = ref (-1) in
+  let proc =
+    {
+      SK.s_init = (fun pid -> ((), Some (if pid = 0 then 0 else 0)));
+      s_step =
+        (fun pid r () h ->
+          if pid = 0 then begin
+            SK.write h 0 7;
+            { SK.state = (); work = []; terminate = true; wakeup = None }
+          end
+          else if r = 0 then begin
+            got := SK.read h 0;
+            { SK.state = (); work = []; terminate = true; wakeup = Some (r + 1) }
+          end
+          else { SK.state = (); work = []; terminate = true; wakeup = None });
+    }
+  in
+  ignore (SK.run ~n_cells:1 ~n_processes:2 ~n_units:1 proc);
+  Alcotest.(check int) "round-0 read sees initial value" 0 !got
+
+let test_checkpointed_exact_ff () =
+  let o = WA.checkpointed ~n:100 ~t:16 () in
+  Alcotest.(check bool) "done" true (WA.work_complete o);
+  Alcotest.(check int) "work = n" 100 (Simkit.Metrics.work o.result.metrics);
+  Alcotest.(check int) "writes = n" 100 o.result.writes;
+  Alcotest.(check bool) "reads <= t" true (o.result.reads <= 16);
+  (* effort O(n + t): exactly 2n + reads here *)
+  Alcotest.(check bool) "effort <= 2n+t" true (o.effort <= 200 + 16)
+
+let test_checkpointed_random () =
+  let g = Prng.create 99L in
+  for i = 1 to 20 do
+    let crash_at = Helpers.random_schedule g ~t:12 ~window:3000 in
+    let o = WA.checkpointed ~crash_at ~n:60 ~t:12 () in
+    if not (WA.work_complete o && o.result.completed) then
+      Alcotest.failf "checkpointed failed on schedule #%d" i;
+    (* work-optimality: at most one unit lost per crash *)
+    let work = Simkit.Metrics.work o.result.metrics in
+    if work > 60 + 12 then Alcotest.failf "work %d > n+t" work
+  done
+
+let test_parallel_scan_ff () =
+  let o = WA.parallel_scan ~n:96 ~t:16 () in
+  Alcotest.(check bool) "done" true (WA.work_complete o);
+  (* parallel speed: everything performed within ~3n/t rounds, full run
+     bounded by the verification pass *)
+  Alcotest.(check bool) "fast"
+    true
+    (Simkit.Metrics.rounds o.result.metrics < 96 + 64)
+
+let test_parallel_scan_random () =
+  let g = Prng.create 123L in
+  for i = 1 to 20 do
+    let crash_at = Helpers.random_schedule g ~t:8 ~window:200 in
+    let o = WA.parallel_scan ~crash_at ~n:40 ~t:8 () in
+    if not (WA.work_complete o && o.result.completed) then
+      Alcotest.failf "parallel scan failed on schedule #%d" i
+  done
+
+let test_tradeoff () =
+  (* the Section 1.1 story: the sequential algorithm wins on effort, the
+     parallel one on available processor steps and time *)
+  let seq = WA.checkpointed ~n:100 ~t:16 () in
+  let par = WA.parallel_scan ~n:100 ~t:16 () in
+  Alcotest.(check bool)
+    (Printf.sprintf "seq effort %d < par effort %d" seq.effort par.effort)
+    true (seq.effort < par.effort);
+  Alcotest.(check bool)
+    (Printf.sprintf "par aps %d < seq aps %d" par.result.aps seq.result.aps)
+    true
+    (par.result.aps < seq.result.aps)
+
+let test_aps_accounting () =
+  (* one process, terminates at round 4: aps = 5; a second crashes at 2 *)
+  let proc =
+    {
+      SK.s_init = (fun _ -> (0, Some 0));
+      s_step =
+        (fun _ r k _ ->
+          { SK.state = k + 1; work = []; terminate = k = 4; wakeup = Some (r + 1) });
+    }
+  in
+  let res = SK.run ~crash_at:[ (1, 2) ] ~n_cells:1 ~n_processes:2 ~n_units:1 proc in
+  Alcotest.(check int) "aps = 5 + 3" 8 res.aps
+
+let suite =
+  [
+    Alcotest.test_case "one memory op per round" `Quick test_one_op_per_round;
+    Alcotest.test_case "CRCW priority write" `Quick test_crcw_lowest_pid_wins;
+    Alcotest.test_case "reads see previous round" `Quick test_reads_see_previous_round;
+    Alcotest.test_case "checkpointed: exact failure-free costs" `Quick test_checkpointed_exact_ff;
+    Alcotest.test_case "checkpointed: random schedules" `Quick test_checkpointed_random;
+    Alcotest.test_case "parallel scan: failure-free" `Quick test_parallel_scan_ff;
+    Alcotest.test_case "parallel scan: random schedules" `Quick test_parallel_scan_random;
+    Alcotest.test_case "effort/APS trade-off (Section 1.1)" `Quick test_tradeoff;
+    Alcotest.test_case "APS accounting" `Quick test_aps_accounting;
+  ]

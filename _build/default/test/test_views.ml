@@ -1,0 +1,79 @@
+(* Protocol C's view-merge algebra (Lemma 3.4's knowledge ordering rests on
+   it): merge must behave as a join — idempotent, commutative, associative,
+   monotone in reduced view, and never information-losing. *)
+
+module I = Doall.Protocol_c.Internal
+module Gen = QCheck2.Gen
+
+let spec = Doall.Spec.make ~n:12 ~t:8
+
+let gen_raw =
+  let open Gen in
+  let* f = Gen.list_size (0 -- 6) (0 -- 7) in
+  let* g0_point = 1 -- 13 in
+  let* g0_round = 0 -- 50 in
+  let* group_rounds =
+    Gen.list_size (0 -- 7)
+      (Gen.pair (0 -- (I.n_group_ids spec - 1)) (1 -- 50))
+  in
+  return { I.f; g0_point; g0_round; group_rounds }
+
+let gen_view = Gen.map (I.view_of_raw spec) gen_raw
+
+let norm v =
+  let raw = I.raw_of_view v in
+  (List.sort_uniq compare raw.f, raw.g0_point, List.sort compare raw.group_rounds)
+
+let prop_idempotent =
+  Helpers.qcheck_case ~count:200 ~name:"merge idempotent" gen_view (fun v ->
+      norm (I.merge v v) = norm v)
+
+let prop_commutative =
+  Helpers.qcheck_case ~count:200 ~name:"merge commutative (information)"
+    (Gen.pair gen_view gen_view)
+    (fun (a, b) -> norm (I.merge a b) = norm (I.merge b a))
+
+let prop_associative =
+  Helpers.qcheck_case ~count:200 ~name:"merge associative (information)"
+    (Gen.triple gen_view gen_view gen_view)
+    (fun (a, b, c) -> norm (I.merge (I.merge a b) c) = norm (I.merge a (I.merge b c)))
+
+let prop_monotone =
+  Helpers.qcheck_case ~count:200 ~name:"merged reduced view >= both"
+    (Gen.pair gen_view gen_view)
+    (fun (a, b) ->
+      let m = I.reduced_view (I.merge a b) in
+      m >= I.reduced_view a && m >= I.reduced_view b)
+
+let prop_no_information_loss =
+  Helpers.qcheck_case ~count:200 ~name:"merge never loses F entries or work"
+    (Gen.pair gen_view gen_view)
+    (fun (a, b) ->
+      let m = I.raw_of_view (I.merge a b) in
+      let ra = I.raw_of_view a and rb = I.raw_of_view b in
+      List.for_all (fun p -> List.mem p m.f) (ra.f @ rb.f)
+      && m.g0_point >= max ra.g0_point rb.g0_point
+      && List.for_all
+           (fun (gid, r) ->
+             match List.assoc_opt gid m.group_rounds with
+             | Some r' -> r' >= r
+             | None -> false)
+           (ra.group_rounds @ rb.group_rounds))
+
+let prop_absorbing_empty =
+  Helpers.qcheck_case ~count:100 ~name:"empty view is the identity" gen_view
+    (fun v ->
+      let empty =
+        I.view_of_raw spec { I.f = []; g0_point = 1; g0_round = 0; group_rounds = [] }
+      in
+      norm (I.merge v empty) = norm v && norm (I.merge empty v) = norm v)
+
+let suite =
+  [
+    prop_idempotent;
+    prop_commutative;
+    prop_associative;
+    prop_monotone;
+    prop_no_information_loss;
+    prop_absorbing_empty;
+  ]
