@@ -157,13 +157,18 @@ let shmem_cmd =
     in
     let o = go ~n ~t () in
     Format.printf
-      "work=%d reads=%d writes=%d effort=%d rounds=%d aps=%d all-done=%b@."
+      "work=%d reads=%d writes=%d effort=%d rounds=%d aps=%d all-done=%b %s@."
       (Simkit.Metrics.work o.result.metrics)
       o.result.reads o.result.writes o.effort
       (Simkit.Metrics.rounds o.result.metrics)
       o.result.aps
-      (Shmem.Writeall.work_complete o);
-    if not (Shmem.Writeall.work_complete o) then exit 1
+      (Shmem.Writeall.work_complete o)
+      (match o.result.outcome with
+      | Shmem.Skernel.Completed -> "completed"
+      | Shmem.Skernel.Stalled r -> Printf.sprintf "STALLED@%d" r
+      | Shmem.Skernel.Round_limit r -> Printf.sprintf "ROUND-LIMIT@%d" r);
+    if not (Shmem.Writeall.work_complete o && Shmem.Skernel.completed o.result)
+    then exit 1
   in
   Cmd.v
     (Cmd.info "shmem" ~doc:"Shared-memory Write-All (Section 1.1 comparison)")
@@ -194,10 +199,163 @@ let bootstrap_cmd =
        ~doc:"Section 1 bootstrap: agree on the pool, then perform it")
     Term.(const run $ n_arg $ t_arg $ proto_arg $ crashes_arg)
 
+(* ------------------------------------------------------------------ *)
+(* Adversary campaigns: fuzz + replay *)
+
+module Campaign = Simkit.Campaign
+
+let pp_failure ppf (i, (f : Campaign.failure)) =
+  Format.fprintf ppf "violation #%d: oracle=%s (%s)@." i f.Campaign.oracle
+    f.Campaign.detail;
+  Format.fprintf ppf "  schedule: %a@." Campaign.Schedule.pp f.Campaign.schedule;
+  Format.fprintf ppf "  shrunk (%d executions): %a (%s)@."
+    f.Campaign.shrink_executions Campaign.Schedule.pp f.Campaign.shrunk
+    f.Campaign.shrunk_detail
+
+let report_subject spec proto sched =
+  (* one more run of the schedule, printed in the replay format so fuzz
+     failures and their replays can be compared verbatim *)
+  let subject = D.Fuzz.run_schedule spec proto sched in
+  Format.printf "  %a@." D.Runner.pp subject.D.Fuzz.report
+
+let write_corpus ~corpus ~protocol ~seed failures =
+  if failures <> [] then begin
+    if not (Sys.file_exists corpus) then Sys.mkdir corpus 0o755;
+    List.iteri
+      (fun i (f : Campaign.failure) ->
+        let path =
+          Filename.concat corpus
+            (Printf.sprintf "%s-seed%d-%d.sched" protocol seed i)
+        in
+        let oc = open_out path in
+        output_string oc (Campaign.Schedule.print f.Campaign.shrunk);
+        close_out oc;
+        Format.printf "  written: %s@." path)
+      failures
+  end
+
+let fuzz_cmd =
+  let proto_arg =
+    Arg.(value & opt string "A" & info [ "p"; "protocol" ]
+         ~doc:"Protocol (A, B, C, C-chunked, C-naive, D, D-coord, trivial, checkpoint[:k]).")
+  in
+  let executions_arg =
+    Arg.(value & opt int 200 & info [ "executions" ]
+         ~doc:"Random schedules to run (ignored with --exhaustive).")
+  in
+  let exhaustive_arg =
+    Arg.(value & flag & info [ "exhaustive" ]
+         ~doc:"Enumerate every (victim set x crash round grid x mode) schedule instead of sampling; keep -t tiny.")
+  in
+  let window_opt_arg =
+    Arg.(value & opt (some int) None & info [ "window" ] ~docv:"ROUNDS"
+         ~doc:"Crash-round window (default: twice the failure-free running time).")
+  in
+  let corpus_arg =
+    Arg.(value & opt string "corpus" & info [ "corpus" ] ~docv:"DIR"
+         ~doc:"Directory where shrunk failing schedules are written.")
+  in
+  let work_cap_arg =
+    Arg.(value & opt (some int) None & info [ "work-cap" ] ~docv:"UNITS"
+         ~doc:"Extra oracle asserting total work <= $(i,UNITS). Setting it below the theorem bound deliberately fails the campaign - the hook for demonstrating shrinking and replay.")
+  in
+  let max_failures_arg =
+    Arg.(value & opt int 3 & info [ "max-failures" ]
+         ~doc:"Stop after this many (shrunk) violations.")
+  in
+  let run proto n t seed executions exhaustive window corpus work_cap max_failures =
+    match protocol_of_name proto with
+    | Error (`Msg m) -> prerr_endline m; exit 2
+    | Ok p ->
+        let spec = D.Spec.make ~n ~t in
+        let name = String.lowercase_ascii proto in
+        let extra =
+          match work_cap with
+          | None -> []
+          | Some cap -> [ D.Fuzz.work_cap cap ]
+        in
+        let stats =
+          if exhaustive then
+            D.Fuzz.exhaustive_campaign ?window ~extra ~max_failures spec p
+          else
+            D.Fuzz.campaign ~seed:(Int64.of_int seed) ~executions ?window
+              ~extra ~max_failures spec p
+        in
+        Format.printf "campaign: protocol=%s n=%d t=%d seed=%d %s@." name n t
+          seed (if exhaustive then "exhaustive" else "sampled");
+        Format.printf "%a@." Campaign.pp_stats stats;
+        List.iteri
+          (fun i f ->
+            Format.printf "%a" pp_failure (i, f);
+            report_subject spec p f.Campaign.shrunk)
+          stats.Campaign.failures;
+        write_corpus ~corpus ~protocol:name ~seed stats.Campaign.failures;
+        if stats.Campaign.failures <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Adversary campaign: fuzz a protocol with partial-delivery crash schedules, shrinking any violation")
+    Term.(
+      const run $ proto_arg $ n_arg $ t_arg $ seed_arg $ executions_arg
+      $ exhaustive_arg $ window_opt_arg $ corpus_arg $ work_cap_arg
+      $ max_failures_arg)
+
+let replay_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"Schedule file produced by fuzz (or hand-written).")
+  in
+  let work_cap_arg =
+    Arg.(value & opt (some int) None & info [ "work-cap" ] ~docv:"UNITS"
+         ~doc:"Re-add the extra work <= $(i,UNITS) oracle used when the schedule was found.")
+  in
+  let run file work_cap =
+    let ic = open_in file in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    match Campaign.Schedule.parse text with
+    | Error msg -> prerr_endline ("parse error: " ^ msg); exit 2
+    | Ok sched ->
+        let meta key =
+          match Campaign.Schedule.meta sched key with
+          | Some v -> v
+          | None ->
+              prerr_endline ("schedule file lacks meta " ^ key);
+              exit 2
+        in
+        let name = meta "protocol" in
+        (match protocol_of_name name with
+        | Error (`Msg m) -> prerr_endline m; exit 2
+        | Ok p ->
+            let n = int_of_string (meta "n") and t = int_of_string (meta "t") in
+            let spec = D.Spec.make ~n ~t in
+            let subject = D.Fuzz.run_schedule spec p sched in
+            let extra =
+              match work_cap with
+              | None -> []
+              | Some cap -> [ D.Fuzz.work_cap cap ]
+            in
+            let oracles = D.Fuzz.oracles spec ~protocol:name @ extra in
+            Format.printf "replay: protocol=%s n=%d t=%d schedule: %a@." name n
+              t Campaign.Schedule.pp sched;
+            Format.printf "  %a@." D.Runner.pp subject.D.Fuzz.report;
+            (match Campaign.first_failure oracles subject with
+            | None -> Format.printf "verdict: all oracles pass@."
+            | Some (oracle, detail) ->
+                Format.printf "verdict: oracle=%s FAILS (%s)@." oracle detail;
+                exit 1))
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Re-run a serialized campaign schedule and re-judge it with the same oracle stack")
+    Term.(const run $ file_arg $ work_cap_arg)
+
 let () =
   let doc = "Do-All protocols of Dwork, Halpern and Waarts (PODC 1992)" in
   exit
     (Cmd.eval
        (Cmd.group
           (Cmd.info "doall_cli" ~doc)
-          [ run_cmd; ba_cmd; async_cmd; shmem_cmd; bootstrap_cmd ]))
+          [ run_cmd; ba_cmd; async_cmd; shmem_cmd; bootstrap_cmd; fuzz_cmd;
+            replay_cmd ]))

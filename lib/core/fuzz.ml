@@ -1,0 +1,178 @@
+module C = Simkit.Campaign
+module Metrics = Simkit.Metrics
+module Audit = Simkit.Audit
+
+type subject = { report : Runner.report; trace : Simkit.Trace.t }
+
+let run_schedule ?max_rounds spec proto sched =
+  let trace = Simkit.Trace.create () in
+  let fault = C.Schedule.to_fault sched in
+  let report = Runner.run ~fault ?max_rounds ~trace spec proto in
+  { report; trace }
+
+(* ------------------------------------------------------------------ *)
+(* Oracles *)
+
+let completed =
+  {
+    C.name = "completed";
+    check =
+      (fun s ->
+        match s.report.Runner.outcome with
+        | Simkit.Kernel.Completed -> C.Pass
+        | Simkit.Kernel.Stalled r -> C.Fail (Printf.sprintf "stalled at round %d" r)
+        | Simkit.Kernel.Round_limit r ->
+            C.Fail (Printf.sprintf "round limit hit at %d" r));
+  }
+
+let correct =
+  {
+    C.name = "correct";
+    check =
+      (fun s ->
+        if Runner.correct s.report then C.Pass
+        else
+          C.Fail
+            (Printf.sprintf "%d survivors but only %d/%d units performed"
+               (Runner.survivors s.report)
+               (Metrics.units_covered s.report.Runner.metrics)
+               (Metrics.n_units s.report.Runner.metrics)));
+  }
+
+let audit name check_trace =
+  {
+    C.name;
+    check =
+      (fun s ->
+        match check_trace s.trace with
+        | [] -> C.Pass
+        | v :: _ -> C.Fail (Format.asprintf "%a" Audit.pp_violation v));
+  }
+
+let bounded name measure bound =
+  {
+    C.name;
+    check =
+      (fun s ->
+        let m = measure s.report.Runner.metrics in
+        if bound <= 0 then C.Pass
+        else if m <= bound then C.Pass_margin (float_of_int m /. float_of_int bound)
+        else C.Fail (Printf.sprintf "%s = %d exceeds bound %d" name m bound));
+  }
+
+let work_bound = bounded "work" Metrics.work
+let msgs_bound = bounded "messages" Metrics.messages
+let rounds_bound = bounded "rounds" Metrics.rounds
+let work_cap cap = bounded "work-cap" Metrics.work cap
+
+let b_passive what = what = "go_ahead"
+let c_passive what = what = "alive"
+
+let sequential_audits passive =
+  [
+    audit "one-active" (Audit.at_most_one_active ~passive_msg:passive);
+    audit "monotone" Audit.work_is_monotone;
+  ]
+
+let normalize name =
+  match String.lowercase_ascii name with
+  | "cchunked" -> "c-chunked"
+  | "cnaive" -> "c-naive"
+  | "dcoord" -> "d-coord"
+  | s -> s
+
+let oracles spec ~protocol =
+  let base = [ completed; correct; audit "well-formed" Audit.well_formed ] in
+  let t = Spec.processes spec in
+  match normalize protocol with
+  | "a" ->
+      let g = Grid.make spec in
+      base
+      @ sequential_audits (fun _ -> false)
+      @ [
+          work_bound (Bounds.a_work g);
+          msgs_bound (Bounds.a_msgs g);
+          rounds_bound (Bounds.a_rounds g);
+        ]
+  | "b" ->
+      let g = Grid.make spec in
+      base
+      @ sequential_audits b_passive
+      @ [
+          work_bound (Bounds.b_work g);
+          msgs_bound (Bounds.b_msgs g);
+          rounds_bound (Bounds.b_rounds g);
+        ]
+  | "c" ->
+      (* the rounds bound overflows 63 bits (Thm 3.8's 2^(n+t) deadlines),
+         so only work and messages are checked *)
+      base
+      @ sequential_audits c_passive
+      @ [ work_bound (Bounds.c_work spec); msgs_bound (Bounds.c_msgs spec) ]
+  | "c-chunked" ->
+      base
+      @ sequential_audits c_passive
+      @ [
+          work_bound (Bounds.c_chunked_work spec);
+          msgs_bound (Bounds.c_chunked_msgs spec);
+        ]
+  | "d" ->
+      (* arbitrary schedules can kill more than half a phase's processes, so
+         judge against the revert-path envelope with f = t-1 *)
+      base
+      @ [
+          work_bound (Bounds.d_work_revert spec);
+          msgs_bound (Bounds.d_msgs_revert spec ~f:(t - 1));
+          rounds_bound (Bounds.d_rounds_revert spec ~f:(t - 1));
+        ]
+  | _ -> base
+
+(* ------------------------------------------------------------------ *)
+(* Campaign drivers *)
+
+let stamp spec proto sched =
+  C.Schedule.add_meta sched
+    [
+      ("protocol", normalize proto.Protocol.name);
+      ("n", string_of_int (Spec.n spec));
+      ("t", string_of_int (Spec.processes spec));
+    ]
+
+let default_window spec proto =
+  let ff = Runner.run spec proto in
+  (2 * Metrics.rounds ff.Runner.metrics) + 2
+
+let campaign ?(seed = 1L) ?(executions = 200) ?window ?(extra = [])
+    ?max_failures ?shrink_budget spec proto =
+  let window =
+    match window with Some w -> w | None -> default_window spec proto
+  in
+  let t = Spec.processes spec in
+  let g = Dhw_util.Prng.create seed in
+  let schedules =
+    List.init executions (fun _ -> stamp spec proto (C.sample g ~t ~window))
+  in
+  C.run
+    ~run:(run_schedule spec proto)
+    ~oracles:(oracles spec ~protocol:proto.Protocol.name @ extra)
+    ?max_failures ?shrink_budget (List.to_seq schedules)
+
+let exhaustive_campaign ?window ?round_step ?modes ?(extra = []) ?max_failures
+    ?shrink_budget spec proto =
+  let window =
+    match window with Some w -> w | None -> default_window spec proto
+  in
+  let round_step =
+    match round_step with
+    | Some s -> s
+    | None -> max 1 ((window + 7) / 8)
+  in
+  let modes = Option.value modes ~default:C.default_modes in
+  let t = Spec.processes spec in
+  let schedules =
+    Seq.map (stamp spec proto) (C.exhaustive ~t ~window ~round_step ~modes ())
+  in
+  C.run
+    ~run:(run_schedule spec proto)
+    ~oracles:(oracles spec ~protocol:proto.Protocol.name @ extra)
+    ?max_failures ?shrink_budget schedules

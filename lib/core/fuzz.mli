@@ -1,0 +1,68 @@
+(** Protocol-specific instantiation of the {!Simkit.Campaign} adversary
+    engine: one oracle stack per protocol (completion, the §2 correctness
+    verdict, trace audits, and the theorem bounds of {!Bounds}), plus
+    ready-made sampled and exhaustive campaign drivers.
+
+    Used by the tier-1 test suite, the E16 bench sweep, and the
+    [doall_cli fuzz] / [doall_cli replay] subcommands. *)
+
+module C := Simkit.Campaign
+
+type subject = { report : Runner.report; trace : Simkit.Trace.t }
+(** What an oracle judges: the runner's report plus the full trace (the
+    audits need the latter). *)
+
+val run_schedule :
+  ?max_rounds:int -> Spec.t -> Protocol.t -> C.Schedule.t -> subject
+(** One execution of [protocol] on [spec] under the schedule's fault plan,
+    traced. *)
+
+val oracles : Spec.t -> protocol:string -> subject C.oracle list
+(** The oracle stack for a protocol name (as accepted by the CLI: "a", "b",
+    "c", "c-chunked", "d", "d-coord", "checkpoint", …):
+    - ["completed"]: the run retired every process (no stall / round limit);
+    - ["correct"]: the paper's §2 verdict ({!Runner.correct});
+    - ["well-formed"] and, for the sequential protocols, ["one-active"] and
+      ["monotone"] ({!Simkit.Audit});
+    - ["work"], ["messages"], ["rounds"]: the theorem bounds, reporting
+      measured/bound margins on passing runs. Protocol D is judged against
+      its revert-path envelope with [f = t-1]; unknown protocols get no
+      bound oracles. *)
+
+val work_cap : int -> subject C.oracle
+(** Extra oracle asserting work [<= cap] (name ["work-cap"]). Setting
+    [cap < ] the true worst case deliberately breaks the stack — the hook
+    used to demonstrate shrinking and replay end-to-end. *)
+
+val stamp : Spec.t -> Protocol.t -> C.Schedule.t -> C.Schedule.t
+(** Record protocol name, [n] and [t] in the schedule's meta, making it
+    self-contained for [doall_cli replay]. *)
+
+val campaign :
+  ?seed:int64 ->
+  ?executions:int ->
+  ?window:int ->
+  ?extra:subject C.oracle list ->
+  ?max_failures:int ->
+  ?shrink_budget:int ->
+  Spec.t ->
+  Protocol.t ->
+  C.stats
+(** Seeded-random campaign: [executions] (default 200) schedules from
+    {!Simkit.Campaign.sample} with crash rounds in [0, window] (default:
+    twice the failure-free running time), judged by {!oracles} plus
+    [extra]. *)
+
+val exhaustive_campaign :
+  ?window:int ->
+  ?round_step:int ->
+  ?modes:C.Schedule.mode list ->
+  ?extra:subject C.oracle list ->
+  ?max_failures:int ->
+  ?shrink_budget:int ->
+  Spec.t ->
+  Protocol.t ->
+  C.stats
+(** Bounded model check: every schedule from {!Simkit.Campaign.exhaustive}
+    (default modes {!Simkit.Campaign.default_modes}; default [round_step]
+    chosen so the grid has at most 8 positions). Keep instances tiny. *)

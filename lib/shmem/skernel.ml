@@ -44,14 +44,18 @@ type 's sproc = {
   s_step : pid -> round -> 's -> handle -> 's soutcome;
 }
 
+type run_outcome = Completed | Stalled of round | Round_limit of round
+
 type result = {
   metrics : Simkit.Metrics.t;
   statuses : status array;
   aps : int;
   reads : int;
   writes : int;
-  completed : bool;
+  outcome : run_outcome;
 }
+
+let completed r = r.outcome = Completed
 
 let run ?(crash_at = []) ?(max_rounds = 10_000_000) ~n_cells ~n_processes ~n_units
     proc =
@@ -74,7 +78,7 @@ let run ?(crash_at = []) ?(max_rounds = 10_000_000) ~n_cells ~n_processes ~n_uni
   in
   let alive pid = statuses.(pid) = Running in
   let rec loop r =
-    if r > max_rounds then false
+    if r > max_rounds then Round_limit r
     else begin
       (* crashes scheduled at or before this round take effect first *)
       Array.iteri
@@ -109,7 +113,7 @@ let run ?(crash_at = []) ?(max_rounds = 10_000_000) ~n_cells ~n_processes ~n_uni
           | Some _ | None -> ()
       done;
       commit_writes mem;
-      if Array.for_all is_retired statuses then true
+      if Array.for_all is_retired statuses then Completed
       else begin
         (* next interesting round: min pending wakeup or crash *)
         let next = ref None in
@@ -125,11 +129,11 @@ let run ?(crash_at = []) ?(max_rounds = 10_000_000) ~n_cells ~n_processes ~n_uni
               | _ -> ()
             end)
           wakeups;
-        match !next with None -> false | Some r' -> loop r'
+        match !next with None -> Stalled r | Some r' -> loop r'
       end
     end
   in
-  let completed = loop 0 in
+  let outcome = loop 0 in
   (* Available processor steps: each process is charged for every round from
      the start to its retirement (or to the end of the execution) — the
      Kanellakis-Shvartsman measure, which bills idle-but-alive processes. *)
@@ -144,4 +148,4 @@ let run ?(crash_at = []) ?(max_rounds = 10_000_000) ~n_cells ~n_processes ~n_uni
         | Running -> final + 1)
       0 statuses
   in
-  { metrics; statuses; aps; reads = mem.reads; writes = mem.writes; completed }
+  { metrics; statuses; aps; reads = mem.reads; writes = mem.writes; outcome }

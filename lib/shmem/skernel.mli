@@ -38,14 +38,24 @@ type 's sproc = {
   s_step : pid -> round -> 's -> handle -> 's soutcome;
 }
 
+type run_outcome =
+  | Completed  (** every process retired (crashed or terminated) *)
+  | Stalled of round
+      (** live processes remain but none has a pending wakeup or crash — an
+          algorithm liveness bug, mirroring {!Simkit.Kernel.Stalled} *)
+  | Round_limit of round  (** the [max_rounds] guard fired *)
+
 type result = {
   metrics : Simkit.Metrics.t;  (** work and rounds; no messages in this model *)
   statuses : status array;
   aps : int;  (** available processor steps *)
   reads : int;
   writes : int;
-  completed : bool;
+  outcome : run_outcome;
 }
+
+val completed : result -> bool
+(** [outcome = Completed]. *)
 
 val run :
   ?crash_at:(pid * round) list ->

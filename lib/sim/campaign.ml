@@ -1,0 +1,428 @@
+open Types
+module Prng = Dhw_util.Prng
+
+module Schedule = struct
+  type mode =
+    | Silent
+    | Acting of { keep_work : bool; delivery : Fault.delivery }
+
+  type entry = { victim : pid; at : round; mode : mode }
+
+  type t = { meta : (string * string) list; entries : entry list }
+
+  let make ?(meta = []) entries = { meta; entries }
+
+  let meta t key = List.assoc_opt key t.meta
+
+  let add_meta t bindings =
+    let replaced =
+      List.map
+        (fun (k, v) ->
+          match List.assoc_opt k bindings with Some v' -> (k, v') | None -> (k, v))
+        t.meta
+    in
+    let fresh =
+      List.filter (fun (k, _) -> not (List.mem_assoc k t.meta)) bindings
+    in
+    { t with meta = replaced @ fresh }
+
+  let to_fault t =
+    (* earliest entry per victim wins, mirroring Fault.crash_silently_at *)
+    let best : (pid, entry) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun e ->
+        match Hashtbl.find_opt best e.victim with
+        | Some e' when e'.at <= e.at -> ()
+        | _ -> Hashtbl.replace best e.victim e)
+      t.entries;
+    let crashed_by pid round =
+      match Hashtbl.find_opt best pid with
+      | Some { mode = Silent; at; _ } -> round >= at
+      | _ -> false
+    in
+    let on_step (v : Fault.step_view) =
+      match Hashtbl.find_opt best v.sv_pid with
+      | Some { mode = Acting { keep_work; delivery }; at; _ }
+        when v.sv_round >= at ->
+          Fault.Crash { keep_work; delivery }
+      | _ -> Fault.Survive
+    in
+    Fault.custom ~crashed_by ~on_step
+
+  let delivery_to_string = function
+    | Fault.All -> "all"
+    | Fault.Prefix k -> "prefix " ^ string_of_int k
+    | Fault.Indices l ->
+        "indices " ^ String.concat "," (List.map string_of_int l)
+
+  let mode_to_string = function
+    | Silent -> "silent"
+    | Acting { keep_work; delivery } ->
+        Printf.sprintf "acting %s %s"
+          (if keep_work then "keep" else "drop")
+          (delivery_to_string delivery)
+
+  let print t =
+    let b = Buffer.create 256 in
+    Buffer.add_string b "schedule v1\n";
+    List.iter
+      (fun (k, v) -> Buffer.add_string b (Printf.sprintf "meta %s %s\n" k v))
+      t.meta;
+    List.iter
+      (fun e ->
+        Buffer.add_string b
+          (Printf.sprintf "crash %d @%d %s\n" e.victim e.at
+             (mode_to_string e.mode)))
+      t.entries;
+    Buffer.add_string b "end\n";
+    Buffer.contents b
+
+  let parse text =
+    let err lineno msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+    let int_tok lineno what s k =
+      match int_of_string_opt s with
+      | Some i -> k i
+      | None -> err lineno (Printf.sprintf "expected %s, got %S" what s)
+    in
+    let parse_delivery lineno toks k =
+      match toks with
+      | [ "all" ] -> k Fault.All
+      | [ "prefix"; n ] -> int_tok lineno "prefix length" n (fun i -> k (Fault.Prefix i))
+      | [ "indices" ] -> k (Fault.Indices [])
+      | [ "indices"; csv ] ->
+          let parts = String.split_on_char ',' csv in
+          let rec go acc = function
+            | [] -> k (Fault.Indices (List.rev acc))
+            | p :: rest ->
+                int_tok lineno "index" p (fun i -> go (i :: acc) rest)
+          in
+          go [] parts
+      | _ -> err lineno "expected all | prefix <k> | indices <i,..>"
+    in
+    let parse_mode lineno toks k =
+      match toks with
+      | [ "silent" ] -> k Silent
+      | "acting" :: kw :: rest ->
+          let keep =
+            match kw with
+            | "keep" -> Some true
+            | "drop" -> Some false
+            | _ -> None
+          in
+          (match keep with
+          | None -> err lineno "expected keep or drop after acting"
+          | Some keep_work ->
+              parse_delivery lineno rest (fun delivery ->
+                  k (Acting { keep_work; delivery })))
+      | _ -> err lineno "expected silent or acting ..."
+    in
+    let lines = String.split_on_char '\n' text in
+    let strip s =
+      let s =
+        if String.length s > 0 && s.[String.length s - 1] = '\r' then
+          String.sub s 0 (String.length s - 1)
+        else s
+      in
+      String.trim s
+    in
+    let rec body lineno meta entries = function
+      | [] -> Error "missing final \"end\" line"
+      | raw :: rest -> (
+          let line = strip raw in
+          if line = "" || line.[0] = '#' then body (lineno + 1) meta entries rest
+          else if line = "end" then
+            Ok { meta = List.rev meta; entries = List.rev entries }
+          else
+            let toks =
+              String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+            in
+            match toks with
+            | "meta" :: key :: rest_toks ->
+                (* the value is everything after the key, single-spaced *)
+                body (lineno + 1)
+                  ((key, String.concat " " rest_toks) :: meta)
+                  entries rest
+            | "crash" :: pid :: at :: mode_toks
+              when String.length at > 1 && at.[0] = '@' ->
+                int_tok lineno "pid" pid (fun victim ->
+                    int_tok lineno "round"
+                      (String.sub at 1 (String.length at - 1))
+                      (fun at ->
+                        parse_mode lineno mode_toks (fun mode ->
+                            body (lineno + 1) meta
+                              ({ victim; at; mode } :: entries)
+                              rest)))
+            | _ -> err lineno (Printf.sprintf "unrecognized line %S" line))
+    in
+    let rec header lineno = function
+      | [] -> Error "empty schedule text"
+      | raw :: rest ->
+          let line = strip raw in
+          if line = "" || line.[0] = '#' then header (lineno + 1) rest
+          else if line = "schedule v1" then body (lineno + 1) [] [] rest
+          else err lineno "expected header \"schedule v1\""
+    in
+    header 1 lines
+
+  let pp ppf t =
+    if t.entries = [] then Format.fprintf ppf "(fault-free)"
+    else
+      Format.fprintf ppf "%s"
+        (String.concat "; "
+           (List.map
+              (fun e ->
+                Printf.sprintf "%d@%d %s" e.victim e.at (mode_to_string e.mode))
+              t.entries))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Generation *)
+
+let default_modes =
+  [
+    Schedule.Silent;
+    Schedule.Acting { keep_work = true; delivery = Fault.All };
+    Schedule.Acting { keep_work = false; delivery = Fault.Prefix 0 };
+    Schedule.Acting { keep_work = false; delivery = Fault.Prefix 1 };
+  ]
+
+let exhaustive ~t ~window ?(round_step = 1) ~modes () =
+  if t < 1 then invalid_arg "Campaign.exhaustive: t must be >= 1";
+  if round_step < 1 then invalid_arg "Campaign.exhaustive: round_step >= 1";
+  if modes = [] then invalid_arg "Campaign.exhaustive: no modes";
+  if window < 0 then invalid_arg "Campaign.exhaustive: negative window";
+  let rounds = List.init ((window / round_step) + 1) (fun i -> i * round_step) in
+  (* all victim subsets of [0..t-1]; the full set is filtered out below *)
+  let rec subsets pid : pid list Seq.t =
+    if pid = t then Seq.return []
+    else
+      Seq.concat_map
+        (fun tail -> List.to_seq [ tail; pid :: tail ])
+        (subsets (pid + 1))
+  in
+  let rec assign : pid list -> Schedule.entry list Seq.t = function
+    | [] -> Seq.return []
+    | v :: rest ->
+        Seq.concat_map
+          (fun tail ->
+            Seq.concat_map
+              (fun at ->
+                Seq.map
+                  (fun mode -> { Schedule.victim = v; at; mode } :: tail)
+                  (List.to_seq modes))
+              (List.to_seq rounds))
+          (assign rest)
+  in
+  subsets 0
+  |> Seq.filter (fun vs -> List.length vs < t)
+  |> Seq.concat_map (fun vs -> Seq.map (Schedule.make ?meta:None) (assign vs))
+
+let sample g ~t ~window =
+  if t < 1 then invalid_arg "Campaign.sample: t must be >= 1";
+  let victims = Prng.int g t in
+  let pids = Prng.sample_without_replacement g victims t in
+  let entries =
+    List.map
+      (fun victim ->
+        let at = Prng.int g (max 1 (window + 1)) in
+        let mode =
+          match Prng.int g 6 with
+          | 0 -> Schedule.Silent
+          | 1 ->
+              Schedule.Acting { keep_work = Prng.bool g; delivery = Fault.All }
+          | 2 | 3 ->
+              Schedule.Acting
+                { keep_work = Prng.bool g; delivery = Fault.Prefix (Prng.int g 4) }
+          | _ ->
+              let k = Prng.int g 4 in
+              let idx = Prng.sample_without_replacement g k 8 in
+              Schedule.Acting
+                { keep_work = Prng.bool g; delivery = Fault.Indices idx }
+        in
+        { Schedule.victim; at; mode })
+      pids
+  in
+  Schedule.make entries
+
+(* ------------------------------------------------------------------ *)
+(* Oracles *)
+
+type check_result = Pass | Pass_margin of float | Fail of string
+
+type 'r oracle = { name : string; check : 'r -> check_result }
+
+let first_failure oracles r =
+  List.fold_left
+    (fun acc o ->
+      match acc with
+      | Some _ -> acc
+      | None -> (
+          match o.check r with
+          | Pass | Pass_margin _ -> None
+          | Fail detail -> Some (o.name, detail)))
+    None oracles
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking *)
+
+let shrink ~run ~oracles ~oracle ?(budget = 500) sched0 =
+  let target = List.find_opt (fun o -> o.name = oracle) oracles in
+  let runs = ref 0 in
+  let last_detail = ref "" in
+  let still_fails s =
+    match target with
+    | None -> false
+    | Some o ->
+        if !runs >= budget then false
+        else begin
+          incr runs;
+          match o.check (run s) with
+          | Fail d ->
+              last_detail := d;
+              true
+          | Pass | Pass_margin _ -> false
+        end
+  in
+  (* record the detail of the starting point (and sanity-check it fails) *)
+  ignore (still_fails sched0);
+  let remove l i = List.filteri (fun j _ -> j <> i) l in
+  let replace l i e = List.mapi (fun j x -> if j = i then e else x) l in
+  let with_entries s entries = { s with Schedule.entries } in
+  let candidates (s : Schedule.t) : Schedule.t Seq.t =
+    let es = s.entries in
+    let n = List.length es in
+    (* 1. drop a victim outright *)
+    let drops = Seq.init n (fun i -> with_entries s (remove es i)) in
+    (* 2. widen its delivery cut toward All / let it keep the work *)
+    let weakenings =
+      Seq.concat_map
+        (fun i ->
+          let e = List.nth es i in
+          let variants =
+            match e.Schedule.mode with
+            | Schedule.Silent -> []
+            | Schedule.Acting { keep_work; delivery } ->
+                let widened =
+                  match delivery with
+                  | Fault.All -> []
+                  | Fault.Prefix k ->
+                      [ Fault.All; Fault.Prefix (k + 1) ]
+                  | Fault.Indices _ -> [ Fault.All ]
+                in
+                List.map
+                  (fun d -> Schedule.Acting { keep_work; delivery = d })
+                  widened
+                @
+                if keep_work then []
+                else [ Schedule.Acting { keep_work = true; delivery } ]
+          in
+          List.to_seq
+            (List.map
+               (fun mode -> with_entries s (replace es i { e with mode }))
+               variants))
+        (Seq.init n Fun.id)
+    in
+    (* 3. delay the crash (larger jumps first) *)
+    let delays =
+      Seq.concat_map
+        (fun i ->
+          let e = List.nth es i in
+          List.to_seq
+            (List.map
+               (fun d -> with_entries s (replace es i { e with Schedule.at = e.at + d }))
+               [ 16; 4; 1 ]))
+        (Seq.init n Fun.id)
+    in
+    Seq.append drops (Seq.append weakenings delays)
+  in
+  let rec improve s =
+    match Seq.find still_fails (candidates s) with
+    | Some better -> improve better
+    | None -> s
+  in
+  let final = improve sched0 in
+  (final, !last_detail, !runs)
+
+(* ------------------------------------------------------------------ *)
+(* Campaign runner *)
+
+type failure = {
+  schedule : Schedule.t;
+  oracle : string;
+  detail : string;
+  shrunk : Schedule.t;
+  shrunk_detail : string;
+  shrink_executions : int;
+}
+
+type stats = {
+  schedules : int;
+  executions : int;
+  failures : failure list;
+  margins : (string * float) list;
+}
+
+let run ~run:exec ~oracles ?(max_failures = 3) ?(shrink_budget = 500) schedules =
+  let n_schedules = ref 0 in
+  let executions = ref 0 in
+  let failures = ref [] in
+  let margins : (string, float) Hashtbl.t = Hashtbl.create 8 in
+  let note_margin name m =
+    match Hashtbl.find_opt margins name with
+    | Some m' when m' >= m -> ()
+    | _ -> Hashtbl.replace margins name m
+  in
+  let judge sched =
+    incr n_schedules;
+    incr executions;
+    let r = exec sched in
+    List.fold_left
+      (fun acc o ->
+        match acc with
+        | Some _ -> acc
+        | None -> (
+            match o.check r with
+            | Pass -> None
+            | Pass_margin m ->
+                note_margin o.name m;
+                None
+            | Fail detail -> Some (o.name, detail)))
+      None oracles
+  in
+  (try
+     Seq.iter
+       (fun sched ->
+         match judge sched with
+         | None -> ()
+         | Some (oracle, detail) ->
+             let shrunk, shrunk_detail, spent =
+               shrink ~run:exec ~oracles ~oracle ~budget:shrink_budget sched
+             in
+             executions := !executions + spent;
+             failures :=
+               { schedule = sched; oracle; detail; shrunk; shrunk_detail;
+                 shrink_executions = spent }
+               :: !failures;
+             if List.length !failures >= max_failures then raise Exit)
+       schedules
+   with Exit -> ());
+  let margins =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) margins []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  {
+    schedules = !n_schedules;
+    executions = !executions;
+    failures = List.rev !failures;
+    margins;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf "schedules=%d executions=%d violations=%d" s.schedules
+    s.executions (List.length s.failures);
+  if s.margins <> [] then begin
+    Format.fprintf ppf " margins:";
+    List.iter
+      (fun (name, m) -> Format.fprintf ppf " %s=%.2f" name m)
+      s.margins
+  end

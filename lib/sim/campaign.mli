@@ -1,0 +1,155 @@
+(** Adversary campaign engine: systematic search of the crash /
+    partial-delivery fault space, with greedy shrinking of failing schedules
+    and a replayable line-based serialization.
+
+    The paper's adversary may crash a process {e mid-broadcast} so that
+    "only some subset of the processes receive the message" (§2). A campaign
+    explores that space: it generates {!Schedule.t} values — pure data,
+    unlike the closures in {!Fault} — runs each through a caller-supplied
+    execution function, and judges the result with a stack of
+    {!type:oracle}s. Any failure is shrunk on the spot to a locally-minimal
+    counterexample and can be written out, replayed and re-judged exactly.
+
+    The engine is protocol-agnostic; [Doall.Fuzz] instantiates it for the
+    paper's protocols and [doall_cli fuzz] / [doall_cli replay] expose it on
+    the command line. *)
+
+open Types
+
+module Schedule : sig
+  (** A replayable fault schedule. *)
+
+  type mode =
+    | Silent  (** dead from round [at]: takes no action in it or later *)
+    | Acting of { keep_work : bool; delivery : Fault.delivery }
+        (** crash at the first round [>= at] in which the victim acts, with
+            the given partial-delivery cut — the mid-broadcast adversary *)
+
+  type entry = { victim : pid; at : round; mode : mode }
+
+  type t = {
+    meta : (string * string) list;
+        (** replay context (protocol, n, t, seed, …). Keys must be single
+            tokens; values must not contain newlines. *)
+    entries : entry list;
+  }
+
+  val make : ?meta:(string * string) list -> entry list -> t
+
+  val meta : t -> string -> string option
+
+  val add_meta : t -> (string * string) list -> t
+  (** Appends bindings, replacing keys already present (order of existing
+      keys is preserved). *)
+
+  val to_fault : t -> Fault.t
+  (** A fresh fault plan realizing the schedule. When several entries name
+      the same victim, the earliest [at] wins. *)
+
+  val print : t -> string
+  (** Line-based text format:
+      {v
+      schedule v1
+      meta protocol a
+      crash 0 @3 silent
+      crash 1 @7 acting keep all
+      crash 2 @5 acting drop prefix 1
+      crash 4 @2 acting drop indices 0,2,5
+      end
+      v} *)
+
+  val parse : string -> (t, string) result
+  (** Inverse of {!print}: [parse (print s) = Ok s] for every schedule
+      respecting the meta constraints above. Blank lines and [#] comments
+      are skipped. *)
+
+  val pp : Format.formatter -> t -> unit
+  (** One-line human summary (not the serialization). *)
+end
+
+(** {1 Schedule generation} *)
+
+val exhaustive :
+  t:int ->
+  window:round ->
+  ?round_step:int ->
+  modes:Schedule.mode list ->
+  unit ->
+  Schedule.t Seq.t
+(** Every schedule over: victim sets leaving at least one survivor × crash
+    rounds on a [round_step] grid (default 1) within [0, window] × one mode
+    per victim. Lazily produced; the space has
+    [Σ_{k<t} C(t,k) · ((window/round_step + 1) · |modes|)^k] elements, so
+    keep [t] tiny. *)
+
+val default_modes : Schedule.mode list
+(** Silent, crash-keeping-all-messages, and mid-broadcast cuts
+    [Prefix 0] / [Prefix 1] — the adversary repertoire of the paper's
+    proofs. *)
+
+val sample : Dhw_util.Prng.t -> t:int -> window:round -> Schedule.t
+(** One random schedule: 0 to t-1 distinct victims, uniform crash rounds in
+    [0, window], modes drawn among silent, full-delivery, prefix and
+    index-subset cuts. Deterministic in the generator state. *)
+
+(** {1 Oracles} *)
+
+type check_result =
+  | Pass
+  | Pass_margin of float
+      (** passed; the float is a utilization ratio (measured/bound) reported
+          in campaign statistics *)
+  | Fail of string  (** violation, with human-readable detail *)
+
+type 'r oracle = { name : string; check : 'r -> check_result }
+
+val first_failure : 'r oracle list -> 'r -> (string * string) option
+(** [(oracle name, detail)] of the first failing oracle, if any. *)
+
+(** {1 Shrinking} *)
+
+val shrink :
+  run:(Schedule.t -> 'r) ->
+  oracles:'r oracle list ->
+  oracle:string ->
+  ?budget:int ->
+  Schedule.t ->
+  Schedule.t * string * int
+(** [shrink ~run ~oracles ~oracle s] greedily minimizes [s] while the named
+    oracle keeps failing. Moves, tried in order with first-improvement
+    restart: drop a victim entirely; widen its delivery cut toward [All]
+    (also [Prefix k → Prefix (k+1)]); let it keep its work; delay its crash
+    round. Returns the reduced schedule, the failure detail it still
+    produces, and the number of executions spent ([budget] caps them,
+    default 500). *)
+
+(** {1 Campaign execution} *)
+
+type failure = {
+  schedule : Schedule.t;  (** as generated *)
+  oracle : string;  (** first failing oracle *)
+  detail : string;
+  shrunk : Schedule.t;  (** locally-minimal counterexample *)
+  shrunk_detail : string;
+  shrink_executions : int;
+}
+
+type stats = {
+  schedules : int;  (** campaign schedules judged *)
+  executions : int;  (** total protocol runs, including shrinking *)
+  failures : failure list;  (** in discovery order *)
+  margins : (string * float) list;
+      (** per oracle, the worst (largest) margin observed on passing runs *)
+}
+
+val run :
+  run:(Schedule.t -> 'r) ->
+  oracles:'r oracle list ->
+  ?max_failures:int ->
+  ?shrink_budget:int ->
+  Schedule.t Seq.t ->
+  stats
+(** Execute and judge every schedule; shrink each failure on the spot. Stops
+    early once [max_failures] (default 3) failures have been collected. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -24,6 +24,8 @@ type t = {
 let make ~crashed_by ~on_step =
   { plan_crashed_by = crashed_by; plan_on_step = on_step; committed = Hashtbl.create 16 }
 
+let custom = make
+
 let crashed_by t pid round =
   (match Hashtbl.find_opt t.committed pid with
   | Some r -> round > r

@@ -75,6 +75,13 @@ val crash_active_after_work :
     [units_between_crashes] further units (keeping the work, dropping all of
     that round's messages), up to [max_crashes] victims. *)
 
+val custom :
+  crashed_by:(pid -> round -> bool) -> on_step:(step_view -> decision) -> t
+(** General constructor combining a silent-death predicate with an online
+    acting-crash rule — the building block for plans (such as
+    {!Campaign.Schedule.to_fault}) that mix both kinds of entry. The kernel
+    keeps the two consistent through {!note_crash}. *)
+
 (** {1 Kernel interface} — used by {!Kernel}, not by protocol code. *)
 
 val crashed_by : t -> pid -> round -> bool

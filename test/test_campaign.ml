@@ -1,0 +1,273 @@
+(* The adversary campaign engine (Simkit.Campaign + Doall.Fuzz): bounded
+   exhaustive campaigns per protocol as tier-1 checks, the schedule
+   serialization round-trip law, and the find -> shrink -> replay loop
+   demonstrated on a deliberately broken oracle. *)
+
+module C = Simkit.Campaign
+module Gen = QCheck2.Gen
+
+(* ------------------------------------------------------------------ *)
+(* Serialization round-trip *)
+
+let gen_delivery =
+  Gen.oneof
+    [
+      Gen.return Simkit.Fault.All;
+      Gen.map (fun k -> Simkit.Fault.Prefix k) (Gen.int_bound 6);
+      Gen.map
+        (fun l -> Simkit.Fault.Indices l)
+        (Gen.list_size (Gen.int_bound 4) (Gen.int_bound 9));
+    ]
+
+let gen_mode =
+  Gen.oneof
+    [
+      Gen.return C.Schedule.Silent;
+      Gen.map2
+        (fun keep_work delivery -> C.Schedule.Acting { keep_work; delivery })
+        Gen.bool gen_delivery;
+    ]
+
+let gen_entry =
+  Gen.map3
+    (fun victim at mode -> { C.Schedule.victim; at; mode })
+    (Gen.int_bound 9) (Gen.int_bound 200) gen_mode
+
+let gen_meta =
+  (* keys must be single tokens, values newline-free and single-spaced *)
+  let open Gen in
+  let key = oneofl [ "protocol"; "n"; "t"; "seed"; "note" ] in
+  let value = oneofl [ "a"; "b"; "12"; "4"; "77"; "shrunk from campaign" ] in
+  list_size (int_bound 3) (pair key value)
+
+let gen_schedule =
+  let open Gen in
+  let* meta = gen_meta in
+  let* entries = list_size (int_bound 6) gen_entry in
+  return (C.Schedule.make ~meta entries)
+
+let print_schedule s = C.Schedule.print s
+
+let prop_round_trip =
+  Helpers.qcheck_case ~count:500 ~name:"schedule: parse (print s) = s"
+    gen_schedule
+    (fun s ->
+      match C.Schedule.parse (C.Schedule.print s) with
+      | Ok s' ->
+          if s' <> s then
+            QCheck2.Test.fail_reportf "round trip changed:@.%s@.->@.%s"
+              (print_schedule s) (print_schedule s')
+          else true
+      | Error e -> QCheck2.Test.fail_reportf "parse error: %s" e)
+
+let test_parse_tolerates_noise () =
+  let text =
+    "# a comment\n\nschedule v1\n  meta protocol a\r\ncrash 1 @4  acting drop \
+     prefix 0\n# mid comment\ncrash 0 @9 silent\nend\n"
+  in
+  match C.Schedule.parse text with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok s ->
+      Alcotest.(check int) "entries" 2 (List.length s.C.Schedule.entries);
+      Alcotest.(check (option string))
+        "meta" (Some "a")
+        (C.Schedule.meta s "protocol")
+
+let test_parse_rejects_garbage () =
+  let bad =
+    [
+      "";
+      "schedule v2\nend\n";
+      "schedule v1\ncrash x @1 silent\nend\n";
+      "schedule v1\ncrash 1 @z silent\nend\n";
+      "schedule v1\ncrash 1 @2 floating\nend\n";
+      "schedule v1\ncrash 1 @2 acting drop prefix q\nend\n";
+      "schedule v1\ncrash 1 @2 silent\n";
+    ]
+  in
+  List.iter
+    (fun text ->
+      match C.Schedule.parse text with
+      | Ok _ -> Alcotest.failf "accepted garbage: %S" text
+      | Error _ -> ())
+    bad
+
+(* ------------------------------------------------------------------ *)
+(* Tier-1 bounded campaigns: every protocol of the paper survives the full
+   (victim set x crash-round grid x mode) space on a tiny instance. *)
+
+let exhaustive_clean name ?modes proto ~n ~t =
+  let spec = Doall.Spec.make ~n ~t in
+  let stats = Doall.Fuzz.exhaustive_campaign ?modes spec proto in
+  (match stats.C.failures with
+  | [] -> ()
+  | f :: _ ->
+      Alcotest.failf "%s: oracle %s failed on [%s]: %s" name f.C.oracle
+        (Format.asprintf "%a" C.Schedule.pp f.C.schedule)
+        f.C.detail);
+  if stats.C.schedules < 500 then
+    Alcotest.failf "%s: only %d schedules enumerated?" name stats.C.schedules
+
+let test_campaign_a () =
+  exhaustive_clean "A n=4 t=3" Doall.Protocol_a.protocol ~n:4 ~t:3
+
+let test_campaign_b () =
+  exhaustive_clean "B n=4 t=3" Doall.Protocol_b.protocol ~n:4 ~t:3
+
+let test_campaign_c () =
+  exhaustive_clean "C n=4 t=3" Doall.Protocol_c.protocol ~n:4 ~t:3
+
+let test_campaign_d () =
+  exhaustive_clean "D n=4 t=3" Doall.Protocol_d.protocol ~n:4 ~t:3
+
+let test_campaign_d_coord () =
+  exhaustive_clean "D-coord n=4 t=3" Doall.Protocol_d_coord.protocol ~n:4 ~t:3
+
+let test_campaign_sampled_larger () =
+  (* a seeded sampled campaign at a size the exhaustive space can't reach *)
+  let spec = Doall.Spec.make ~n:80 ~t:12 in
+  let stats =
+    Doall.Fuzz.campaign ~seed:99L ~executions:300 spec Doall.Protocol_b.protocol
+  in
+  Alcotest.(check int) "no violations" 0 (List.length stats.C.failures);
+  Alcotest.(check int) "all schedules judged" 300 stats.C.schedules;
+  (* margins are reported for every bound oracle *)
+  List.iter
+    (fun name ->
+      if not (List.mem_assoc name stats.C.margins) then
+        Alcotest.failf "missing %s margin" name)
+    [ "work"; "messages"; "rounds" ]
+
+let test_campaign_deterministic () =
+  let go () =
+    Doall.Fuzz.campaign ~seed:5L ~executions:120
+      (Doall.Spec.make ~n:40 ~t:8)
+      Doall.Protocol_a.protocol
+  in
+  let a = go () and b = go () in
+  Alcotest.(check bool) "identical stats" true (a = b)
+
+(* ------------------------------------------------------------------ *)
+(* The find -> shrink -> replay loop, driven by a deliberately broken
+   oracle (work <= n, which crash-and-retry adversaries must violate). *)
+
+let find_broken_oracle_failure () =
+  let spec = Doall.Spec.make ~n:12 ~t:4 in
+  let proto = Doall.Protocol_a.protocol in
+  let stats =
+    Doall.Fuzz.campaign ~seed:1L ~executions:200
+      ~extra:[ Doall.Fuzz.work_cap (Doall.Spec.n spec) ]
+      ~max_failures:1 spec proto
+  in
+  match stats.C.failures with
+  | [] -> Alcotest.fail "broken oracle produced no counterexample"
+  | f :: _ -> (spec, proto, f)
+
+let test_broken_oracle_is_caught_and_shrunk () =
+  let _, _, f = find_broken_oracle_failure () in
+  Alcotest.(check string) "failing oracle" "work-cap" f.C.oracle;
+  let size s = List.length s.C.Schedule.entries in
+  if size f.C.shrunk > size f.C.schedule then
+    Alcotest.fail "shrinking grew the schedule";
+  if f.C.shrink_executions <= 0 then Alcotest.fail "no shrink executions?"
+
+let test_shrunk_schedule_is_locally_minimal () =
+  let spec, proto, f = find_broken_oracle_failure () in
+  let cap = Doall.Fuzz.work_cap (Doall.Spec.n spec) in
+  let fails s =
+    match cap.C.check (Doall.Fuzz.run_schedule spec proto s) with
+    | C.Fail _ -> true
+    | C.Pass | C.Pass_margin _ -> false
+  in
+  if not (fails f.C.shrunk) then Alcotest.fail "shrunk schedule stopped failing";
+  (* dropping any single entry must make the violation disappear *)
+  let entries = f.C.shrunk.C.Schedule.entries in
+  List.iteri
+    (fun i _ ->
+      let dropped =
+        { f.C.shrunk with
+          C.Schedule.entries = List.filteri (fun j _ -> j <> i) entries }
+      in
+      if fails dropped then
+        Alcotest.failf "entry %d of the shrunk schedule is redundant" i)
+    entries
+
+let test_shrunk_schedule_replays_identically () =
+  let spec, proto, f = find_broken_oracle_failure () in
+  (* serialize, parse back, re-run: metrics and verdict must be identical *)
+  let text = C.Schedule.print f.C.shrunk in
+  let sched =
+    match C.Schedule.parse text with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "corpus round-trip failed: %s" e
+  in
+  Alcotest.(check bool) "schedule survives serialization" true
+    (sched = f.C.shrunk);
+  let fingerprint s =
+    let subject = Doall.Fuzz.run_schedule spec proto s in
+    Format.asprintf "%a" Doall.Runner.pp subject.Doall.Fuzz.report
+  in
+  Alcotest.(check string) "replayed metrics identical" (fingerprint f.C.shrunk)
+    (fingerprint sched);
+  let cap = Doall.Fuzz.work_cap (Doall.Spec.n spec) in
+  let oracles = Doall.Fuzz.oracles spec ~protocol:"a" @ [ cap ] in
+  match C.first_failure oracles (Doall.Fuzz.run_schedule spec proto sched) with
+  | Some ("work-cap", detail) ->
+      Alcotest.(check string) "identical detail" f.C.shrunk_detail detail
+  | Some (o, d) -> Alcotest.failf "unexpected oracle %s failed: %s" o d
+  | None -> Alcotest.fail "replay did not reproduce the violation"
+
+(* ------------------------------------------------------------------ *)
+(* to_fault semantics *)
+
+let test_schedule_to_fault_earliest_wins () =
+  (* duplicate victim entries: the earliest round applies *)
+  let sched =
+    C.Schedule.make
+      [
+        { C.Schedule.victim = 0; at = 30; mode = C.Schedule.Silent };
+        { C.Schedule.victim = 0; at = 2; mode = C.Schedule.Silent };
+      ]
+  in
+  let spec = Doall.Spec.make ~n:10 ~t:3 in
+  let subject =
+    Doall.Fuzz.run_schedule spec Doall.Protocol_a.protocol sched
+  in
+  (match subject.Doall.Fuzz.report.Doall.Runner.statuses.(0) with
+  | Simkit.Types.Crashed r ->
+      if r < 2 then Alcotest.failf "crashed before its round: %d" r
+  | s ->
+      Alcotest.failf "expected pid 0 crashed, got %s"
+        (Simkit.Types.status_to_string s));
+  Helpers.check_correct "earliest-wins" subject.Doall.Fuzz.report
+
+let suite =
+  [
+    prop_round_trip;
+    Alcotest.test_case "parse: comments/blank/CRLF tolerated" `Quick
+      test_parse_tolerates_noise;
+    Alcotest.test_case "parse: malformed inputs rejected" `Quick
+      test_parse_rejects_garbage;
+    Alcotest.test_case "A: exhaustive campaign clean, n=4 t=3" `Quick
+      test_campaign_a;
+    Alcotest.test_case "B: exhaustive campaign clean, n=4 t=3" `Quick
+      test_campaign_b;
+    Alcotest.test_case "C: exhaustive campaign clean, n=4 t=3" `Quick
+      test_campaign_c;
+    Alcotest.test_case "D: exhaustive campaign clean, n=4 t=3" `Quick
+      test_campaign_d;
+    Alcotest.test_case "D-coord: exhaustive campaign clean, n=4 t=3" `Quick
+      test_campaign_d_coord;
+    Alcotest.test_case "B: sampled campaign n=80 t=12 with margins" `Quick
+      test_campaign_sampled_larger;
+    Alcotest.test_case "campaigns are deterministic in seed" `Quick
+      test_campaign_deterministic;
+    Alcotest.test_case "broken oracle: violation found and shrunk" `Quick
+      test_broken_oracle_is_caught_and_shrunk;
+    Alcotest.test_case "shrunk counterexample is locally minimal" `Quick
+      test_shrunk_schedule_is_locally_minimal;
+    Alcotest.test_case "shrunk counterexample replays identically" `Quick
+      test_shrunk_schedule_replays_identically;
+    Alcotest.test_case "to_fault: earliest entry per victim wins" `Quick
+      test_schedule_to_fault_earliest_wins;
+  ]

@@ -19,4 +19,5 @@ let () =
       ("integration", Test_integration.suite);
       ("scale", Test_scale.suite);
       ("exhaustive", Test_exhaustive.suite);
+      ("campaign", Test_campaign.suite);
     ]

@@ -127,6 +127,87 @@ let prop_adversary_forces_n_plus_f =
       let f = Doall.Runner.crashed report in
       Simkit.Metrics.work report.metrics = n + f)
 
+(* Seeded adversaries: same seed => identical schedule and metrics; different
+   seeds => the schedules actually differ. *)
+
+let crash_set (r : Doall.Runner.report) =
+  Array.to_list r.statuses
+  |> List.mapi (fun pid s ->
+         match s with Simkit.Types.Crashed at -> Some (pid, at) | _ -> None)
+  |> List.filter_map Fun.id
+
+let fingerprint (r : Doall.Runner.report) =
+  ( Simkit.Metrics.work r.metrics,
+    Simkit.Metrics.messages r.metrics,
+    Simkit.Metrics.rounds r.metrics,
+    crash_set r )
+
+let prop_fault_random_seed_determinism =
+  Helpers.qcheck_case ~count:60 ~name:"Fault.random: same seed, same run"
+    Gen.(
+      pair
+        (pair (10 -- 60) (2 -- 12))
+        (pair (0 -- 100) (Gen.int_bound 10_000)))
+    (fun ((n, t), (window, seed)) ->
+      let go () =
+        let spec = Doall.Spec.make ~n ~t in
+        let fault =
+          Simkit.Fault.random ~seed:(Int64.of_int seed) ~t ~victims:(t - 1)
+            ~window
+        in
+        fingerprint (Doall.Runner.run ~fault spec Doall.Protocol_b.protocol)
+      in
+      go () = go ())
+
+let prop_random_work_adversary_seed_determinism =
+  Helpers.qcheck_case ~count:60
+    ~name:"crash_active_after_random_work: same seed, same run"
+    Gen.(
+      pair
+        (pair (10 -- 60) (2 -- 12))
+        (pair (pair (1 -- 5) (0 -- 6)) (Gen.int_bound 10_000)))
+    (fun ((n, t), ((min_units, extra), seed)) ->
+      let go () =
+        let spec = Doall.Spec.make ~n ~t in
+        let fault =
+          Simkit.Fault.crash_active_after_random_work
+            ~seed:(Int64.of_int seed) ~min_units ~max_units:(min_units + extra)
+            ~max_crashes:(t - 1)
+        in
+        fingerprint (Doall.Runner.run ~fault spec Doall.Protocol_a.protocol)
+      in
+      go () = go ())
+
+let distinct_fingerprints run =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun seed -> Hashtbl.replace seen (run (Int64.of_int seed)) ())
+    (List.init 10 (fun i -> i + 1));
+  Hashtbl.length seen
+
+let test_fault_random_seed_sensitivity () =
+  let spec = Doall.Spec.make ~n:60 ~t:12 in
+  let distinct =
+    distinct_fingerprints (fun seed ->
+        let fault = Simkit.Fault.random ~seed ~t:12 ~victims:6 ~window:40 in
+        fingerprint (Doall.Runner.run ~fault spec Doall.Protocol_b.protocol))
+  in
+  if distinct < 2 then
+    Alcotest.failf "10 seeds produced only %d distinct schedules" distinct
+
+let test_random_work_adversary_seed_sensitivity () =
+  let spec = Doall.Spec.make ~n:60 ~t:12 in
+  let distinct =
+    distinct_fingerprints (fun seed ->
+        let fault =
+          Simkit.Fault.crash_active_after_random_work ~seed ~min_units:2
+            ~max_units:9 ~max_crashes:11
+        in
+        fingerprint (Doall.Runner.run ~fault spec Doall.Protocol_a.protocol))
+  in
+  if distinct < 2 then
+    Alcotest.failf "10 seeds produced only %d distinct schedules" distinct
+
 (* Determinism as a law: identical (instance, schedule) => identical runs. *)
 let prop_determinism =
   Helpers.qcheck_case ~count:40 ~name:"rerun determinism (all cost measures)"
@@ -155,4 +236,10 @@ let suite =
     prop_work_lower_bound;
     prop_adversary_forces_n_plus_f;
     prop_determinism;
+    prop_fault_random_seed_determinism;
+    prop_random_work_adversary_seed_determinism;
+    Alcotest.test_case "Fault.random: different seeds differ" `Quick
+      test_fault_random_seed_sensitivity;
+    Alcotest.test_case "crash_active_after_random_work: seeds differ" `Quick
+      test_random_work_adversary_seed_sensitivity;
   ]

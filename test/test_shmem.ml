@@ -76,7 +76,7 @@ let test_checkpointed_random () =
   for i = 1 to 20 do
     let crash_at = Helpers.random_schedule g ~t:12 ~window:3000 in
     let o = WA.checkpointed ~crash_at ~n:60 ~t:12 () in
-    if not (WA.work_complete o && o.result.completed) then
+    if not (WA.work_complete o && SK.completed o.result) then
       Alcotest.failf "checkpointed failed on schedule #%d" i;
     (* work-optimality: at most one unit lost per crash *)
     let work = Simkit.Metrics.work o.result.metrics in
@@ -97,7 +97,7 @@ let test_parallel_scan_random () =
   for i = 1 to 20 do
     let crash_at = Helpers.random_schedule g ~t:8 ~window:200 in
     let o = WA.parallel_scan ~crash_at ~n:40 ~t:8 () in
-    if not (WA.work_complete o && o.result.completed) then
+    if not (WA.work_complete o && SK.completed o.result) then
       Alcotest.failf "parallel scan failed on schedule #%d" i
   done
 
@@ -113,6 +113,41 @@ let test_tradeoff () =
     (Printf.sprintf "par aps %d < seq aps %d" par.result.aps seq.result.aps)
     true
     (par.result.aps < seq.result.aps)
+
+let test_outcome_distinguishes_stall_from_limit () =
+  (* a process that retires its wakeup without terminating stalls the run;
+     one that spins forever trips the round-limit guard instead *)
+  let stalling =
+    {
+      SK.s_init = (fun _ -> ((), Some 0));
+      s_step =
+        (fun _ _ () _ ->
+          { SK.state = (); work = []; terminate = false; wakeup = None });
+    }
+  in
+  let res = SK.run ~n_cells:1 ~n_processes:1 ~n_units:1 stalling in
+  (match res.SK.outcome with
+  | SK.Stalled _ -> ()
+  | o ->
+      Alcotest.failf "expected Stalled, got %s"
+        (match o with
+        | SK.Completed -> "Completed"
+        | SK.Round_limit _ -> "Round_limit"
+        | SK.Stalled _ -> assert false));
+  Alcotest.(check bool) "stall is not completed" false (SK.completed res);
+  let spinning =
+    {
+      SK.s_init = (fun _ -> ((), Some 0));
+      s_step =
+        (fun _ r () _ ->
+          { SK.state = (); work = []; terminate = false; wakeup = Some (r + 1) });
+    }
+  in
+  let res = SK.run ~max_rounds:50 ~n_cells:1 ~n_processes:1 ~n_units:1 spinning in
+  (match res.SK.outcome with
+  | SK.Round_limit r -> Alcotest.(check bool) "limit round > guard" true (r > 50)
+  | _ -> Alcotest.fail "expected Round_limit");
+  Alcotest.(check bool) "limit is not completed" false (SK.completed res)
 
 let test_aps_accounting () =
   (* one process, terminates at round 4: aps = 5; a second crashes at 2 *)
@@ -137,5 +172,7 @@ let suite =
     Alcotest.test_case "parallel scan: failure-free" `Quick test_parallel_scan_ff;
     Alcotest.test_case "parallel scan: random schedules" `Quick test_parallel_scan_random;
     Alcotest.test_case "effort/APS trade-off (Section 1.1)" `Quick test_tradeoff;
+    Alcotest.test_case "outcome: stall vs round-limit" `Quick
+      test_outcome_distinguishes_stall_from_limit;
     Alcotest.test_case "APS accounting" `Quick test_aps_accounting;
   ]
