@@ -399,7 +399,9 @@ let e9 () =
           Table.fmt_int (Metrics.work r.metrics);
           Table.fmt_int (Metrics.messages r.metrics);
           Table.fmt_int (Metrics.rounds r.metrics);
-          (if r.completed && Metrics.all_units_done r.metrics then "ok" else "FAIL");
+          (if Asim.Event_sim.completed r && Metrics.all_units_done r.metrics
+           then "ok"
+           else "FAIL");
         ])
     [
       (1, 1, 0); (5, 10, 0); (5, 10, 8); (20, 60, 8); (20, 600, 15); (50, 50, 15);
@@ -790,6 +792,76 @@ let e16 () =
     ];
   Table.print ctable
 
+(* ------------------------------------------------------------------ *)
+(* E17: the price of an unreliable network. Hardened async Protocol A
+   (ack/retransmit links + heartbeat detector, no oracle) against the
+   oracle-detector perfect-link baseline, as the link adversary turns up
+   message loss and duplication. Correctness never moves; only the
+   transport overhead (retransmits, acks, beats) and completion time do. *)
+
+let e17 () =
+  let spec = Doall.Spec.make ~n:160 ~t:16 in
+  let crash_at = List.init 8 (fun i -> (i, 25 * (i + 1))) in
+  let table =
+    Table.create
+      ~title:
+        "Unreliable network: hardened async Protocol A vs the perfect-link\n\
+         oracle baseline; n=160 t=16, 8 crashes, max_delay=5 max_lag=10.\n\
+         Loss/dup rates are per message; work must stay flat while only\n\
+         transport costs grow."
+      [ ("link", Table.Left); ("work", Right); ("msgs", Right);
+        ("ticks", Right); ("retransmits", Right); ("acks", Right);
+        ("beats", Right); ("done", Left) ]
+  in
+  let baseline =
+    Asim.Async_protocol_a.run ~crash_at ~max_delay:5 ~max_lag:10 ~seed:17L spec
+  in
+  Table.add_row table
+    [
+      "oracle FD, perfect";
+      Table.fmt_int (Metrics.work baseline.metrics);
+      Table.fmt_int (Metrics.messages baseline.metrics);
+      Table.fmt_int (Metrics.rounds baseline.metrics);
+      "-"; "-"; "-";
+      (if
+         Asim.Event_sim.completed baseline
+         && Metrics.all_units_done baseline.metrics
+       then "ok"
+       else "FAIL");
+    ];
+  List.iter
+    (fun (label, drop_bp, dup_bp, slow_set) ->
+      let link =
+        { Asim.Event_sim.drop_bp; dup_bp; slow_set; slow_factor = 4 }
+      in
+      let stats = Asim.Link.stats () in
+      let r =
+        Asim.Async_protocol_a.run_hardened ~crash_at ~max_delay:5 ~max_lag:10
+          ~seed:17L ~link ~stats spec
+      in
+      Table.add_row table
+        [
+          label;
+          Table.fmt_int (Metrics.work r.metrics);
+          Table.fmt_int (Metrics.messages r.metrics);
+          Table.fmt_int (Metrics.rounds r.metrics);
+          Table.fmt_int stats.retransmits;
+          Table.fmt_int stats.acks_sent;
+          Table.fmt_int stats.beats_sent;
+          (if Asim.Event_sim.completed r && Metrics.all_units_done r.metrics
+           then "ok"
+           else "FAIL");
+        ])
+    [
+      ("hardened, perfect", 0, 0, []);
+      ("5% loss", 500, 0, []);
+      ("15% loss, 5% dup", 1500, 500, []);
+      ("30% loss, 10% dup", 3000, 1000, []);
+      ("30% loss, slow {0,1}", 3000, 0, [ 0; 1 ]);
+    ];
+  print_string "\n== E17 ==\n";
+  Table.print table
+
 let all () =
   e1 (); e2 (); e3 (); e4 (); e5 (); e6 (); e7 (); e8 (); e9 (); e10 ();
-  e11 (); e12 (); e13 (); e14 (); e15 (); e16 ()
+  e11 (); e12 (); e13 (); e14 (); e15 (); e16 (); e17 ()

@@ -128,20 +128,65 @@ let ba_cmd =
 let async_cmd =
   let delay_arg = Arg.(value & opt int 5 & info [ "max-delay" ] ~doc:"Max message delay.") in
   let lag_arg = Arg.(value & opt int 8 & info [ "max-lag" ] ~doc:"Max failure-detector lag.") in
-  let run n t crashes seed max_delay max_lag =
+  let drop_arg =
+    Arg.(value & opt int 0 & info [ "drop" ] ~docv:"BP"
+         ~doc:"Per-message loss probability in basis points (2500 = 25%); pair with --hardened.")
+  in
+  let dup_arg =
+    Arg.(value & opt int 0 & info [ "dup" ] ~docv:"BP"
+         ~doc:"Per-message duplication probability in basis points.")
+  in
+  let slow_arg =
+    Arg.(value & opt_all int [] & info [ "slow" ] ~docv:"PID"
+         ~doc:"Add $(i,PID) to the slow set (repeatable).")
+  in
+  let slow_factor_arg =
+    Arg.(value & opt int 1 & info [ "slow-factor" ] ~docv:"K"
+         ~doc:"Delay bound multiplier for the slow set.")
+  in
+  let hardened_arg =
+    Arg.(value & flag & info [ "hardened" ]
+         ~doc:"Run over ack/retransmit links with organic heartbeat detection instead of the oracle detector. Required for completion under --drop.")
+  in
+  let run n t crashes seed max_delay max_lag drop dup slow slow_factor hardened =
     let spec = D.Spec.make ~n ~t in
-    let r =
-      Asim.Async_protocol_a.run ~crash_at:crashes ~max_delay ~max_lag
-        ~seed:(Int64.of_int seed) spec
+    let link =
+      { Asim.Event_sim.drop_bp = drop; dup_bp = dup; slow_set = slow;
+        slow_factor }
     in
-    Format.printf "%a completed=%b@." Simkit.Metrics.pp_summary r.metrics r.completed;
-    let ok = r.completed && Simkit.Metrics.all_units_done r.metrics in
+    let seed = Int64.of_int seed in
+    let r =
+      if hardened then begin
+        let stats = Asim.Link.stats () in
+        let r =
+          Asim.Async_protocol_a.run_hardened ~crash_at:crashes ~max_delay
+            ~max_lag ~seed ~link ~stats spec
+        in
+        Format.printf
+          "link: sent=%d dropped=%d duplicated=%d retransmits=%d \
+           dups-suppressed=%d suspicions-retracted=%d@."
+          r.Asim.Event_sim.net.sent r.Asim.Event_sim.net.dropped
+          r.Asim.Event_sim.net.duplicated stats.Asim.Link.retransmits
+          stats.Asim.Link.dups_suppressed stats.Asim.Link.recoveries;
+        r
+      end
+      else
+        Asim.Async_protocol_a.run ~crash_at:crashes ~max_delay ~max_lag ~seed
+          ~link spec
+    in
+    Format.printf "%a outcome=%a@." Simkit.Metrics.pp_summary r.metrics
+      Asim.Event_sim.pp_outcome r.outcome;
+    let ok =
+      Asim.Event_sim.completed r && Simkit.Metrics.all_units_done r.metrics
+    in
     Format.printf "verdict: %s@." (if ok then "CORRECT" else "INCORRECT");
     if not ok then exit 1
   in
   Cmd.v
     (Cmd.info "async" ~doc:"Asynchronous Protocol A with a failure detector (Section 2.1)")
-    Term.(const run $ n_arg $ t_arg $ crashes_arg $ seed_arg $ delay_arg $ lag_arg)
+    Term.(
+      const run $ n_arg $ t_arg $ crashes_arg $ seed_arg $ delay_arg $ lag_arg
+      $ drop_arg $ dup_arg $ slow_arg $ slow_factor_arg $ hardened_arg)
 
 let shmem_cmd =
   let algo_arg =
@@ -204,7 +249,7 @@ let bootstrap_cmd =
 
 module Campaign = Simkit.Campaign
 
-let pp_failure ppf (i, (f : Campaign.failure)) =
+let pp_failure ppf (i, (f : Campaign.Schedule.t Campaign.failure)) =
   Format.fprintf ppf "violation #%d: oracle=%s (%s)@." i f.Campaign.oracle
     f.Campaign.detail;
   Format.fprintf ppf "  schedule: %a@." Campaign.Schedule.pp f.Campaign.schedule;
@@ -222,7 +267,7 @@ let write_corpus ~corpus ~protocol ~seed failures =
   if failures <> [] then begin
     if not (Sys.file_exists corpus) then Sys.mkdir corpus 0o755;
     List.iteri
-      (fun i (f : Campaign.failure) ->
+      (fun i (f : Campaign.Schedule.t Campaign.failure) ->
         let path =
           Filename.concat corpus
             (Printf.sprintf "%s-seed%d-%d.sched" protocol seed i)
@@ -351,6 +396,136 @@ let replay_cmd =
        ~doc:"Re-run a serialized campaign schedule and re-judge it with the same oracle stack")
     Term.(const run $ file_arg $ work_cap_arg)
 
+(* ------------------------------------------------------------------ *)
+(* Async campaigns: async-fuzz + async-replay *)
+
+module AF = Asim.Async_fuzz
+
+let pp_async_failure ppf (i, (f : Campaign.Async.t Campaign.failure)) =
+  Format.fprintf ppf "violation #%d: oracle=%s (%s)@." i f.Campaign.oracle
+    f.Campaign.detail;
+  Format.fprintf ppf "  schedule: %a@." Campaign.Async.pp f.Campaign.schedule;
+  Format.fprintf ppf "  shrunk (%d executions): %a (%s)@."
+    f.Campaign.shrink_executions Campaign.Async.pp f.Campaign.shrunk
+    f.Campaign.shrunk_detail
+
+let report_async_subject spec sched =
+  let subject = AF.run_schedule spec sched in
+  Format.printf "  %a outcome=%a@." Simkit.Metrics.pp_summary
+    subject.AF.result.Asim.Event_sim.metrics Asim.Event_sim.pp_outcome
+    subject.AF.result.Asim.Event_sim.outcome
+
+let write_async_corpus ~corpus ~seed failures =
+  if failures <> [] then begin
+    if not (Sys.file_exists corpus) then Sys.mkdir corpus 0o755;
+    List.iteri
+      (fun i (f : Campaign.Async.t Campaign.failure) ->
+        let path =
+          Filename.concat corpus
+            (Printf.sprintf "async-a-seed%d-%d.sched" seed i)
+        in
+        let oc = open_out path in
+        output_string oc (Campaign.Async.print f.Campaign.shrunk);
+        close_out oc;
+        Format.printf "  written: %s@." path)
+      failures
+  end
+
+let async_fuzz_cmd =
+  let executions_arg =
+    Arg.(value & opt int 100 & info [ "executions" ]
+         ~doc:"Random async schedules to run.")
+  in
+  let window_opt_arg =
+    Arg.(value & opt (some int) None & info [ "window" ] ~docv:"TICKS"
+         ~doc:"Crash-tick window (default: twice the failure-free hardened running time).")
+  in
+  let corpus_arg =
+    Arg.(value & opt string "corpus" & info [ "corpus" ] ~docv:"DIR"
+         ~doc:"Directory where shrunk failing schedules are written.")
+  in
+  let work_cap_arg =
+    Arg.(value & opt (some int) None & info [ "work-cap" ] ~docv:"UNITS"
+         ~doc:"Extra oracle asserting total work <= $(i,UNITS). Setting it to n deliberately fails under duplication - the hook for demonstrating shrinking and replay.")
+  in
+  let max_failures_arg =
+    Arg.(value & opt int 3 & info [ "max-failures" ]
+         ~doc:"Stop after this many (shrunk) violations.")
+  in
+  let run n t seed executions window corpus work_cap max_failures =
+    let spec = D.Spec.make ~n ~t in
+    let extra =
+      match work_cap with None -> [] | Some cap -> [ AF.work_cap cap ]
+    in
+    let stats =
+      AF.campaign ~seed:(Int64.of_int seed) ~executions ?window ~extra
+        ~max_failures spec
+    in
+    Format.printf "async campaign: protocol=async-a n=%d t=%d seed=%d@." n t
+      seed;
+    Format.printf "%a@." Campaign.pp_stats stats;
+    List.iteri
+      (fun i f ->
+        Format.printf "%a" pp_async_failure (i, f);
+        report_async_subject spec f.Campaign.shrunk)
+      stats.Campaign.failures;
+    write_async_corpus ~corpus ~seed stats.Campaign.failures;
+    if stats.Campaign.failures <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "async-fuzz"
+       ~doc:"Async adversary campaign: crashes plus message loss/duplication/slowdown against the hardened asynchronous Protocol A, shrinking any violation")
+    Term.(
+      const run $ n_arg $ t_arg $ seed_arg $ executions_arg $ window_opt_arg
+      $ corpus_arg $ work_cap_arg $ max_failures_arg)
+
+let async_replay_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"Async schedule file produced by async-fuzz (or hand-written).")
+  in
+  let work_cap_arg =
+    Arg.(value & opt (some int) None & info [ "work-cap" ] ~docv:"UNITS"
+         ~doc:"Re-add the extra work <= $(i,UNITS) oracle used when the schedule was found.")
+  in
+  let run file work_cap =
+    let ic = open_in file in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    match Campaign.Async.parse text with
+    | Error msg -> prerr_endline ("parse error: " ^ msg); exit 2
+    | Ok sched ->
+        let meta key =
+          match Campaign.Async.meta sched key with
+          | Some v -> v
+          | None ->
+              prerr_endline ("schedule file lacks meta " ^ key);
+              exit 2
+        in
+        let n = int_of_string (meta "n") and t = int_of_string (meta "t") in
+        let spec = D.Spec.make ~n ~t in
+        let subject = AF.run_schedule spec sched in
+        let extra =
+          match work_cap with None -> [] | Some cap -> [ AF.work_cap cap ]
+        in
+        let oracles = AF.oracles () @ extra in
+        Format.printf "async replay: n=%d t=%d schedule: %a@." n t
+          Campaign.Async.pp sched;
+        Format.printf "  %a outcome=%a@." Simkit.Metrics.pp_summary
+          subject.AF.result.Asim.Event_sim.metrics Asim.Event_sim.pp_outcome
+          subject.AF.result.Asim.Event_sim.outcome;
+        (match Campaign.first_failure oracles subject with
+        | None -> Format.printf "verdict: all oracles pass@."
+        | Some (oracle, detail) ->
+            Format.printf "verdict: oracle=%s FAILS (%s)@." oracle detail;
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "async-replay"
+       ~doc:"Re-run a serialized async campaign schedule and re-judge it with the same oracle stack")
+    Term.(const run $ file_arg $ work_cap_arg)
+
 let () =
   let doc = "Do-All protocols of Dwork, Halpern and Waarts (PODC 1992)" in
   exit
@@ -358,4 +533,4 @@ let () =
        (Cmd.group
           (Cmd.info "doall_cli" ~doc)
           [ run_cmd; ba_cmd; async_cmd; shmem_cmd; bootstrap_cmd; fuzz_cmd;
-            replay_cmd ]))
+            replay_cmd; async_fuzz_cmd; async_replay_cmd ]))

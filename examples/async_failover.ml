@@ -12,8 +12,8 @@
 let () =
   let spec = Doall.Spec.make ~n:120 ~t:9 in
   let show label (r : Asim.Event_sim.result) =
-    Format.printf "%-34s %a completed=%b@." label Simkit.Metrics.pp_summary
-      r.metrics r.completed
+    Format.printf "%-34s %a outcome=%a@." label Simkit.Metrics.pp_summary
+      r.metrics Asim.Event_sim.pp_outcome r.outcome
   in
   show "no failures:" (Asim.Async_protocol_a.run ~max_delay:20 ~max_lag:60 spec);
   (* Processes 0..7 die one after another; each takeover is triggered purely
@@ -25,5 +25,17 @@ let () =
      completion time stretches. *)
   show "same, detector 10x slower:"
     (Asim.Async_protocol_a.run ~crash_at ~max_delay:20 ~max_lag:600 spec);
+  (* Drop the oracle detector AND the reliable network: 20% message loss,
+     5% duplication, yet the hardened protocol (ack/retransmit links + a
+     heartbeat detector) still finishes the same failover chain. *)
+  let link =
+    { Asim.Event_sim.perfect_link with drop_bp = 2000; dup_bp = 500 }
+  in
+  let stats = Asim.Link.stats () in
+  show "hardened, 20% loss + dup:"
+    (Asim.Async_protocol_a.run_hardened ~crash_at ~max_delay:20 ~max_lag:60
+       ~link ~stats spec);
+  Format.printf "  (retransmits=%d dups-suppressed=%d)@." stats.retransmits
+    stats.dups_suppressed;
   let grid = Doall.Grid.make spec in
   Format.printf "Theorem 2.3 work budget: %d@." (Doall.Bounds.a_work grid)

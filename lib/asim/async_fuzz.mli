@@ -1,0 +1,88 @@
+(** Fault campaigns for the asynchronous substrate: seeded
+    {!Simkit.Campaign.Async} schedules (crashes + link adversary) run
+    through the hardened asynchronous Protocol A
+    ({!Async_protocol_a.run_hardened}) and judged by an oracle stack, with
+    greedy shrinking of failing schedules.
+
+    This is the asynchronous sibling of [Doall.Fuzz]: the engine is the
+    generic {!Simkit.Campaign}, only the schedule type, the execution
+    function and the oracles differ. [doall_cli async-fuzz] /
+    [doall_cli async-replay] expose it on the command line. *)
+
+module C = Simkit.Campaign
+
+type subject = {
+  result : Event_sim.result;
+  stats : Link.stats;  (** transport + detector observables of the run *)
+  spec : Doall.Spec.t;
+  schedule : C.Async.t;
+}
+
+val default_max_ticks : int
+(** 50_000 — low enough to keep campaigns fast, high enough that every
+    honest schedule completes with a wide margin. *)
+
+val run_schedule : ?max_ticks:int -> Doall.Spec.t -> C.Async.t -> subject
+(** Execute one schedule: hardened async A (organic heartbeat detection,
+    ack/retransmit links) under the schedule's crashes, link adversary,
+    delay bounds and executor seed. Deterministic: equal schedules give
+    equal subjects. *)
+
+(** {1 Oracles}
+
+    Checked in order; a campaign failure names the first violated oracle. *)
+
+val completed : subject C.oracle
+(** Liveness: the run's outcome is [Completed] — every process crashed or
+    terminated within the tick budget. *)
+
+val no_lost_unit : subject C.oracle
+(** Safety: if any process terminated, every unit was performed. A
+    violation means a process declared success while work was missing —
+    lost messages must never masquerade as completed units. *)
+
+val default_grace : int
+
+val detector_complete : ?grace:int -> unit -> subject C.oracle
+(** Detector completeness, judged on non-completed runs: every process
+    still running at the end must have suspected every peer that retired at
+    least [grace] ticks (default {!default_grace}) earlier. Judged from the
+    {!Link.stats.notices} log. *)
+
+val bounded_duplication : subject C.oracle
+(** Work duplication is explained by detection: the worst unit multiplicity
+    is at most [1 + k] where [k] is the number of distinct processes that
+    issued any retirement notice (only a notified process can take over,
+    and each process activates at most once). Reports a margin. *)
+
+val work_cap : int -> subject C.oracle
+(** [work <= cap] (non-positive caps pass trivially) — an intentionally
+    breakable oracle for exercising the find -> shrink -> replay loop. *)
+
+val oracles : ?grace:int -> unit -> subject C.oracle list
+(** The standard stack: {!completed}, {!no_lost_unit},
+    {!detector_complete}, {!bounded_duplication}. *)
+
+(** {1 Campaign driver} *)
+
+val stamp : Doall.Spec.t -> C.Async.t -> C.Async.t
+(** Add replay metadata ([protocol async-a], [n], [t]). *)
+
+val default_window : ?max_ticks:int -> Doall.Spec.t -> int
+(** Crash-tick window: twice the failure-free hardened running time, plus
+    slack. *)
+
+val campaign :
+  ?seed:int64 ->
+  ?executions:int ->
+  ?window:int ->
+  ?grace:int ->
+  ?extra:subject C.oracle list ->
+  ?max_failures:int ->
+  ?shrink_budget:int ->
+  ?max_ticks:int ->
+  Doall.Spec.t ->
+  C.Async.t C.stats
+(** A seeded random campaign of [executions] (default 100) schedules from
+    {!Simkit.Campaign.Async.sample}, judged by {!oracles} plus [extra],
+    each failure shrunk via {!Simkit.Campaign.Async.candidates}. *)

@@ -77,9 +77,32 @@ let aproc spec =
   in
   { Event_sim.a_init; a_handle }
 
-let run ?crash_at ?max_delay ?max_lag ?seed ?false_suspicions spec =
+let run ?crash_at ?max_delay ?max_lag ?seed ?false_suspicions ?link spec =
   let cfg =
     Event_sim.config ?crash_at ?max_delay ?max_lag ?seed ?false_suspicions
-      ~n_processes:(Spec.processes spec) ~n_units:(Spec.n spec) ()
+      ?link ~n_processes:(Spec.processes spec) ~n_units:(Spec.n spec) ()
   in
   Event_sim.run cfg (aproc spec)
+
+let default_heartbeat ~max_delay =
+  (* Period and timeout scale with the delay bound so that defaults stay
+     mostly accurate under moderate loss; false suspicions remain possible
+     (and harmless) by design. *)
+  let period = max 4 (2 * max_delay) in
+  Heartbeat.config ~period ~timeout:(6 * period) ~backoff:2 ()
+
+let run_hardened ?crash_at ?(max_delay = 5) ?max_lag ?seed ?false_suspicions
+    ?link ?link_config ?heartbeat ?stats ?max_ticks spec =
+  let t = Spec.processes spec in
+  let heartbeat =
+    match heartbeat with
+    | Some hb -> hb
+    | None -> default_heartbeat ~max_delay
+  in
+  let cfg =
+    Event_sim.config ?crash_at ~max_delay ?max_lag ?seed ?false_suspicions
+      ?link ?max_ticks ~oracle_detector:false ~n_processes:t
+      ~n_units:(Spec.n spec) ()
+  in
+  Event_sim.run cfg
+    (Link.harden ?config:link_config ~heartbeat ?stats ~n:t (aproc spec))

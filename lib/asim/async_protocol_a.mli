@@ -10,17 +10,52 @@ type msg
 
 val show_msg : msg -> string
 
+type state
+(** Per-process protocol state (awaiting the detector, or mid-script). *)
+
+val aproc : Doall.Spec.t -> (state, msg) Event_sim.aproc
+(** The bare state machine, for wrapping ({!Link.harden}) or custom
+    executor configurations. *)
+
 val run :
   ?crash_at:(Simkit.Types.pid * Event_sim.time) list ->
   ?max_delay:int ->
   ?max_lag:int ->
   ?seed:int64 ->
   ?false_suspicions:(Simkit.Types.pid * Simkit.Types.pid * Event_sim.time) list ->
+  ?link:Event_sim.link ->
   Doall.Spec.t ->
   Event_sim.result
-(** Build and execute the asynchronous Protocol A on an instance. With
-    [false_suspicions] the detector's soundness is deliberately violated:
-    the falsely-convinced process may become active alongside the real one,
-    so work is duplicated — but since the work is idempotent, every unit is
-    still performed (the precise reason Section 2.1 requires soundness is
-    efficiency, not safety). *)
+(** Build and execute the asynchronous Protocol A on an instance, over the
+    oracle detection service. With [false_suspicions] the detector's
+    soundness is deliberately violated: the falsely-convinced process may
+    become active alongside the real one, so work is duplicated — but since
+    the work is idempotent, every unit is still performed (the precise
+    reason Section 2.1 requires soundness is efficiency, not safety). With
+    [link], messages are additionally lost/duplicated/delayed; the
+    takeover chain still completes every unit, at a work and message
+    overhead. *)
+
+val default_heartbeat : max_delay:int -> Heartbeat.config
+(** The heartbeat configuration {!run_hardened} derives from the delay
+    bound: period [max 4 (2 * max_delay)], timeout six periods, backoff 2. *)
+
+val run_hardened :
+  ?crash_at:(Simkit.Types.pid * Event_sim.time) list ->
+  ?max_delay:int ->
+  ?max_lag:int ->
+  ?seed:int64 ->
+  ?false_suspicions:(Simkit.Types.pid * Simkit.Types.pid * Event_sim.time) list ->
+  ?link:Event_sim.link ->
+  ?link_config:Link.config ->
+  ?heartbeat:Heartbeat.config ->
+  ?stats:Link.stats ->
+  ?max_ticks:Event_sim.time ->
+  Doall.Spec.t ->
+  Event_sim.result
+(** Protocol A over {!Link.harden}: ack/retransmit reliable delivery plus
+    an {!Heartbeat} detector instead of the oracle ([oracle_detector] is
+    off — every retirement is detected organically, and suspicions can be
+    organically false). Under a lossy [link] the run still completes every
+    unit with every live process terminating; the overhead relative to a
+    perfect-link run is the price of the unreliable network (bench E17). *)

@@ -23,6 +23,15 @@ type ('s, 'm) aproc = {
   a_handle : pid -> time -> 's -> 'm aevent -> ('s, 'm) aoutcome;
 }
 
+type link = {
+  drop_bp : int;
+  dup_bp : int;
+  slow_set : pid list;
+  slow_factor : int;
+}
+
+let perfect_link = { drop_bp = 0; dup_bp = 0; slow_set = []; slow_factor = 1 }
+
 type config = {
   n_processes : int;
   n_units : int;
@@ -32,19 +41,67 @@ type config = {
   seed : int64;
   max_ticks : time;
   false_suspicions : (pid * pid * time) list;
+  link : link;
+  oracle_detector : bool;
 }
 
 let config ?(crash_at = []) ?(max_delay = 5) ?(max_lag = 8) ?(seed = 1L)
-    ?(max_ticks = 10_000_000) ?(false_suspicions = []) ~n_processes ~n_units () =
-  if max_delay < 1 || max_lag < 1 then invalid_arg "Event_sim.config";
+    ?(max_ticks = 10_000_000) ?(false_suspicions = []) ?(link = perfect_link)
+    ?(oracle_detector = true) ~n_processes ~n_units () =
+  let err fmt = Printf.ksprintf invalid_arg ("Event_sim.config: " ^^ fmt) in
+  if n_processes < 1 then err "n_processes must be >= 1 (got %d)" n_processes;
+  if n_units < 0 then err "n_units must be >= 0 (got %d)" n_units;
+  if max_delay < 1 then err "max_delay must be >= 1 (got %d)" max_delay;
+  if max_lag < 1 then err "max_lag must be >= 1 (got %d)" max_lag;
+  if max_ticks < 1 then err "max_ticks must be >= 1 (got %d)" max_ticks;
+  let in_range pid = pid >= 0 && pid < n_processes in
+  List.iter
+    (fun (pid, at) ->
+      if not (in_range pid) then
+        err "crash_at names pid %d outside [0, %d)" pid n_processes;
+      if at < 0 then err "crash_at time for pid %d is negative (%d)" pid at)
+    crash_at;
+  List.iter
+    (fun (observer, suspect, at) ->
+      if not (in_range observer) then
+        err "false_suspicions observer %d outside [0, %d)" observer n_processes;
+      if not (in_range suspect) then
+        err "false_suspicions suspect %d outside [0, %d)" suspect n_processes;
+      if at < 0 then
+        err "false_suspicions time for (%d, %d) is negative (%d)" observer
+          suspect at)
+    false_suspicions;
+  if link.drop_bp < 0 || link.drop_bp > 9_999 then
+    err "link.drop_bp must lie in [0, 9999] (got %d)" link.drop_bp;
+  if link.dup_bp < 0 || link.dup_bp > 10_000 then
+    err "link.dup_bp must lie in [0, 10000] (got %d)" link.dup_bp;
+  if link.slow_factor < 1 then
+    err "link.slow_factor must be >= 1 (got %d)" link.slow_factor;
+  List.iter
+    (fun pid ->
+      if not (in_range pid) then
+        err "link.slow_set names pid %d outside [0, %d)" pid n_processes)
+    link.slow_set;
   { n_processes; n_units; crash_at; max_delay; max_lag; seed; max_ticks;
-    false_suspicions }
+    false_suspicions; link; oracle_detector }
+
+type run_outcome = Completed | Stalled of time | Tick_limit of time
+
+type net = { sent : int; dropped : int; duplicated : int }
 
 type result = {
   metrics : Simkit.Metrics.t;
   statuses : status array;
-  completed : bool;
+  outcome : run_outcome;
+  net : net;
 }
+
+let completed r = r.outcome = Completed
+
+let pp_outcome ppf = function
+  | Completed -> Format.fprintf ppf "completed"
+  | Stalled t -> Format.fprintf ppf "STALLED@%d" t
+  | Tick_limit t -> Format.fprintf ppf "TICK-LIMIT@%d" t
 
 (* Internal queue items. [Crash_item] realises the crash schedule; the rest
    are process-visible events. *)
@@ -63,6 +120,9 @@ let run cfg proc =
     let existing = Option.value ~default:[] (TMap.find_opt at !queue) in
     queue := TMap.add at (item :: existing) !queue
   in
+  let slow = Array.make t false in
+  List.iter (fun pid -> slow.(pid) <- true) cfg.link.slow_set;
+  let n_sent = ref 0 and n_dropped = ref 0 and n_duplicated = ref 0 in
   (* Crash schedule first so a crash at tick τ precedes deliveries at τ. *)
   List.iter (fun (pid, at) -> push at (Crash_item pid)) cfg.crash_at;
   (* Injected detector unsoundness: a notice about a live process. *)
@@ -77,11 +137,39 @@ let run cfg proc =
   let retire_notify who now =
     (* Failure-detection service: sound by construction (only called on
        actual retirement), complete because every live process gets a
-       notification after a bounded lag. *)
-    for obs = 0 to t - 1 do
-      if obs <> who && alive obs then
-        push (now + 1 + Prng.int g cfg.max_lag) (Ev { dst = obs; ev = Retired_notice who })
-    done
+       notification after a bounded lag. Disabled when the configuration
+       opts for organic detection (Asim.Link heartbeats). *)
+    if cfg.oracle_detector then
+      for obs = 0 to t - 1 do
+        if obs <> who && alive obs then
+          push (now + 1 + Prng.int g cfg.max_lag) (Ev { dst = obs; ev = Retired_notice who })
+      done
+  in
+  let transmit now src dst payload =
+    (* The link adversary: every protocol message may be dropped, duplicated
+       or — when either endpoint belongs to the slow set — delayed up to
+       [slow_factor * max_delay] ticks. Decisions are drawn from the same
+       seeded stream as the delays, so a seed fully determines the run.
+       Drop and duplication draws are skipped entirely at probability zero,
+       keeping perfect-link runs byte-identical to the pre-adversary
+       behaviour. *)
+    incr n_sent;
+    let dropped = cfg.link.drop_bp > 0 && Prng.int g 10_000 < cfg.link.drop_bp in
+    if dropped then incr n_dropped
+    else begin
+      let deliver () =
+        let cap =
+          if slow.(src) || slow.(dst) then cfg.max_delay * cfg.link.slow_factor
+          else cfg.max_delay
+        in
+        push (now + 1 + Prng.int g cap) (Ev { dst; ev = Got { src; payload } })
+      in
+      deliver ();
+      if cfg.link.dup_bp > 0 && Prng.int g 10_000 < cfg.link.dup_bp then begin
+        incr n_duplicated;
+        deliver ()
+      end
+    end
   in
   let handle now dst ev =
     if alive dst then begin
@@ -91,9 +179,7 @@ let run cfg proc =
       List.iter
         (fun (to_, payload) ->
           Simkit.Metrics.record_send metrics dst;
-          if to_ >= 0 && to_ < t then
-            push (now + 1 + Prng.int g cfg.max_delay)
-              (Ev { dst = to_; ev = Got { src = dst; payload } }))
+          if to_ >= 0 && to_ < t then transmit now dst to_ payload)
         o.sends;
       Simkit.Metrics.record_round metrics now;
       if o.terminate then begin
@@ -108,11 +194,14 @@ let run cfg proc =
         | None -> ()
     end
   in
+  let last_tick = ref 0 in
+  let limited = ref false in
   let rec loop () =
     match TMap.min_binding_opt !queue with
     | None -> ()
     | Some (now, items) when now <= cfg.max_ticks ->
         queue := TMap.remove now !queue;
+        last_tick := now;
         (* items were accumulated in reverse insertion order *)
         List.iter
           (fun item ->
@@ -126,8 +215,13 @@ let run cfg proc =
             | Ev { dst; ev } -> handle now dst ev)
           (List.rev items);
         loop ()
-    | Some _ -> ()
+    | Some _ -> limited := true
   in
   loop ();
-  let completed = Array.for_all is_retired statuses in
-  { metrics; statuses; completed }
+  let outcome =
+    if Array.for_all is_retired statuses then Completed
+    else if !limited then Tick_limit cfg.max_ticks
+    else Stalled !last_tick
+  in
+  let net = { sent = !n_sent; dropped = !n_dropped; duplicated = !n_duplicated } in
+  { metrics; statuses; outcome; net }

@@ -13,7 +13,12 @@
       [1, max_lag] ticks. It is {e sound} (never reports a non-retired
       process) and {e complete} (every retirement is eventually reported to
       every live process) — exactly the two properties the asynchronous
-      Protocol A needs. *)
+      Protocol A needs. It can be switched off ([oracle_detector = false])
+      when a protocol brings its own, organically fallible detection
+      ({!Asim.Heartbeat} over {!Asim.Link});
+    - an optional {e link adversary} ({!type:link}) makes message delivery
+      unreliable: seeded per-message loss, duplication, and
+      beyond-[max_delay] delays for a designated slow set. *)
 
 type time = int
 
@@ -39,13 +44,33 @@ type ('s, 'm) aproc = {
   a_handle : Simkit.Types.pid -> time -> 's -> 'm aevent -> ('s, 'm) aoutcome;
 }
 
+type link = {
+  drop_bp : int;
+      (** per-message drop probability in basis points (2500 = 25%); must
+          lie in [0, 9999] so delivery remains possible *)
+  dup_bp : int;
+      (** probability, in basis points, that a delivered message is
+          delivered twice (with an independently drawn second delay) *)
+  slow_set : Simkit.Types.pid list;
+      (** messages to or from these processes draw their delay from
+          [1, slow_factor * max_delay] instead of [1, max_delay] — the
+          "unboundedly late" processes an eventually-perfect detector must
+          tolerate *)
+  slow_factor : int;  (** >= 1; 1 makes the slow set inert *)
+}
+
+val perfect_link : link
+(** No loss, no duplication, no slow set — the pre-adversary behaviour.
+    Runs under [perfect_link] are byte-identical (same seed, same delivery
+    order, same metrics) to runs that predate the link adversary. *)
+
 type config = {
   n_processes : int;
   n_units : int;
   crash_at : (Simkit.Types.pid * time) list;  (** silent crashes *)
   max_delay : int;  (** message delays drawn from [1, max_delay] *)
   max_lag : int;  (** detector lags drawn from [1, max_lag] *)
-  seed : int64;  (** drives the delay/lag adversary *)
+  seed : int64;  (** drives the delay/lag/link adversary *)
   max_ticks : time;
   false_suspicions : (Simkit.Types.pid * Simkit.Types.pid * time) list;
       (** (observer, suspect, time): deliver a [Retired_notice suspect] to
@@ -54,6 +79,12 @@ type config = {
           it ("the mechanism must be sound"). With false suspicions two
           processes can be active at once; idempotence keeps the run
           correct, but work and messages are duplicated. *)
+  link : link;
+  oracle_detector : bool;
+      (** when [false], the built-in sound-and-complete detection service is
+          silent: no [Retired_notice] is generated for real retirements, and
+          processes must detect failures themselves (e.g. {!Asim.Heartbeat}
+          timeouts). [false_suspicions] are injected regardless. *)
 }
 
 val config :
@@ -63,15 +94,44 @@ val config :
   ?seed:int64 ->
   ?max_ticks:time ->
   ?false_suspicions:(Simkit.Types.pid * Simkit.Types.pid * time) list ->
+  ?link:link ->
+  ?oracle_detector:bool ->
   n_processes:int ->
   n_units:int ->
   unit ->
   config
+(** Validates every field and raises [Invalid_argument] with a descriptive
+    message on: [n_processes < 1], [n_units < 0], [max_delay < 1],
+    [max_lag < 1], [max_ticks < 1], a [crash_at] or [false_suspicions]
+    entry naming an out-of-range pid or a negative time, [drop_bp] outside
+    [0, 9999], [dup_bp] outside [0, 10000], [slow_factor < 1], or a
+    [slow_set] pid out of range. *)
+
+type run_outcome =
+  | Completed  (** every process retired (crashed or terminated) *)
+  | Stalled of time
+      (** live processes remain but the event queue ran dry — no pending
+          delivery, continuation, crash or notice could ever wake them: an
+          algorithm (or detector) liveness bug. The payload is the last
+          tick at which anything happened. *)
+  | Tick_limit of time  (** the [max_ticks] guard fired *)
+
+type net = {
+  sent : int;  (** protocol messages handed to the link (valid dst) *)
+  dropped : int;  (** messages the link adversary lost *)
+  duplicated : int;  (** extra copies the link adversary delivered *)
+}
 
 type result = {
   metrics : Simkit.Metrics.t;  (** rounds = final tick *)
   statuses : Simkit.Types.status array;
-  completed : bool;  (** all processes retired before [max_ticks] *)
+  outcome : run_outcome;
+  net : net;
 }
+
+val completed : result -> bool
+(** [outcome = Completed]. *)
+
+val pp_outcome : Format.formatter -> run_outcome -> unit
 
 val run : config -> ('s, 'm) aproc -> result

@@ -1,0 +1,93 @@
+open Simkit.Types
+
+type time = int
+
+type config = { period : int; timeout : int; backoff : int; max_timeout : int }
+
+let config ?(period = 8) ?(timeout = 48) ?(backoff = 2) ?(max_timeout = 100_000)
+    () =
+  let err fmt = Printf.ksprintf invalid_arg ("Heartbeat.config: " ^^ fmt) in
+  if period < 1 then err "period must be >= 1 (got %d)" period;
+  if timeout < period then
+    err "timeout (%d) must be >= period (%d), else every peer is suspected \
+         immediately" timeout period;
+  if backoff < 1 then err "backoff must be >= 1 (got %d)" backoff;
+  if max_timeout < timeout then
+    err "max_timeout (%d) must be >= timeout (%d)" max_timeout timeout;
+  { period; timeout; backoff; max_timeout }
+
+(* One monitor instance, owned by one process. [deadline.(q) = None] means q
+   is not monitored (it is [me], was stopped, or is currently suspected). *)
+type t = {
+  cfg : config;
+  me : pid;
+  n : int;
+  mutable next_beat : time;
+  deadline : time option array;
+  timeout : int array;
+  suspected : bool array;
+  stopped : bool array;
+}
+
+let create ?(config = config ()) ~me ~n ~now () =
+  if n < 1 then invalid_arg "Heartbeat.create: n must be >= 1";
+  if me < 0 || me >= n then invalid_arg "Heartbeat.create: me out of range";
+  let t =
+    {
+      cfg = config;
+      me;
+      n;
+      next_beat = now;
+      deadline = Array.make n None;
+      timeout = Array.make n config.timeout;
+      suspected = Array.make n false;
+      stopped = Array.make n false;
+    }
+  in
+  for q = 0 to n - 1 do
+    if q <> me then t.deadline.(q) <- Some (now + config.timeout)
+  done;
+  t
+
+let suspected t q = t.suspected.(q)
+
+let suspects t =
+  List.filter (fun q -> t.suspected.(q)) (List.init t.n Fun.id)
+
+let stop t q =
+  t.stopped.(q) <- true;
+  t.deadline.(q) <- None
+
+let next_deadline t =
+  Array.fold_left
+    (fun acc d -> match d with Some d when d < acc -> d | _ -> acc)
+    t.next_beat t.deadline
+
+let tick t ~now =
+  let newly = ref [] in
+  for q = t.n - 1 downto 0 do
+    match t.deadline.(q) with
+    | Some d when d <= now ->
+        t.suspected.(q) <- true;
+        t.deadline.(q) <- None;
+        newly := q :: !newly
+    | _ -> ()
+  done;
+  let beat = now >= t.next_beat in
+  if beat then t.next_beat <- now + t.cfg.period;
+  (!newly, beat)
+
+let alive_evidence t ~src ~now =
+  if src = t.me || src < 0 || src >= t.n || t.stopped.(src) then false
+  else begin
+    let recovered = t.suspected.(src) in
+    if recovered then begin
+      (* A false suspicion: the peer is slower than our current timeout.
+         Back the timeout off so the detector is eventually accurate. *)
+      t.suspected.(src) <- false;
+      t.timeout.(src) <-
+        min t.cfg.max_timeout (t.timeout.(src) * t.cfg.backoff)
+    end;
+    t.deadline.(src) <- Some (now + t.timeout.(src));
+    recovered
+  end

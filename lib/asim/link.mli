@@ -1,0 +1,91 @@
+(** Reliable, idempotent delivery over {!Event_sim}'s unreliable links:
+    positive acknowledgments, retransmission with exponential backoff, and
+    sequence-number deduplication — plus, optionally, an {!Heartbeat}
+    failure detector replacing the simulator's oracle notification service.
+
+    [harden] is a combinator: it wraps any [('s, 'm) Event_sim.aproc] into
+    an aproc speaking ['m wire] whose inner protocol observes the same
+    interface as before — [Got] events carry the original payloads, at most
+    once each, and [Retired_notice] events arrive either from the oracle
+    (pass-through) or from heartbeat timeouts (organic, possibly {e false}
+    under loss or slow links; the wrapped protocol must tolerate unsound
+    suspicion, which the paper's idempotent work model does by design).
+
+    Mechanics worth knowing:
+    - every inner send becomes a [Data] packet with a fresh sequence number,
+      retransmitted on a backoff schedule until acked or until the
+      destination is believed retired;
+    - receivers ack every [Data] (including duplicates — the previous ack
+      may have been lost) and deliver each sequence number to the inner
+      protocol at most once;
+    - inner termination is {e held} while packets are still in flight: the
+      wrapper drains (keeps retransmitting and heartbeating) and terminates
+      only once every pending packet is acked or addressed to a peer
+      believed retired. This is what lets a final broadcast survive loss.
+    - any arriving packet counts as evidence of life for its sender; if the
+      sender was falsely suspected, the suspicion is retracted
+      ({!Heartbeat.alive_evidence}) and sends to it resume. The inner
+      protocol is never "un-notified" — by Section 2.1's own argument it
+      must already tolerate duplicated activity, not corrupted work.
+    - sends addressed to peers currently believed retired are skipped
+      outright; a false belief can therefore lose an inner message
+      permanently, and recovery relies on the wrapped protocol's takeover
+      redundancy (Protocol A reissues knowledge on every takeover). *)
+
+open Simkit.Types
+
+type time = int
+
+type config = {
+  rto : int;  (** initial retransmission timeout (ticks) *)
+  backoff : int;  (** timeout multiplier per retransmission *)
+  max_rto : int;  (** backoff cap *)
+}
+
+val config : ?rto:int -> ?backoff:int -> ?max_rto:int -> unit -> config
+(** Defaults: rto 16, backoff 2, max_rto 2048. Raises [Invalid_argument]
+    on [rto < 1], [backoff < 1] or [max_rto < rto]. *)
+
+type stats = {
+  mutable data_sent : int;  (** first transmissions of inner messages *)
+  mutable retransmits : int;
+  mutable acks_sent : int;
+  mutable beats_sent : int;
+  mutable dups_suppressed : int;
+      (** [Data] arrivals whose sequence number was already delivered *)
+  mutable recoveries : int;  (** suspicions retracted by later evidence *)
+  mutable notices : (pid * pid * time) list;
+      (** every (observer, suspect, tick) retirement notification handed to
+          an inner protocol — oracle-relayed or heartbeat-derived. The
+          campaign oracles judge detector completeness and suspicion
+          accuracy from this log. *)
+}
+
+val stats : unit -> stats
+(** A fresh all-zero record. One [stats] may be shared by every process of
+    a run (the simulator is single-threaded). *)
+
+type 'm wire = Data of { seq : int; payload : 'm } | Ack of int | Beat
+
+val show_wire : ('m -> string) -> 'm wire -> string
+
+type ('s, 'm) state
+(** Wrapper state: inner state plus transport bookkeeping. *)
+
+val inner_state : ('s, 'm) state -> 's
+val in_flight : ('s, 'm) state -> int
+(** Unacked packets currently being retransmitted. *)
+
+val harden :
+  ?config:config ->
+  ?heartbeat:Heartbeat.config ->
+  ?stats:stats ->
+  n:int ->
+  ('s, 'm) Event_sim.aproc ->
+  (('s, 'm) state, 'm wire) Event_sim.aproc
+(** [harden ~n inner] wraps [inner] (for an [n]-process run). With
+    [?heartbeat] the wrapper broadcasts heartbeats and derives
+    [Retired_notice] events from {!Heartbeat} timeouts — run it with
+    [oracle_detector = false] for fully organic detection. Without
+    [?heartbeat] the wrapper only adds reliable delivery and relays oracle
+    notices unchanged. *)

@@ -155,7 +155,8 @@ let campaign ?(seed = 1L) ?(executions = 200) ?window ?(extra = [])
   C.run
     ~run:(run_schedule spec proto)
     ~oracles:(oracles spec ~protocol:proto.Protocol.name @ extra)
-    ?max_failures ?shrink_budget (List.to_seq schedules)
+    ~candidates:C.schedule_candidates ?max_failures ?shrink_budget
+    (List.to_seq schedules)
 
 let exhaustive_campaign ?window ?round_step ?modes ?(extra = []) ?max_failures
     ?shrink_budget spec proto =
@@ -175,4 +176,4 @@ let exhaustive_campaign ?window ?round_step ?modes ?(extra = []) ?max_failures
   C.run
     ~run:(run_schedule spec proto)
     ~oracles:(oracles spec ~protocol:proto.Protocol.name @ extra)
-    ?max_failures ?shrink_budget schedules
+    ~candidates:C.schedule_candidates ?max_failures ?shrink_budget schedules

@@ -47,7 +47,7 @@ val campaign :
   ?shrink_budget:int ->
   Spec.t ->
   Protocol.t ->
-  C.stats
+  C.Schedule.t C.stats
 (** Seeded-random campaign: [executions] (default 200) schedules from
     {!Simkit.Campaign.sample} with crash rounds in [0, window] (default:
     twice the failure-free running time), judged by {!oracles} plus
@@ -62,7 +62,7 @@ val exhaustive_campaign :
   ?shrink_budget:int ->
   Spec.t ->
   Protocol.t ->
-  C.stats
+  C.Schedule.t C.stats
 (** Bounded model check: every schedule from {!Simkit.Campaign.exhaustive}
     (default modes {!Simkit.Campaign.default_modes}; default [round_step]
     chosen so the grid has at most 8 positions). Keep instances tiny. *)

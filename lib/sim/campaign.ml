@@ -265,30 +265,13 @@ let first_failure oracles r =
 (* ------------------------------------------------------------------ *)
 (* Shrinking *)
 
-let shrink ~run ~oracles ~oracle ?(budget = 500) sched0 =
-  let target = List.find_opt (fun o -> o.name = oracle) oracles in
-  let runs = ref 0 in
-  let last_detail = ref "" in
-  let still_fails s =
-    match target with
-    | None -> false
-    | Some o ->
-        if !runs >= budget then false
-        else begin
-          incr runs;
-          match o.check (run s) with
-          | Fail d ->
-              last_detail := d;
-              true
-          | Pass | Pass_margin _ -> false
-        end
-  in
-  (* record the detail of the starting point (and sanity-check it fails) *)
-  ignore (still_fails sched0);
-  let remove l i = List.filteri (fun j _ -> j <> i) l in
+let remove_at l i = List.filteri (fun j _ -> j <> i) l
+
+let schedule_candidates =
+  let remove = remove_at in
   let replace l i e = List.mapi (fun j x -> if j = i then e else x) l in
   let with_entries s entries = { s with Schedule.entries } in
-  let candidates (s : Schedule.t) : Schedule.t Seq.t =
+  fun (s : Schedule.t) : Schedule.t Seq.t ->
     let es = s.entries in
     let n = List.length es in
     (* 1. drop a victim outright *)
@@ -334,7 +317,27 @@ let shrink ~run ~oracles ~oracle ?(budget = 500) sched0 =
         (Seq.init n Fun.id)
     in
     Seq.append drops (Seq.append weakenings delays)
+
+let shrink ~run ~oracles ~oracle ~candidates ?(budget = 500) sched0 =
+  let target = List.find_opt (fun o -> o.name = oracle) oracles in
+  let runs = ref 0 in
+  let last_detail = ref "" in
+  let still_fails s =
+    match target with
+    | None -> false
+    | Some o ->
+        if !runs >= budget then false
+        else begin
+          incr runs;
+          match o.check (run s) with
+          | Fail d ->
+              last_detail := d;
+              true
+          | Pass | Pass_margin _ -> false
+        end
   in
+  (* record the detail of the starting point (and sanity-check it fails) *)
+  ignore (still_fails sched0);
   let rec improve s =
     match Seq.find still_fails (candidates s) with
     | Some better -> improve better
@@ -346,23 +349,24 @@ let shrink ~run ~oracles ~oracle ?(budget = 500) sched0 =
 (* ------------------------------------------------------------------ *)
 (* Campaign runner *)
 
-type failure = {
-  schedule : Schedule.t;
+type 'a failure = {
+  schedule : 'a;
   oracle : string;
   detail : string;
-  shrunk : Schedule.t;
+  shrunk : 'a;
   shrunk_detail : string;
   shrink_executions : int;
 }
 
-type stats = {
+type 'a stats = {
   schedules : int;
   executions : int;
-  failures : failure list;
+  failures : 'a failure list;
   margins : (string * float) list;
 }
 
-let run ~run:exec ~oracles ?(max_failures = 3) ?(shrink_budget = 500) schedules =
+let run ~run:exec ~oracles ~candidates ?(max_failures = 3)
+    ?(shrink_budget = 500) schedules =
   let n_schedules = ref 0 in
   let executions = ref 0 in
   let failures = ref [] in
@@ -396,7 +400,8 @@ let run ~run:exec ~oracles ?(max_failures = 3) ?(shrink_budget = 500) schedules 
          | None -> ()
          | Some (oracle, detail) ->
              let shrunk, shrunk_detail, spent =
-               shrink ~run:exec ~oracles ~oracle ~budget:shrink_budget sched
+               shrink ~run:exec ~oracles ~oracle ~candidates
+                 ~budget:shrink_budget sched
              in
              executions := !executions + spent;
              failures :=
@@ -426,3 +431,229 @@ let pp_stats ppf s =
       (fun (name, m) -> Format.fprintf ppf " %s=%.2f" name m)
       s.margins
   end
+
+(* ------------------------------------------------------------------ *)
+(* Asynchronous schedules *)
+
+module Async = struct
+  type crash = { victim : pid; at : int }
+
+  type t = {
+    meta : (string * string) list;
+    crashes : crash list;
+    drop_bp : int;
+    dup_bp : int;
+    slow_set : pid list;
+    slow_factor : int;
+    max_delay : int;
+    max_lag : int;
+    seed : int64;
+  }
+
+  let make ?(meta = []) ?(crashes = []) ?(drop_bp = 0) ?(dup_bp = 0)
+      ?(slow_set = []) ?(slow_factor = 1) ?(max_delay = 5) ?(max_lag = 3)
+      ?(seed = 1L) () =
+    {
+      meta;
+      crashes;
+      drop_bp;
+      dup_bp;
+      slow_set;
+      slow_factor;
+      max_delay;
+      max_lag;
+      seed;
+    }
+
+  let meta t key = List.assoc_opt key t.meta
+
+  let add_meta t bindings =
+    let replaced =
+      List.map
+        (fun (k, v) ->
+          match List.assoc_opt k bindings with Some v' -> (k, v') | None -> (k, v))
+        t.meta
+    in
+    let fresh =
+      List.filter (fun (k, _) -> not (List.mem_assoc k t.meta)) bindings
+    in
+    { t with meta = replaced @ fresh }
+
+  let csv_of_pids = function
+    | [] -> "-"
+    | l -> String.concat "," (List.map string_of_int l)
+
+  let print t =
+    let b = Buffer.create 256 in
+    Buffer.add_string b "async-schedule v1\n";
+    List.iter
+      (fun (k, v) -> Buffer.add_string b (Printf.sprintf "meta %s %s\n" k v))
+      t.meta;
+    Buffer.add_string b
+      (Printf.sprintf "link drop %d dup %d\n" t.drop_bp t.dup_bp);
+    Buffer.add_string b
+      (Printf.sprintf "slow %s factor %d\n" (csv_of_pids t.slow_set)
+         t.slow_factor);
+    Buffer.add_string b
+      (Printf.sprintf "delay %d lag %d\n" t.max_delay t.max_lag);
+    Buffer.add_string b (Printf.sprintf "seed %Ld\n" t.seed);
+    List.iter
+      (fun c ->
+        Buffer.add_string b (Printf.sprintf "crash %d @%d\n" c.victim c.at))
+      t.crashes;
+    Buffer.add_string b "end\n";
+    Buffer.contents b
+
+  let parse text =
+    let err lineno msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+    let int_tok lineno what s k =
+      match int_of_string_opt s with
+      | Some i -> k i
+      | None -> err lineno (Printf.sprintf "expected %s, got %S" what s)
+    in
+    let pids_tok lineno s k =
+      if s = "-" then k []
+      else
+        let rec go acc = function
+          | [] -> k (List.rev acc)
+          | p :: rest -> int_tok lineno "pid" p (fun i -> go (i :: acc) rest)
+        in
+        go [] (String.split_on_char ',' s)
+    in
+    let lines = String.split_on_char '\n' text in
+    let strip s =
+      let s =
+        if String.length s > 0 && s.[String.length s - 1] = '\r' then
+          String.sub s 0 (String.length s - 1)
+        else s
+      in
+      String.trim s
+    in
+    let rec body lineno acc = function
+      | [] -> Error "missing final \"end\" line"
+      | raw :: rest -> (
+          let line = strip raw in
+          if line = "" || line.[0] = '#' then body (lineno + 1) acc rest
+          else if line = "end" then
+            Ok
+              { acc with
+                meta = List.rev acc.meta;
+                crashes = List.rev acc.crashes }
+          else
+            let toks =
+              String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+            in
+            match toks with
+            | "meta" :: key :: rest_toks ->
+                body (lineno + 1)
+                  { acc with meta = (key, String.concat " " rest_toks) :: acc.meta }
+                  rest
+            | [ "link"; "drop"; d; "dup"; u ] ->
+                int_tok lineno "drop basis points" d (fun drop_bp ->
+                    int_tok lineno "dup basis points" u (fun dup_bp ->
+                        body (lineno + 1) { acc with drop_bp; dup_bp } rest))
+            | [ "slow"; pids; "factor"; f ] ->
+                pids_tok lineno pids (fun slow_set ->
+                    int_tok lineno "slow factor" f (fun slow_factor ->
+                        body (lineno + 1) { acc with slow_set; slow_factor } rest))
+            | [ "delay"; d; "lag"; l ] ->
+                int_tok lineno "max delay" d (fun max_delay ->
+                    int_tok lineno "max lag" l (fun max_lag ->
+                        body (lineno + 1) { acc with max_delay; max_lag } rest))
+            | [ "seed"; s ] -> (
+                match Int64.of_string_opt s with
+                | Some seed -> body (lineno + 1) { acc with seed } rest
+                | None -> err lineno (Printf.sprintf "expected seed, got %S" s))
+            | [ "crash"; pid; at ] when String.length at > 1 && at.[0] = '@' ->
+                int_tok lineno "pid" pid (fun victim ->
+                    int_tok lineno "tick"
+                      (String.sub at 1 (String.length at - 1))
+                      (fun at ->
+                        body (lineno + 1)
+                          { acc with crashes = { victim; at } :: acc.crashes }
+                          rest))
+            | _ -> err lineno (Printf.sprintf "unrecognized line %S" line))
+    in
+    let rec header lineno = function
+      | [] -> Error "empty schedule text"
+      | raw :: rest ->
+          let line = strip raw in
+          if line = "" || line.[0] = '#' then header (lineno + 1) rest
+          else if line = "async-schedule v1" then body (lineno + 1) (make ()) rest
+          else err lineno "expected header \"async-schedule v1\""
+    in
+    header 1 lines
+
+  let pp ppf t =
+    Format.fprintf ppf "drop %d.%02d%% dup %d.%02d%%" (t.drop_bp / 100)
+      (t.drop_bp mod 100) (t.dup_bp / 100) (t.dup_bp mod 100);
+    if t.slow_set <> [] then
+      Format.fprintf ppf " slow {%s}x%d" (csv_of_pids t.slow_set) t.slow_factor;
+    Format.fprintf ppf " delay %d lag %d seed %Ld" t.max_delay t.max_lag t.seed;
+    if t.crashes = [] then Format.fprintf ppf " (crash-free)"
+    else
+      List.iter
+        (fun c -> Format.fprintf ppf " crash %d@@%d" c.victim c.at)
+        t.crashes
+
+  let sample g ~t ~window =
+    if t < 1 then invalid_arg "Campaign.Async.sample: t must be >= 1";
+    if window < 0 then invalid_arg "Campaign.Async.sample: negative window";
+    let drop_bp = Prng.int g 3_001 in
+    let dup_bp = Prng.int g 2_001 in
+    let slow_set =
+      List.filter (fun _ -> Prng.int g 4 = 0) (List.init t Fun.id)
+    in
+    let slow_factor = if slow_set = [] then 1 else Prng.int_in g 2 4 in
+    let max_delay = Prng.int_in g 1 6 in
+    let max_lag = Prng.int_in g 1 4 in
+    let victims = Prng.int g t in
+    let pids = Prng.sample_without_replacement g victims t in
+    let crashes =
+      List.map
+        (fun victim -> { victim; at = Prng.int g (max 1 (window + 1)) })
+        pids
+    in
+    let seed = Prng.next_int64 g in
+    make ~crashes ~drop_bp ~dup_bp ~slow_set ~slow_factor ~max_delay ~max_lag
+      ~seed ()
+
+  let candidates (s : t) : t Seq.t =
+    let n = List.length s.crashes in
+    (* 1. drop a crash outright *)
+    let drops =
+      Seq.init n (fun i -> { s with crashes = remove_at s.crashes i })
+    in
+    (* 2. calm the link: no loss, halved loss, no duplication, no slow set *)
+    let link =
+      List.to_seq
+        ((if s.drop_bp > 0 then
+            [ { s with drop_bp = 0 }; { s with drop_bp = s.drop_bp / 2 } ]
+          else [])
+        @ (if s.dup_bp > 0 then [ { s with dup_bp = 0 } ] else [])
+        @ (if s.slow_set <> [] then
+             { s with slow_set = []; slow_factor = 1 }
+             :: List.mapi
+                  (fun i _ -> { s with slow_set = remove_at s.slow_set i })
+                  s.slow_set
+           else [])
+        @
+        if s.slow_factor > 1 then [ { s with slow_factor = 1 } ] else [])
+    in
+    (* 3. delay the crashes (larger jumps first) *)
+    let delays =
+      Seq.concat_map
+        (fun i ->
+          List.to_seq
+            (List.map
+               (fun d ->
+                 { s with
+                   crashes =
+                     List.mapi
+                       (fun j x -> if j = i then { x with at = x.at + d } else x)
+                       s.crashes })
+               [ 16; 4; 1 ]))
+        (Seq.init n Fun.id)
+    in
+    Seq.append drops (Seq.append link delays)
+end

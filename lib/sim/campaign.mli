@@ -108,48 +108,137 @@ val first_failure : 'r oracle list -> 'r -> (string * string) option
 
 (** {1 Shrinking} *)
 
+val schedule_candidates : Schedule.t -> Schedule.t Seq.t
+(** The shrink moves for round-synchronous schedules, tried in order: drop a
+    victim entirely; widen its delivery cut toward [All] (also
+    [Prefix k → Prefix (k+1)]); let it keep its work; delay its crash
+    round. *)
+
 val shrink :
-  run:(Schedule.t -> 'r) ->
+  run:('a -> 'r) ->
   oracles:'r oracle list ->
   oracle:string ->
+  candidates:('a -> 'a Seq.t) ->
   ?budget:int ->
-  Schedule.t ->
-  Schedule.t * string * int
-(** [shrink ~run ~oracles ~oracle s] greedily minimizes [s] while the named
-    oracle keeps failing. Moves, tried in order with first-improvement
-    restart: drop a victim entirely; widen its delivery cut toward [All]
-    (also [Prefix k → Prefix (k+1)]); let it keep its work; delay its crash
-    round. Returns the reduced schedule, the failure detail it still
-    produces, and the number of executions spent ([budget] caps them,
-    default 500). *)
+  'a ->
+  'a * string * int
+(** [shrink ~run ~oracles ~oracle ~candidates s] greedily minimizes [s]
+    while the named oracle keeps failing, restarting from the first
+    improving candidate. The engine is schedule-agnostic: [candidates]
+    proposes the simplifications ({!schedule_candidates} for round
+    schedules, {!Async.candidates} for asynchronous ones). Returns the
+    reduced schedule, the failure detail it still produces, and the number
+    of executions spent ([budget] caps them, default 500). *)
 
 (** {1 Campaign execution} *)
 
-type failure = {
-  schedule : Schedule.t;  (** as generated *)
+type 'a failure = {
+  schedule : 'a;  (** as generated *)
   oracle : string;  (** first failing oracle *)
   detail : string;
-  shrunk : Schedule.t;  (** locally-minimal counterexample *)
+  shrunk : 'a;  (** locally-minimal counterexample *)
   shrunk_detail : string;
   shrink_executions : int;
 }
 
-type stats = {
+type 'a stats = {
   schedules : int;  (** campaign schedules judged *)
   executions : int;  (** total protocol runs, including shrinking *)
-  failures : failure list;  (** in discovery order *)
+  failures : 'a failure list;  (** in discovery order *)
   margins : (string * float) list;
       (** per oracle, the worst (largest) margin observed on passing runs *)
 }
 
 val run :
-  run:(Schedule.t -> 'r) ->
+  run:('a -> 'r) ->
   oracles:'r oracle list ->
+  candidates:('a -> 'a Seq.t) ->
   ?max_failures:int ->
   ?shrink_budget:int ->
-  Schedule.t Seq.t ->
-  stats
+  'a Seq.t ->
+  'a stats
 (** Execute and judge every schedule; shrink each failure on the spot. Stops
     early once [max_failures] (default 3) failures have been collected. *)
 
-val pp_stats : Format.formatter -> stats -> unit
+val pp_stats : Format.formatter -> 'a stats -> unit
+
+(** {1 Asynchronous schedules} *)
+
+module Async : sig
+  (** A replayable fault schedule for the asynchronous executor
+      ([Asim.Event_sim]): crash ticks plus the link adversary — message
+      loss, duplication and slow endpoints — and the executor seed, so a
+      run is reproduced bit-for-bit. Probabilities are basis points
+      (hundredths of a percent, so 3000 = 30%): integers serialize
+      exactly, floats would not. *)
+
+  type crash = { victim : pid; at : int  (** tick, not round *) }
+
+  type t = {
+    meta : (string * string) list;
+        (** replay context (protocol, n, t, …) under the same token
+            constraints as {!Schedule.t} meta *)
+    crashes : crash list;
+    drop_bp : int;  (** per-message loss probability, basis points *)
+    dup_bp : int;  (** per-message duplication probability, basis points *)
+    slow_set : pid list;  (** endpoints with inflated delay bound *)
+    slow_factor : int;
+    max_delay : int;  (** base delivery bound (ticks) *)
+    max_lag : int;  (** local-step lag bound (ticks) *)
+    seed : int64;  (** executor seed — fixes every adversary coin *)
+  }
+
+  val make :
+    ?meta:(string * string) list ->
+    ?crashes:crash list ->
+    ?drop_bp:int ->
+    ?dup_bp:int ->
+    ?slow_set:pid list ->
+    ?slow_factor:int ->
+    ?max_delay:int ->
+    ?max_lag:int ->
+    ?seed:int64 ->
+    unit ->
+    t
+  (** Defaults: no crashes, perfect link, [max_delay 5], [max_lag 3],
+      [seed 1]. *)
+
+  val meta : t -> string -> string option
+
+  val add_meta : t -> (string * string) list -> t
+  (** Appends bindings, replacing keys already present. *)
+
+  val print : t -> string
+  (** Line-based text format:
+      {v
+      async-schedule v1
+      meta protocol async-a
+      link drop 1200 dup 300
+      slow 1,3 factor 4
+      delay 5 lag 3
+      seed 42
+      crash 0 @17
+      end
+      v}
+      An empty slow set prints as [slow - factor 1]. *)
+
+  val parse : string -> (t, string) result
+  (** Inverse of {!print}: [parse (print s) = Ok s] for every schedule
+      respecting the meta constraints. Blank lines and [#] comments are
+      skipped; [link] / [slow] / [delay] / [seed] lines are each optional
+      (defaulting as in {!make}) and may appear in any order. *)
+
+  val pp : Format.formatter -> t -> unit
+  (** One-line human summary (not the serialization). *)
+
+  val sample : Dhw_util.Prng.t -> t:int -> window:int -> t
+  (** One random async schedule: drop probability up to 30%, duplication up
+      to 20%, each endpoint slow with probability 1/4, 0 to t-1 distinct
+      crash victims with ticks in [0, window], and a fresh executor seed.
+      Deterministic in the generator state. *)
+
+  val candidates : t -> t Seq.t
+  (** Shrink moves, tried in order: drop a crash; calm the link (zero or
+      halve the loss rate, zero the duplication rate, shrink the slow set,
+      reset the slow factor); delay a crash. *)
+end

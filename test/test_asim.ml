@@ -28,7 +28,7 @@ let test_message_delay_bounds () =
   in
   let cfg = E.config ~max_delay:7 ~seed:3L ~n_processes:2 ~n_units:1 () in
   let r = E.run cfg proc in
-  Alcotest.(check bool) "completed" true r.completed;
+  Alcotest.(check bool) "completed" true (E.completed r);
   let d = !got_at - !sent_at in
   Alcotest.(check bool) (Printf.sprintf "delay %d in [1,7]" d) true (d >= 1 && d <= 7)
 
@@ -80,7 +80,7 @@ let test_termination_also_notified () =
   in
   let cfg = E.config ~seed:4L ~n_processes:2 ~n_units:1 () in
   let r = E.run cfg proc in
-  Alcotest.(check bool) "completed" true r.completed;
+  Alcotest.(check bool) "completed" true (E.completed r);
   Alcotest.(check bool) "termination notified" true !saw
 
 let test_continue_scheduling () =
@@ -107,13 +107,13 @@ let test_continue_scheduling () =
   in
   let cfg = E.config ~seed:5L ~n_processes:1 ~n_units:1 () in
   let r = E.run cfg proc in
-  Alcotest.(check bool) "completed" true r.completed;
+  Alcotest.(check bool) "completed" true (E.completed r);
   Alcotest.(check (list int)) "continues every 3 ticks" [ 9; 6; 3 ] !ticks
 
 (* --- asynchronous Protocol A --- *)
 
 let check_async name (r : E.result) =
-  Alcotest.(check bool) (name ^ ": completed") true r.completed;
+  Alcotest.(check bool) (name ^ ": completed") true (E.completed r);
   let survivors =
     Array.fold_left
       (fun acc s -> match s with Simkit.Types.Terminated _ -> acc + 1 | _ -> acc)
@@ -178,6 +178,396 @@ let test_async_a_slow_detector_still_correct () =
   let r = Asim.Async_protocol_a.run ~crash_at ~max_lag:500 spec in
   check_async "slow detector" r
 
+(* --- outcome variants --- *)
+
+let test_outcome_stalled () =
+  (* a process that never terminates and never schedules anything leaves the
+     queue dry: Stalled, not a hang and not Completed *)
+  let proc = unit_proc (fun _ _ () _ -> outcome ()) in
+  let cfg = E.config ~seed:1L ~n_processes:2 ~n_units:1 () in
+  let r = E.run cfg proc in
+  (match r.outcome with
+  | E.Stalled _ -> ()
+  | o -> Alcotest.failf "expected Stalled, got %s" (Format.asprintf "%a" E.pp_outcome o));
+  Alcotest.(check bool) "not completed" false (E.completed r)
+
+let test_outcome_tick_limit () =
+  let proc =
+    unit_proc (fun _ _ () ev ->
+        match ev with
+        | E.Started | E.Continue -> outcome ~continue_after:1 ()
+        | E.Got _ | E.Retired_notice _ -> outcome ())
+  in
+  let cfg = E.config ~seed:1L ~max_ticks:50 ~n_processes:1 ~n_units:1 () in
+  let r = E.run cfg proc in
+  Alcotest.(check bool) "tick limit" true (r.outcome = E.Tick_limit 50)
+
+(* --- config validation --- *)
+
+let test_config_validation () =
+  let contains_sub hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  let expect_invalid name needle f =
+    match f () with
+    | exception Invalid_argument msg ->
+        if not (contains_sub msg needle) then
+          Alcotest.failf "%s: message %S lacks %S" name msg needle
+    | _ -> Alcotest.failf "%s: accepted" name
+  in
+  let base ?crash_at ?max_delay ?max_lag ?false_suspicions ?link () =
+    E.config ?crash_at ?max_delay ?max_lag ?false_suspicions ?link
+      ~n_processes:4 ~n_units:10 ()
+  in
+  expect_invalid "max_delay 0" "max_delay" (fun () -> base ~max_delay:0 ());
+  expect_invalid "max_lag 0" "max_lag" (fun () -> base ~max_lag:0 ());
+  expect_invalid "crash pid range" "crash_at" (fun () ->
+      base ~crash_at:[ (7, 3) ] ());
+  expect_invalid "suspicion observer range" "observer" (fun () ->
+      base ~false_suspicions:[ (9, 0, 3) ] ());
+  expect_invalid "suspicion suspect range" "suspect" (fun () ->
+      base ~false_suspicions:[ (0, -1, 3) ] ());
+  expect_invalid "suspicion negative time" "negative" (fun () ->
+      base ~false_suspicions:[ (0, 1, -2) ] ());
+  expect_invalid "drop_bp 10000" "drop_bp" (fun () ->
+      base ~link:{ E.perfect_link with drop_bp = 10_000 } ());
+  expect_invalid "dup_bp negative" "dup_bp" (fun () ->
+      base ~link:{ E.perfect_link with dup_bp = -1 } ());
+  expect_invalid "slow_factor 0" "slow_factor" (fun () ->
+      base ~link:{ E.perfect_link with slow_factor = 0 } ());
+  expect_invalid "slow pid range" "slow_set" (fun () ->
+      base ~link:{ E.perfect_link with slow_set = [ 4 ] } ())
+
+(* --- link adversary --- *)
+
+let sender_receiver ~on_got =
+  unit_proc (fun pid _ () ev ->
+      match ev with
+      | E.Started ->
+          if pid = 0 then outcome ~sends:[ (1, "x") ] ~terminate:true ()
+          else outcome ()
+      | E.Got _ -> on_got ()
+      | E.Retired_notice _ | E.Continue -> outcome ())
+
+let test_link_drop () =
+  (* with a 99.99% loss rate the single message dies: the receiver is left
+     stranded and the loss is counted *)
+  let proc = sender_receiver ~on_got:(fun () -> outcome ~terminate:true ()) in
+  let link = { E.perfect_link with drop_bp = 9_999 } in
+  let cfg = E.config ~link ~seed:1L ~n_processes:2 ~n_units:1 () in
+  let r = E.run cfg proc in
+  Alcotest.(check int) "dropped" 1 r.net.dropped;
+  Alcotest.(check int) "sent" 1 r.net.sent;
+  match r.outcome with
+  | E.Stalled _ -> ()
+  | _ -> Alcotest.fail "expected a stall after the loss"
+
+let test_link_duplication () =
+  let arrivals = ref 0 in
+  let proc =
+    sender_receiver ~on_got:(fun () ->
+        incr arrivals;
+        outcome ())
+  in
+  let link = { E.perfect_link with dup_bp = 10_000 } in
+  let cfg = E.config ~link ~seed:1L ~n_processes:2 ~n_units:1 () in
+  let r = E.run cfg proc in
+  Alcotest.(check int) "delivered twice" 2 !arrivals;
+  Alcotest.(check int) "duplication counted" 1 r.net.duplicated
+
+let test_link_slow_set_stretches_delays () =
+  (* messages touching the slow set may exceed max_delay (up to the
+     factored bound); fast-path messages never do *)
+  let deliveries = ref [] in
+  let proc =
+    unit_proc (fun pid now () ev ->
+        match ev with
+        | E.Started ->
+            if pid = 0 then
+              outcome ~sends:(List.init 30 (fun _ -> (1, "s"))) ()
+            else if pid = 2 then
+              outcome ~sends:(List.init 30 (fun _ -> (3, "f"))) ()
+            else outcome ()
+        | E.Got { payload; _ } ->
+            deliveries := (payload, now) :: !deliveries;
+            outcome ()
+        | E.Retired_notice _ | E.Continue -> outcome ())
+  in
+  let link = { E.perfect_link with slow_set = [ 1 ]; slow_factor = 10 } in
+  let cfg = E.config ~link ~max_delay:2 ~seed:3L ~n_processes:4 ~n_units:1 () in
+  ignore (E.run cfg proc);
+  let slow = List.filter (fun (p, _) -> p = "s") !deliveries in
+  let fast = List.filter (fun (p, _) -> p = "f") !deliveries in
+  Alcotest.(check int) "all slow messages arrive" 30 (List.length slow);
+  List.iter
+    (fun (_, at) ->
+      if at < 1 || at > 20 then Alcotest.failf "slow delay %d outside [1,20]" at)
+    slow;
+  if not (List.exists (fun (_, at) -> at > 2) slow) then
+    Alcotest.fail "slow set never exceeded max_delay - factor inert?";
+  List.iter
+    (fun (_, at) ->
+      if at < 1 || at > 2 then
+        Alcotest.failf "fast delay %d outside [1,%d]" at 2)
+    fast
+
+(* --- seeded determinism under the full adversary --- *)
+
+let logging log (p : ('s, 'm) E.aproc) =
+  {
+    E.a_init = p.E.a_init;
+    a_handle =
+      (fun pid now st ev ->
+        (match ev with
+        | E.Got { src; _ } -> log := (pid, now, src) :: !log
+        | _ -> ());
+        p.E.a_handle pid now st ev);
+  }
+
+let prop_seed_determinism =
+  Helpers.qcheck_case ~count:25
+    ~name:"event sim: same seed, same delivery order and metrics"
+    QCheck2.Gen.(map Int64.of_int int)
+    (fun seed ->
+      let spec = Helpers.spec ~n:30 ~t:5 in
+      let go () =
+        let log = ref [] in
+        let link =
+          { E.drop_bp = 1_500; dup_bp = 800; slow_set = [ 1 ]; slow_factor = 3 }
+        in
+        let cfg =
+          E.config ~crash_at:[ (0, 25) ] ~max_delay:4 ~seed ~link
+            ~n_processes:5 ~n_units:30 ()
+        in
+        let r = E.run cfg (logging log (Asim.Async_protocol_a.aproc spec)) in
+        let fingerprint =
+          Format.asprintf "%a|%a|%d/%d/%d" Simkit.Metrics.pp_summary r.metrics
+            E.pp_outcome r.outcome r.net.sent r.net.dropped r.net.duplicated
+        in
+        (!log, fingerprint)
+      in
+      let log1, fp1 = go () and log2, fp2 = go () in
+      if fp1 <> fp2 then
+        QCheck2.Test.fail_reportf "metrics diverged:@.%s@.%s" fp1 fp2
+      else if log1 <> log2 then
+        QCheck2.Test.fail_reportf "delivery order diverged (%d vs %d events)"
+          (List.length log1) (List.length log2)
+      else true)
+
+(* --- heartbeat detector --- *)
+
+module H = Asim.Heartbeat
+
+let test_heartbeat_suspects_silent_peer () =
+  let cfg = H.config ~period:4 ~timeout:12 () in
+  let hb = H.create ~config:cfg ~me:0 ~n:3 ~now:0 () in
+  Alcotest.(check int) "first deadline is the beat" 0 (H.next_deadline hb);
+  let newly, beat = H.tick hb ~now:0 in
+  Alcotest.(check (list int)) "nobody suspected yet" [] newly;
+  Alcotest.(check bool) "beat due" true beat;
+  let newly, _ = H.tick hb ~now:11 in
+  Alcotest.(check (list int)) "still within timeout" [] newly;
+  let newly, _ = H.tick hb ~now:12 in
+  Alcotest.(check (list int)) "silent peers suspected" [ 1; 2 ] newly;
+  Alcotest.(check bool) "suspected" true (H.suspected hb 1);
+  Alcotest.(check (list int)) "suspects" [ 1; 2 ] (H.suspects hb)
+
+let test_heartbeat_evidence_retracts_and_backs_off () =
+  let cfg = H.config ~period:4 ~timeout:12 ~backoff:2 () in
+  let hb = H.create ~config:cfg ~me:0 ~n:2 ~now:0 () in
+  ignore (H.tick hb ~now:12);
+  Alcotest.(check bool) "suspected after silence" true (H.suspected hb 1);
+  Alcotest.(check bool) "evidence retracts" true
+    (H.alive_evidence hb ~src:1 ~now:12);
+  Alcotest.(check bool) "no longer suspected" false (H.suspected hb 1);
+  (* timeout doubled: silence of 12 no longer suffices, 24 does *)
+  let newly, _ = H.tick hb ~now:24 in
+  Alcotest.(check (list int)) "within backed-off timeout" [] newly;
+  let newly, _ = H.tick hb ~now:36 in
+  Alcotest.(check (list int)) "suspected at doubled timeout" [ 1 ] newly;
+  (* evidence about self or out-of-range pids is a no-op *)
+  Alcotest.(check bool) "self" false (H.alive_evidence hb ~src:0 ~now:1);
+  Alcotest.(check bool) "out of range" false (H.alive_evidence hb ~src:9 ~now:1)
+
+let test_heartbeat_stop_is_permanent () =
+  let hb = H.create ~me:0 ~n:2 ~now:0 () in
+  H.stop hb 1;
+  let newly, _ = H.tick hb ~now:1_000_000 in
+  Alcotest.(check (list int)) "stopped peer never suspected" [] newly;
+  Alcotest.(check bool) "evidence ignored after stop" false
+    (H.alive_evidence hb ~src:1 ~now:5)
+
+(* --- reliable links (Link.harden) --- *)
+
+module L = Asim.Link
+
+let relay_proc ~delivered =
+  (* 0 sends one payload to 1 and terminates; 1 records it, then lingers
+     30 ticks (so late duplicates/retransmits reach it) before terminating *)
+  unit_proc (fun pid _ () ev ->
+      match ev with
+      | E.Started ->
+          if pid = 0 then outcome ~sends:[ (1, "unit-7") ] ~terminate:true ()
+          else outcome ()
+      | E.Got { payload; _ } ->
+          delivered := payload :: !delivered;
+          outcome ~continue_after:30 ()
+      | E.Continue -> outcome ~terminate:true ()
+      | E.Retired_notice _ -> outcome ())
+
+let test_link_harden_survives_loss () =
+  (* 70% loss: the bare protocol would strand the receiver (cf.
+     test_link_drop); the hardened one retransmits until acked. Across a
+     handful of seeds every run must complete with exactly-once delivery,
+     and the loss must force at least one retransmission somewhere. *)
+  let total_retransmits = ref 0 in
+  for seed = 1 to 8 do
+    let delivered = ref [] in
+    let stats = L.stats () in
+    let hardened = L.harden ~stats ~n:2 (relay_proc ~delivered) in
+    let link = { E.perfect_link with drop_bp = 7_000 } in
+    let cfg = E.config ~link ~seed:(Int64.of_int seed) ~n_processes:2 ~n_units:1 () in
+    let r = E.run cfg hardened in
+    Alcotest.(check bool) (Printf.sprintf "seed %d: completed" seed) true
+      (E.completed r);
+    Alcotest.(check (list string))
+      (Printf.sprintf "seed %d: delivered exactly once" seed)
+      [ "unit-7" ] !delivered;
+    total_retransmits := !total_retransmits + stats.L.retransmits
+  done;
+  Alcotest.(check bool) "retransmissions happened" true (!total_retransmits > 0)
+
+let test_link_harden_dedups_duplicates () =
+  let delivered = ref [] in
+  let stats = L.stats () in
+  let hardened = L.harden ~stats ~n:2 (relay_proc ~delivered) in
+  let link = { E.perfect_link with dup_bp = 10_000 } in
+  let cfg = E.config ~link ~seed:5L ~n_processes:2 ~n_units:1 () in
+  let r = E.run cfg hardened in
+  Alcotest.(check bool) "completed" true (E.completed r);
+  Alcotest.(check (list string)) "inner sees the payload once" [ "unit-7" ]
+    !delivered;
+  Alcotest.(check bool) "duplicates suppressed" true
+    (stats.L.dups_suppressed > 0)
+
+(* --- hardened async Protocol A: the acceptance criterion --- *)
+
+let test_hardened_a_lossy_campaign () =
+  (* drop <= 30%, duplication, a slow process and crashes: the hardened
+     protocol must still complete every unit, with every live process
+     terminating, across seeds *)
+  let spec = Helpers.spec ~n:40 ~t:6 in
+  let link =
+    { E.drop_bp = 3_000; dup_bp = 1_000; slow_set = [ 4 ]; slow_factor = 3 }
+  in
+  for seed = 1 to 10 do
+    let r =
+      Asim.Async_protocol_a.run_hardened
+        ~crash_at:[ (0, 30); (3, 150) ]
+        ~link ~seed:(Int64.of_int seed) ~max_ticks:200_000 spec
+    in
+    let name = Printf.sprintf "seed %d" seed in
+    Alcotest.(check bool) (name ^ ": completed") true (E.completed r);
+    Alcotest.(check bool)
+      (name ^ ": every unit performed")
+      true
+      (Simkit.Metrics.all_units_done r.metrics);
+    Array.iteri
+      (fun pid st ->
+        match st with
+        | Simkit.Types.Terminated _ | Simkit.Types.Crashed _ -> ()
+        | Simkit.Types.Running ->
+            Alcotest.failf "%s: process %d still running" name pid)
+      r.statuses;
+    Alcotest.(check bool)
+      (name ^ ": at least one crash bit")
+      true
+      (Simkit.Metrics.crashes r.metrics >= 1)
+  done
+
+let test_hardened_a_overhead_vs_perfect_link () =
+  (* the price of loss is overhead, never lost units *)
+  let spec = Helpers.spec ~n:60 ~t:6 in
+  let perfect = Asim.Async_protocol_a.run_hardened ~seed:9L spec in
+  let lossy =
+    Asim.Async_protocol_a.run_hardened ~seed:9L
+      ~link:{ E.perfect_link with drop_bp = 2_500; dup_bp = 500 }
+      spec
+  in
+  Alcotest.(check bool) "both complete" true
+    (E.completed perfect && E.completed lossy);
+  Alcotest.(check bool) "both cover all units" true
+    (Simkit.Metrics.all_units_done perfect.metrics
+    && Simkit.Metrics.all_units_done lossy.metrics);
+  Alcotest.(check bool) "loss costs messages" true
+    (Simkit.Metrics.messages lossy.metrics
+    >= Simkit.Metrics.messages perfect.metrics)
+
+(* --- false suspicions: bounded duplication, nothing lost --- *)
+
+let gen_false_suspicion_case =
+  let open QCheck2.Gen in
+  let* observers = shuffle_l [ 1; 2; 3; 4; 5 ] in
+  let* m = int_range 1 3 in
+  let observers = List.sort compare (List.filteri (fun i _ -> i < m) observers) in
+  let* tau = int_range 2 15 in
+  let* seed = map Int64.of_int int in
+  return (observers, tau, seed)
+
+let prop_false_suspicions_duplicate_boundedly =
+  Helpers.qcheck_case ~count:40
+    ~name:"async A: false suspicions duplicate work, boundedly, losing nothing"
+    gen_false_suspicion_case
+    (fun (observers, tau, seed) ->
+      let n = 40 and t = 6 in
+      let spec = Helpers.spec ~n ~t in
+      let m = List.length observers in
+      (* each observer is falsely convinced every lower pid is gone, so it
+         activates alongside the true active process *)
+      let false_suspicions =
+        List.concat_map
+          (fun o -> List.init o (fun p -> (o, p, tau)))
+          observers
+      in
+      (* max_delay 1 keeps the run race-free: a final broadcast always
+         lands before any termination notice, so the only extra actives
+         are the m injected ones and the bounds below are exact *)
+      let r =
+        Asim.Async_protocol_a.run ~max_delay:1 ~seed ~false_suspicions spec
+      in
+      let work = Simkit.Metrics.work r.metrics in
+      let worst_mult = ref 0 in
+      for u = 0 to n - 1 do
+        worst_mult := max !worst_mult (Simkit.Metrics.unit_multiplicity r.metrics u)
+      done;
+      if not (E.completed r) then QCheck2.Test.fail_report "did not complete"
+      else if not (Simkit.Metrics.all_units_done r.metrics) then
+        QCheck2.Test.fail_report "units lost under false suspicion"
+      else if work <= n then
+        QCheck2.Test.fail_reportf "no duplication despite %d false actives" m
+      else if work > n * (1 + m) then
+        QCheck2.Test.fail_reportf "work %d exceeds %d actives x %d units" work
+          (1 + m) n
+      else if !worst_mult > 1 + m then
+        QCheck2.Test.fail_reportf "unit multiplicity %d > 1 + %d" !worst_mult m
+      else true)
+
+(* --- async campaigns stay clean and deterministic --- *)
+
+let test_async_campaign_clean_and_deterministic () =
+  let spec = Helpers.spec ~n:30 ~t:5 in
+  let go () = Asim.Async_fuzz.campaign ~seed:11L ~executions:40 spec in
+  let a = go () in
+  (match a.Simkit.Campaign.failures with
+  | [] -> ()
+  | f :: _ ->
+      Alcotest.failf "async campaign violation: oracle=%s (%s)"
+        f.Simkit.Campaign.oracle f.Simkit.Campaign.detail);
+  Alcotest.(check int) "all judged" 40 a.Simkit.Campaign.schedules;
+  Alcotest.(check bool) "deterministic in seed" true (go () = a)
+
 let suite =
   [
     Alcotest.test_case "message delays bounded" `Quick test_message_delay_bounds;
@@ -190,4 +580,34 @@ let suite =
     Alcotest.test_case "async A: slow detector" `Quick test_async_a_slow_detector_still_correct;
     Alcotest.test_case "async A: unsound detector duplicates work" `Quick
       test_async_a_unsound_detector_duplicates_but_completes;
+    Alcotest.test_case "outcome: stalled runs reported" `Quick
+      test_outcome_stalled;
+    Alcotest.test_case "outcome: tick limit reported" `Quick
+      test_outcome_tick_limit;
+    Alcotest.test_case "config: invalid fields rejected with clear errors"
+      `Quick test_config_validation;
+    Alcotest.test_case "link: loss counted and fatal to bare protocols" `Quick
+      test_link_drop;
+    Alcotest.test_case "link: duplication delivers twice" `Quick
+      test_link_duplication;
+    Alcotest.test_case "link: slow set stretches delays beyond max_delay"
+      `Quick test_link_slow_set_stretches_delays;
+    prop_seed_determinism;
+    Alcotest.test_case "heartbeat: silent peers suspected" `Quick
+      test_heartbeat_suspects_silent_peer;
+    Alcotest.test_case "heartbeat: evidence retracts, timeout backs off"
+      `Quick test_heartbeat_evidence_retracts_and_backs_off;
+    Alcotest.test_case "heartbeat: stop is permanent" `Quick
+      test_heartbeat_stop_is_permanent;
+    Alcotest.test_case "harden: retransmission survives 70% loss" `Quick
+      test_link_harden_survives_loss;
+    Alcotest.test_case "harden: duplicates delivered once" `Quick
+      test_link_harden_dedups_duplicates;
+    Alcotest.test_case "hardened A: lossy campaign completes (acceptance)"
+      `Quick test_hardened_a_lossy_campaign;
+    Alcotest.test_case "hardened A: loss costs overhead, not units" `Quick
+      test_hardened_a_overhead_vs_perfect_link;
+    prop_false_suspicions_duplicate_boundedly;
+    Alcotest.test_case "async campaign: clean and deterministic" `Quick
+      test_async_campaign_clean_and_deterministic;
   ]

@@ -93,6 +93,79 @@ let test_parse_rejects_garbage () =
     bad
 
 (* ------------------------------------------------------------------ *)
+(* Async schedule serialization round-trip *)
+
+let gen_async_schedule =
+  let open Gen in
+  let* meta = gen_meta in
+  let* crashes =
+    list_size (int_bound 4)
+      (map2
+         (fun victim at -> { C.Async.victim; at })
+         (int_bound 9) (int_bound 300))
+  in
+  let* drop_bp = int_bound 3000 in
+  let* dup_bp = int_bound 2000 in
+  let* slow_set = list_size (int_bound 3) (int_bound 9) in
+  let* slow_factor = int_range 1 5 in
+  let* max_delay = int_range 1 8 in
+  let* max_lag = int_range 1 8 in
+  let* seed = map Int64.of_int int in
+  return
+    (C.Async.make ~meta ~crashes ~drop_bp ~dup_bp ~slow_set ~slow_factor
+       ~max_delay ~max_lag ~seed ())
+
+let prop_async_round_trip =
+  Helpers.qcheck_case ~count:500 ~name:"async schedule: parse (print s) = s"
+    gen_async_schedule
+    (fun s ->
+      match C.Async.parse (C.Async.print s) with
+      | Ok s' ->
+          if s' <> s then
+            QCheck2.Test.fail_reportf "round trip changed:@.%s@.->@.%s"
+              (C.Async.print s) (C.Async.print s')
+          else true
+      | Error e -> QCheck2.Test.fail_reportf "parse error: %s" e)
+
+let test_async_parse_tolerates_noise () =
+  let text =
+    "# async counterexample\n\nasync-schedule v1\n  meta protocol async-a\r\n\
+     link drop 1200 dup 50\nslow 1,3 factor 4\n# mid comment\ndelay 3 lag \
+     2\nseed -77\ncrash 0 @17\nend\n"
+  in
+  match C.Async.parse text with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok s ->
+      Alcotest.(check int) "crashes" 1 (List.length s.C.Async.crashes);
+      Alcotest.(check int) "drop" 1200 s.C.Async.drop_bp;
+      Alcotest.(check (list int)) "slow set" [ 1; 3 ] s.C.Async.slow_set;
+      Alcotest.(check int64) "seed" (-77L) s.C.Async.seed;
+      Alcotest.(check (option string))
+        "meta" (Some "async-a")
+        (C.Async.meta s "protocol")
+
+let test_async_parse_rejects_garbage () =
+  let bad =
+    [
+      "";
+      "schedule v1\nend\n";
+      "async-schedule v2\nend\n";
+      "async-schedule v1\ncrash x @1\nend\n";
+      "async-schedule v1\ncrash 1 2\nend\n";
+      "async-schedule v1\nlink drop z dup 0\nend\n";
+      "async-schedule v1\nslow 1;2 factor 1\nend\n";
+      "async-schedule v1\nseed abc\nend\n";
+      "async-schedule v1\ncrash 1 @2\n";
+    ]
+  in
+  List.iter
+    (fun text ->
+      match C.Async.parse text with
+      | Ok _ -> Alcotest.failf "accepted garbage: %S" text
+      | Error _ -> ())
+    bad
+
+(* ------------------------------------------------------------------ *)
 (* Tier-1 bounded campaigns: every protocol of the paper survives the full
    (victim set x crash-round grid x mode) space on a tiny instance. *)
 
@@ -248,6 +321,11 @@ let suite =
       test_parse_tolerates_noise;
     Alcotest.test_case "parse: malformed inputs rejected" `Quick
       test_parse_rejects_garbage;
+    prop_async_round_trip;
+    Alcotest.test_case "async parse: comments/blank/CRLF tolerated" `Quick
+      test_async_parse_tolerates_noise;
+    Alcotest.test_case "async parse: malformed inputs rejected" `Quick
+      test_async_parse_rejects_garbage;
     Alcotest.test_case "A: exhaustive campaign clean, n=4 t=3" `Quick
       test_campaign_a;
     Alcotest.test_case "B: exhaustive campaign clean, n=4 t=3" `Quick
