@@ -9,6 +9,18 @@ module Bounds = Doall.Bounds
 let fmt_ratio v bound =
   if bound = 0 then "-" else Table.fmt_ratio (float_of_int v /. float_of_int bound)
 
+(* Each experiment prints its table and publishes it under a stable id
+   (E1..E17, plus -suffixed sub-tables) so `main.exe --json` can serialize
+   the whole trajectory to BENCH_results.json. *)
+let collected : (string * Table.t) list ref = ref []
+
+let publish id table =
+  Table.print table;
+  collected := (id, table) :: !collected
+
+let reset () = collected := []
+let tables () = List.rev !collected
+
 let run ?fault spec proto = Doall.Runner.run ?fault spec proto
 
 let m_work r = Metrics.work (Doall.Runner.(r.metrics))
@@ -72,7 +84,7 @@ let e_thm_ab ~id ~title proto work_bound msg_bound round_bound =
       Table.add_rule table)
     [ 16; 25; 36; 64; 100 ];
   Printf.printf "\n== %s ==\n" id;
-  Table.print table
+  publish id table
 
 let e1 () =
   e_thm_ab ~id:"E1"
@@ -126,7 +138,7 @@ let e3 () =
       Table.add_rule table)
     [ (4, 16); (8, 24); (16, 24); (32, 10) ];
   print_string "\n== E3 ==\n";
-  Table.print table
+  publish "E3" table
 
 (* ------------------------------------------------------------------ *)
 (* E4: Corollary 3.9 — chunked reporting makes messages independent of n. *)
@@ -153,7 +165,7 @@ let e4 () =
         ])
     [ 8; 16; 24; 32 ];
   print_string "\n== E4 ==\n";
-  Table.print table
+  publish "E4" table
 
 (* ------------------------------------------------------------------ *)
 (* E5: Theorem 4.1 — Protocol D. *)
@@ -201,7 +213,7 @@ let e5 () =
     (Simkit.Fault.crash_silently_at (List.init 15 (fun i -> (i, 2))))
     ~reverted:true;
   print_string "\n== E5 ==\n";
-  Table.print table;
+  publish "E5" table;
   (* the end-of-Section-4 coordinator variant: failure-free messages drop
      from 2t(t-1) to 2(t-1) per phase *)
   let coord_table =
@@ -222,7 +234,7 @@ let e5 () =
   coord_row "failure-free" Simkit.Fault.none;
   coord_row "2 worker crashes" (Simkit.Fault.crash_silently_at [ (3, 5); (9, 30) ]);
   coord_row "coordinator dies (fallback)" (Simkit.Fault.crash_silently_at [ (0, 7) ]);
-  Table.print coord_table
+  publish "E5-coord" coord_table
 
 (* ------------------------------------------------------------------ *)
 (* E6: Section 5 — Byzantine agreement message complexity. *)
@@ -260,13 +272,13 @@ let e6 () =
         ])
     [ (16, 7); (32, 9); (64, 15); (128, 24); (256, 35); (512, 49) ];
   print_string "\n== E6 ==\n";
-  Table.print table
+  publish "E6" table
 
 (* ------------------------------------------------------------------ *)
 (* E7: the Section 1 effort comparison across all protocols. *)
 
 let e7 () =
-  let print_sub title specs protos fault_of =
+  let print_sub ~id title specs protos fault_of =
     let table =
       Table.create ~title
         [ ("protocol", Table.Left); ("n", Right); ("t", Right); ("f", Right);
@@ -290,10 +302,10 @@ let e7 () =
           protos;
         Table.add_rule table)
       specs;
-    Table.print table
+    publish id table
   in
   print_string "\n== E7 ==\n";
-  print_sub
+  print_sub ~id:"E7-ff"
     "Section 1 effort comparison, failure-free (large instances; C excluded: deadlines)"
     [ (400, 16); (1600, 64) ]
     [
@@ -304,7 +316,8 @@ let e7 () =
       Doall.Protocol_d.protocol;
     ]
     (fun _ _ -> Simkit.Fault.none);
-  print_sub "Same, under a takeover storm (kill active every ~n/t units)"
+  print_sub ~id:"E7-storm"
+    "Same, under a takeover storm (kill active every ~n/t units)"
     [ (400, 16); (1600, 64) ]
     [
       Doall.Baseline_trivial.protocol;
@@ -316,7 +329,8 @@ let e7 () =
     (fun n t ->
       Simkit.Fault.crash_active_after_work ~units_between_crashes:(n / t)
         ~max_crashes:(t - 1));
-  print_sub "Small instance including Protocol C variants (staggered crashes)"
+  print_sub ~id:"E7-small"
+    "Small instance including Protocol C variants (staggered crashes)"
     [ (20, 16) ]
     [
       Doall.Baseline_trivial.protocol;
@@ -368,7 +382,7 @@ let e8 () =
     (* n + t <= ~40: the deadline arithmetic caps instance sizes *)
     [ 4; 8; 12; 16; 20 ];
   print_string "\n== E8 ==\n";
-  Table.print table
+  publish "E8" table
 
 (* ------------------------------------------------------------------ *)
 (* E9: the asynchronous Protocol A (Section 2.1). *)
@@ -407,7 +421,7 @@ let e9 () =
       (1, 1, 0); (5, 10, 0); (5, 10, 8); (20, 60, 8); (20, 600, 15); (50, 50, 15);
     ];
   print_string "\n== E9 ==\n";
-  Table.print table
+  publish "E9" table
 
 (* ------------------------------------------------------------------ *)
 (* E10: checkpoint-frequency ablation (the Section 2 motivation). *)
@@ -448,7 +462,7 @@ let e10 () =
       Table.fmt_int (Metrics.effort ra.Doall.Runner.metrics); verdict ra;
     ];
   print_string "\n== E10 ==\n";
-  Table.print table
+  publish "E10" table
 
 (* ------------------------------------------------------------------ *)
 (* E11: message sizes (end of Section 1.1) — count vs width trade-offs. *)
@@ -478,7 +492,7 @@ let e11 () =
         ])
     [ (64, 16); (256, 16); (1024, 64); (4096, 256) ];
   print_string "\n== E11 ==\n";
-  Table.print table
+  publish "E11" table
 
 (* ------------------------------------------------------------------ *)
 (* E12: the √t group-size choice of Section 2, validated by sweeping s. *)
@@ -517,7 +531,7 @@ let e12 () =
         ])
     [ 1; 2; 4; 8; 16; 32; 64 ];
   print_string "\n== E12 ==\n";
-  Table.print table
+  publish "E12" table
 
 (* ------------------------------------------------------------------ *)
 (* E13: Section 1.1 — message passing vs shared memory, effort vs APS. *)
@@ -580,7 +594,7 @@ let e13 () =
         fun ~crash_at ~n ~t () -> Shmem.Writeall.parallel_scan ~crash_at ~n ~t () );
     ];
   print_string "\n== E13 ==\n";
-  Table.print table
+  publish "E13" table
 
 (* ------------------------------------------------------------------ *)
 (* E14: the Section 1 bootstrap — cost at most doubles when the pool is not
@@ -638,7 +652,7 @@ let e14 () =
         ])
     [ (200, 10); (800, 25) ];
   print_string "\n== E14 ==\n";
-  Table.print table
+  publish "E14" table
 
 (* ------------------------------------------------------------------ *)
 (* E15: De Prisco–Mayer–Yung's observation quoted in Section 1.1 — in the
@@ -685,7 +699,7 @@ let e15 () =
       Table.add_rule table)
     [ 16; 32; 64 ];
   print_string "\n== E15 ==\n";
-  Table.print table
+  publish "E15" table
 
 (* ------------------------------------------------------------------ *)
 (* E16: statistical sweep — the single-schedule tables above could hide
@@ -752,7 +766,7 @@ let e16 () =
        Bounds.d_msgs_revert spec ~f:(t - 1), Bounds.d_rounds_revert spec ~f:(t - 1));
     ];
   print_string "\n== E16 ==\n";
-  Table.print table;
+  publish "E16" table;
   (* Adversary campaigns: the silent-crash sweep above is the weakest corner
      of the fault space. Run a seeded Simkit.Campaign per protocol — acting
      crashes with partial-delivery cuts included — and report the campaign
@@ -790,7 +804,7 @@ let e16 () =
       Doall.Protocol_a.protocol; Doall.Protocol_b.protocol;
       Doall.Protocol_d.protocol; Doall.Protocol_d_coord.protocol;
     ];
-  Table.print ctable
+  publish "E16-campaigns" ctable
 
 (* ------------------------------------------------------------------ *)
 (* E17: the price of an unreliable network. Hardened async Protocol A
@@ -860,8 +874,9 @@ let e17 () =
       ("30% loss, slow {0,1}", 3000, 0, [ 0; 1 ]);
     ];
   print_string "\n== E17 ==\n";
-  Table.print table
+  publish "E17" table
 
 let all () =
+  reset ();
   e1 (); e2 (); e3 (); e4 (); e5 (); e6 (); e7 (); e8 (); e9 (); e10 ();
   e11 (); e12 (); e13 (); e14 (); e15 (); e16 (); e17 ()

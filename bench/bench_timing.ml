@@ -52,7 +52,13 @@ let tests =
             (Doall.Baseline_checkpoint.protocol ~period:10)));
   ]
 
-let run () =
+type timing = {
+  benchmark : string;
+  ns_per_run : float;
+  r_square : float option;
+}
+
+let measure () =
   let grouped = Test.make_grouped ~name:"dhw" tests in
   let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:None () in
   let raw = Benchmark.all cfg [ Instance.monotonic_clock ] grouped in
@@ -60,30 +66,39 @@ let run () =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  let table =
-    Dhw_util.Table.create ~title:"Bechamel wall-clock per full run (monotonic clock)"
-      [ ("benchmark", Dhw_util.Table.Left); ("time/run", Right); ("r^2", Right) ]
-  in
   let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
-  List.iter
+  List.map
     (fun (name, ols_result) ->
-      let estimate =
+      let ns_per_run =
         match Analyze.OLS.estimates ols_result with
         | Some (e :: _) -> e
         | _ -> nan
       in
+      { benchmark = name; ns_per_run; r_square = Analyze.OLS.r_square ols_result })
+    (List.sort compare rows)
+
+let print timings =
+  let table =
+    Dhw_util.Table.create ~title:"Bechamel wall-clock per full run (monotonic clock)"
+      [ ("benchmark", Dhw_util.Table.Left); ("time/run", Right); ("r^2", Right) ]
+  in
+  List.iter
+    (fun { benchmark; ns_per_run; r_square } ->
       let pretty =
-        if estimate > 1e9 then Printf.sprintf "%.2f s" (estimate /. 1e9)
-        else if estimate > 1e6 then Printf.sprintf "%.2f ms" (estimate /. 1e6)
-        else if estimate > 1e3 then Printf.sprintf "%.2f us" (estimate /. 1e3)
-        else Printf.sprintf "%.0f ns" estimate
+        if ns_per_run > 1e9 then Printf.sprintf "%.2f s" (ns_per_run /. 1e9)
+        else if ns_per_run > 1e6 then Printf.sprintf "%.2f ms" (ns_per_run /. 1e6)
+        else if ns_per_run > 1e3 then Printf.sprintf "%.2f us" (ns_per_run /. 1e3)
+        else Printf.sprintf "%.0f ns" ns_per_run
       in
       let r2 =
-        match Analyze.OLS.r_square ols_result with
-        | Some r -> Printf.sprintf "%.3f" r
-        | None -> "-"
+        match r_square with Some r -> Printf.sprintf "%.3f" r | None -> "-"
       in
-      Dhw_util.Table.add_row table [ name; pretty; r2 ])
-    (List.sort compare rows);
+      Dhw_util.Table.add_row table [ benchmark; pretty; r2 ])
+    timings;
   print_string "\n== Wall-clock timings ==\n";
   Dhw_util.Table.print table
+
+let run () =
+  let timings = measure () in
+  print timings;
+  timings

@@ -1,17 +1,54 @@
 (* Benchmark harness: regenerates every evaluation claim of the paper
-   (experiments E1-E10, DESIGN.md section 3) and times representative runs
+   (experiments E1-E17, DESIGN.md section 3) and times representative runs
    with Bechamel.
 
-     dune exec bench/main.exe            # all tables + timings
-     dune exec bench/main.exe -- tables  # logical-cost tables only
-     dune exec bench/main.exe -- timing  # Bechamel only *)
+     dune exec bench/main.exe                        # all tables + timings
+     dune exec bench/main.exe -- tables              # logical-cost tables only
+     dune exec bench/main.exe -- timing              # Bechamel only
+     dune exec bench/main.exe -- --json BENCH_results.json
+                                  # also write the dhw-bench/v1 document *)
+
+module J = Dhw_util.Jsonw
+
+let timing_json (t : Bench_timing.timing) =
+  J.Obj
+    [
+      ("benchmark", J.Str t.Bench_timing.benchmark);
+      ("ns_per_run", J.Float t.Bench_timing.ns_per_run);
+      ( "r_square",
+        match t.Bench_timing.r_square with Some r -> J.Float r | None -> J.Null );
+    ]
 
 let () =
-  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
-  (match what with
-  | "tables" -> Bench_tables.all ()
-  | "timing" -> Bench_timing.run ()
-  | _ ->
-      Bench_tables.all ();
-      Bench_timing.run ());
+  let rec parse what json = function
+    | [] -> (what, json)
+    | [ "--json" ] -> (what, Some "BENCH_results.json")
+    | "--json" :: path :: rest -> parse what (Some path) rest
+    | w :: rest -> parse w json rest
+  in
+  let what, json = parse "all" None (List.tl (Array.to_list Sys.argv)) in
+  if what = "all" || what = "tables" then Bench_tables.all ();
+  let timings =
+    if what = "all" || what = "timing" then Bench_timing.run () else []
+  in
+  (match json with
+  | None -> ()
+  | Some path ->
+      let doc =
+        J.Obj
+          [
+            ("schema", J.Str "dhw-bench/v1");
+            ( "tables",
+              J.Arr
+                (List.map
+                   (fun (id, tbl) -> Dhw_util.Table.to_json ~id tbl)
+                   (Bench_tables.tables ())) );
+            ("timings", J.Arr (List.map timing_json timings));
+          ]
+      in
+      let oc = open_out path in
+      output_string oc (J.pretty doc);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "\nwritten: %s\n" path);
   print_newline ()

@@ -8,6 +8,7 @@
 
 open Cmdliner
 module D = Doall
+module J = Dhw_util.Jsonw
 
 let protocol_of_name name =
   match String.lowercase_ascii name with
@@ -60,41 +61,136 @@ let trace_arg =
   Arg.(value & opt (some int) None & info [ "trace" ] ~docv:"N"
        ~doc:"Print the first $(i,N) trace events.")
 
+let crash_desc = function
+  | [] -> "none"
+  | cs ->
+      "crash "
+      ^ String.concat ", "
+          (List.map (fun (p, r) -> Printf.sprintf "%d@%d" p r) cs)
+
+(* Returns the fault plan plus a stable human-readable summary of it — the
+   latter is embedded in JSON reports so a report identifies its run. *)
 let build_fault ~t ~crashes ~random ~window ~seed ~adversary =
   match (crashes, random, adversary) with
-  | [], None, None -> Simkit.Fault.none
-  | cs, None, None -> Simkit.Fault.crash_silently_at cs
+  | [], None, None -> (Simkit.Fault.none, "none")
+  | cs, None, None -> (Simkit.Fault.crash_silently_at cs, crash_desc cs)
   | [], Some v, None ->
-      Simkit.Fault.random ~seed:(Int64.of_int seed) ~t ~victims:v ~window
+      ( Simkit.Fault.random ~seed:(Int64.of_int seed) ~t ~victims:v ~window,
+        Printf.sprintf "random victims=%d seed=%d window=%d" v seed window )
   | [], None, Some k ->
-      Simkit.Fault.crash_active_after_work ~units_between_crashes:k ~max_crashes:(t - 1)
+      ( Simkit.Fault.crash_active_after_work ~units_between_crashes:k
+          ~max_crashes:(t - 1),
+        Printf.sprintf "kill-active-every %d units" k )
   | _ -> failwith "combine at most one of --crash/--random/--kill-active-every"
+
+let report_arg =
+  Arg.(value & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+       & info [ "report" ] ~docv:"FMT"
+       ~doc:"Output format: $(b,text) (default) or $(b,json) (one dhw-report/v1 document on stdout).")
+
+let events_arg =
+  Arg.(value & opt (some string) None & info [ "events" ] ~docv:"PATH"
+       ~doc:"Stream every execution event to $(i,PATH) as JSON Lines.")
+
+let with_events events f =
+  match events with
+  | None -> f None
+  | Some path ->
+      let oc = open_out path in
+      let r = f (Some (Simkit.Obs.jsonl oc)) in
+      close_out oc;
+      r
+
+let count_status statuses pred =
+  Array.fold_left (fun acc s -> if pred s then acc + 1 else acc) 0 statuses
+
+let status_survivors statuses =
+  count_status statuses (function Simkit.Types.Terminated _ -> true | _ -> false)
+
+let status_crashed statuses =
+  count_status statuses (function Simkit.Types.Crashed _ -> true | _ -> false)
 
 let run_cmd =
   let proto_arg =
     Arg.(value & opt string "A" & info [ "p"; "protocol" ] ~doc:"Protocol (A, B, C, C-chunked, C-naive, D, trivial, checkpoint[:k]).")
   in
-  let run proto n t crashes random window seed adversary trace_n =
+  let run proto n t crashes random window seed adversary trace_n report_fmt
+      events =
     match protocol_of_name proto with
     | Error (`Msg m) -> prerr_endline m; exit 2
     | Ok p ->
         let spec = D.Spec.make ~n ~t in
-        let fault = build_fault ~t ~crashes ~random ~window ~seed ~adversary in
+        let fault, fault_desc =
+          build_fault ~t ~crashes ~random ~window ~seed ~adversary
+        in
         let trace = Option.map (fun _ -> Simkit.Trace.create ()) trace_n in
-        let report = D.Runner.run ~fault ?trace spec p in
-        Format.printf "%a@." D.Runner.pp report;
-        Format.printf "verdict: %s@."
-          (if D.Runner.correct report then "CORRECT" else "INCORRECT");
-        (match (trace, trace_n) with
-        | Some tr, Some limit -> Simkit.Trace.pp ~limit Format.std_formatter tr
-        | _ -> ());
-        if not (D.Runner.correct report) then exit 1
+        let ok =
+          with_events events (fun obs ->
+              let report = D.Runner.run ~fault ?trace ?obs spec p in
+              (match report_fmt with
+              | `Json ->
+                  print_endline
+                    (D.Report.to_string
+                       (D.Report.of_run ~fault:fault_desc report))
+              | `Text ->
+                  Format.printf "%a@." D.Runner.pp report;
+                  Format.printf "verdict: %s@."
+                    (if D.Runner.correct report then "CORRECT"
+                     else "INCORRECT");
+                  (match (trace, trace_n) with
+                  | Some tr, Some limit ->
+                      Simkit.Trace.pp ~limit Format.std_formatter tr
+                  | _ -> ()));
+              D.Runner.correct report)
+        in
+        if not ok then exit 1
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a Do-All protocol under a fault schedule")
     Term.(
       const run $ proto_arg $ n_arg $ t_arg $ crashes_arg $ random_arg
-      $ window_arg $ seed_arg $ adversary_arg $ trace_arg)
+      $ window_arg $ seed_arg $ adversary_arg $ trace_arg $ report_arg
+      $ events_arg)
+
+let timeline_cmd =
+  let proto_arg =
+    Arg.(value & opt string "A" & info [ "p"; "protocol" ] ~doc:"Protocol (A, B, C, C-chunked, C-naive, D, trivial, checkpoint[:k]).")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ]
+         ~doc:"Emit the timeline as JSON (schema dhw-timeline/v1) instead of ASCII sparklines.")
+  in
+  let width_arg =
+    Arg.(value & opt int 64 & info [ "width" ] ~docv:"COLS"
+         ~doc:"Maximum sparkline width; longer runs are bucketed down to it.")
+  in
+  let run proto n t crashes random window seed adversary json width =
+    match protocol_of_name proto with
+    | Error (`Msg m) -> prerr_endline m; exit 2
+    | Ok p ->
+        let spec = D.Spec.make ~n ~t in
+        let fault, fault_desc =
+          build_fault ~t ~crashes ~random ~window ~seed ~adversary
+        in
+        let tl = Simkit.Obs.Timeline.create ~n_processes:t ~n_units:n in
+        let report =
+          D.Runner.run ~fault ~obs:(Simkit.Obs.Timeline.sink tl) spec p
+        in
+        if json then
+          print_endline (J.pretty (Simkit.Obs.Timeline.to_json tl))
+        else begin
+          Format.printf "%s on %a  fault: %s@." report.D.Runner.protocol
+            D.Spec.pp spec fault_desc;
+          Simkit.Obs.Timeline.pp ~width Format.std_formatter tl
+        end;
+        if not (D.Runner.correct report) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:"Run a protocol and render its per-round timeline (ASCII sparklines or JSON)")
+    Term.(
+      const run $ proto_arg $ n_arg $ t_arg $ crashes_arg $ random_arg
+      $ window_arg $ seed_arg $ adversary_arg $ json_arg $ width_arg)
 
 let ba_cmd =
   let value_arg = Arg.(value & opt int 1 & info [ "value" ] ~doc:"General's value.") in
@@ -148,76 +244,145 @@ let async_cmd =
     Arg.(value & flag & info [ "hardened" ]
          ~doc:"Run over ack/retransmit links with organic heartbeat detection instead of the oracle detector. Required for completion under --drop.")
   in
-  let run n t crashes seed max_delay max_lag drop dup slow slow_factor hardened =
+  let run n t crashes seed max_delay max_lag drop dup slow slow_factor hardened
+      report_fmt events =
     let spec = D.Spec.make ~n ~t in
     let link =
       { Asim.Event_sim.drop_bp = drop; dup_bp = dup; slow_set = slow;
         slow_factor }
     in
     let seed = Int64.of_int seed in
+    let stats = if hardened then Some (Asim.Link.stats ()) else None in
     let r =
-      if hardened then begin
-        let stats = Asim.Link.stats () in
-        let r =
-          Asim.Async_protocol_a.run_hardened ~crash_at:crashes ~max_delay
-            ~max_lag ~seed ~link ~stats spec
-        in
-        Format.printf
-          "link: sent=%d dropped=%d duplicated=%d retransmits=%d \
-           dups-suppressed=%d suspicions-retracted=%d@."
-          r.Asim.Event_sim.net.sent r.Asim.Event_sim.net.dropped
-          r.Asim.Event_sim.net.duplicated stats.Asim.Link.retransmits
-          stats.Asim.Link.dups_suppressed stats.Asim.Link.recoveries;
-        r
-      end
-      else
-        Asim.Async_protocol_a.run ~crash_at:crashes ~max_delay ~max_lag ~seed
-          ~link spec
+      with_events events (fun obs ->
+          if hardened then
+            Asim.Async_protocol_a.run_hardened ~crash_at:crashes ~max_delay
+              ~max_lag ~seed ~link ?stats ?obs spec
+          else
+            Asim.Async_protocol_a.run ~crash_at:crashes ~max_delay ~max_lag
+              ~seed ~link ?obs spec)
     in
-    Format.printf "%a outcome=%a@." Simkit.Metrics.pp_summary r.metrics
-      Asim.Event_sim.pp_outcome r.outcome;
     let ok =
       Asim.Event_sim.completed r && Simkit.Metrics.all_units_done r.metrics
     in
-    Format.printf "verdict: %s@." (if ok then "CORRECT" else "INCORRECT");
+    (match report_fmt with
+    | `Json ->
+        let outcome =
+          match r.Asim.Event_sim.outcome with
+          | Asim.Event_sim.Completed -> "completed"
+          | Asim.Event_sim.Stalled t -> Printf.sprintf "stalled@%d" t
+          | Asim.Event_sim.Tick_limit t -> Printf.sprintf "tick-limit@%d" t
+        in
+        let extra =
+          [ ( "net",
+              J.Obj
+                [
+                  ("sent", J.Int r.Asim.Event_sim.net.sent);
+                  ("dropped", J.Int r.Asim.Event_sim.net.dropped);
+                  ("duplicated", J.Int r.Asim.Event_sim.net.duplicated);
+                ] ) ]
+          @
+          match stats with
+          | Some s ->
+              [ ( "link",
+                  J.Obj
+                    [
+                      ("retransmits", J.Int s.Asim.Link.retransmits);
+                      ("dups_suppressed", J.Int s.Asim.Link.dups_suppressed);
+                      ("suspicions_retracted", J.Int s.Asim.Link.recoveries);
+                    ] ) ]
+          | None -> []
+        in
+        let rep =
+          D.Report.make ~kind:"async"
+            ~protocol:(if hardened then "async-a-hardened" else "async-a")
+            ~spec ~fault:(crash_desc crashes) ~metrics:r.metrics ~outcome
+            ~correct:ok ~survivors:(status_survivors r.statuses)
+            ~crashed:(status_crashed r.statuses) ~extra ()
+        in
+        print_endline (D.Report.to_string rep)
+    | `Text ->
+        (match stats with
+        | Some stats ->
+            Format.printf
+              "link: sent=%d dropped=%d duplicated=%d retransmits=%d \
+               dups-suppressed=%d suspicions-retracted=%d@."
+              r.Asim.Event_sim.net.sent r.Asim.Event_sim.net.dropped
+              r.Asim.Event_sim.net.duplicated stats.Asim.Link.retransmits
+              stats.Asim.Link.dups_suppressed stats.Asim.Link.recoveries
+        | None -> ());
+        Format.printf "%a outcome=%a@." Simkit.Metrics.pp_summary r.metrics
+          Asim.Event_sim.pp_outcome r.outcome;
+        Format.printf "verdict: %s@." (if ok then "CORRECT" else "INCORRECT"));
     if not ok then exit 1
   in
   Cmd.v
     (Cmd.info "async" ~doc:"Asynchronous Protocol A with a failure detector (Section 2.1)")
     Term.(
       const run $ n_arg $ t_arg $ crashes_arg $ seed_arg $ delay_arg $ lag_arg
-      $ drop_arg $ dup_arg $ slow_arg $ slow_factor_arg $ hardened_arg)
+      $ drop_arg $ dup_arg $ slow_arg $ slow_factor_arg $ hardened_arg
+      $ report_arg $ events_arg)
 
 let shmem_cmd =
   let algo_arg =
     Arg.(value & opt string "checkpointed" & info [ "a"; "algorithm" ]
          ~doc:"Shared-memory algorithm (checkpointed, parallel-scan).")
   in
-  let run n t algo crashes =
-    let go =
+  let run n t algo crashes report_fmt =
+    let name, go =
       match String.lowercase_ascii algo with
-      | "checkpointed" | "seq" -> Shmem.Writeall.checkpointed ~crash_at:crashes
-      | "parallel-scan" | "scan" -> Shmem.Writeall.parallel_scan ~crash_at:crashes
+      | "checkpointed" | "seq" ->
+          ("checkpointed", Shmem.Writeall.checkpointed ~crash_at:crashes)
+      | "parallel-scan" | "scan" ->
+          ("parallel-scan", Shmem.Writeall.parallel_scan ~crash_at:crashes)
       | other -> prerr_endline ("unknown algorithm: " ^ other); exit 2
     in
     let o = go ~n ~t () in
-    Format.printf
-      "work=%d reads=%d writes=%d effort=%d rounds=%d aps=%d all-done=%b %s@."
-      (Simkit.Metrics.work o.result.metrics)
-      o.result.reads o.result.writes o.effort
-      (Simkit.Metrics.rounds o.result.metrics)
-      o.result.aps
-      (Shmem.Writeall.work_complete o)
-      (match o.result.outcome with
-      | Shmem.Skernel.Completed -> "completed"
-      | Shmem.Skernel.Stalled r -> Printf.sprintf "STALLED@%d" r
-      | Shmem.Skernel.Round_limit r -> Printf.sprintf "ROUND-LIMIT@%d" r);
-    if not (Shmem.Writeall.work_complete o && Shmem.Skernel.completed o.result)
-    then exit 1
+    let ok =
+      Shmem.Writeall.work_complete o && Shmem.Skernel.completed o.result
+    in
+    (match report_fmt with
+    | `Json ->
+        let outcome =
+          match o.result.outcome with
+          | Shmem.Skernel.Completed -> "completed"
+          | Shmem.Skernel.Stalled r -> Printf.sprintf "stalled@%d" r
+          | Shmem.Skernel.Round_limit r -> Printf.sprintf "round-limit@%d" r
+        in
+        let extra =
+          [ ( "shmem",
+              J.Obj
+                [
+                  ("reads", J.Int o.result.reads);
+                  ("writes", J.Int o.result.writes);
+                  ("aps", J.Int o.result.aps);
+                  ("effort", J.Int o.effort);
+                ] ) ]
+        in
+        let rep =
+          D.Report.make ~kind:"shmem" ~protocol:name ~spec:(D.Spec.make ~n ~t)
+            ~fault:(crash_desc crashes) ~metrics:o.result.metrics ~outcome
+            ~correct:ok ~survivors:(status_survivors o.result.statuses)
+            ~crashed:(status_crashed o.result.statuses) ~extra ()
+        in
+        print_endline (D.Report.to_string rep)
+    | `Text ->
+        Format.printf
+          "work=%d reads=%d writes=%d effort=%d rounds=%d aps=%d all-done=%b %s@."
+          (Simkit.Metrics.work o.result.metrics)
+          o.result.reads o.result.writes o.effort
+          (Simkit.Metrics.rounds o.result.metrics)
+          o.result.aps
+          (Shmem.Writeall.work_complete o)
+          (match o.result.outcome with
+          | Shmem.Skernel.Completed -> "completed"
+          | Shmem.Skernel.Stalled r -> Printf.sprintf "STALLED@%d" r
+          | Shmem.Skernel.Round_limit r -> Printf.sprintf "ROUND-LIMIT@%d" r));
+    if not ok then exit 1
   in
   Cmd.v
     (Cmd.info "shmem" ~doc:"Shared-memory Write-All (Section 1.1 comparison)")
-    Term.(const run $ n_arg $ t_arg $ algo_arg $ crashes_arg)
+    Term.(const run $ n_arg $ t_arg $ algo_arg $ crashes_arg $ report_arg)
 
 let bootstrap_cmd =
   let proto_arg =
@@ -263,19 +428,46 @@ let report_subject spec proto sched =
   let subject = D.Fuzz.run_schedule spec proto sched in
   Format.printf "  %a@." D.Runner.pp subject.D.Fuzz.report
 
+(* Per-failure machine-readable companion to the .sched corpus entry: the
+   oracle verdict plus both the original and the shrunk schedule texts. *)
+let write_failure_report ~path ~protocol ~seed ~index ~print
+    (f : _ Campaign.failure) =
+  let oc = open_out path in
+  output_string oc
+    (J.pretty
+       (J.Obj
+          [
+            ("schema", J.Str "dhw-fuzz-failure/v1");
+            ("protocol", J.Str protocol);
+            ("seed", J.Int seed);
+            ("index", J.Int index);
+            ("oracle", J.Str f.Campaign.oracle);
+            ("detail", J.Str f.Campaign.detail);
+            ("schedule", J.Str (print f.Campaign.schedule));
+            ("shrunk", J.Str (print f.Campaign.shrunk));
+            ("shrunk_detail", J.Str f.Campaign.shrunk_detail);
+            ("shrink_executions", J.Int f.Campaign.shrink_executions);
+          ]));
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "  written: %s@." path
+
 let write_corpus ~corpus ~protocol ~seed failures =
   if failures <> [] then begin
     if not (Sys.file_exists corpus) then Sys.mkdir corpus 0o755;
     List.iteri
       (fun i (f : Campaign.Schedule.t Campaign.failure) ->
-        let path =
+        let base =
           Filename.concat corpus
-            (Printf.sprintf "%s-seed%d-%d.sched" protocol seed i)
+            (Printf.sprintf "%s-seed%d-%d" protocol seed i)
         in
+        let path = base ^ ".sched" in
         let oc = open_out path in
         output_string oc (Campaign.Schedule.print f.Campaign.shrunk);
         close_out oc;
-        Format.printf "  written: %s@." path)
+        Format.printf "  written: %s@." path;
+        write_failure_report ~path:(base ^ ".report.json") ~protocol ~seed
+          ~index:i ~print:Campaign.Schedule.print f)
       failures
   end
 
@@ -420,14 +612,16 @@ let write_async_corpus ~corpus ~seed failures =
     if not (Sys.file_exists corpus) then Sys.mkdir corpus 0o755;
     List.iteri
       (fun i (f : Campaign.Async.t Campaign.failure) ->
-        let path =
-          Filename.concat corpus
-            (Printf.sprintf "async-a-seed%d-%d.sched" seed i)
+        let base =
+          Filename.concat corpus (Printf.sprintf "async-a-seed%d-%d" seed i)
         in
+        let path = base ^ ".sched" in
         let oc = open_out path in
         output_string oc (Campaign.Async.print f.Campaign.shrunk);
         close_out oc;
-        Format.printf "  written: %s@." path)
+        Format.printf "  written: %s@." path;
+        write_failure_report ~path:(base ^ ".report.json") ~protocol:"async-a"
+          ~seed ~index:i ~print:Campaign.Async.print f)
       failures
   end
 
@@ -532,5 +726,5 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "doall_cli" ~doc)
-          [ run_cmd; ba_cmd; async_cmd; shmem_cmd; bootstrap_cmd; fuzz_cmd;
-            replay_cmd; async_fuzz_cmd; async_replay_cmd ]))
+          [ run_cmd; timeline_cmd; ba_cmd; async_cmd; shmem_cmd; bootstrap_cmd;
+            fuzz_cmd; replay_cmd; async_fuzz_cmd; async_replay_cmd ]))

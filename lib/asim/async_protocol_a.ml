@@ -77,10 +77,10 @@ let aproc spec =
   in
   { Event_sim.a_init; a_handle }
 
-let run ?crash_at ?max_delay ?max_lag ?seed ?false_suspicions ?link spec =
+let run ?crash_at ?max_delay ?max_lag ?seed ?false_suspicions ?link ?obs spec =
   let cfg =
     Event_sim.config ?crash_at ?max_delay ?max_lag ?seed ?false_suspicions
-      ?link ~n_processes:(Spec.processes spec) ~n_units:(Spec.n spec) ()
+      ?link ?obs ~n_processes:(Spec.processes spec) ~n_units:(Spec.n spec) ()
   in
   Event_sim.run cfg (aproc spec)
 
@@ -92,7 +92,7 @@ let default_heartbeat ~max_delay =
   Heartbeat.config ~period ~timeout:(6 * period) ~backoff:2 ()
 
 let run_hardened ?crash_at ?(max_delay = 5) ?max_lag ?seed ?false_suspicions
-    ?link ?link_config ?heartbeat ?stats ?max_ticks spec =
+    ?link ?link_config ?heartbeat ?stats ?max_ticks ?obs spec =
   let t = Spec.processes spec in
   let heartbeat =
     match heartbeat with
@@ -102,7 +102,7 @@ let run_hardened ?crash_at ?(max_delay = 5) ?max_lag ?seed ?false_suspicions
   let cfg =
     Event_sim.config ?crash_at ~max_delay ?max_lag ?seed ?false_suspicions
       ?link ?max_ticks ~oracle_detector:false ~n_processes:t
-      ~n_units:(Spec.n spec) ()
+      ~n_units:(Spec.n spec) ?obs ()
   in
   Event_sim.run cfg
     (Link.harden ?config:link_config ~heartbeat ?stats ~n:t (aproc spec))

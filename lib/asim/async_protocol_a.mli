@@ -24,6 +24,7 @@ val run :
   ?seed:int64 ->
   ?false_suspicions:(Simkit.Types.pid * Simkit.Types.pid * Event_sim.time) list ->
   ?link:Event_sim.link ->
+  ?obs:Simkit.Obs.sink ->
   Doall.Spec.t ->
   Event_sim.result
 (** Build and execute the asynchronous Protocol A on an instance, over the
@@ -51,6 +52,7 @@ val run_hardened :
   ?heartbeat:Heartbeat.config ->
   ?stats:Link.stats ->
   ?max_ticks:Event_sim.time ->
+  ?obs:Simkit.Obs.sink ->
   Doall.Spec.t ->
   Event_sim.result
 (** Protocol A over {!Link.harden}: ack/retransmit reliable delivery plus

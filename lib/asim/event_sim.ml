@@ -43,11 +43,12 @@ type config = {
   false_suspicions : (pid * pid * time) list;
   link : link;
   oracle_detector : bool;
+  obs : Simkit.Obs.sink option;
 }
 
 let config ?(crash_at = []) ?(max_delay = 5) ?(max_lag = 8) ?(seed = 1L)
     ?(max_ticks = 10_000_000) ?(false_suspicions = []) ?(link = perfect_link)
-    ?(oracle_detector = true) ~n_processes ~n_units () =
+    ?(oracle_detector = true) ?obs ~n_processes ~n_units () =
   let err fmt = Printf.ksprintf invalid_arg ("Event_sim.config: " ^^ fmt) in
   if n_processes < 1 then err "n_processes must be >= 1 (got %d)" n_processes;
   if n_units < 0 then err "n_units must be >= 0 (got %d)" n_units;
@@ -83,7 +84,7 @@ let config ?(crash_at = []) ?(max_delay = 5) ?(max_lag = 8) ?(seed = 1L)
         err "link.slow_set names pid %d outside [0, %d)" pid n_processes)
     link.slow_set;
   { n_processes; n_units; crash_at; max_delay; max_lag; seed; max_ticks;
-    false_suspicions; link; oracle_detector }
+    false_suspicions; link; oracle_detector; obs }
 
 type run_outcome = Completed | Stalled of time | Tick_limit of time
 
@@ -112,6 +113,7 @@ type 'm item =
 let run cfg proc =
   let t = cfg.n_processes in
   let metrics = Simkit.Metrics.create ~n_processes:t ~n_units:cfg.n_units in
+  let emit = match cfg.obs with Some sink -> sink | None -> Simkit.Obs.null in
   let statuses = Array.make t Running in
   let states = Array.init t proc.a_init in
   let g = Prng.create cfg.seed in
@@ -173,18 +175,25 @@ let run cfg proc =
   in
   let handle now dst ev =
     if alive dst then begin
+      emit (Simkit.Obs.Step { pid = dst; at = now });
       let o = proc.a_handle dst now states.(dst) ev in
       states.(dst) <- o.state;
-      List.iter (fun u -> Simkit.Metrics.record_work metrics dst u) o.work;
+      List.iter
+        (fun u ->
+          Simkit.Metrics.record_work metrics dst u;
+          emit (Simkit.Obs.Work { pid = dst; at = now; unit_id = u }))
+        o.work;
       List.iter
         (fun (to_, payload) ->
           Simkit.Metrics.record_send metrics dst;
+          emit (Simkit.Obs.Send { src = dst; dst = to_; at = now; tag = "" });
           if to_ >= 0 && to_ < t then transmit now dst to_ payload)
         o.sends;
       Simkit.Metrics.record_round metrics now;
       if o.terminate then begin
         statuses.(dst) <- Terminated now;
         Simkit.Metrics.record_terminate metrics dst now;
+        emit (Simkit.Obs.Terminate { pid = dst; at = now });
         retire_notify dst now
       end
       else
@@ -210,6 +219,7 @@ let run cfg proc =
                 if alive pid then begin
                   statuses.(pid) <- Crashed now;
                   Simkit.Metrics.record_crash metrics pid now;
+                  emit (Simkit.Obs.Crash { pid; at = now });
                   retire_notify pid now
                 end
             | Ev { dst; ev } -> handle now dst ev)

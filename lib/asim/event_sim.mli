@@ -85,6 +85,10 @@ type config = {
           silent: no [Retired_notice] is generated for real retirements, and
           processes must detect failures themselves (e.g. {!Asim.Heartbeat}
           timeouts). [false_suspicions] are injected regardless. *)
+  obs : Simkit.Obs.sink option;
+      (** structured event sink, fed the same events {!Simkit.Metrics}
+          records, stamped with ticks instead of rounds (see
+          {!Simkit.Obs}) *)
 }
 
 val config :
@@ -96,6 +100,7 @@ val config :
   ?false_suspicions:(Simkit.Types.pid * Simkit.Types.pid * time) list ->
   ?link:link ->
   ?oracle_detector:bool ->
+  ?obs:Simkit.Obs.sink ->
   n_processes:int ->
   n_units:int ->
   unit ->

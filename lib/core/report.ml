@@ -1,0 +1,150 @@
+module J = Dhw_util.Jsonw
+module Metrics = Simkit.Metrics
+
+type bound_check = { check : string; measured : int; bound : int; ok : bool }
+
+type t = {
+  kind : string;
+  protocol : string;
+  spec : Spec.t;
+  fault : string;
+  outcome : string;
+  correct : bool;
+  survivors : int;
+  crashed : int;
+  metrics : Metrics.t;
+  bounds : bound_check list;
+  extra : (string * J.t) list;
+}
+
+(* mirrors Fuzz.normalize (not exported there) *)
+let normalize name =
+  match String.lowercase_ascii name with
+  | "cchunked" -> "c-chunked"
+  | "cnaive" -> "c-naive"
+  | "dcoord" -> "d-coord"
+  | s -> s
+
+let check name measured bound =
+  { check = name; measured; bound; ok = measured <= bound }
+
+let bound_checks spec ~protocol m =
+  let work = Metrics.work m
+  and msgs = Metrics.messages m
+  and rounds = Metrics.rounds m in
+  match normalize protocol with
+  | "a" ->
+      let g = Grid.make spec in
+      [
+        check "work <= Thm 2.3" work (Bounds.a_work g);
+        check "messages <= Thm 2.3" msgs (Bounds.a_msgs g);
+        check "rounds <= Thm 2.3" rounds (Bounds.a_rounds g);
+      ]
+  | "b" ->
+      let g = Grid.make spec in
+      [
+        check "work <= Thm 2.8" work (Bounds.b_work g);
+        check "messages <= Thm 2.8" msgs (Bounds.b_msgs g);
+        check "rounds <= Thm 2.8" rounds (Bounds.b_rounds g);
+      ]
+  | "c" | "c-naive" ->
+      (* the rounds bound (2^(n+t) deadlines) overflows 63 bits *)
+      [
+        check "work <= Thm 3.8" work (Bounds.c_work spec);
+        check "messages <= Thm 3.8" msgs (Bounds.c_msgs spec);
+      ]
+  | "c-chunked" ->
+      [
+        check "work <= Cor 3.9" work (Bounds.c_chunked_work spec);
+        check "messages <= Cor 3.9" msgs (Bounds.c_chunked_msgs spec);
+      ]
+  | "d" ->
+      (* judged against the revert-path envelope with f = observed crashes *)
+      let f = Metrics.crashes m in
+      [
+        check "work <= Thm 4.1 (revert)" work (Bounds.d_work_revert spec);
+        check "messages <= Thm 4.1 (revert)" msgs
+          (Bounds.d_msgs_revert spec ~f);
+        check "rounds <= Thm 4.1 (revert)" rounds
+          (Bounds.d_rounds_revert spec ~f);
+      ]
+  | _ -> []
+
+let make ~kind ~protocol ~spec ?(fault = "none") ~metrics ~outcome ~correct
+    ~survivors ~crashed ?bounds ?(extra = []) () =
+  let bounds =
+    match bounds with
+    | Some b -> b
+    | None ->
+        if kind = "sync" then bound_checks spec ~protocol metrics else []
+  in
+  { kind; protocol; spec; fault; outcome; correct; survivors; crashed;
+    metrics; bounds; extra }
+
+let outcome_string (o : Simkit.Kernel.run_outcome) =
+  match o with
+  | Simkit.Kernel.Completed -> "completed"
+  | Simkit.Kernel.Stalled r -> Printf.sprintf "stalled@%d" r
+  | Simkit.Kernel.Round_limit r -> Printf.sprintf "round-limit@%d" r
+
+let of_run ?fault (r : Runner.report) =
+  make ~kind:"sync" ~protocol:r.protocol ~spec:r.spec ?fault
+    ~metrics:r.metrics ~outcome:(outcome_string r.outcome)
+    ~correct:(Runner.correct r) ~survivors:(Runner.survivors r)
+    ~crashed:(Runner.crashed r) ()
+
+let metrics_json spec m =
+  let per_process =
+    List.init (Metrics.n_processes m) (fun pid ->
+        J.Obj
+          [
+            ("pid", J.Int pid);
+            ("work", J.Int (Metrics.work_by m pid));
+            ("messages", J.Int (Metrics.messages_by m pid));
+          ])
+  in
+  J.Obj
+    [
+      ("work", J.Int (Metrics.work m));
+      ("messages", J.Int (Metrics.messages m));
+      ("effort", J.Int (Metrics.effort m));
+      ("rounds", J.Int (Metrics.rounds m));
+      ("crashes", J.Int (Metrics.crashes m));
+      ("terminated", J.Int (Metrics.terminated m));
+      ("units_covered", J.Int (Metrics.units_covered m));
+      ("units", J.Int (Spec.n spec));
+      ("per_process", J.Arr per_process);
+    ]
+
+let bound_json b =
+  J.Obj
+    [
+      ("check", J.Str b.check);
+      ("measured", J.Int b.measured);
+      ("bound", J.Int b.bound);
+      ("ok", J.Bool b.ok);
+    ]
+
+let to_json r =
+  J.Obj
+    ([
+       ("schema", J.Str "dhw-report/v1");
+       ("kind", J.Str r.kind);
+       ("protocol", J.Str r.protocol);
+       ( "spec",
+         J.Obj
+           [
+             ("n", J.Int (Spec.n r.spec));
+             ("t", J.Int (Spec.processes r.spec));
+           ] );
+       ("fault", J.Str r.fault);
+       ("outcome", J.Str r.outcome);
+       ("correct", J.Bool r.correct);
+       ("survivors", J.Int r.survivors);
+       ("crashed", J.Int r.crashed);
+       ("metrics", metrics_json r.spec r.metrics);
+       ("bounds", J.Arr (List.map bound_json r.bounds));
+     ]
+    @ r.extra)
+
+let to_string r = J.pretty (to_json r)

@@ -1,0 +1,64 @@
+(** Structured run reports: one JSON document per execution, carrying the
+    instance, the fault plan, the paper's cost measures, the correctness
+    verdict, and measured-vs-theorem bound checks.
+
+    Schema [dhw-report/v1]; field order is fixed, so reports from the same
+    run are byte-identical across invocations (the golden test pins this).
+    Emitted by [doall_cli run/async/shmem --report=json] and, per failure,
+    by the fuzz corpora. *)
+
+type bound_check = {
+  check : string;  (** e.g. ["work <= Thm 2.3"] *)
+  measured : int;
+  bound : int;
+  ok : bool;
+}
+
+type t = {
+  kind : string;  (** ["sync"], ["async"], or ["shmem"] *)
+  protocol : string;
+  spec : Spec.t;
+  fault : string;  (** human-readable fault-plan summary; ["none"] *)
+  outcome : string;  (** ["completed"], ["stalled@r"], ["round-limit@r"], … *)
+  correct : bool;
+  survivors : int;
+  crashed : int;
+  metrics : Simkit.Metrics.t;
+  bounds : bound_check list;
+  extra : (string * Dhw_util.Jsonw.t) list;
+      (** kind-specific trailing fields (net counters, shmem cost), appended
+          after the common fields in the given order *)
+}
+
+val bound_checks : Spec.t -> protocol:string -> Simkit.Metrics.t -> bound_check list
+(** The theorem checks applicable to [protocol] (normalized as in the fuzz
+    oracles): Thm 2.3 for A, Thm 2.8 for B, Thm 3.8 / Cor 3.9 for C and
+    chunked C (rounds omitted — the [2^(n+t)] deadline overflows), and the
+    Thm 4.1 revert-path envelope for D with [f] = the crashes that actually
+    occurred. Unknown protocols get no checks. *)
+
+val make :
+  kind:string ->
+  protocol:string ->
+  spec:Spec.t ->
+  ?fault:string ->
+  metrics:Simkit.Metrics.t ->
+  outcome:string ->
+  correct:bool ->
+  survivors:int ->
+  crashed:int ->
+  ?bounds:bound_check list ->
+  ?extra:(string * Dhw_util.Jsonw.t) list ->
+  unit ->
+  t
+(** [?fault] defaults to ["none"]; [?bounds] to {!bound_checks} when [kind]
+    is ["sync"], else to none (the async/shmem substrates measure ticks and
+    accesses the synchronous theorems do not speak about — callers opt in
+    explicitly if they want the work/message checks anyway). *)
+
+val of_run : ?fault:string -> Runner.report -> t
+(** A ["sync"] report from a {!Runner} execution, bounds included. *)
+
+val to_json : t -> Dhw_util.Jsonw.t
+val to_string : t -> string
+(** {!to_json} pretty-printed (2-space indent), no trailing newline. *)

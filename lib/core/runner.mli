@@ -13,6 +13,7 @@ val run :
   ?fault:Simkit.Fault.t ->
   ?max_rounds:int ->
   ?trace:Simkit.Trace.t ->
+  ?obs:Simkit.Obs.sink ->
   Spec.t ->
   Protocol.t ->
   report

@@ -14,12 +14,13 @@ type 'm config = {
   fault : Fault.t;
   max_rounds : round;
   trace : Trace.t option;
+  obs : Obs.sink option;
   show : 'm -> string;
 }
 
-let config ?(fault = Fault.none) ?(max_rounds = max_int / 2) ?trace
+let config ?(fault = Fault.none) ?(max_rounds = max_int / 2) ?trace ?obs
     ?(show = fun _ -> "<msg>") ~n_processes ~n_units () =
-  { n_processes; n_units; fault; max_rounds; trace; show }
+  { n_processes; n_units; fault; max_rounds; trace; obs; show }
 
 let run cfg proc =
   let t = cfg.n_processes in
@@ -39,7 +40,10 @@ let run cfg proc =
   (* Messages in flight: sent during [fst pending], to be delivered at
      [fst pending + 1]. At most one round's worth exists at any time. *)
   let pending : (round * 'm envelope list array) option ref = ref None in
-  let trace_ev e = match cfg.trace with Some tr -> Trace.record tr e | None -> () in
+  let trace_ev e =
+    (match cfg.trace with Some tr -> Trace.record tr e | None -> ());
+    match cfg.obs with Some sink -> sink (Obs.of_trace_event e) | None -> ()
+  in
   let alive pid = statuses.(pid) = Running in
   let next_round () =
     (* Smallest round at which anything can happen. *)

@@ -32,6 +32,9 @@ type 'm config = {
   fault : Fault.t;
   max_rounds : round;  (** hard abort guard; [max_int] for "no limit" *)
   trace : Trace.t option;
+  obs : Obs.sink option;
+      (** structured event sink, fed the same events as [trace] as they
+          happen (see {!Obs}); independent of [trace] *)
   show : 'm -> string;  (** payload printer for traces (unused without) *)
 }
 
@@ -39,13 +42,14 @@ val config :
   ?fault:Fault.t ->
   ?max_rounds:round ->
   ?trace:Trace.t ->
+  ?obs:Obs.sink ->
   ?show:('m -> string) ->
   n_processes:int ->
   n_units:int ->
   unit ->
   'm config
 (** Convenience constructor; defaults: no faults, [max_rounds = max_int / 2],
-    no trace. *)
+    no trace, no observability sink. *)
 
 val run : 'm config -> ('s, 'm) process -> 'm result
 (** Execute until all processes retire, a stall, or the round limit.

@@ -1,0 +1,270 @@
+open Types
+module Jsonw = Dhw_util.Jsonw
+
+type event =
+  | Step of { pid : pid; at : int }
+  | Send of { src : pid; dst : pid; at : int; tag : string }
+  | Drop of { src : pid; dst : pid; at : int; tag : string }
+  | Work of { pid : pid; at : int; unit_id : int }
+  | Crash of { pid : pid; at : int }
+  | Terminate of { pid : pid; at : int }
+
+let at = function
+  | Step { at; _ } | Send { at; _ } | Drop { at; _ } | Work { at; _ }
+  | Crash { at; _ } | Terminate { at; _ } ->
+      at
+
+type sink = event -> unit
+
+let null _ = ()
+
+let tee sinks e = List.iter (fun s -> s e) sinks
+
+let memory () =
+  let acc = ref [] in
+  ((fun e -> acc := e :: !acc), fun () -> List.rev !acc)
+
+let event_to_json e =
+  let open Jsonw in
+  let base ev t rest = ("ev", Str ev) :: ("at", Int t) :: rest in
+  Obj
+    (match e with
+    | Step { pid; at } -> base "step" at [ ("pid", Int pid) ]
+    | Send { src; dst; at; tag } ->
+        base "send" at [ ("src", Int src); ("dst", Int dst); ("tag", Str tag) ]
+    | Drop { src; dst; at; tag } ->
+        base "drop" at [ ("src", Int src); ("dst", Int dst); ("tag", Str tag) ]
+    | Work { pid; at; unit_id } ->
+        base "work" at [ ("pid", Int pid); ("unit", Int unit_id) ]
+    | Crash { pid; at } -> base "crash" at [ ("pid", Int pid) ]
+    | Terminate { pid; at } -> base "terminate" at [ ("pid", Int pid) ])
+
+let jsonl oc e =
+  output_string oc (Jsonw.to_string (event_to_json e));
+  output_char oc '\n'
+
+let of_trace_event : Trace.event -> event = function
+  | Trace.Stepped { pid; round } -> Step { pid; at = round }
+  | Trace.Sent { src; dst; round; what } -> Send { src; dst; at = round; tag = what }
+  | Trace.Dropped { src; dst; round; what } -> Drop { src; dst; at = round; tag = what }
+  | Trace.Worked { pid; round; unit_id } -> Work { pid; at = round; unit_id }
+  | Trace.Crashed_ev { pid; round } -> Crash { pid; at = round }
+  | Trace.Terminated_ev { pid; round } -> Terminate { pid; at = round }
+
+let replay trace sink = List.iter (fun e -> sink (of_trace_event e)) (Trace.events trace)
+
+(* ------------------------------------------------------------------ *)
+(* Timeline: fold the stream into per-round aggregates. *)
+
+module Timeline = struct
+  type cell = {
+    mutable d_steps : int;
+    mutable d_work : int;
+    mutable d_msgs : int;
+    mutable d_drops : int;
+    mutable d_crashes : int;
+    mutable d_terminated : int;
+  }
+
+  type t = {
+    np : int;
+    nu : int;
+    cells : (int, cell) Hashtbl.t;
+    covered_at : int array;  (* first round each unit was performed; -1 = never *)
+  }
+
+  let create ~n_processes ~n_units =
+    {
+      np = n_processes;
+      nu = n_units;
+      cells = Hashtbl.create 64;
+      covered_at = Array.make (max 1 n_units) (-1);
+    }
+
+  let cell t at =
+    match Hashtbl.find_opt t.cells at with
+    | Some c -> c
+    | None ->
+        let c =
+          { d_steps = 0; d_work = 0; d_msgs = 0; d_drops = 0; d_crashes = 0;
+            d_terminated = 0 }
+        in
+        Hashtbl.add t.cells at c;
+        c
+
+  let observe t e =
+    let c = cell t (at e) in
+    match e with
+    | Step _ -> c.d_steps <- c.d_steps + 1
+    | Send _ -> c.d_msgs <- c.d_msgs + 1
+    | Drop _ -> c.d_drops <- c.d_drops + 1
+    | Work { unit_id; at; _ } ->
+        c.d_work <- c.d_work + 1;
+        if unit_id >= 0 && unit_id < t.nu then
+          if t.covered_at.(unit_id) < 0 || t.covered_at.(unit_id) > at then
+            t.covered_at.(unit_id) <- at
+    | Crash _ -> c.d_crashes <- c.d_crashes + 1
+    | Terminate _ -> c.d_terminated <- c.d_terminated + 1
+
+  let sink t = observe t
+
+  type row = {
+    at : int;
+    alive : int;
+    work : int;
+    msgs : int;
+    effort : int;
+    covered : int;
+    crashes : int;
+    terminated : int;
+    d_work : int;
+    d_msgs : int;
+    d_crashes : int;
+    d_terminated : int;
+  }
+
+  let rows t =
+    let ats =
+      Hashtbl.fold (fun k _ acc -> k :: acc) t.cells [] |> List.sort compare
+    in
+    (* first-coverage rounds, ascending, for a single merge pass *)
+    let firsts =
+      Array.to_list t.covered_at
+      |> List.filter (fun r -> r >= 0)
+      |> List.sort compare
+      |> ref
+    in
+    let covered = ref 0 in
+    let work = ref 0 and msgs = ref 0 in
+    let crashes = ref 0 and terminated = ref 0 in
+    List.map
+      (fun at ->
+        let c = Hashtbl.find t.cells at in
+        work := !work + c.d_work;
+        msgs := !msgs + c.d_msgs;
+        crashes := !crashes + c.d_crashes;
+        terminated := !terminated + c.d_terminated;
+        let rec absorb () =
+          match !firsts with
+          | r :: rest when r <= at ->
+              incr covered;
+              firsts := rest;
+              absorb ()
+          | _ -> ()
+        in
+        absorb ();
+        {
+          at;
+          alive = t.np - !crashes - !terminated;
+          work = !work;
+          msgs = !msgs;
+          effort = !work + !msgs;
+          covered = !covered;
+          crashes = !crashes;
+          terminated = !terminated;
+          d_work = c.d_work;
+          d_msgs = c.d_msgs;
+          d_crashes = c.d_crashes;
+          d_terminated = c.d_terminated;
+        })
+      ats
+
+  let final t =
+    match rows t with [] -> None | l -> Some (List.nth l (List.length l - 1))
+
+  let to_json t =
+    let open Jsonw in
+    let row r =
+      Obj
+        [
+          ("at", Int r.at);
+          ("alive", Int r.alive);
+          ("work", Int r.work);
+          ("messages", Int r.msgs);
+          ("effort", Int r.effort);
+          ("covered", Int r.covered);
+          ("crashes", Int r.crashes);
+          ("terminated", Int r.terminated);
+        ]
+    in
+    Obj
+      [
+        ("schema", Str "dhw-timeline/v1");
+        ("processes", Int t.np);
+        ("units", Int t.nu);
+        ("rows", Arr (List.map row (rows t)));
+      ]
+
+  (* ---- ASCII sparklines ---- *)
+
+  let levels = [| '.'; ':'; '-'; '='; '+'; '*'; '#'; '@' |]
+
+  let spark ?max:cap values =
+    let mx =
+      match cap with Some m -> m | None -> List.fold_left max 0 values
+    in
+    let b = Buffer.create (List.length values) in
+    List.iter
+      (fun v ->
+        if v <= 0 || mx <= 0 then Buffer.add_char b '.'
+        else
+          let idx = 1 + ((v - 1) * (Array.length levels - 1) / mx) in
+          Buffer.add_char b levels.(min idx (Array.length levels - 1)))
+      values;
+    Buffer.contents b
+
+  (* Bucket rows down to at most [width] columns: deltas are summed per
+     bucket, cumulative fields take the bucket's last row. *)
+  let bucketed width rows =
+    let n = List.length rows in
+    if n <= width then List.map (fun r -> (r, r.d_work, r.d_msgs, r.d_crashes, r.d_terminated)) rows
+    else
+      let arr = Array.of_list rows in
+      List.init width (fun b ->
+          let lo = b * n / width and hi = ((b + 1) * n / width) - 1 in
+          let hi = max lo hi in
+          let dw = ref 0 and dm = ref 0 and dc = ref 0 and dt = ref 0 in
+          for i = lo to hi do
+            dw := !dw + arr.(i).d_work;
+            dm := !dm + arr.(i).d_msgs;
+            dc := !dc + arr.(i).d_crashes;
+            dt := !dt + arr.(i).d_terminated
+          done;
+          (arr.(hi), !dw, !dm, !dc, !dt))
+
+  let pp ?(width = 64) ppf t =
+    match rows t with
+    | [] -> Format.fprintf ppf "timeline: (no events)@."
+    | rs ->
+        let buckets = bucketed width rs in
+        let first = List.hd rs and last = List.nth rs (List.length rs - 1) in
+        let alive = spark ~max:t.np (List.map (fun (r, _, _, _, _) -> r.alive) buckets) in
+        let workr = spark (List.map (fun (_, dw, _, _, _) -> dw) buckets) in
+        let msgsr = spark (List.map (fun (_, _, dm, _, _) -> dm) buckets) in
+        let cov = spark ~max:(max 1 t.nu) (List.map (fun (r, _, _, _, _) -> r.covered) buckets) in
+        let marks =
+          String.concat ""
+            (List.map
+               (fun (_, _, _, dc, dt) ->
+                 match (dc > 0, dt > 0) with
+                 | true, true -> "!"
+                 | true, false -> "x"
+                 | false, true -> "t"
+                 | false, false -> ".")
+               buckets)
+        in
+        Format.fprintf ppf
+          "timeline: rounds %d..%d, %d active rounds, %d columns (work/msgs \
+           scaled to column max)@."
+          first.at last.at (List.length rs) (List.length buckets);
+        Format.fprintf ppf "  alive   %s  [%d -> %d]@." alive t.np last.alive;
+        Format.fprintf ppf "  work/r  %s@." workr;
+        Format.fprintf ppf "  msgs/r  %s@." msgsr;
+        Format.fprintf ppf "  covered %s  [%d/%d]@." cov last.covered t.nu;
+        Format.fprintf ppf "  marks   %s  (x crash, t terminate, ! both)@." marks;
+        Format.fprintf ppf
+          "  final   work=%d msgs=%d effort=%d covered=%d/%d crashes=%d \
+           terminated=%d@."
+          last.work last.msgs last.effort last.covered t.nu last.crashes
+          last.terminated
+end

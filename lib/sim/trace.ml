@@ -36,5 +36,5 @@ let pp ?limit ppf t =
   let evs = match limit with Some k -> List.filteri (fun i _ -> i < k) evs | None -> evs in
   List.iter (fun e -> Format.fprintf ppf "%a@." pp_event e) evs;
   match limit with
-  | Some k when t.len > k -> Format.fprintf ppf "... (%d more events)@." (t.len - k)
+  | Some k when t.len > k -> Format.fprintf ppf "... (+%d more events)@." (t.len - k)
   | _ -> ()

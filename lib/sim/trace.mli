@@ -24,3 +24,6 @@ val events : t -> event list
 val length : t -> int
 val pp_event : Format.formatter -> event -> unit
 val pp : ?limit:int -> Format.formatter -> t -> unit
+(** Print the first [limit] events (all without); a truncated tail is
+    announced with a ["... (+k more events)"] suffix rather than cut
+    silently. *)

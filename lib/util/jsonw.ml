@@ -1,0 +1,91 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* %.17g round-trips every float but prints 0.1 as 0.10000000000000001;
+   prefer the shortest representation that parses back exactly. *)
+let float_repr f =
+  if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then "null"
+  else if Float.is_integer f && Float.abs f < 1e16 then
+    Printf.sprintf "%.1f" f
+  else
+    let s = Printf.sprintf "%.12g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let rec write ~indent ~level buf j =
+  let nl_pad lv =
+    match indent with
+    | None -> ()
+    | Some n ->
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (String.make (n * lv) ' ')
+  in
+  let sep () = Buffer.add_char buf ':' ; if indent <> None then Buffer.add_char buf ' ' in
+  match j with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | Str s -> escape_to buf s
+  | Arr [] -> Buffer.add_string buf "[]"
+  | Arr items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          nl_pad (level + 1);
+          write ~indent ~level:(level + 1) buf item)
+        items;
+      nl_pad level;
+      Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          nl_pad (level + 1);
+          escape_to buf k;
+          sep ();
+          write ~indent ~level:(level + 1) buf v)
+        fields;
+      nl_pad level;
+      Buffer.add_char buf '}'
+
+let to_buffer ?indent buf j = write ~indent ~level:0 buf j
+
+let to_string j =
+  let buf = Buffer.create 256 in
+  to_buffer buf j;
+  Buffer.contents buf
+
+let pretty ?(indent = 2) j =
+  let buf = Buffer.create 1024 in
+  to_buffer ~indent buf j;
+  Buffer.contents buf
+
+let to_channel ?indent oc j =
+  let buf = Buffer.create 1024 in
+  to_buffer ?indent buf j;
+  Buffer.output_buffer oc buf

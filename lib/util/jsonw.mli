@@ -1,0 +1,35 @@
+(** A tiny dependency-free JSON writer.
+
+    The observability layer (run reports, event streams, bench trajectories)
+    serializes through this module only, so the repo's JSON output has one
+    set of rules: object fields are emitted in the order given (no sorting,
+    no hashing — byte-for-byte deterministic output for a fixed value),
+    strings are escaped per RFC 8259, and non-finite floats become [null]
+    (JSON has no representation for them).
+
+    There is deliberately no parser: the repo emits JSON for external
+    consumers (dashboards, diffing bench trajectories, jq) and never needs
+    to read it back. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+      (** fields are written in list order — keep construction deterministic
+          and the serialized bytes are deterministic *)
+
+val to_string : t -> string
+(** Compact (single-line) rendering, suitable for JSONL streams. *)
+
+val pretty : ?indent:int -> t -> string
+(** Multi-line rendering with [indent] (default 2) spaces per level.
+    Deterministic: the same value always renders to the same bytes. *)
+
+val to_buffer : ?indent:int -> Buffer.t -> t -> unit
+(** Append a rendering to [buf]; compact unless [indent] is given. *)
+
+val to_channel : ?indent:int -> out_channel -> t -> unit

@@ -67,6 +67,20 @@ let render t =
 
 let print t = print_string (render t)
 
+let to_json ?id t =
+  let rows =
+    List.filter_map
+      (function Cells c -> Some (Jsonw.Arr (List.map (fun s -> Jsonw.Str s) c)) | Rule -> None)
+      (List.rev t.rows)
+  in
+  Jsonw.Obj
+    ((match id with Some i -> [ ("id", Jsonw.Str i) ] | None -> [])
+    @ [
+        ("title", match t.title with Some s -> Jsonw.Str s | None -> Jsonw.Null);
+        ("headers", Jsonw.Arr (List.map (fun (h, _) -> Jsonw.Str h) t.headers));
+        ("rows", Jsonw.Arr rows);
+      ])
+
 let fmt_int n =
   let s = string_of_int (abs n) in
   let len = String.length s in

@@ -23,6 +23,12 @@ val render : t -> string
 val print : t -> unit
 (** [render] to stdout followed by a newline. *)
 
+val to_json : ?id:string -> t -> Jsonw.t
+(** The table as JSON: [{"id"?, "title", "headers", "rows"}] with rows as
+    arrays of the cell strings (rules are dropped). Cell strings keep their
+    display formatting (thousands separators, ratios); consumers that need
+    raw numbers should read the dedicated report/timeline schemas instead. *)
+
 val fmt_int : int -> string
 (** Thousands-separated integer, e.g. [12_345 -> "12,345"]. *)
 

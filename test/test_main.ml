@@ -20,4 +20,5 @@ let () =
       ("scale", Test_scale.suite);
       ("exhaustive", Test_exhaustive.suite);
       ("campaign", Test_campaign.suite);
+      ("observability", Test_obs.suite);
     ]
