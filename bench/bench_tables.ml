@@ -1,4 +1,4 @@
-(* Experiments E1-E10 (see DESIGN.md §3): one table per theorem/claim of the
+(* Experiments E1-E18 (see DESIGN.md §3): one table per theorem/claim of the
    paper, printing measured costs against the stated bounds. *)
 
 module Table = Dhw_util.Table
@@ -10,7 +10,7 @@ let fmt_ratio v bound =
   if bound = 0 then "-" else Table.fmt_ratio (float_of_int v /. float_of_int bound)
 
 (* Each experiment prints its table and publishes it under a stable id
-   (E1..E17, plus -suffixed sub-tables) so `main.exe --json` can serialize
+   (E1..E18, plus -suffixed sub-tables) so `main.exe --json` can serialize
    the whole trajectory to BENCH_results.json. *)
 let collected : (string * Table.t) list ref = ref []
 
@@ -876,7 +876,76 @@ let e17 () =
   print_string "\n== E17 ==\n";
   publish "E17" table
 
+(* E18: the price of crash–recovery. Recovery-hardened A and B against
+   their crash-stop baselines: failure-free the overhead is pure
+   stable-storage bookkeeping (work, messages and rounds must not move);
+   under crash+restart schedules the rejoiners' state transfer and redone
+   units are the cost, and every run must still complete correctly. *)
+
+let e18 () =
+  let spec = Doall.Spec.make ~n:100 ~t:16 in
+  let entry mode victim at = { Simkit.Campaign.Schedule.victim; at; mode } in
+  let silent = entry Simkit.Campaign.Schedule.Silent in
+  let restart = entry Simkit.Campaign.Schedule.Restart in
+  let sched entries =
+    Simkit.Campaign.Schedule.to_fault (Simkit.Campaign.Schedule.make entries)
+  in
+  let scenarios =
+    [
+      ("failure-free", fun () -> Simkit.Fault.none);
+      ("crash 0@2, rejoin @10", fun () -> sched [ silent 0 2; restart 0 10 ]);
+      ( "storm: 2 cycles + 2 victims",
+        fun () ->
+          sched
+            [
+              silent 0 1; restart 0 6; silent 0 7; restart 0 21;
+              silent 2 3; restart 2 9; silent 5 4;
+            ] );
+    ]
+  in
+  let table =
+    Table.create
+      ~title:
+        "Crash-recovery overhead: recovery-hardened A and B vs their\n\
+         crash-stop baselines; n=100 t=16. Failure-free the wrapper may\n\
+         only add stable-storage writes; restarts buy completion under\n\
+         revival storms at the price of redone work and transfer traffic."
+      [ ("protocol", Table.Left); ("scenario", Left); ("work", Right);
+        ("w/ff", Right); ("msgs", Right); ("rounds", Right);
+        ("restarts", Right); ("persists", Right); ("done", Left) ]
+  in
+  List.iter
+    (fun (which, base_proto) ->
+      let base = run spec base_proto in
+      let ff_work = m_work base in
+      Table.add_row table
+        [
+          base.Doall.Runner.protocol; "crash-stop, failure-free";
+          Table.fmt_int ff_work; "1.00"; Table.fmt_int (m_msgs base);
+          Table.fmt_int (m_rounds base); "-"; "-"; verdict base;
+        ];
+      List.iter
+        (fun (label, fault) ->
+          let r = Doall.Recovery.run ~fault:(fault ()) spec which in
+          let m = r.Doall.Runner.metrics in
+          Table.add_row table
+            [
+              r.Doall.Runner.protocol; label;
+              Table.fmt_int (m_work r); fmt_ratio (m_work r) ff_work;
+              Table.fmt_int (m_msgs r); Table.fmt_int (m_rounds r);
+              Table.fmt_int (Metrics.restarts m);
+              Table.fmt_int (Metrics.persists m); verdict r;
+            ])
+        scenarios;
+      Table.add_rule table)
+    [
+      (Doall.Recovery.A, Doall.Protocol_a.protocol);
+      (Doall.Recovery.B, Doall.Protocol_b.protocol);
+    ];
+  print_string "\n== E18 ==\n";
+  publish "E18" table
+
 let all () =
   reset ();
   e1 (); e2 (); e3 (); e4 (); e5 (); e6 (); e7 (); e8 (); e9 (); e10 ();
-  e11 (); e12 (); e13 (); e14 (); e15 (); e16 (); e17 ()
+  e11 (); e12 (); e13 (); e14 (); e15 (); e16 (); e17 (); e18 ()

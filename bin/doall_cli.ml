@@ -86,7 +86,19 @@ let build_fault ~t ~crashes ~random ~window ~seed ~adversary =
 let report_arg =
   Arg.(value & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
        & info [ "report" ] ~docv:"FMT"
-       ~doc:"Output format: $(b,text) (default) or $(b,json) (one dhw-report/v1 document on stdout).")
+       ~doc:"Output format: $(b,text) (default) or $(b,json) (one dhw-report/v2 document on stdout).")
+
+(* Distinct exit codes so scripts can tell failure classes apart (2 is
+   cmdliner's usage-error code): 0 = completed and correct, 1 = completed
+   but incorrect, 3 = stalled, 4 = round/tick limit hit. *)
+let exit_run ~ok outcome_class =
+  let code =
+    match outcome_class with
+    | `Completed -> if ok then 0 else 1
+    | `Stalled -> 3
+    | `Limit -> 4
+  in
+  if code <> 0 then exit code
 
 let events_arg =
   Arg.(value & opt (some string) None & info [ "events" ] ~docv:"PATH"
@@ -110,47 +122,93 @@ let status_survivors statuses =
 let status_crashed statuses =
   count_status statuses (function Simkit.Types.Crashed _ -> true | _ -> false)
 
+let restarts_arg =
+  Arg.(value & opt_all crash_conv [] & info [ "restarts"; "restart" ]
+       ~docv:"PID@ROUND"
+       ~doc:"Revive $(i,PID) at $(i,ROUND) after a --crash (repeatable). Switches to the recovery-hardened protocol variant, so only A and B qualify.")
+
+let restart_desc rs =
+  "restart "
+  ^ String.concat ", "
+      (List.map (fun (p, r) -> Printf.sprintf "%d@%d" p r) rs)
+
 let run_cmd =
   let proto_arg =
     Arg.(value & opt string "A" & info [ "p"; "protocol" ] ~doc:"Protocol (A, B, C, C-chunked, C-naive, D, trivial, checkpoint[:k]).")
   in
-  let run proto n t crashes random window seed adversary trace_n report_fmt
-      events =
-    match protocol_of_name proto with
-    | Error (`Msg m) -> prerr_endline m; exit 2
-    | Ok p ->
-        let spec = D.Spec.make ~n ~t in
-        let fault, fault_desc =
-          build_fault ~t ~crashes ~random ~window ~seed ~adversary
-        in
-        let trace = Option.map (fun _ -> Simkit.Trace.create ()) trace_n in
-        let ok =
-          with_events events (fun obs ->
-              let report = D.Runner.run ~fault ?trace ?obs spec p in
-              (match report_fmt with
-              | `Json ->
-                  print_endline
-                    (D.Report.to_string
-                       (D.Report.of_run ~fault:fault_desc report))
-              | `Text ->
-                  Format.printf "%a@." D.Runner.pp report;
-                  Format.printf "verdict: %s@."
-                    (if D.Runner.correct report then "CORRECT"
-                     else "INCORRECT");
-                  (match (trace, trace_n) with
-                  | Some tr, Some limit ->
-                      Simkit.Trace.pp ~limit Format.std_formatter tr
-                  | _ -> ()));
-              D.Runner.correct report)
-        in
-        if not ok then exit 1
+  let run proto n t crashes restarts random window seed adversary trace_n
+      report_fmt events =
+    let spec = D.Spec.make ~n ~t in
+    let trace = Option.map (fun _ -> Simkit.Trace.create ()) trace_n in
+    let finish fault_desc (report : D.Runner.report) =
+      (match report_fmt with
+      | `Json ->
+          print_endline
+            (D.Report.to_string (D.Report.of_run ~fault:fault_desc report))
+      | `Text ->
+          Format.printf "%a@." D.Runner.pp report;
+          Format.printf "verdict: %s@."
+            (if D.Runner.correct report then "CORRECT" else "INCORRECT");
+          (match (trace, trace_n) with
+          | Some tr, Some limit ->
+              Simkit.Trace.pp ~limit Format.std_formatter tr
+          | _ -> ()));
+      exit_run
+        ~ok:(D.Runner.correct report)
+        (match report.D.Runner.outcome with
+        | Simkit.Kernel.Completed -> `Completed
+        | Simkit.Kernel.Stalled _ -> `Stalled
+        | Simkit.Kernel.Round_limit _ -> `Limit)
+    in
+    if restarts <> [] then begin
+      match D.Fuzz.recovery_which_of_name proto with
+      | None ->
+          prerr_endline
+            ("--restarts needs a protocol with a recovery hook (A or B), got "
+            ^ proto);
+          exit 2
+      | Some which ->
+          if random <> None || adversary <> None then begin
+            prerr_endline
+              "--restarts combines only with --crash, not \
+               --random/--kill-active-every";
+            exit 2
+          end;
+          let entry mode (victim, at) =
+            { Simkit.Campaign.Schedule.victim; at; mode }
+          in
+          let sched =
+            Simkit.Campaign.Schedule.make
+              (List.map (entry Simkit.Campaign.Schedule.Silent) crashes
+              @ List.map (entry Simkit.Campaign.Schedule.Restart) restarts)
+          in
+          let fault = Simkit.Campaign.Schedule.to_fault sched in
+          let fault_desc =
+            match crashes with
+            | [] -> restart_desc restarts
+            | cs -> crash_desc cs ^ "; " ^ restart_desc restarts
+          in
+          finish fault_desc
+            (with_events events (fun obs ->
+                 D.Recovery.run ~fault ?trace ?obs spec which))
+    end
+    else
+      match protocol_of_name proto with
+      | Error (`Msg m) -> prerr_endline m; exit 2
+      | Ok p ->
+          let fault, fault_desc =
+            build_fault ~t ~crashes ~random ~window ~seed ~adversary
+          in
+          finish fault_desc
+            (with_events events (fun obs ->
+                 D.Runner.run ~fault ?trace ?obs spec p))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a Do-All protocol under a fault schedule")
     Term.(
-      const run $ proto_arg $ n_arg $ t_arg $ crashes_arg $ random_arg
-      $ window_arg $ seed_arg $ adversary_arg $ trace_arg $ report_arg
-      $ events_arg)
+      const run $ proto_arg $ n_arg $ t_arg $ crashes_arg $ restarts_arg
+      $ random_arg $ window_arg $ seed_arg $ adversary_arg $ trace_arg
+      $ report_arg $ events_arg)
 
 let timeline_cmd =
   let proto_arg =
@@ -158,7 +216,7 @@ let timeline_cmd =
   in
   let json_arg =
     Arg.(value & flag & info [ "json" ]
-         ~doc:"Emit the timeline as JSON (schema dhw-timeline/v1) instead of ASCII sparklines.")
+         ~doc:"Emit the timeline as JSON (schema dhw-timeline/v2) instead of ASCII sparklines.")
   in
   let width_arg =
     Arg.(value & opt int 64 & info [ "width" ] ~docv:"COLS"
@@ -290,6 +348,13 @@ let async_cmd =
                       ("retransmits", J.Int s.Asim.Link.retransmits);
                       ("dups_suppressed", J.Int s.Asim.Link.dups_suppressed);
                       ("suspicions_retracted", J.Int s.Asim.Link.recoveries);
+                    ] );
+                ( "detector",
+                  J.Obj
+                    [
+                      ("suspicions", J.Int s.Asim.Link.suspicions);
+                      ("false_suspicions", J.Int s.Asim.Link.false_suspicions);
+                      ("unsuspects", J.Int s.Asim.Link.unsuspects);
                     ] ) ]
           | None -> []
         in
@@ -309,12 +374,20 @@ let async_cmd =
                dups-suppressed=%d suspicions-retracted=%d@."
               r.Asim.Event_sim.net.sent r.Asim.Event_sim.net.dropped
               r.Asim.Event_sim.net.duplicated stats.Asim.Link.retransmits
-              stats.Asim.Link.dups_suppressed stats.Asim.Link.recoveries
+              stats.Asim.Link.dups_suppressed stats.Asim.Link.recoveries;
+            Format.printf
+              "detector: suspicions=%d false-suspicions=%d unsuspects=%d@."
+              stats.Asim.Link.suspicions stats.Asim.Link.false_suspicions
+              stats.Asim.Link.unsuspects
         | None -> ());
         Format.printf "%a outcome=%a@." Simkit.Metrics.pp_summary r.metrics
           Asim.Event_sim.pp_outcome r.outcome;
         Format.printf "verdict: %s@." (if ok then "CORRECT" else "INCORRECT"));
-    if not ok then exit 1
+    exit_run ~ok
+      (match r.Asim.Event_sim.outcome with
+      | Asim.Event_sim.Completed -> `Completed
+      | Asim.Event_sim.Stalled _ -> `Stalled
+      | Asim.Event_sim.Tick_limit _ -> `Limit)
   in
   Cmd.v
     (Cmd.info "async" ~doc:"Asynchronous Protocol A with a failure detector (Section 2.1)")
@@ -378,7 +451,11 @@ let shmem_cmd =
           | Shmem.Skernel.Completed -> "completed"
           | Shmem.Skernel.Stalled r -> Printf.sprintf "STALLED@%d" r
           | Shmem.Skernel.Round_limit r -> Printf.sprintf "ROUND-LIMIT@%d" r));
-    if not ok then exit 1
+    exit_run ~ok
+      (match o.result.outcome with
+      | Shmem.Skernel.Completed -> `Completed
+      | Shmem.Skernel.Stalled _ -> `Stalled
+      | Shmem.Skernel.Round_limit _ -> `Limit)
   in
   Cmd.v
     (Cmd.info "shmem" ~doc:"Shared-memory Write-All (Section 1.1 comparison)")
@@ -589,6 +666,142 @@ let replay_cmd =
     Term.(const run $ file_arg $ work_cap_arg)
 
 (* ------------------------------------------------------------------ *)
+(* Crash–recovery campaigns: recovery-fuzz + recovery-replay *)
+
+let report_recovery_subject spec which sched =
+  let subject = D.Fuzz.run_recovery_schedule spec which sched in
+  Format.printf "  %a@." D.Runner.pp subject.D.Fuzz.report
+
+let recovery_fuzz_cmd =
+  let proto_arg =
+    Arg.(value & opt string "A" & info [ "p"; "protocol" ]
+         ~doc:"Protocol to harden and fuzz (A or B; a+rec/b+rec accepted).")
+  in
+  let executions_arg =
+    Arg.(value & opt int 200 & info [ "executions" ]
+         ~doc:"Random crash+restart schedules to run.")
+  in
+  let window_opt_arg =
+    Arg.(value & opt (some int) None & info [ "window" ] ~docv:"ROUNDS"
+         ~doc:"Crash-round window (default: twice the failure-free recovery running time).")
+  in
+  let restart_gap_arg =
+    Arg.(value & opt int 6 & info [ "restart-gap" ] ~docv:"ROUNDS"
+         ~doc:"Maximum downtime before a sampled restart.")
+  in
+  let corpus_arg =
+    Arg.(value & opt string "corpus" & info [ "corpus" ] ~docv:"DIR"
+         ~doc:"Directory where shrunk failing schedules are written.")
+  in
+  let work_cap_arg =
+    Arg.(value & opt (some int) None & info [ "work-cap" ] ~docv:"UNITS"
+         ~doc:"Extra oracle asserting total work <= $(i,UNITS). Setting it below the theorem bound deliberately fails the campaign - the hook for demonstrating shrinking and replay.")
+  in
+  let max_failures_arg =
+    Arg.(value & opt int 3 & info [ "max-failures" ]
+         ~doc:"Stop after this many (shrunk) violations.")
+  in
+  let run proto n t seed executions window restart_gap corpus work_cap
+      max_failures =
+    match D.Fuzz.recovery_which_of_name proto with
+    | None ->
+        prerr_endline
+          ("unknown recovery protocol: " ^ proto ^ " (A, B, a+rec, b+rec)");
+        exit 2
+    | Some which ->
+        let spec = D.Spec.make ~n ~t in
+        let name = D.Fuzz.recovery_protocol_name which in
+        let extra =
+          match work_cap with
+          | None -> []
+          | Some cap -> [ D.Fuzz.work_cap cap ]
+        in
+        let stats =
+          D.Fuzz.recovery_campaign ~seed:(Int64.of_int seed) ~executions
+            ?window ~restart_gap ~extra ~max_failures spec which
+        in
+        Format.printf
+          "recovery campaign: protocol=%s n=%d t=%d seed=%d restart-gap=%d@."
+          name n t seed restart_gap;
+        Format.printf "%a@." Campaign.pp_stats stats;
+        List.iteri
+          (fun i f ->
+            Format.printf "%a" pp_failure (i, f);
+            report_recovery_subject spec which f.Campaign.shrunk)
+          stats.Campaign.failures;
+        write_corpus ~corpus ~protocol:name ~seed stats.Campaign.failures;
+        if stats.Campaign.failures <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "recovery-fuzz"
+       ~doc:"Crash+restart storm campaign against a recovery-hardened protocol, shrinking any violation")
+    Term.(
+      const run $ proto_arg $ n_arg $ t_arg $ seed_arg $ executions_arg
+      $ window_opt_arg $ restart_gap_arg $ corpus_arg $ work_cap_arg
+      $ max_failures_arg)
+
+let recovery_replay_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"Schedule file produced by recovery-fuzz (or hand-written; may contain restart entries).")
+  in
+  let work_cap_arg =
+    Arg.(value & opt (some int) None & info [ "work-cap" ] ~docv:"UNITS"
+         ~doc:"Extra oracle asserting total work <= $(i,UNITS); pass the same cap that produced the counterexample.")
+  in
+  let run file work_cap =
+    let ic = open_in file in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    match Campaign.Schedule.parse text with
+    | Error msg -> prerr_endline ("parse error: " ^ msg); exit 2
+    | Ok sched ->
+        let meta key =
+          match Campaign.Schedule.meta sched key with
+          | Some v -> v
+          | None ->
+              prerr_endline ("schedule file lacks meta " ^ key);
+              exit 2
+        in
+        let name = meta "protocol" in
+        (match D.Fuzz.recovery_which_of_name name with
+        | None ->
+            prerr_endline ("not a recovery protocol: " ^ name);
+            exit 2
+        | Some which ->
+            let n = int_of_string (meta "n") and t = int_of_string (meta "t") in
+            let spec = D.Spec.make ~n ~t in
+            let subject = D.Fuzz.run_recovery_schedule spec which sched in
+            (* judged with the schedule's own horizon: its latest entry round *)
+            let horizon =
+              List.fold_left
+                (fun acc (e : Campaign.Schedule.entry) -> max acc e.at)
+                0 sched.Campaign.Schedule.entries
+            in
+            let oracles =
+              D.Fuzz.recovery_oracles spec which ~horizon
+              @
+              match work_cap with
+              | None -> []
+              | Some cap -> [ D.Fuzz.work_cap cap ]
+            in
+            Format.printf "recovery replay: protocol=%s n=%d t=%d schedule: %a@."
+              (D.Fuzz.recovery_protocol_name which)
+              n t Campaign.Schedule.pp sched;
+            Format.printf "  %a@." D.Runner.pp subject.D.Fuzz.report;
+            (match Campaign.first_failure oracles subject with
+            | None -> Format.printf "verdict: all oracles pass@."
+            | Some (oracle, detail) ->
+                Format.printf "verdict: oracle=%s FAILS (%s)@." oracle detail;
+                exit 1))
+  in
+  Cmd.v
+    (Cmd.info "recovery-replay"
+       ~doc:"Re-run a serialized crash+restart schedule and re-judge it with the recovery oracle stack")
+    Term.(const run $ file_arg $ work_cap_arg)
+
+(* ------------------------------------------------------------------ *)
 (* Async campaigns: async-fuzz + async-replay *)
 
 module AF = Asim.Async_fuzz
@@ -727,4 +940,5 @@ let () =
        (Cmd.group
           (Cmd.info "doall_cli" ~doc)
           [ run_cmd; timeline_cmd; ba_cmd; async_cmd; shmem_cmd; bootstrap_cmd;
-            fuzz_cmd; replay_cmd; async_fuzz_cmd; async_replay_cmd ]))
+            fuzz_cmd; replay_cmd; recovery_fuzz_cmd; recovery_replay_cmd;
+            async_fuzz_cmd; async_replay_cmd ]))

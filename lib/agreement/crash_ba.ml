@@ -74,8 +74,9 @@ let run ~n ~t_bound ~value ?(crash_at = []) ?general_cut proto =
                && String.length what >= 3
                && String.sub what 0 3 = "ord" ->
             Some (round + 1, dst, round, src)
-        | Simkit.Trace.Sent _ | Stepped _ | Dropped _ | Crashed_ev _ | Terminated_ev _
-          -> None)
+        | Simkit.Trace.Sent _ | Stepped _ | Dropped _ | Crashed_ev _
+        | Restarted_ev _ | Terminated_ev _ ->
+            None)
       (Simkit.Trace.events trace)
   in
   let informs =

@@ -16,6 +16,8 @@ let config ?(period = 8) ?(timeout = 48) ?(backoff = 2) ?(max_timeout = 100_000)
     err "max_timeout (%d) must be >= timeout (%d)" max_timeout timeout;
   { period; timeout; backoff; max_timeout }
 
+type stats = { suspicions : int; false_suspicions : int; unsuspects : int }
+
 (* One monitor instance, owned by one process. [deadline.(q) = None] means q
    is not monitored (it is [me], was stopped, or is currently suspected). *)
 type t = {
@@ -27,6 +29,9 @@ type t = {
   timeout : int array;
   suspected : bool array;
   stopped : bool array;
+  mutable n_suspicions : int;
+  mutable n_false : int;
+  mutable n_unsuspects : int;
 }
 
 let create ?(config = config ()) ~me ~n ~now () =
@@ -42,6 +47,9 @@ let create ?(config = config ()) ~me ~n ~now () =
       timeout = Array.make n config.timeout;
       suspected = Array.make n false;
       stopped = Array.make n false;
+      n_suspicions = 0;
+      n_false = 0;
+      n_unsuspects = 0;
     }
   in
   for q = 0 to n - 1 do
@@ -70,6 +78,7 @@ let tick t ~now =
     | Some d when d <= now ->
         t.suspected.(q) <- true;
         t.deadline.(q) <- None;
+        t.n_suspicions <- t.n_suspicions + 1;
         newly := q :: !newly
     | _ -> ()
   done;
@@ -85,9 +94,32 @@ let alive_evidence t ~src ~now =
       (* A false suspicion: the peer is slower than our current timeout.
          Back the timeout off so the detector is eventually accurate. *)
       t.suspected.(src) <- false;
+      t.n_false <- t.n_false + 1;
+      t.n_unsuspects <- t.n_unsuspects + 1;
       t.timeout.(src) <-
         min t.cfg.max_timeout (t.timeout.(src) * t.cfg.backoff)
     end;
     t.deadline.(src) <- Some (now + t.timeout.(src));
     recovered
   end
+
+let rejoin t q ~now =
+  if q <> t.me && q >= 0 && q < t.n then begin
+    t.stopped.(q) <- false;
+    if t.suspected.(q) then begin
+      (* An un-suspect that is NOT a false suspicion: the peer really was
+         down and has come back. *)
+      t.suspected.(q) <- false;
+      t.n_unsuspects <- t.n_unsuspects + 1
+    end;
+    (* A rejoiner is a fresh process: grant it the initial timeout again. *)
+    t.timeout.(q) <- t.cfg.timeout;
+    t.deadline.(q) <- Some (now + t.cfg.timeout)
+  end
+
+let stats t =
+  {
+    suspicions = t.n_suspicions;
+    false_suspicions = t.n_false;
+    unsuspects = t.n_unsuspects;
+  }

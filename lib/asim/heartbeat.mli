@@ -58,5 +58,27 @@ val alive_evidence : t -> src:pid -> now:time -> bool
 val stop : t -> pid -> unit
 (** [src] is known retired: stop monitoring it (no further suspicion). *)
 
+val rejoin : t -> pid -> now:time -> unit
+(** [q] is known to have restarted (crash–recovery transports call this on
+    a rejoin announcement): resume monitoring it even if {!stop}ped, clear
+    any standing suspicion — counted as an un-suspect but {e not} a false
+    suspicion, the peer really was down — and re-arm its deadline with the
+    initial (un-backed-off) timeout. No-op for [me] and out-of-range pids. *)
+
 val suspected : t -> pid -> bool
 val suspects : t -> pid list
+
+type stats = {
+  suspicions : int;  (** timeout-fired suspicion events ({!tick}) *)
+  false_suspicions : int;
+      (** suspicions retracted by later evidence of life
+          ({!alive_evidence}) — the detector was provably wrong *)
+  unsuspects : int;
+      (** suspected->trusted transitions performed: every false-suspicion
+          retraction plus every {!rejoin} of a suspected peer, so
+          [unsuspects >= false_suspicions] with equality in a pure
+          crash-stop run *)
+}
+(** Detector-accuracy observables of one monitor. *)
+
+val stats : t -> stats

@@ -20,6 +20,9 @@ type stats = {
   mutable beats_sent : int;
   mutable dups_suppressed : int;
   mutable recoveries : int;
+  mutable suspicions : int;
+  mutable false_suspicions : int;
+  mutable unsuspects : int;
   mutable notices : (pid * pid * time) list;
 }
 
@@ -31,6 +34,9 @@ let stats () =
     beats_sent = 0;
     dups_suppressed = 0;
     recoveries = 0;
+    suspicions = 0;
+    false_suspicions = 0;
+    unsuspects = 0;
     notices = [];
   }
 
@@ -141,6 +147,8 @@ let harden ?(config = config ()) ?heartbeat ?stats:stats_arg ~n inner_proc =
       | Some hb ->
           if Heartbeat.alive_evidence hb ~src ~now then begin
             stats.recoveries <- stats.recoveries + 1;
+            stats.false_suspicions <- stats.false_suspicions + 1;
+            stats.unsuspects <- stats.unsuspects + 1;
             st := { !st with retired = ISet.remove src !st.retired }
           end
       | None -> ()
@@ -181,6 +189,7 @@ let harden ?(config = config ()) ?heartbeat ?stats:stats_arg ~n inner_proc =
         (match !st.hb with
         | Some hb ->
             let newly, beat = Heartbeat.tick hb ~now in
+            stats.suspicions <- stats.suspicions + List.length newly;
             List.iter
               (fun w ->
                 mark_retired w;

@@ -54,6 +54,16 @@ type stats = {
   mutable dups_suppressed : int;
       (** [Data] arrivals whose sequence number was already delivered *)
   mutable recoveries : int;  (** suspicions retracted by later evidence *)
+  mutable suspicions : int;
+      (** heartbeat-timeout suspicion events fired, summed over every
+          monitor of the run (see {!Heartbeat.stats}) *)
+  mutable false_suspicions : int;
+      (** of those, suspicions later retracted by evidence of life — the
+          detector was provably wrong *)
+  mutable unsuspects : int;
+      (** suspected->trusted transitions performed; equals
+          [false_suspicions] under crash-stop, and would additionally count
+          {!Heartbeat.rejoin}s of genuinely-restarted peers *)
   mutable notices : (pid * pid * time) list;
       (** every (observer, suspect, tick) retirement notification handed to
           an inner protocol — oracle-relayed or heartbeat-derived. The

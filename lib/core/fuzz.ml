@@ -158,6 +158,131 @@ let campaign ?(seed = 1L) ?(executions = 200) ?window ?(extra = [])
     ~candidates:C.schedule_candidates ?max_failures ?shrink_budget
     (List.to_seq schedules)
 
+(* ------------------------------------------------------------------ *)
+(* Crash–recovery campaigns *)
+
+let recovery_protocol_name which = normalize (Recovery.name which)
+
+let recovery_which_of_name name =
+  match String.lowercase_ascii name with
+  | "a+rec" | "a" -> Some Recovery.A
+  | "b+rec" | "b" -> Some Recovery.B
+  | _ -> None
+
+let run_recovery_schedule ?max_rounds ?rejoin_rounds spec which sched =
+  let trace = Simkit.Trace.create () in
+  let fault = C.Schedule.to_fault sched in
+  let report = Recovery.run ~fault ?max_rounds ?rejoin_rounds ~trace spec which in
+  { report; trace }
+
+(* Oracle bounds under crash–recovery are incarnation-counting envelopes:
+   with [R] committed restarts an execution has at most [t + R] incarnations,
+   each activating at most once and each performing / sending at most one
+   full script's worth. They are airtight for an arbitrary adversary (a
+   rejoiner can have slept through everything and redo the world), so
+   margins on passing runs are the interesting signal, not the bound. *)
+
+let dyn_bounded name measure bound_of =
+  {
+    C.name;
+    check =
+      (fun s ->
+        let m = measure s.report.Runner.metrics in
+        let bound = bound_of s in
+        if bound <= 0 then C.Pass
+        else if m <= bound then
+          C.Pass_margin (float_of_int m /. float_of_int bound)
+        else C.Fail (Printf.sprintf "%s = %d exceeds bound %d" name m bound));
+  }
+
+let incarnations spec s =
+  Spec.processes spec + Metrics.restarts s.report.Runner.metrics
+
+let recovery_multiplicity spec =
+  {
+    C.name = "multiplicity";
+    check =
+      (fun s ->
+        let m = s.report.Runner.metrics in
+        let bound = incarnations spec s in
+        let worst = ref 0 in
+        for u = 0 to Spec.n spec - 1 do
+          worst := max !worst (Metrics.unit_multiplicity m u)
+        done;
+        if !worst <= bound then
+          C.Pass_margin (float_of_int !worst /. float_of_int bound)
+        else
+          C.Fail
+            (Printf.sprintf
+               "a unit was performed %d times, above the incarnation count %d"
+               !worst bound));
+  }
+
+let recovery_oracles spec which ~horizon =
+  let g = Grid.make spec in
+  let t = Spec.processes spec in
+  let base_msgs, base_rounds =
+    match which with
+    | Recovery.A -> (Bounds.a_msgs g, Bounds.a_rounds g)
+    | Recovery.B -> (Bounds.b_msgs g, Bounds.b_rounds g)
+  in
+  let restarts s = Metrics.restarts s.report.Runner.metrics in
+  (* Each stable write strictly increases the writer's view rank, and there
+     are (S+1)(G+2) + 1 ranks including No_msg. *)
+  let rank_space =
+    ((Grid.n_subchunks g + 1) * (Grid.n_groups g + 2)) + 1
+  in
+  [
+    completed;
+    correct;
+    audit "well-formed" Audit.well_formed;
+    recovery_multiplicity spec;
+    dyn_bounded "work" Metrics.work (fun s -> Spec.n spec * incarnations spec s);
+    dyn_bounded "messages" Metrics.messages (fun s ->
+        (incarnations spec s * base_msgs) + (2 * t * restarts s));
+    dyn_bounded "rounds" Metrics.rounds (fun s ->
+        horizon + ((incarnations spec s + 1) * base_rounds) + 2);
+    dyn_bounded "persists" Metrics.persists (fun _ -> t * rank_space);
+  ]
+
+let recovery_stamp spec which sched =
+  C.Schedule.add_meta sched
+    [
+      ("protocol", recovery_protocol_name which);
+      ("n", string_of_int (Spec.n spec));
+      ("t", string_of_int (Spec.processes spec));
+    ]
+
+let recovery_horizon ~window ~restart_gap = window + (4 * (restart_gap + 2))
+
+let recovery_campaign ?(seed = 1L) ?(executions = 200) ?window
+    ?(restart_gap = 6) ?rejoin_rounds ?(extra = []) ?max_failures
+    ?shrink_budget spec which =
+  let window =
+    match window with
+    | Some w -> w
+    | None ->
+        let ff = Recovery.run spec which in
+        (2 * Metrics.rounds ff.Runner.metrics) + 2
+  in
+  let horizon = recovery_horizon ~window ~restart_gap in
+  let t = Spec.processes spec in
+  let g = Dhw_util.Prng.create seed in
+  let schedules =
+    List.init executions (fun _ ->
+        recovery_stamp spec which (C.sample_recovery g ~t ~window ~restart_gap))
+  in
+  let max_rounds =
+    horizon + ((2 * t * (match which with
+      | Recovery.A -> Bounds.a_rounds (Grid.make spec)
+      | Recovery.B -> Bounds.b_rounds (Grid.make spec))) + 64)
+  in
+  C.run
+    ~run:(run_recovery_schedule ~max_rounds ?rejoin_rounds spec which)
+    ~oracles:(recovery_oracles spec which ~horizon @ extra)
+    ~candidates:C.schedule_candidates ?max_failures ?shrink_budget
+    (List.to_seq schedules)
+
 let exhaustive_campaign ?window ?round_step ?modes ?(extra = []) ?max_failures
     ?shrink_budget spec proto =
   let window =

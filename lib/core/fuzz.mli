@@ -53,6 +53,62 @@ val campaign :
     twice the failure-free running time), judged by {!oracles} plus
     [extra]. *)
 
+(** {1 Crash–recovery campaigns} *)
+
+val recovery_protocol_name : Recovery.which -> string
+(** The normalized meta/CLI name: ["a+rec"] / ["b+rec"]. *)
+
+val recovery_which_of_name : string -> Recovery.which option
+(** Inverse of {!recovery_protocol_name}; also accepts the bare ["a"] /
+    ["b"]. *)
+
+val run_recovery_schedule :
+  ?max_rounds:int ->
+  ?rejoin_rounds:int ->
+  Spec.t ->
+  Recovery.which ->
+  C.Schedule.t ->
+  subject
+(** One traced execution of the recovery-hardened protocol under the
+    schedule's fault plan (crashes and restarts). *)
+
+val recovery_oracles :
+  Spec.t -> Recovery.which -> horizon:int -> subject C.oracle list
+(** The crash–recovery oracle stack: completion, the §2 correctness verdict,
+    the well-formedness audit, and incarnation-counting envelopes — per-unit
+    multiplicity, work and messages bounded by [t + restarts] incarnations,
+    rounds by [horizon] (the latest possible schedule round) plus one base
+    round-bound per incarnation, and stable-storage writes by the view-rank
+    space. The envelopes are airtight for an arbitrary restart adversary,
+    so the margins reported on passing runs carry the signal. The
+    crash-stop ["one-active"] and ["monotone"] audits are deliberately
+    absent: under recovery a rejoiner's staggered deadline may briefly
+    overlap another active, and a rejoiner legitimately redoes old units. *)
+
+val recovery_stamp : Spec.t -> Recovery.which -> C.Schedule.t -> C.Schedule.t
+(** Record protocol name ([a+rec] / [b+rec]), [n] and [t] in the schedule's
+    meta, making it self-contained for [doall_cli recovery-replay]. *)
+
+val recovery_campaign :
+  ?seed:int64 ->
+  ?executions:int ->
+  ?window:int ->
+  ?restart_gap:int ->
+  ?rejoin_rounds:int ->
+  ?extra:subject C.oracle list ->
+  ?max_failures:int ->
+  ?shrink_budget:int ->
+  Spec.t ->
+  Recovery.which ->
+  C.Schedule.t C.stats
+(** Seeded crash+restart storm campaign: [executions] (default 200)
+    schedules from {!Simkit.Campaign.sample_recovery} with crash rounds in
+    [0, window] (default: twice the failure-free recovery running time) and
+    downtimes up to [restart_gap] (default 6), judged by
+    {!recovery_oracles} plus [extra]. Runs are capped at a generous
+    round budget so a liveness bug surfaces as a ["completed"] failure
+    rather than a hang. *)
+
 val exhaustive_campaign :
   ?window:int ->
   ?round_step:int ->

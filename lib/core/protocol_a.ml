@@ -5,22 +5,28 @@ type msg = Ckpt_script.ord = Partial of int | Full of int * int
 
 let show_msg = Ckpt_script.show_ord
 
-type state = Waiting of last | Active of action list
+(* A waiting process carries its own takeover deadline: for the original
+   incarnations it is the static [DD(j) = j·L] ladder, but a rejoiner
+   resumed by [Doall.Recovery] gets a fresh deadline staggered into the
+   future relative to its restart round. *)
+type state = Waiting of { last : last; deadline : round } | Active of action list
 
 let deadline grid j = j * Grid.max_active_rounds grid
 
-let make_on_grid grid =
+let proc_on_grid grid =
   let inject = Fun.id in
   let init pid =
     if pid = 0 then (Active (work_script grid 0 1), Some 0)
-    else (Waiting No_msg, Some (deadline grid pid))
+    else
+      ( Waiting { last = No_msg; deadline = deadline grid pid },
+        Some (deadline grid pid) )
   in
   let step pid r st inbox =
     match st with
     | Active script ->
         let o = run_active ~inject r script in
         { o with state = Active o.state }
-    | Waiting last ->
+    | Waiting { last; deadline = dl } ->
         (* At most one process is active, so at most one ordinary message
            arrives per round; the fold keeps the latest for robustness. *)
         let last =
@@ -29,20 +35,33 @@ let make_on_grid grid =
             last inbox
         in
         if knows_all_done grid pid last then
-          { state = Waiting last; sends = []; work = []; terminate = true; wakeup = None }
-        else if r >= deadline grid pid then
+          { state = Waiting { last; deadline = dl }; sends = []; work = [];
+            terminate = true; wakeup = None }
+        else if r >= dl then
           let o = run_active ~inject r (takeover_script grid pid last) in
           { o with state = Active o.state }
         else
           {
-            state = Waiting last;
+            state = Waiting { last; deadline = dl };
             sends = [];
             work = [];
             terminate = false;
-            wakeup = Some (deadline grid pid);
+            wakeup = Some dl;
           }
   in
-  Protocol.Packed { proc = { init; step }; show = show_msg }
+  { init; step }
+
+let resume_state grid pid ~at last =
+  (* A fresh deadline ladder relative to the rejoin round, staggered by pid
+     so simultaneous rejoiners never share a takeover round; [pid + 1]
+     leaves a full era for whoever is currently active to finish and
+     broadcast the news. *)
+  let dl = at + ((pid + 1) * Grid.max_active_rounds grid) in
+  let wake = if knows_all_done grid pid last then at + 1 else dl in
+  (Waiting { last; deadline = dl }, Some wake)
+
+let make_on_grid grid =
+  Protocol.Packed { proc = proc_on_grid grid; show = show_msg }
 
 let protocol =
   {

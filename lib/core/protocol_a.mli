@@ -39,3 +39,24 @@ val protocol_with_group_size : int -> Protocol.t
 
 val deadline : Grid.t -> int -> int
 (** [deadline grid j] is [DD(j)], exposed for tests and benches. *)
+
+(** {1 Crash–recovery hooks} (consumed by [Doall.Recovery]) *)
+
+type state
+(** A process state: waiting (with a takeover deadline) or active. *)
+
+val proc_on_grid : Grid.t -> (state, msg) Simkit.Types.process
+(** The raw process function, un-packed — what {!protocol} wraps. *)
+
+val resume_state :
+  Grid.t ->
+  Simkit.Types.pid ->
+  at:Simkit.Types.round ->
+  Ckpt_script.last ->
+  state * Simkit.Types.round option
+(** [resume_state grid pid ~at last] is the waiting state a rejoiner adopts
+    after its state-transfer handshake: the recovered view [last] plus a
+    fresh takeover deadline [at + (pid+1)·L], staggered by pid so
+    simultaneous rejoiners never collide. The returned wakeup is [at + 1]
+    when [last] already proves all work done (the rejoiner then terminates
+    on its next step), otherwise the new deadline. *)

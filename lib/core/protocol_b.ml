@@ -46,8 +46,7 @@ let round_bound grid =
   let t = Spec.processes (Grid.spec grid) in
   Grid.max_active_rounds grid + tt grid (t - 1) 0 + 1
 
-let make spec =
-  let grid = Grid.make spec in
+let proc_on_grid grid =
   let inject o = Ord o in
   (* Fictitious round-0 message "(0, G)" from process 0 (Section 2.3): seeds
      the deadline recursion and makes every takeover prologue well-formed
@@ -124,7 +123,36 @@ let make spec =
               wakeup = Some (r + pto grid);
             })
   in
-  Protocol.Packed { proc = { init; step }; show = show_msg }
+  { init; step }
+
+let resume_state grid pid ~at last =
+  (* A rejoiner resumes passive with its recovered view. Guard the
+     transferred source: a state-transfer reply can carry a view whose
+     sender sits in a {e higher} group than the rejoiner — a configuration
+     unreachable under normal operation (an active's full checkpoints go
+     only to groups above its own), for which DDB(j, i) is undefined.
+     Re-attribute such a view to process 0 (group 0): the checkpoint
+     content is what matters for resumption, and DDB(j, 0) is the most
+     conservative (largest) deadline, so the rejoiner defers longest before
+     probing. *)
+  let fictitious = Last_ord { ord = Full (0, Grid.n_groups grid); src = 0 } in
+  let last =
+    match last with
+    | No_msg -> fictitious
+    | Last_ord { ord; src } ->
+        if Grid.group_of grid src > Grid.group_of grid pid then
+          Last_ord { ord; src = 0 }
+        else last
+  in
+  let src = match last with Last_ord { src; _ } -> src | No_msg -> 0 in
+  let wake =
+    if knows_all_done grid pid last then at + 1 else at + ddb grid pid src
+  in
+  ({ mode = Passive; last; last_at = at }, Some wake)
+
+let make spec =
+  let grid = Grid.make spec in
+  Protocol.Packed { proc = proc_on_grid grid; show = show_msg }
 
 let protocol =
   {

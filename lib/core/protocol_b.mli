@@ -48,3 +48,24 @@ val round_bound : Grid.t -> int
 (** The Theorem 2.8(c) bound on the retirement round, computed with this
     implementation's (slightly slackened) constants:
     [n + 3t + TT(t-1, 0)]. *)
+
+(** {1 Crash–recovery hooks} (consumed by [Doall.Recovery]) *)
+
+type pstate
+(** A process state: passive, preactive (probing) or active. *)
+
+val proc_on_grid : Grid.t -> (pstate, msg) Simkit.Types.process
+(** The raw process function, un-packed — what {!protocol} wraps. *)
+
+val resume_state :
+  Grid.t ->
+  Simkit.Types.pid ->
+  at:Simkit.Types.round ->
+  Ckpt_script.last ->
+  pstate * Simkit.Types.round option
+(** [resume_state grid pid ~at last] is the passive state a rejoiner adopts
+    after its state-transfer handshake: the recovered view (the fictitious
+    round-0 message when [last] is [No_msg]; re-attributed to process 0 when
+    its sender's group is above the rejoiner's, where [DDB] is undefined)
+    with [last_at = at] and a fresh [DDB]-relative deadline. The returned
+    wakeup is [at + 1] when the view already proves all work done. *)

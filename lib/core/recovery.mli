@@ -1,0 +1,60 @@
+(** Recovery-hardened Do-All: Protocols A and B under the crash–recovery
+    fault model.
+
+    The crash-stop protocols of the paper assume a crashed process is gone
+    for good. This module wraps them for the stronger adversary of
+    [Simkit.Fault] restart schedules, in which a crashed machine can come
+    back with its volatile state wiped. Three mechanisms make the wrapped
+    protocols survive that:
+
+    {ul
+    {- {e Stable-storage checkpointing.} Every process mirrors its best
+       checkpoint view — the strongest [Ckpt_script.last] it has sent or
+       received — to its [Simkit.Stable] cell, writing only on strict
+       improvement so the persistence budget ({!Simkit.Metrics.persists})
+       stays bounded by the number of distinct view ranks.}
+    {- {e State-transfer handshake.} A rejoiner spends [rejoin_rounds]
+       rounds rebooting: it broadcasts [Announce], live peers reply with
+       [Transfer] of their best view, and it resumes from the maximum of
+       the replies and its own stable cell via the protocol's
+       [resume_state] (a passive state with a fresh, pid-staggered
+       deadline).}
+    {- {e Inbox sanitization.} Under crash–recovery two active processes
+       can briefly overlap (a rejoiner's staggered deadline may fire inside
+       another active's era), breaking the protocols' one-active-sender
+       assumption. The wrapper delivers at most one view-carrying message
+       per round to the inner protocol — the best-ranked one — so stale
+       checkpoints can never overwrite fresher news.}}
+
+    Correctness under restart storms (checked by [Fuzz] recovery oracles):
+    every execution completes, all [n] units are performed whenever a
+    process survives, and per-unit multiplicity stays below the incarnation
+    count [t + restarts]. *)
+
+type which = A | B
+
+val name : which -> string
+(** ["A+rec"] / ["B+rec"], the protocol name in reports. *)
+
+val view_rank : Ckpt_script.last -> int * int
+(** Total preorder on checkpoint views, lexicographic: completed subchunk,
+    then partial [<] full ordered by informed-group index. Exposed for
+    tests. *)
+
+val run :
+  ?fault:Simkit.Fault.t ->
+  ?max_rounds:int ->
+  ?trace:Simkit.Trace.t ->
+  ?obs:Simkit.Obs.sink ->
+  ?rejoin_rounds:int ->
+  Spec.t ->
+  which ->
+  Runner.report
+(** Execute the recovery-hardened protocol under [fault] (typically built
+    from a schedule with restart entries). The returned report's metrics
+    include committed restarts and stable-storage writes
+    ({!Simkit.Metrics.restarts} / {!Simkit.Metrics.persists}).
+    [rejoin_rounds] (default 3) is the state-transfer window: announce,
+    peer replies in flight, absorb — a rejoiner resumes at
+    [restart round + rejoin_rounds]. With [rejoin_rounds = 0] a rejoiner
+    resumes immediately from its own stable cell alone. *)

@@ -101,6 +101,7 @@ let metrics_json spec m =
             ("pid", J.Int pid);
             ("work", J.Int (Metrics.work_by m pid));
             ("messages", J.Int (Metrics.messages_by m pid));
+            ("persists", J.Int (Metrics.persists_by m pid));
           ])
   in
   J.Obj
@@ -110,7 +111,9 @@ let metrics_json spec m =
       ("effort", J.Int (Metrics.effort m));
       ("rounds", J.Int (Metrics.rounds m));
       ("crashes", J.Int (Metrics.crashes m));
+      ("restarts", J.Int (Metrics.restarts m));
       ("terminated", J.Int (Metrics.terminated m));
+      ("persists", J.Int (Metrics.persists m));
       ("units_covered", J.Int (Metrics.units_covered m));
       ("units", J.Int (Spec.n spec));
       ("per_process", J.Arr per_process);
@@ -128,7 +131,7 @@ let bound_json b =
 let to_json r =
   J.Obj
     ([
-       ("schema", J.Str "dhw-report/v1");
+       ("schema", J.Str "dhw-report/v2");
        ("kind", J.Str r.kind);
        ("protocol", J.Str r.protocol);
        ( "spec",

@@ -2,8 +2,11 @@
     instance, the fault plan, the paper's cost measures, the correctness
     verdict, and measured-vs-theorem bound checks.
 
-    Schema [dhw-report/v1]; field order is fixed, so reports from the same
+    Schema [dhw-report/v2]; field order is fixed, so reports from the same
     run are byte-identical across invocations (the golden test pins this).
+    v2 adds the crash–recovery counters — top-level [metrics.restarts] and
+    [metrics.persists] plus a [persists] field per process — and is
+    otherwise a superset of v1 (see DESIGN.md for the compatibility note).
     Emitted by [doall_cli run/async/shmem --report=json] and, per failure,
     by the fuzz corpora. *)
 

@@ -7,12 +7,13 @@ let pp_violation ppf v = Format.fprintf ppf "[r%d] %s" v.round v.message
 let v round fmt = Format.kasprintf (fun message -> { round; message }) fmt
 
 let well_formed trace =
-  let retired : (pid, round) Hashtbl.t = Hashtbl.create 16 in
+  let retired : (pid, round * [ `Crash | `Term ]) Hashtbl.t = Hashtbl.create 16 in
   let violations = ref [] in
   let note x = violations := x :: !violations in
   let check_live pid round what =
     match Hashtbl.find_opt retired pid with
-    | Some r when round > r -> note (v round "process %d %s after retiring at r%d" pid what r)
+    | Some (r, _) when round > r ->
+        note (v round "process %d %s after retiring at r%d" pid what r)
     | _ -> ()
   in
   let last_round = ref 0 in
@@ -25,6 +26,7 @@ let well_formed trace =
         | Trace.Dropped { round; _ }
         | Trace.Worked { round; _ }
         | Trace.Crashed_ev { round; _ }
+        | Trace.Restarted_ev { round; _ }
         | Trace.Terminated_ev { round; _ } -> round
       in
       if round < !last_round then
@@ -35,10 +37,22 @@ let well_formed trace =
       | Trace.Sent { src; round; _ } -> check_live src round "sent"
       | Trace.Worked { pid; round; _ } -> check_live pid round "worked"
       | Trace.Dropped _ -> ()
-      | Trace.Crashed_ev { pid; round } | Trace.Terminated_ev { pid; round } -> (
+      | Trace.Restarted_ev { pid; round } -> (
+          (* A restart legitimately un-retires a crashed process; restarting
+             a live or terminated one is a kernel bug. *)
           match Hashtbl.find_opt retired pid with
-          | Some r -> note (v round "process %d retires twice (first at r%d)" pid r)
-          | None -> Hashtbl.replace retired pid round))
+          | Some (_, `Crash) -> Hashtbl.remove retired pid
+          | Some (r, `Term) ->
+              note (v round "process %d restarts after terminating at r%d" pid r)
+          | None -> note (v round "process %d restarts while not crashed" pid))
+      | Trace.Crashed_ev { pid; round } | Trace.Terminated_ev { pid; round } -> (
+          let kind =
+            match ev with Trace.Crashed_ev _ -> `Crash | _ -> `Term
+          in
+          match Hashtbl.find_opt retired pid with
+          | Some (r, _) ->
+              note (v round "process %d retires twice (first at r%d)" pid r)
+          | None -> Hashtbl.replace retired pid (round, kind)))
     (Trace.events trace);
   List.rev !violations
 
@@ -58,7 +72,8 @@ let at_most_one_active ?(passive_msg = fun _ -> false) trace =
       | Trace.Worked { pid; round; _ } -> note pid round
       | Trace.Sent { src; round; what; _ } when not (passive_msg what) ->
           note src round
-      | Trace.Sent _ | Stepped _ | Dropped _ | Crashed_ev _ | Terminated_ev _ -> ())
+      | Trace.Sent _ | Stepped _ | Dropped _ | Crashed_ev _ | Restarted_ev _
+      | Terminated_ev _ -> ())
     (Trace.events trace);
   List.rev !violations
 

@@ -11,9 +11,12 @@ val pp_violation : Format.formatter -> violation -> unit
 val well_formed : Trace.t -> violation list
 (** Structural sanity of any execution:
     - no process acts (steps, sends, works) at a round after it crashed or
-      terminated;
+      terminated — unless a restart revived it in between;
     - rounds are non-decreasing along the trace;
-    - every crash/termination event is the process's last. *)
+    - every crash/termination event ends the process's current incarnation
+      (no double retire without an intervening restart);
+    - restarts only revive crashed processes (never live or terminated
+      ones). *)
 
 val at_most_one_active :
   ?passive_msg:(string -> bool) -> Trace.t -> violation list

@@ -5,6 +5,7 @@ module Schedule = struct
   type mode =
     | Silent
     | Acting of { keep_work : bool; delivery : Fault.delivery }
+    | Restart
 
   type entry = { victim : pid; at : round; mode : mode }
 
@@ -26,28 +27,89 @@ module Schedule = struct
     in
     { t with meta = replaced @ fresh }
 
-  let to_fault t =
-    (* earliest entry per victim wins, mirroring Fault.crash_silently_at *)
-    let best : (pid, entry) Hashtbl.t = Hashtbl.create 8 in
+  (* Normalize a schedule into per-victim crash/restart cycles: entries are
+     sorted by round (stable), then walked with an alternating state machine.
+     A restart with no preceding crash is dropped (the adversary cannot
+     restart what is up); a crash while already down is dropped (first crash
+     of a cycle wins — the crash-only special case of which is the documented
+     [Fault.crash_silently_at] earliest-round rule); a restart must be
+     strictly after its cycle's crash round. Each cycle is a crash entry plus
+     an optional restart round. *)
+  let cycles_of t =
+    let per : (pid, entry list) Hashtbl.t = Hashtbl.create 8 in
     List.iter
       (fun e ->
-        match Hashtbl.find_opt best e.victim with
-        | Some e' when e'.at <= e.at -> ()
-        | _ -> Hashtbl.replace best e.victim e)
+        let tail = Option.value ~default:[] (Hashtbl.find_opt per e.victim) in
+        Hashtbl.replace per e.victim (e :: tail))
       t.entries;
+    let out : (pid, (entry * round option) array) Hashtbl.t = Hashtbl.create 8 in
+    Hashtbl.iter
+      (fun pid entries ->
+        let sorted =
+          List.stable_sort (fun a b -> compare a.at b.at) (List.rev entries)
+        in
+        let cycles = ref [] in
+        let current = ref None in
+        List.iter
+          (fun e ->
+            match (e.mode, !current) with
+            | Restart, None -> () (* restart of an up process: dropped *)
+            | Restart, Some (c : entry) ->
+                if e.at > c.at then begin
+                  cycles := (c, Some e.at) :: !cycles;
+                  current := None
+                end
+                (* restart at or before the crash round: inapplicable, kept
+                   pending in case a later restart round arrives *)
+            | _, Some _ -> () (* crash while already down: first wins *)
+            | _, None -> current := Some e)
+          sorted;
+        (match !current with Some c -> cycles := (c, None) :: !cycles | None -> ());
+        Hashtbl.replace out pid (Array.of_list (List.rev !cycles)))
+      per;
+    out
+
+  let to_fault t =
+    let cycles = cycles_of t in
+    (* which cycle each pid is currently in; advanced by committed revivals *)
+    let idx : (pid, int) Hashtbl.t = Hashtbl.create 8 in
+    let current pid =
+      match Hashtbl.find_opt cycles pid with
+      | None -> None
+      | Some arr ->
+          let i = Option.value ~default:0 (Hashtbl.find_opt idx pid) in
+          if i < Array.length arr then Some arr.(i) else None
+    in
     let crashed_by pid round =
-      match Hashtbl.find_opt best pid with
-      | Some { mode = Silent; at; _ } -> round >= at
+      match current pid with
+      | Some ({ mode = Silent; at; _ }, _) -> round >= at
       | _ -> false
     in
     let on_step (v : Fault.step_view) =
-      match Hashtbl.find_opt best v.sv_pid with
-      | Some { mode = Acting { keep_work; delivery }; at; _ }
+      match current v.sv_pid with
+      | Some ({ mode = Acting { keep_work; delivery }; at; _ }, _)
         when v.sv_round >= at ->
           Fault.Crash { keep_work; delivery }
       | _ -> Fault.Survive
     in
-    Fault.custom ~crashed_by ~on_step
+    let restarts =
+      Hashtbl.fold
+        (fun pid arr acc ->
+          Array.fold_left
+            (fun acc (_, rr) ->
+              match rr with Some r -> (pid, r) :: acc | None -> acc)
+            acc arr)
+        cycles []
+      |> List.sort compare
+    in
+    let on_restart pid _r =
+      Hashtbl.replace idx pid
+        (1 + Option.value ~default:0 (Hashtbl.find_opt idx pid))
+    in
+    Fault.custom ~restarts ~on_restart ~crashed_by ~on_step ()
+
+  let restart_count t =
+    List.length (List.filter (fun e -> e.mode = Restart) t.entries)
 
   let delivery_to_string = function
     | Fault.All -> "all"
@@ -61,6 +123,12 @@ module Schedule = struct
         Printf.sprintf "acting %s %s"
           (if keep_work then "keep" else "drop")
           (delivery_to_string delivery)
+    | Restart -> "restart"
+
+  let entry_to_string e =
+    match e.mode with
+    | Restart -> Printf.sprintf "restart %d @%d" e.victim e.at
+    | m -> Printf.sprintf "crash %d @%d %s" e.victim e.at (mode_to_string m)
 
   let print t =
     let b = Buffer.create 256 in
@@ -69,10 +137,7 @@ module Schedule = struct
       (fun (k, v) -> Buffer.add_string b (Printf.sprintf "meta %s %s\n" k v))
       t.meta;
     List.iter
-      (fun e ->
-        Buffer.add_string b
-          (Printf.sprintf "crash %d @%d %s\n" e.victim e.at
-             (mode_to_string e.mode)))
+      (fun e -> Buffer.add_string b (entry_to_string e ^ "\n"))
       t.entries;
     Buffer.add_string b "end\n";
     Buffer.contents b
@@ -152,6 +217,14 @@ module Schedule = struct
                             body (lineno + 1) meta
                               ({ victim; at; mode } :: entries)
                               rest)))
+            | [ "restart"; pid; at ] when String.length at > 1 && at.[0] = '@' ->
+                int_tok lineno "pid" pid (fun victim ->
+                    int_tok lineno "round"
+                      (String.sub at 1 (String.length at - 1))
+                      (fun at ->
+                        body (lineno + 1) meta
+                          ({ victim; at; mode = Restart } :: entries)
+                          rest))
             | _ -> err lineno (Printf.sprintf "unrecognized line %S" line))
     in
     let rec header lineno = function
@@ -171,7 +244,9 @@ module Schedule = struct
         (String.concat "; "
            (List.map
               (fun e ->
-                Printf.sprintf "%d@%d %s" e.victim e.at (mode_to_string e.mode))
+                match e.mode with
+                | Restart -> Printf.sprintf "%d@%d restart" e.victim e.at
+                | m -> Printf.sprintf "%d@%d %s" e.victim e.at (mode_to_string m))
               t.entries))
 end
 
@@ -244,6 +319,48 @@ let sample g ~t ~window =
   in
   Schedule.make entries
 
+let sample_recovery g ~t ~window ~restart_gap =
+  if restart_gap < 1 then invalid_arg "Campaign.sample_recovery: restart_gap >= 1";
+  let base = sample g ~t ~window in
+  (* Give each victim a restart with probability 3/4; a restarted victim
+     gets a whole second crash/restart cycle with probability 1/4 — storms,
+     not just blips. *)
+  let extra =
+    List.concat_map
+      (fun (e : Schedule.entry) ->
+        match e.mode with
+        | Schedule.Restart -> []
+        | _ ->
+            if Prng.int g 4 = 0 then []
+            else begin
+              let r1 = e.at + 1 + Prng.int g restart_gap in
+              let restart1 = { e with Schedule.at = r1; mode = Schedule.Restart } in
+              if Prng.int g 4 > 0 then [ restart1 ]
+              else begin
+                let c2 = r1 + Prng.int g (max 1 restart_gap) in
+                let crash2 =
+                  { e with
+                    Schedule.at = c2;
+                    mode =
+                      (if Prng.bool g then Schedule.Silent
+                       else
+                         Schedule.Acting
+                           { keep_work = Prng.bool g;
+                             delivery = Fault.Prefix (Prng.int g 4) });
+                  }
+                in
+                if Prng.int g 2 = 0 then [ restart1; crash2 ]
+                else
+                  [ restart1; crash2;
+                    { e with
+                      Schedule.at = c2 + 1 + Prng.int g restart_gap;
+                      mode = Schedule.Restart } ]
+              end
+            end)
+      base.Schedule.entries
+  in
+  Schedule.make (base.Schedule.entries @ extra)
+
 (* ------------------------------------------------------------------ *)
 (* Oracles *)
 
@@ -283,7 +400,7 @@ let schedule_candidates =
           let e = List.nth es i in
           let variants =
             match e.Schedule.mode with
-            | Schedule.Silent -> []
+            | Schedule.Silent | Schedule.Restart -> []
             | Schedule.Acting { keep_work; delivery } ->
                 let widened =
                   match delivery with

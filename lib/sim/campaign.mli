@@ -24,6 +24,10 @@ module Schedule : sig
     | Acting of { keep_work : bool; delivery : Fault.delivery }
         (** crash at the first round [>= at] in which the victim acts, with
             the given partial-delivery cut — the mid-broadcast adversary *)
+    | Restart
+        (** revive the victim at round [at] (crash–recovery model): volatile
+            state is wiped, stable storage survives, and the kernel asks the
+            protocol's recovery hook for the rejoined state *)
 
   type entry = { victim : pid; at : round; mode : mode }
 
@@ -43,8 +47,20 @@ module Schedule : sig
       keys is preserved). *)
 
   val to_fault : t -> Fault.t
-  (** A fresh fault plan realizing the schedule. When several entries name
-      the same victim, the earliest [at] wins. *)
+  (** A fresh fault plan realizing the schedule. Entries are normalized into
+      per-victim crash/restart cycles (sorted by round): within a cycle the
+      earliest crash wins — the crash-only special case of which is the
+      documented {!Fault.crash_silently_at} earliest-round rule — a restart
+      must be strictly after its cycle's crash round, and a restart with no
+      preceding crash is dropped. A victim may crash again after a restart:
+      the plan advances to its next cycle when the kernel commits the
+      revival. A restart whose victim is still up when its round arrives
+      (e.g. an acting crash that had not fired yet) is dropped by the
+      kernel, leaving the victim dead once the crash does fire —
+      deterministic degradation to crash-stop. *)
+
+  val restart_count : t -> int
+  (** Number of [Restart] entries (scheduled, not necessarily committed). *)
 
   val print : t -> string
   (** Line-based text format:
@@ -55,6 +71,7 @@ module Schedule : sig
       crash 1 @7 acting keep all
       crash 2 @5 acting drop prefix 1
       crash 4 @2 acting drop indices 0,2,5
+      restart 0 @9
       end
       v} *)
 
@@ -91,6 +108,14 @@ val sample : Dhw_util.Prng.t -> t:int -> window:round -> Schedule.t
 (** One random schedule: 0 to t-1 distinct victims, uniform crash rounds in
     [0, window], modes drawn among silent, full-delivery, prefix and
     index-subset cuts. Deterministic in the generator state. *)
+
+val sample_recovery :
+  Dhw_util.Prng.t -> t:int -> window:round -> restart_gap:int -> Schedule.t
+(** A crash+restart storm: the victims of {!sample}, where each victim is
+    additionally revived with probability 3/4 after a downtime of up to
+    [restart_gap] rounds, and a revived victim gets a whole second
+    crash(/restart) cycle with probability 1/4. Deterministic in the
+    generator state. *)
 
 (** {1 Oracles} *)
 

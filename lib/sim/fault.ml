@@ -17,12 +17,22 @@ type step_view = {
 type t = {
   plan_crashed_by : pid -> round -> bool;
   plan_on_step : step_view -> decision;
+  plan_restarts : (pid * round) list;
+      (* static restart schedule, consumed by the kernel *)
+  plan_on_restart : pid -> round -> unit;
+      (* plan-side notification that the kernel committed a revival *)
   committed : (pid, round) Hashtbl.t;
       (* crashes the kernel actually committed; authoritative for all plans *)
 }
 
-let make ~crashed_by ~on_step =
-  { plan_crashed_by = crashed_by; plan_on_step = on_step; committed = Hashtbl.create 16 }
+let make ?(restarts = []) ?(on_restart = fun _ _ -> ()) ~crashed_by ~on_step () =
+  {
+    plan_crashed_by = crashed_by;
+    plan_on_step = on_step;
+    plan_restarts = restarts;
+    plan_on_restart = on_restart;
+    committed = Hashtbl.create 16;
+  }
 
 let custom = make
 
@@ -42,7 +52,16 @@ let note_crash t pid round =
   | Some r when r <= round -> ()
   | _ -> Hashtbl.replace t.committed pid round
 
-let none = make ~crashed_by:(fun _ _ -> false) ~on_step:(fun _ -> Survive)
+let restarts t = t.plan_restarts
+
+let note_restart t pid round =
+  (* Forget the committed crash so a later crash of the same pid re-records;
+     then let the plan mask itself (a static plan would otherwise keep
+     answering [crashed_by] = true for the revived incarnation). *)
+  Hashtbl.remove t.committed pid;
+  t.plan_on_restart pid round
+
+let none = make ~crashed_by:(fun _ _ -> false) ~on_step:(fun _ -> Survive) ()
 
 let earliest_per_pid entries key_of =
   let tbl = Hashtbl.create 16 in
@@ -60,7 +79,7 @@ let crash_silently_at entries =
   let crashed_by pid round =
     match Hashtbl.find_opt tbl pid with Some (r, _) -> round >= r | None -> false
   in
-  make ~crashed_by ~on_step:(fun _ -> Survive)
+  make ~crashed_by ~on_step:(fun _ -> Survive) ()
 
 let crash_acting_at entries =
   let tbl = earliest_per_pid entries (fun (p, r, _) -> (p, r)) in
@@ -70,7 +89,7 @@ let crash_acting_at entries =
     | Some (r, (_, _, decision)) when view.sv_round >= r -> decision
     | _ -> Survive
   in
-  make ~crashed_by ~on_step
+  make ~crashed_by ~on_step ()
 
 let dynamic f =
   let dead = Hashtbl.create 16 in
@@ -84,7 +103,7 @@ let dynamic f =
         Hashtbl.replace dead view.sv_pid view.sv_round;
         c
   in
-  make ~crashed_by ~on_step
+  make ~crashed_by ~on_step ()
 
 let random ~seed ~t ~victims ~window =
   if victims >= t then invalid_arg "Fault.random: victims must be < t";
@@ -109,7 +128,7 @@ let random ~seed ~t ~victims ~window =
         Crash { keep_work = false; delivery = Prefix cut }
     | _ -> Survive
   in
-  make ~crashed_by ~on_step
+  make ~crashed_by ~on_step ()
 
 let crash_active_after_random_work ~seed ~min_units ~max_units ~max_crashes =
   if min_units < 1 || max_units < min_units then
@@ -136,7 +155,31 @@ let crash_active_after_random_work ~seed ~min_units ~max_units ~max_crashes =
       else Survive
     end
   in
-  make ~crashed_by ~on_step
+  make ~crashed_by ~on_step ()
+
+let with_restarts restarts base =
+  (* From a pid's first revival on, the base plan's answers for that pid are
+     masked: its closures (e.g. [crash_silently_at] tables) know nothing of
+     the new incarnation and would keep it dead forever. The wrapped plan
+     therefore gives each pid at most one crash/restart cycle; multi-cycle
+     adversaries are built directly via [make]'s [on_restart] hook (see
+     [Campaign.Schedule.to_fault]). *)
+  let revived : (pid, round) Hashtbl.t = Hashtbl.create 8 in
+  let crashed_by pid r =
+    match Hashtbl.find_opt revived pid with
+    | Some rr when r >= rr -> false
+    | _ -> base.plan_crashed_by pid r
+  in
+  let on_step view =
+    match Hashtbl.find_opt revived view.sv_pid with
+    | Some rr when view.sv_round >= rr -> Survive
+    | _ -> base.plan_on_step view
+  in
+  let on_restart pid r =
+    Hashtbl.replace revived pid r;
+    base.plan_on_restart pid r
+  in
+  make ~restarts ~on_restart ~crashed_by ~on_step ()
 
 let crash_active_after_work ~units_between_crashes ~max_crashes =
   let crashes = ref 0 in
@@ -158,4 +201,4 @@ let crash_active_after_work ~units_between_crashes ~max_crashes =
       else Survive
     end
   in
-  make ~crashed_by ~on_step
+  make ~crashed_by ~on_step ()

@@ -76,11 +76,32 @@ val crash_active_after_work :
     that round's messages), up to [max_crashes] victims. *)
 
 val custom :
-  crashed_by:(pid -> round -> bool) -> on_step:(step_view -> decision) -> t
+  ?restarts:(pid * round) list ->
+  ?on_restart:(pid -> round -> unit) ->
+  crashed_by:(pid -> round -> bool) ->
+  on_step:(step_view -> decision) ->
+  unit ->
+  t
 (** General constructor combining a silent-death predicate with an online
     acting-crash rule — the building block for plans (such as
     {!Campaign.Schedule.to_fault}) that mix both kinds of entry. The kernel
-    keeps the two consistent through {!note_crash}. *)
+    keeps the two consistent through {!note_crash}.
+
+    [restarts] is the crash–recovery extension: a static schedule of
+    [(pid, round)] revivals the kernel applies to pids that are down at the
+    scheduled round (entries for up or terminated pids are dropped — the
+    adversary cannot restart what is not crashed). [on_restart] is invoked
+    when the kernel commits a revival, so stateful plans can advance to
+    their next crash cycle. A plan whose [crashed_by]/[on_step] ignore
+    revivals would re-kill the new incarnation instantly; use
+    {!with_restarts} to mask a static plan, or handle [on_restart]. *)
+
+val with_restarts : (pid * round) list -> t -> t
+(** [with_restarts restarts base]: the base plan plus a restart schedule.
+    From each pid's first revival on, the base plan is masked for that pid
+    (it survives and never re-crashes) — one crash/restart cycle per pid.
+    Multi-cycle schedules are built via {!custom} with [on_restart] (see
+    [Campaign.Schedule.to_fault]). *)
 
 (** {1 Kernel interface} — used by {!Kernel}, not by protocol code. *)
 
@@ -95,3 +116,12 @@ val on_step : t -> step_view -> decision
 val note_crash : t -> pid -> round -> unit
 (** Kernel informs the plan that it committed the crash (so that
     [crashed_by] stays consistent for all plan kinds). *)
+
+val restarts : t -> (pid * round) list
+(** The plan's static restart schedule, in no particular order; the kernel
+    sorts and consumes it. *)
+
+val note_restart : t -> pid -> round -> unit
+(** Kernel informs the plan that it committed a revival at [round]: the
+    committed-crash record for the pid is forgotten (a later crash of the
+    same pid re-records) and the plan's [on_restart] hook runs. *)

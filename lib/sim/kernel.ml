@@ -22,10 +22,20 @@ let config ?(fault = Fault.none) ?(max_rounds = max_int / 2) ?trace ?obs
     ?(show = fun _ -> "<msg>") ~n_processes ~n_units () =
   { n_processes; n_units; fault; max_rounds; trace; obs; show }
 
-let run cfg proc =
+let run ?recover ?metrics cfg proc =
   let t = cfg.n_processes in
   if t <= 0 then invalid_arg "Kernel.run: need at least one process";
-  let metrics = Metrics.create ~n_processes:t ~n_units:cfg.n_units in
+  let metrics =
+    match metrics with
+    | Some m -> m
+    | None -> Metrics.create ~n_processes:t ~n_units:cfg.n_units
+  in
+  (* Default recovery: volatile state is lost, the process re-initialises
+     from scratch (amnesiac rejoin). Recovery-aware harnesses supply a hook
+     that reads stable storage instead. *)
+  let recover =
+    match recover with Some f -> f | None -> fun pid _r -> proc.init pid
+  in
   let statuses = Array.make t Running in
   let wakeups = Array.make t None in
   let states =
@@ -45,6 +55,37 @@ let run cfg proc =
     match cfg.obs with Some sink -> sink (Obs.of_trace_event e) | None -> ()
   in
   let alive pid = statuses.(pid) = Running in
+  (* The adversary's restart schedule, sorted by (round, pid) so revivals in
+     the same round happen in pid order — determinism. An entry is *applicable*
+     while its pid is down from a round before the scheduled one; entries for
+     up or terminated pids are dropped when their round arrives. *)
+  let restart_queue =
+    ref (List.sort compare (List.map (fun (p, r) -> (r, p)) (Fault.restarts cfg.fault)))
+  in
+  let applicable (rr, pid) =
+    pid >= 0 && pid < t
+    && match statuses.(pid) with Crashed rc -> rr > rc | _ -> false
+  in
+  let pending_restart () = List.exists applicable !restart_queue in
+  let apply_restarts r =
+    let rec go () =
+      match !restart_queue with
+      | (rr, pid) :: rest when rr <= r ->
+          restart_queue := rest;
+          if applicable (rr, pid) then begin
+            statuses.(pid) <- Running;
+            let s, w = recover pid r in
+            states.(pid) <- s;
+            wakeups.(pid) <- w;
+            Fault.note_restart cfg.fault pid r;
+            Metrics.record_restart metrics pid r;
+            trace_ev (Trace.Restarted_ev { pid; round = r })
+          end;
+          go ()
+      | _ -> ()
+    in
+    go ()
+  in
   let next_round () =
     (* Smallest round at which anything can happen. *)
     let candidate = ref None in
@@ -58,6 +99,7 @@ let run cfg proc =
       (fun pid w ->
         match w with Some r when alive pid -> consider r | _ -> ())
       wakeups;
+    List.iter (fun (rr, pid) -> if applicable (rr, pid) then consider rr) !restart_queue;
     !candidate
   in
   let deliveries_for r =
@@ -92,6 +134,7 @@ let run cfg proc =
   let rec loop r =
     if r > cfg.max_rounds then Round_limit r
     else begin
+      apply_restarts r;
       let boxes = deliveries_for r in
       let inbox pid = match boxes with Some b -> b.(pid) | None -> [] in
       (* Collect this round's sends; delivered next round, grouped per dst. *)
@@ -198,7 +241,7 @@ let run cfg proc =
         pending := Some (r, out)
       end;
       let all_retired = Array.for_all is_retired statuses in
-      if all_retired then Completed
+      if all_retired && not (pending_restart ()) then Completed
       else
         match next_round () with
         | Some r' ->

@@ -51,7 +51,33 @@ val config :
 (** Convenience constructor; defaults: no faults, [max_rounds = max_int / 2],
     no trace, no observability sink. *)
 
-val run : 'm config -> ('s, 'm) process -> 'm result
+val run :
+  ?recover:(pid -> round -> 's * round option) ->
+  ?metrics:Metrics.t ->
+  'm config ->
+  ('s, 'm) process ->
+  'm result
 (** Execute until all processes retire, a stall, or the round limit.
+
+    Crash–recovery: if the fault plan carries a restart schedule
+    ({!Fault.restarts}), each entry [(pid, rr)] revives [pid] at the start
+    of the first processed round [>= rr], provided [pid] crashed strictly
+    before [rr] (entries for up or terminated pids are dropped, as are
+    entries at or before the pid's crash round — the adversary restarts
+    machines, it does not resurrect the not-yet-dead). Revival wipes the
+    volatile state and asks [recover pid r] for the rejoined state and
+    wakeup; the default re-runs [proc.init pid] (amnesiac rejoin — recovery
+    harnesses read stable storage instead). A wakeup [<= r] makes the
+    rejoiner step in its restart round; it also receives any messages
+    addressed to it in round [r - 1] (they were in flight when the machine
+    came back). The run does not complete while an applicable restart entry
+    is still pending, so "everyone is down but one will return" is not
+    [Completed].
+
+    [metrics] substitutes a caller-created accumulator (needed to count
+    stable-storage writes from a {!Stable.create} [on_write] hook into the
+    same object); by default a fresh one is created. Restarts are counted
+    via {!Metrics.record_restart} and traced as {!Trace.Restarted_ev}.
+
     @raise Invalid_argument if a step returns a wakeup not strictly in the
     future. *)

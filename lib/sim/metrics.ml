@@ -8,9 +8,12 @@ type t = {
   mutable max_round : round;
   mutable n_crashes : int;
   mutable n_terminated : int;
+  mutable n_restarts : int;
+  mutable n_persists : int;
   unit_mult : int array;
   per_work : int array;
   per_msgs : int array;
+  per_persists : int array;
 }
 
 let create ~n_processes ~n_units =
@@ -22,9 +25,12 @@ let create ~n_processes ~n_units =
     max_round = 0;
     n_crashes = 0;
     n_terminated = 0;
+    n_restarts = 0;
+    n_persists = 0;
     unit_mult = Array.make (max 1 n_units) 0;
     per_work = Array.make (max 1 n_processes) 0;
     per_msgs = Array.make (max 1 n_processes) 0;
+    per_persists = Array.make (max 1 n_processes) 0;
   }
 
 let n_processes t = t.np
@@ -52,12 +58,23 @@ let record_terminate t _pid r =
   t.n_terminated <- t.n_terminated + 1;
   record_round t r
 
+(* A restart is adversary-scheduled activity: the rejoiner is stepped in its
+   restart round, so the round high-water mark advances through the usual
+   live-activity path; like [record_crash] this only counts. *)
+let record_restart t _pid _r = t.n_restarts <- t.n_restarts + 1
+
+let record_persist t pid _r =
+  t.n_persists <- t.n_persists + 1;
+  t.per_persists.(pid) <- t.per_persists.(pid) + 1
+
 let messages t = t.msgs
 let work t = t.wrk
 let effort t = t.wrk + t.msgs
 let rounds t = t.max_round
 let crashes t = t.n_crashes
 let terminated t = t.n_terminated
+let restarts t = t.n_restarts
+let persists t = t.n_persists
 
 let unit_multiplicity t u =
   if u < 0 || u >= t.nu then invalid_arg "Metrics.unit_multiplicity";
@@ -70,9 +87,12 @@ let all_units_done t = units_covered t = t.nu
 
 let work_by t pid = t.per_work.(pid)
 let messages_by t pid = t.per_msgs.(pid)
+let persists_by t pid = t.per_persists.(pid)
 
 let pp_summary ppf t =
   Format.fprintf ppf
     "work=%d msgs=%d effort=%d rounds=%d crashes=%d terminated=%d covered=%d/%d"
     t.wrk t.msgs (effort t) t.max_round t.n_crashes t.n_terminated
-    (units_covered t) t.nu
+    (units_covered t) t.nu;
+  if t.n_restarts > 0 || t.n_persists > 0 then
+    Format.fprintf ppf " restarts=%d persists=%d" t.n_restarts t.n_persists

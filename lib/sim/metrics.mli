@@ -20,6 +20,16 @@ val record_work : t -> pid -> int -> unit
     the failure, and must not inflate the running time. *)
 val record_crash : t -> pid -> round -> unit
 val record_terminate : t -> pid -> round -> unit
+
+val record_restart : t -> pid -> round -> unit
+(** Counts an adversary-scheduled revival of a crashed process. Does not by
+    itself advance {!rounds}: the rejoiner is stepped in its restart round,
+    which advances the high-water mark through the live-activity path. *)
+
+val record_persist : t -> pid -> round -> unit
+(** Counts a stable-storage write ({!Stable.write}) — the fourth cost
+    measure of the crash–recovery model. *)
+
 val record_round : t -> round -> unit
 (** Note that activity occurred at [round]; keeps the high-water mark. *)
 
@@ -41,6 +51,13 @@ val rounds : t -> round
 val crashes : t -> int
 val terminated : t -> int
 
+val restarts : t -> int
+(** Revivals committed by the kernel (≤ the schedule's restart entries:
+    entries for pids that were not down at the scheduled round are dropped). *)
+
+val persists : t -> int
+(** Total stable-storage writes. *)
+
 val unit_multiplicity : t -> int -> int
 (** How many times a given unit was performed. *)
 
@@ -51,5 +68,6 @@ val all_units_done : t -> bool
 
 val work_by : t -> pid -> int
 val messages_by : t -> pid -> int
+val persists_by : t -> pid -> int
 
 val pp_summary : Format.formatter -> t -> unit

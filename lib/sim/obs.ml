@@ -7,11 +7,14 @@ type event =
   | Drop of { src : pid; dst : pid; at : int; tag : string }
   | Work of { pid : pid; at : int; unit_id : int }
   | Crash of { pid : pid; at : int }
+  | Restart of { pid : pid; at : int }
+  | Persist of { pid : pid; at : int }
   | Terminate of { pid : pid; at : int }
 
 let at = function
   | Step { at; _ } | Send { at; _ } | Drop { at; _ } | Work { at; _ }
-  | Crash { at; _ } | Terminate { at; _ } ->
+  | Crash { at; _ } | Restart { at; _ } | Persist { at; _ }
+  | Terminate { at; _ } ->
       at
 
 type sink = event -> unit
@@ -37,6 +40,8 @@ let event_to_json e =
     | Work { pid; at; unit_id } ->
         base "work" at [ ("pid", Int pid); ("unit", Int unit_id) ]
     | Crash { pid; at } -> base "crash" at [ ("pid", Int pid) ]
+    | Restart { pid; at } -> base "restart" at [ ("pid", Int pid) ]
+    | Persist { pid; at } -> base "persist" at [ ("pid", Int pid) ]
     | Terminate { pid; at } -> base "terminate" at [ ("pid", Int pid) ])
 
 let jsonl oc e =
@@ -49,6 +54,7 @@ let of_trace_event : Trace.event -> event = function
   | Trace.Dropped { src; dst; round; what } -> Drop { src; dst; at = round; tag = what }
   | Trace.Worked { pid; round; unit_id } -> Work { pid; at = round; unit_id }
   | Trace.Crashed_ev { pid; round } -> Crash { pid; at = round }
+  | Trace.Restarted_ev { pid; round } -> Restart { pid; at = round }
   | Trace.Terminated_ev { pid; round } -> Terminate { pid; at = round }
 
 let replay trace sink = List.iter (fun e -> sink (of_trace_event e)) (Trace.events trace)
@@ -63,6 +69,8 @@ module Timeline = struct
     mutable d_msgs : int;
     mutable d_drops : int;
     mutable d_crashes : int;
+    mutable d_restarts : int;
+    mutable d_persists : int;
     mutable d_terminated : int;
   }
 
@@ -87,7 +95,7 @@ module Timeline = struct
     | None ->
         let c =
           { d_steps = 0; d_work = 0; d_msgs = 0; d_drops = 0; d_crashes = 0;
-            d_terminated = 0 }
+            d_restarts = 0; d_persists = 0; d_terminated = 0 }
         in
         Hashtbl.add t.cells at c;
         c
@@ -104,6 +112,8 @@ module Timeline = struct
           if t.covered_at.(unit_id) < 0 || t.covered_at.(unit_id) > at then
             t.covered_at.(unit_id) <- at
     | Crash _ -> c.d_crashes <- c.d_crashes + 1
+    | Restart _ -> c.d_restarts <- c.d_restarts + 1
+    | Persist _ -> c.d_persists <- c.d_persists + 1
     | Terminate _ -> c.d_terminated <- c.d_terminated + 1
 
   let sink t = observe t
@@ -116,10 +126,14 @@ module Timeline = struct
     effort : int;
     covered : int;
     crashes : int;
+    restarts : int;
+    persists : int;
     terminated : int;
     d_work : int;
     d_msgs : int;
     d_crashes : int;
+    d_restarts : int;
+    d_persists : int;
     d_terminated : int;
   }
 
@@ -137,12 +151,15 @@ module Timeline = struct
     let covered = ref 0 in
     let work = ref 0 and msgs = ref 0 in
     let crashes = ref 0 and terminated = ref 0 in
+    let restarts = ref 0 and persists = ref 0 in
     List.map
       (fun at ->
         let c = Hashtbl.find t.cells at in
         work := !work + c.d_work;
         msgs := !msgs + c.d_msgs;
         crashes := !crashes + c.d_crashes;
+        restarts := !restarts + c.d_restarts;
+        persists := !persists + c.d_persists;
         terminated := !terminated + c.d_terminated;
         let rec absorb () =
           match !firsts with
@@ -155,16 +172,20 @@ module Timeline = struct
         absorb ();
         {
           at;
-          alive = t.np - !crashes - !terminated;
+          alive = t.np - !crashes + !restarts - !terminated;
           work = !work;
           msgs = !msgs;
           effort = !work + !msgs;
           covered = !covered;
           crashes = !crashes;
+          restarts = !restarts;
+          persists = !persists;
           terminated = !terminated;
           d_work = c.d_work;
           d_msgs = c.d_msgs;
           d_crashes = c.d_crashes;
+          d_restarts = c.d_restarts;
+          d_persists = c.d_persists;
           d_terminated = c.d_terminated;
         })
       ats
@@ -184,12 +205,14 @@ module Timeline = struct
           ("effort", Int r.effort);
           ("covered", Int r.covered);
           ("crashes", Int r.crashes);
+          ("restarts", Int r.restarts);
+          ("persists", Int r.persists);
           ("terminated", Int r.terminated);
         ]
     in
     Obj
       [
-        ("schema", Str "dhw-timeline/v1");
+        ("schema", Str "dhw-timeline/v2");
         ("processes", Int t.np);
         ("units", Int t.nu);
         ("rows", Arr (List.map row (rows t)));
@@ -217,20 +240,24 @@ module Timeline = struct
      bucket, cumulative fields take the bucket's last row. *)
   let bucketed width rows =
     let n = List.length rows in
-    if n <= width then List.map (fun r -> (r, r.d_work, r.d_msgs, r.d_crashes, r.d_terminated)) rows
+    if n <= width then
+      List.map
+        (fun r -> (r, r.d_work, r.d_msgs, r.d_crashes, r.d_restarts, r.d_terminated))
+        rows
     else
       let arr = Array.of_list rows in
       List.init width (fun b ->
           let lo = b * n / width and hi = ((b + 1) * n / width) - 1 in
           let hi = max lo hi in
-          let dw = ref 0 and dm = ref 0 and dc = ref 0 and dt = ref 0 in
+          let dw = ref 0 and dm = ref 0 and dc = ref 0 and dr = ref 0 and dt = ref 0 in
           for i = lo to hi do
             dw := !dw + arr.(i).d_work;
             dm := !dm + arr.(i).d_msgs;
             dc := !dc + arr.(i).d_crashes;
+            dr := !dr + arr.(i).d_restarts;
             dt := !dt + arr.(i).d_terminated
           done;
-          (arr.(hi), !dw, !dm, !dc, !dt))
+          (arr.(hi), !dw, !dm, !dc, !dr, !dt))
 
   let pp ?(width = 64) ppf t =
     match rows t with
@@ -238,19 +265,25 @@ module Timeline = struct
     | rs ->
         let buckets = bucketed width rs in
         let first = List.hd rs and last = List.nth rs (List.length rs - 1) in
-        let alive = spark ~max:t.np (List.map (fun (r, _, _, _, _) -> r.alive) buckets) in
-        let workr = spark (List.map (fun (_, dw, _, _, _) -> dw) buckets) in
-        let msgsr = spark (List.map (fun (_, _, dm, _, _) -> dm) buckets) in
-        let cov = spark ~max:(max 1 t.nu) (List.map (fun (r, _, _, _, _) -> r.covered) buckets) in
+        let alive =
+          spark ~max:t.np (List.map (fun (r, _, _, _, _, _) -> r.alive) buckets)
+        in
+        let workr = spark (List.map (fun (_, dw, _, _, _, _) -> dw) buckets) in
+        let msgsr = spark (List.map (fun (_, _, dm, _, _, _) -> dm) buckets) in
+        let cov =
+          spark ~max:(max 1 t.nu)
+            (List.map (fun (r, _, _, _, _, _) -> r.covered) buckets)
+        in
         let marks =
           String.concat ""
             (List.map
-               (fun (_, _, _, dc, dt) ->
-                 match (dc > 0, dt > 0) with
-                 | true, true -> "!"
-                 | true, false -> "x"
-                 | false, true -> "t"
-                 | false, false -> ".")
+               (fun (_, _, _, dc, dr, dt) ->
+                 match (dc > 0, dr > 0, dt > 0) with
+                 | true, _, true -> "!"
+                 | true, _, false -> "x"
+                 | false, true, _ -> "r"
+                 | false, false, true -> "t"
+                 | false, false, false -> ".")
                buckets)
         in
         Format.fprintf ppf
@@ -261,10 +294,14 @@ module Timeline = struct
         Format.fprintf ppf "  work/r  %s@." workr;
         Format.fprintf ppf "  msgs/r  %s@." msgsr;
         Format.fprintf ppf "  covered %s  [%d/%d]@." cov last.covered t.nu;
-        Format.fprintf ppf "  marks   %s  (x crash, t terminate, ! both)@." marks;
+        Format.fprintf ppf
+          "  marks   %s  (x crash, r restart, t terminate, ! crash+term)@." marks;
         Format.fprintf ppf
           "  final   work=%d msgs=%d effort=%d covered=%d/%d crashes=%d \
            terminated=%d@."
           last.work last.msgs last.effort last.covered t.nu last.crashes
-          last.terminated
+          last.terminated;
+        if last.restarts > 0 || last.persists > 0 then
+          Format.fprintf ppf "          restarts=%d persists=%d@." last.restarts
+            last.persists
 end

@@ -25,6 +25,11 @@ type event =
           async link losses are accounted in [Event_sim.net]) *)
   | Work of { pid : pid; at : int; unit_id : int }
   | Crash of { pid : pid; at : int }
+  | Restart of { pid : pid; at : int }
+      (** a crashed process revived by the adversary's restart schedule *)
+  | Persist of { pid : pid; at : int }
+      (** a stable-storage write ({!Stable.write}); emitted by the recovery
+          harness' [on_write] hook, not by the kernel *)
   | Terminate of { pid : pid; at : int }
 
 val at : event -> int
@@ -67,29 +72,36 @@ module Timeline : sig
 
   type row = {
     at : int;
-    alive : int;  (** processes neither crashed nor terminated by [at] *)
+    alive : int;
+        (** processes up at [at]: [np - crashes + restarts - terminated] *)
     work : int;  (** cumulative, counting multiplicity *)
     msgs : int;
     effort : int;  (** work + msgs *)
     covered : int;  (** distinct units performed at least once by [at] *)
     crashes : int;  (** cumulative *)
+    restarts : int;  (** cumulative *)
+    persists : int;  (** cumulative stable-storage writes *)
     terminated : int;  (** cumulative *)
     d_work : int;  (** this round's work *)
     d_msgs : int;
     d_crashes : int;
+    d_restarts : int;
+    d_persists : int;
     d_terminated : int;
   }
 
   val rows : t -> row list
-  (** Ascending by [at]. Cumulative fields are monotone non-decreasing and
-      [alive] is non-increasing — properties the qcheck suite pins down. *)
+  (** Ascending by [at]. Cumulative fields are monotone non-decreasing and,
+      absent restarts, [alive] is non-increasing — properties the qcheck
+      suite pins down. A restart bumps [alive] back up. *)
 
   val final : t -> row option
   (** The last row; its cumulative fields equal the {!Metrics} totals of
       the observed run. *)
 
   val to_json : t -> Dhw_util.Jsonw.t
-  (** Schema [dhw-timeline/v1]: processes, units, and the cumulative rows. *)
+  (** Schema [dhw-timeline/v2]: processes, units, and the cumulative rows
+      (v2 = v1 plus additive [restarts]/[persists] columns). *)
 
   val spark : ?max:int -> int list -> string
   (** Render a series as one ASCII character per value, using the density

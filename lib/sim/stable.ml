@@ -1,0 +1,44 @@
+open Types
+
+type 'd t = {
+  cells : 'd option array;
+  wrote_at : round option array;
+  per_writes : int array;
+  mutable total : int;
+  on_write : pid -> round -> unit;
+}
+
+let create ?(on_write = fun _ _ -> ()) ~n_processes () =
+  if n_processes <= 0 then invalid_arg "Stable.create: need at least one process";
+  {
+    cells = Array.make n_processes None;
+    wrote_at = Array.make n_processes None;
+    per_writes = Array.make n_processes 0;
+    total = 0;
+    on_write;
+  }
+
+let check t pid =
+  if pid < 0 || pid >= Array.length t.cells then invalid_arg "Stable: pid out of range"
+
+let write t pid ~at v =
+  check t pid;
+  t.cells.(pid) <- Some v;
+  t.wrote_at.(pid) <- Some at;
+  t.per_writes.(pid) <- t.per_writes.(pid) + 1;
+  t.total <- t.total + 1;
+  t.on_write pid at
+
+let read t pid =
+  check t pid;
+  t.cells.(pid)
+
+let writes t = t.total
+
+let writes_by t pid =
+  check t pid;
+  t.per_writes.(pid)
+
+let last_write_at t pid =
+  check t pid;
+  t.wrote_at.(pid)

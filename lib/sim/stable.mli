@@ -1,0 +1,40 @@
+(** Per-process stable storage for the crash–recovery fault model.
+
+    A crashed process loses its volatile state; when the adversary restarts
+    it, the only information that survives is what the process explicitly
+    wrote to its stable-storage cell. Writes are budgeted: each one is
+    counted (globally and per process) so that persistence becomes a fourth
+    cost measure next to work, messages and rounds — a recovery protocol
+    that checkpoints on every step would show up immediately.
+
+    The store is deliberately simple — one cell per process, last write
+    wins — matching the paper's checkpoint discipline where a process's
+    durable knowledge is exactly its latest checkpoint view. The kernel
+    never touches the store; a recovery harness closes over it and wires
+    writes to {!Metrics.record_persist} / {!Obs} via [on_write]. *)
+
+open Types
+
+type 'd t
+
+val create : ?on_write:(pid -> round -> unit) -> n_processes:int -> unit -> 'd t
+(** A store of [n_processes] empty cells. [on_write] is invoked after every
+    committed {!write} — the hook point for metrics and event sinks. *)
+
+val write : 'd t -> pid -> at:round -> 'd -> unit
+(** Overwrite [pid]'s cell. Counted. Writes are modelled as atomic and
+    synchronous: a write that happens in the victim's crash round is durable
+    (write-ahead: within a round, persistence precedes sends in program
+    order, mirroring the kernel's work-before-sends causality rule). *)
+
+val read : 'd t -> pid -> 'd option
+(** [pid]'s latest durable value, or [None] if it never wrote. Reads are
+    free: recovery happens once per restart. *)
+
+val writes : 'd t -> int
+(** Total committed writes across all processes. *)
+
+val writes_by : 'd t -> pid -> int
+
+val last_write_at : 'd t -> pid -> round option
+(** Round of [pid]'s most recent write, for debugging and reports. *)

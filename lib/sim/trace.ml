@@ -6,6 +6,7 @@ type event =
   | Dropped of { src : pid; dst : pid; round : round; what : string }
   | Worked of { pid : pid; round : round; unit_id : int }
   | Crashed_ev of { pid : pid; round : round }
+  | Restarted_ev of { pid : pid; round : round }
   | Terminated_ev of { pid : pid; round : round }
 
 type t = { mutable events : event list; mutable len : int }
@@ -28,6 +29,8 @@ let pp_event ppf = function
   | Worked { pid; round; unit_id } ->
       Format.fprintf ppf "[r%d] p%d performs unit %d" round pid unit_id
   | Crashed_ev { pid; round } -> Format.fprintf ppf "[r%d] p%d CRASHES" round pid
+  | Restarted_ev { pid; round } ->
+      Format.fprintf ppf "[r%d] p%d RESTARTS" round pid
   | Terminated_ev { pid; round } ->
       Format.fprintf ppf "[r%d] p%d terminates" round pid
 

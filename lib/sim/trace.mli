@@ -12,6 +12,9 @@ type event =
       (** a send suppressed by a mid-broadcast crash *)
   | Worked of { pid : pid; round : round; unit_id : int }
   | Crashed_ev of { pid : pid; round : round }
+  | Restarted_ev of { pid : pid; round : round }
+      (** an adversary-scheduled revival of a crashed process committed by
+          the kernel (crash–recovery model) *)
   | Terminated_ev of { pid : pid; round : round }
 
 type t

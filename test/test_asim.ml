@@ -399,6 +399,36 @@ let test_heartbeat_stop_is_permanent () =
   Alcotest.(check bool) "evidence ignored after stop" false
     (H.alive_evidence hb ~src:1 ~now:5)
 
+let check_hb_stats name hb (suspicions, false_suspicions, unsuspects) =
+  let s = H.stats hb in
+  Alcotest.(check int) (name ^ ": suspicions") suspicions s.H.suspicions;
+  Alcotest.(check int)
+    (name ^ ": false suspicions")
+    false_suspicions s.H.false_suspicions;
+  Alcotest.(check int) (name ^ ": unsuspects") unsuspects s.H.unsuspects
+
+let test_heartbeat_stats_and_rejoin () =
+  let cfg = H.config ~period:4 ~timeout:12 ~backoff:2 () in
+  let hb = H.create ~config:cfg ~me:0 ~n:3 ~now:0 () in
+  check_hb_stats "fresh" hb (0, 0, 0);
+  ignore (H.tick hb ~now:12);
+  check_hb_stats "both peers timed out" hb (2, 0, 0);
+  (* peer 1 was merely slow: its retraction is a false suspicion *)
+  Alcotest.(check bool) "retracted" true (H.alive_evidence hb ~src:1 ~now:12);
+  check_hb_stats "retraction" hb (2, 1, 1);
+  (* peer 2 genuinely retired... then comes back: an un-suspect that is
+     not a false suspicion *)
+  H.stop hb 2;
+  H.rejoin hb 2 ~now:13;
+  check_hb_stats "rejoin" hb (2, 1, 2);
+  Alcotest.(check bool) "rejoiner trusted again" false (H.suspected hb 2);
+  (* the rejoiner is monitored again, with the initial timeout *)
+  let newly, _ = H.tick hb ~now:25 in
+  Alcotest.(check (list int)) "rejoiner monitored" [ 2 ] newly;
+  check_hb_stats "rejoiner re-suspected" hb (3, 1, 2);
+  Alcotest.(check bool) "evidence works after rejoin" true
+    (H.alive_evidence hb ~src:2 ~now:26)
+
 (* --- reliable links (Link.harden) --- *)
 
 module L = Asim.Link
@@ -463,12 +493,30 @@ let test_hardened_a_lossy_campaign () =
     { E.drop_bp = 3_000; dup_bp = 1_000; slow_set = [ 4 ]; slow_factor = 3 }
   in
   for seed = 1 to 10 do
+    let stats = L.stats () in
     let r =
       Asim.Async_protocol_a.run_hardened
         ~crash_at:[ (0, 30); (3, 150) ]
-        ~link ~seed:(Int64.of_int seed) ~max_ticks:200_000 spec
+        ~link ~stats ~seed:(Int64.of_int seed) ~max_ticks:200_000 spec
     in
     let name = Printf.sprintf "seed %d" seed in
+    (* detector accounting: under crash-stop every un-suspect is a
+       retracted (false) suspicion, and no more can be retracted than
+       were ever fired *)
+    Alcotest.(check int)
+      (name ^ ": unsuspects = false suspicions")
+      stats.L.false_suspicions stats.L.unsuspects;
+    Alcotest.(check int)
+      (name ^ ": unsuspects = retired-set recoveries")
+      stats.L.recoveries stats.L.unsuspects;
+    Alcotest.(check bool)
+      (name ^ ": retractions bounded by suspicions")
+      true
+      (stats.L.false_suspicions <= stats.L.suspicions);
+    Alcotest.(check bool)
+      (name ^ ": the crashed pair was eventually suspected")
+      true
+      (stats.L.suspicions >= 2);
     Alcotest.(check bool) (name ^ ": completed") true (E.completed r);
     Alcotest.(check bool)
       (name ^ ": every unit performed")
@@ -599,6 +647,8 @@ let suite =
       `Quick test_heartbeat_evidence_retracts_and_backs_off;
     Alcotest.test_case "heartbeat: stop is permanent" `Quick
       test_heartbeat_stop_is_permanent;
+    Alcotest.test_case "heartbeat: detector stats + rejoin un-suspects" `Quick
+      test_heartbeat_stats_and_rejoin;
     Alcotest.test_case "harden: retransmission survives 70% loss" `Quick
       test_link_harden_survives_loss;
     Alcotest.test_case "harden: duplicates delivered once" `Quick

@@ -26,6 +26,7 @@ let gen_mode =
       Gen.map2
         (fun keep_work delivery -> C.Schedule.Acting { keep_work; delivery })
         Gen.bool gen_delivery;
+      Gen.return C.Schedule.Restart;
     ]
 
 let gen_entry =
@@ -314,6 +315,47 @@ let test_schedule_to_fault_earliest_wins () =
         (Simkit.Types.status_to_string s));
   Helpers.check_correct "earliest-wins" subject.Doall.Fuzz.report
 
+let test_restart_entries_parse_and_count () =
+  let text =
+    "schedule v1\nmeta protocol a+rec\ncrash 0 @2 silent\nrestart 0 @9\n\
+     # the rejoiner crashes again\ncrash 0 @15 silent\nrestart 0 @20\nend\n"
+  in
+  match C.Schedule.parse text with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok s ->
+      Alcotest.(check int) "entries" 4 (List.length s.C.Schedule.entries);
+      Alcotest.(check int) "restart entries" 2 (C.Schedule.restart_count s);
+      Alcotest.(check string) "round trip (comments dropped)"
+        "schedule v1\nmeta protocol a+rec\ncrash 0 @2 silent\nrestart 0 @9\n\
+         crash 0 @15 silent\nrestart 0 @20\nend\n"
+        (C.Schedule.print s)
+
+let test_to_fault_drops_degenerate_restarts () =
+  (* a restart with no preceding crash, and one at/before its cycle's crash
+     round, are both dropped by normalization: the run degrades to
+     crash-stop and the victims stay down *)
+  let sched =
+    C.Schedule.make
+      [
+        { C.Schedule.victim = 1; at = 4; mode = C.Schedule.Restart };
+        { C.Schedule.victim = 0; at = 5; mode = C.Schedule.Silent };
+        { C.Schedule.victim = 0; at = 3; mode = C.Schedule.Restart };
+      ]
+  in
+  let spec = Doall.Spec.make ~n:10 ~t:3 in
+  let subject =
+    Doall.Fuzz.run_recovery_schedule spec Doall.Recovery.A sched
+  in
+  let r = subject.Doall.Fuzz.report in
+  Alcotest.(check int) "no restart committed" 0
+    (Simkit.Metrics.restarts r.Doall.Runner.metrics);
+  (match r.Doall.Runner.statuses.(0) with
+  | Simkit.Types.Crashed _ -> ()
+  | s ->
+      Alcotest.failf "expected pid 0 to stay crashed, got %s"
+        (Simkit.Types.status_to_string s));
+  Helpers.check_correct "degraded to crash-stop" r
+
 let suite =
   [
     prop_round_trip;
@@ -348,4 +390,8 @@ let suite =
       test_shrunk_schedule_replays_identically;
     Alcotest.test_case "to_fault: earliest entry per victim wins" `Quick
       test_schedule_to_fault_earliest_wins;
+    Alcotest.test_case "restart entries: parse + restart_count" `Quick
+      test_restart_entries_parse_and_count;
+    Alcotest.test_case "to_fault: degenerate restarts dropped" `Quick
+      test_to_fault_drops_degenerate_restarts;
   ]

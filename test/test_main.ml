@@ -20,5 +20,6 @@ let () =
       ("scale", Test_scale.suite);
       ("exhaustive", Test_exhaustive.suite);
       ("campaign", Test_campaign.suite);
+      ("recovery", Test_recovery.suite);
       ("observability", Test_obs.suite);
     ]

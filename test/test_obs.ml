@@ -92,7 +92,7 @@ let check_rows_invariants ~np (rows : Obs.Timeline.row list) =
   List.iter
     (fun (r : Obs.Timeline.row) ->
       if r.effort <> r.work + r.msgs then ok := false;
-      if r.alive <> np - r.crashes - r.terminated then ok := false;
+      if r.alive <> np - r.crashes + r.restarts - r.terminated then ok := false;
       (match !prev with
       | Some (p : Obs.Timeline.row) ->
           if p.at >= r.at then ok := false;
@@ -101,7 +101,10 @@ let check_rows_invariants ~np (rows : Obs.Timeline.row list) =
           if p.covered > r.covered then ok := false;
           if p.crashes > r.crashes || p.terminated > r.terminated then
             ok := false;
-          if p.alive < r.alive then ok := false
+          if p.restarts > r.restarts || p.persists > r.persists then
+            ok := false;
+          (* alive only rises when a restart committed *)
+          if p.alive < r.alive && p.restarts = r.restarts then ok := false
       | None -> ());
       prev := Some r)
     rows;
@@ -117,6 +120,8 @@ let final_matches_metrics (tl : Obs.Timeline.t) (m : Metrics.t) =
       && f.Obs.Timeline.covered = Metrics.units_covered m
       && f.Obs.Timeline.crashes = Metrics.crashes m
       && f.Obs.Timeline.terminated = Metrics.terminated m
+      && f.Obs.Timeline.restarts = Metrics.restarts m
+      && f.Obs.Timeline.persists = Metrics.persists m
 
 (* instance + silent-crash schedule (as in Test_properties) *)
 let gen_case ~max_n ~max_t =
@@ -174,6 +179,36 @@ let prop_timeline_async =
       if not (final_matches_metrics tl r.Asim.Event_sim.metrics) then
         fail_case "final row <> metrics (async)" case;
       true)
+
+let test_timeline_recovery () =
+  (* under crash + restart, alive dips and comes back, restart/persist
+     columns accumulate, and the final row still reproduces the metrics *)
+  let spec = Helpers.spec ~n:40 ~t:8 in
+  let sched =
+    Simkit.Campaign.Schedule.make
+      [
+        { Simkit.Campaign.Schedule.victim = 0; at = 2;
+          mode = Simkit.Campaign.Schedule.Silent };
+        { Simkit.Campaign.Schedule.victim = 0; at = 10;
+          mode = Simkit.Campaign.Schedule.Restart };
+      ]
+  in
+  let fault = Simkit.Campaign.Schedule.to_fault sched in
+  let tl = Obs.Timeline.create ~n_processes:8 ~n_units:40 in
+  let r =
+    Doall.Recovery.run ~fault ~obs:(Obs.Timeline.sink tl) spec Doall.Recovery.A
+  in
+  check_b "rows invariant (recovery)" true
+    (check_rows_invariants ~np:8 (Obs.Timeline.rows tl));
+  check_b "final row = metrics (recovery)" true
+    (final_matches_metrics tl r.Doall.Runner.metrics);
+  match Obs.Timeline.final tl with
+  | None -> Alcotest.fail "no timeline rows"
+  | Some f ->
+      check_i "one restart committed" 1 f.Obs.Timeline.restarts;
+      check_b "persists recorded" true (f.Obs.Timeline.persists > 0);
+      check_i "everyone terminated alive again" 8
+        (8 - f.Obs.Timeline.crashes + f.Obs.Timeline.restarts)
 
 let test_timeline_json () =
   let spec = Helpers.spec ~n:8 ~t:2 in
@@ -236,6 +271,8 @@ let suite =
     prop_timeline_a;
     prop_timeline_d;
     prop_timeline_async;
+    Alcotest.test_case "timeline: crash + restart columns" `Quick
+      test_timeline_recovery;
     Alcotest.test_case "timeline: json deterministic" `Quick test_timeline_json;
     Alcotest.test_case "report: golden fixture" `Quick test_golden_report;
     Alcotest.test_case "report: bound checks" `Quick test_bound_checks;
