@@ -1,4 +1,4 @@
-(* Experiments E1-E18 (see DESIGN.md §3): one table per theorem/claim of the
+(* Experiments E1-E19 (see DESIGN.md §3): one table per theorem/claim of the
    paper, printing measured costs against the stated bounds. *)
 
 module Table = Dhw_util.Table
@@ -945,7 +945,103 @@ let e18 () =
   print_string "\n== E18 ==\n";
   publish "E18" table
 
+(* E19: the harness itself scales with cores. A fixed seeded campaign (the
+   same storm every row) is executed through Simkit.Pool at increasing
+   worker-domain counts; wall-clock throughput and the speedup over jobs=1
+   are measured, and "deterministic" digests the complete campaign result
+   (counts, margins, every shrunk counterexample) and compares it with the
+   jobs=1 digest — the byte-identity claim of Campaign.run_parallel,
+   checked on real workloads. On a single-core machine the speedup column
+   sits at ~1.0x; the deterministic column must read ok everywhere. *)
+
+let campaign_fingerprint print (stats : _ Simkit.Campaign.stats) =
+  let module C = Simkit.Campaign in
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Format.asprintf "%a" C.pp_stats stats);
+  List.iter
+    (fun (f : _ C.failure) ->
+      Buffer.add_string b f.C.oracle;
+      Buffer.add_string b f.C.detail;
+      Buffer.add_string b (print f.C.schedule);
+      Buffer.add_string b (print f.C.shrunk))
+    stats.C.failures;
+  Digest.string (Buffer.contents b)
+
+let e19 ?(executions = 250) ?(jobs_list = [ 1; 2; 4; 8 ]) () =
+  let module C = Simkit.Campaign in
+  let sync_spec = Doall.Spec.make ~n:80 ~t:12 in
+  let async_spec = Doall.Spec.make ~n:40 ~t:6 in
+  let async_executions = max 10 (executions / 5) in
+  let campaigns =
+    [
+      ( Printf.sprintf "sync A, %d-schedule storm" executions,
+        fun jobs ->
+          let stats =
+            Doall.Fuzz.campaign ~jobs ~seed:20260806L ~executions sync_spec
+              Doall.Protocol_a.protocol
+          in
+          (stats.C.executions, List.length stats.C.failures,
+           campaign_fingerprint C.Schedule.print stats) );
+      ( Printf.sprintf "async A, %d-schedule storm" async_executions,
+        fun jobs ->
+          let stats =
+            Asim.Async_fuzz.campaign ~jobs ~seed:20260806L
+              ~executions:async_executions async_spec
+          in
+          (stats.C.executions, List.length stats.C.failures,
+           campaign_fingerprint C.Async.print stats) );
+    ]
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Multicore campaign execution (Simkit.Pool): one seeded storm per\n\
+            campaign, executed at increasing worker-domain counts (this host\n\
+            recommends %d). Speedup is wall-clock over jobs=1; deterministic\n\
+            compares a digest of the full campaign result with jobs=1."
+           (Simkit.Pool.default_jobs ()))
+      [ ("campaign", Table.Left); ("jobs", Right); ("executions", Right);
+        ("violations", Right); ("wall s", Right); ("exec/s", Right);
+        ("speedup", Right); ("deterministic", Left) ]
+  in
+  List.iter
+    (fun (label, go) ->
+      let base_wall = ref 0.0 in
+      let base_digest = ref "" in
+      List.iter
+        (fun jobs ->
+          let t0 = Unix.gettimeofday () in
+          let execs, violations, digest = go jobs in
+          let wall = Unix.gettimeofday () -. t0 in
+          if jobs = 1 then begin
+            base_wall := wall;
+            base_digest := digest
+          end;
+          Table.add_row table
+            [
+              label; string_of_int jobs; Table.fmt_int execs;
+              string_of_int violations;
+              Printf.sprintf "%.2f" wall;
+              Table.fmt_float (float_of_int execs /. wall);
+              (if jobs = 1 then "1.00"
+               else Table.fmt_ratio (!base_wall /. wall));
+              (if digest = !base_digest then "ok" else "MISMATCH");
+            ])
+        jobs_list;
+      Table.add_rule table)
+    campaigns;
+  print_string "\n== E19 ==\n";
+  publish "E19" table
+
 let all () =
   reset ();
   e1 (); e2 (); e3 (); e4 (); e5 (); e6 (); e7 (); e8 (); e9 (); e10 ();
-  e11 (); e12 (); e13 (); e14 (); e15 (); e16 (); e17 (); e18 ()
+  e11 (); e12 (); e13 (); e14 (); e15 (); e16 (); e17 (); e18 (); e19 ()
+
+(* The @ci bench smoke: the multicore table at tiny sizes — enough to
+   exercise Pool + run_parallel and validate the dhw-bench/v1 schema
+   end-to-end in a few seconds. *)
+let smoke () =
+  reset ();
+  e19 ~executions:30 ~jobs_list:[ 1; 2 ] ()

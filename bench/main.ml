@@ -1,10 +1,11 @@
 (* Benchmark harness: regenerates every evaluation claim of the paper
-   (experiments E1-E18, DESIGN.md section 3) and times representative runs
+   (experiments E1-E19, DESIGN.md section 3) and times representative runs
    with Bechamel.
 
      dune exec bench/main.exe                        # all tables + timings
      dune exec bench/main.exe -- tables              # logical-cost tables only
      dune exec bench/main.exe -- timing              # Bechamel only
+     dune exec bench/main.exe -- smoke               # tiny E19 only (@ci)
      dune exec bench/main.exe -- --json BENCH_results.json
                                   # also write the dhw-bench/v1 document *)
 
@@ -27,7 +28,8 @@ let () =
     | w :: rest -> parse w json rest
   in
   let what, json = parse "all" None (List.tl (Array.to_list Sys.argv)) in
-  if what = "all" || what = "tables" then Bench_tables.all ();
+  if what = "smoke" then Bench_tables.smoke ()
+  else if what = "all" || what = "tables" then Bench_tables.all ();
   let timings =
     if what = "all" || what = "timing" then Bench_timing.run () else []
   in

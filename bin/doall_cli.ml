@@ -491,6 +491,21 @@ let bootstrap_cmd =
 
 module Campaign = Simkit.Campaign
 
+(* Campaigns always run through the parallel engine here, so --jobs 1 and
+   --jobs 8 print byte-identical stats and write byte-identical corpora;
+   0 means one worker domain per core. *)
+let jobs_arg =
+  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N"
+       ~doc:"Worker domains executing campaign schedules (default 0 = one per core). Campaign results are byte-identical for every value; only wall-clock time changes.")
+
+let resolve_jobs jobs =
+  if jobs < 0 then begin
+    prerr_endline "--jobs must be >= 0 (0 = one worker per core)";
+    exit 2
+  end
+  else if jobs = 0 then Simkit.Pool.default_jobs ()
+  else jobs
+
 let pp_failure ppf (i, (f : Campaign.Schedule.t Campaign.failure)) =
   Format.fprintf ppf "violation #%d: oracle=%s (%s)@." i f.Campaign.oracle
     f.Campaign.detail;
@@ -577,12 +592,14 @@ let fuzz_cmd =
     Arg.(value & opt int 3 & info [ "max-failures" ]
          ~doc:"Stop after this many (shrunk) violations.")
   in
-  let run proto n t seed executions exhaustive window corpus work_cap max_failures =
+  let run proto n t seed executions exhaustive window corpus work_cap
+      max_failures jobs =
     match protocol_of_name proto with
     | Error (`Msg m) -> prerr_endline m; exit 2
     | Ok p ->
         let spec = D.Spec.make ~n ~t in
         let name = String.lowercase_ascii proto in
+        let jobs = resolve_jobs jobs in
         let extra =
           match work_cap with
           | None -> []
@@ -590,9 +607,9 @@ let fuzz_cmd =
         in
         let stats =
           if exhaustive then
-            D.Fuzz.exhaustive_campaign ?window ~extra ~max_failures spec p
+            D.Fuzz.exhaustive_campaign ~jobs ?window ~extra ~max_failures spec p
           else
-            D.Fuzz.campaign ~seed:(Int64.of_int seed) ~executions ?window
+            D.Fuzz.campaign ~jobs ~seed:(Int64.of_int seed) ~executions ?window
               ~extra ~max_failures spec p
         in
         Format.printf "campaign: protocol=%s n=%d t=%d seed=%d %s@." name n t
@@ -612,7 +629,7 @@ let fuzz_cmd =
     Term.(
       const run $ proto_arg $ n_arg $ t_arg $ seed_arg $ executions_arg
       $ exhaustive_arg $ window_opt_arg $ corpus_arg $ work_cap_arg
-      $ max_failures_arg)
+      $ max_failures_arg $ jobs_arg)
 
 let replay_cmd =
   let file_arg =
@@ -702,7 +719,7 @@ let recovery_fuzz_cmd =
          ~doc:"Stop after this many (shrunk) violations.")
   in
   let run proto n t seed executions window restart_gap corpus work_cap
-      max_failures =
+      max_failures jobs =
     match D.Fuzz.recovery_which_of_name proto with
     | None ->
         prerr_endline
@@ -711,13 +728,14 @@ let recovery_fuzz_cmd =
     | Some which ->
         let spec = D.Spec.make ~n ~t in
         let name = D.Fuzz.recovery_protocol_name which in
+        let jobs = resolve_jobs jobs in
         let extra =
           match work_cap with
           | None -> []
           | Some cap -> [ D.Fuzz.work_cap cap ]
         in
         let stats =
-          D.Fuzz.recovery_campaign ~seed:(Int64.of_int seed) ~executions
+          D.Fuzz.recovery_campaign ~jobs ~seed:(Int64.of_int seed) ~executions
             ?window ~restart_gap ~extra ~max_failures spec which
         in
         Format.printf
@@ -738,7 +756,7 @@ let recovery_fuzz_cmd =
     Term.(
       const run $ proto_arg $ n_arg $ t_arg $ seed_arg $ executions_arg
       $ window_opt_arg $ restart_gap_arg $ corpus_arg $ work_cap_arg
-      $ max_failures_arg)
+      $ max_failures_arg $ jobs_arg)
 
 let recovery_replay_cmd =
   let file_arg =
@@ -859,13 +877,14 @@ let async_fuzz_cmd =
     Arg.(value & opt int 3 & info [ "max-failures" ]
          ~doc:"Stop after this many (shrunk) violations.")
   in
-  let run n t seed executions window corpus work_cap max_failures =
+  let run n t seed executions window corpus work_cap max_failures jobs =
     let spec = D.Spec.make ~n ~t in
+    let jobs = resolve_jobs jobs in
     let extra =
       match work_cap with None -> [] | Some cap -> [ AF.work_cap cap ]
     in
     let stats =
-      AF.campaign ~seed:(Int64.of_int seed) ~executions ?window ~extra
+      AF.campaign ~jobs ~seed:(Int64.of_int seed) ~executions ?window ~extra
         ~max_failures spec
     in
     Format.printf "async campaign: protocol=async-a n=%d t=%d seed=%d@." n t
@@ -884,7 +903,7 @@ let async_fuzz_cmd =
        ~doc:"Async adversary campaign: crashes plus message loss/duplication/slowdown against the hardened asynchronous Protocol A, shrinking any violation")
     Term.(
       const run $ n_arg $ t_arg $ seed_arg $ executions_arg $ window_opt_arg
-      $ corpus_arg $ work_cap_arg $ max_failures_arg)
+      $ corpus_arg $ work_cap_arg $ max_failures_arg $ jobs_arg)
 
 let async_replay_cmd =
   let file_arg =

@@ -161,8 +161,11 @@ let default_window ?max_ticks spec =
   let ff = run_schedule ?max_ticks spec (C.Async.make ()) in
   (2 * Metrics.rounds ff.result.Event_sim.metrics) + 2
 
-let campaign ?(seed = 1L) ?(executions = 100) ?window ?grace ?(extra = [])
-    ?max_failures ?shrink_budget ?max_ticks spec =
+(* [?jobs] fans schedule execution out over a Simkit.Pool; omitted, the
+   sequential engine runs as before. Generation stays sequential so seeds
+   keep their meaning. *)
+let campaign ?jobs ?(seed = 1L) ?(executions = 100) ?window ?grace
+    ?(extra = []) ?max_failures ?shrink_budget ?max_ticks spec =
   let window =
     match window with Some w -> w | None -> default_window ?max_ticks spec
   in
@@ -171,7 +174,7 @@ let campaign ?(seed = 1L) ?(executions = 100) ?window ?grace ?(extra = [])
   let schedules =
     List.init executions (fun _ -> stamp spec (C.Async.sample g ~t ~window))
   in
-  C.run
+  C.run_dispatch ?jobs
     ~run:(run_schedule ?max_ticks spec)
     ~oracles:(oracles ?grace () @ extra)
     ~candidates:C.Async.candidates ?max_failures ?shrink_budget

@@ -73,6 +73,7 @@ val default_window : ?max_ticks:int -> Doall.Spec.t -> int
     slack. *)
 
 val campaign :
+  ?jobs:int ->
   ?seed:int64 ->
   ?executions:int ->
   ?window:int ->
@@ -85,4 +86,7 @@ val campaign :
   C.Async.t C.stats
 (** A seeded random campaign of [executions] (default 100) schedules from
     {!Simkit.Campaign.Async.sample}, judged by {!oracles} plus [extra],
-    each failure shrunk via {!Simkit.Campaign.Async.candidates}. *)
+    each failure shrunk via {!Simkit.Campaign.Async.candidates}. [jobs]
+    fans execution out over a {!Simkit.Pool} of worker domains with
+    byte-identical results for every value; omitted, the sequential engine
+    runs. *)

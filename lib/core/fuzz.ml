@@ -142,7 +142,12 @@ let default_window spec proto =
   let ff = Runner.run spec proto in
   (2 * Metrics.rounds ff.Runner.metrics) + 2
 
-let campaign ?(seed = 1L) ?(executions = 200) ?window ?(extra = [])
+(* [?jobs] on every campaign driver selects the parallel engine
+   ([Campaign.run_parallel] over a Simkit.Pool); omitted, the sequential
+   engine runs as before. Schedule *generation* stays sequential either
+   way — it walks one seeded PRNG, which keeps historical seeds meaning
+   the same campaigns — only execution and judging fan out. *)
+let campaign ?jobs ?(seed = 1L) ?(executions = 200) ?window ?(extra = [])
     ?max_failures ?shrink_budget spec proto =
   let window =
     match window with Some w -> w | None -> default_window spec proto
@@ -152,7 +157,7 @@ let campaign ?(seed = 1L) ?(executions = 200) ?window ?(extra = [])
   let schedules =
     List.init executions (fun _ -> stamp spec proto (C.sample g ~t ~window))
   in
-  C.run
+  C.run_dispatch ?jobs
     ~run:(run_schedule spec proto)
     ~oracles:(oracles spec ~protocol:proto.Protocol.name @ extra)
     ~candidates:C.schedule_candidates ?max_failures ?shrink_budget
@@ -255,7 +260,7 @@ let recovery_stamp spec which sched =
 
 let recovery_horizon ~window ~restart_gap = window + (4 * (restart_gap + 2))
 
-let recovery_campaign ?(seed = 1L) ?(executions = 200) ?window
+let recovery_campaign ?jobs ?(seed = 1L) ?(executions = 200) ?window
     ?(restart_gap = 6) ?rejoin_rounds ?(extra = []) ?max_failures
     ?shrink_budget spec which =
   let window =
@@ -277,14 +282,14 @@ let recovery_campaign ?(seed = 1L) ?(executions = 200) ?window
       | Recovery.A -> Bounds.a_rounds (Grid.make spec)
       | Recovery.B -> Bounds.b_rounds (Grid.make spec))) + 64)
   in
-  C.run
+  C.run_dispatch ?jobs
     ~run:(run_recovery_schedule ~max_rounds ?rejoin_rounds spec which)
     ~oracles:(recovery_oracles spec which ~horizon @ extra)
     ~candidates:C.schedule_candidates ?max_failures ?shrink_budget
     (List.to_seq schedules)
 
-let exhaustive_campaign ?window ?round_step ?modes ?(extra = []) ?max_failures
-    ?shrink_budget spec proto =
+let exhaustive_campaign ?jobs ?window ?round_step ?modes ?(extra = [])
+    ?max_failures ?shrink_budget spec proto =
   let window =
     match window with Some w -> w | None -> default_window spec proto
   in
@@ -298,7 +303,7 @@ let exhaustive_campaign ?window ?round_step ?modes ?(extra = []) ?max_failures
   let schedules =
     Seq.map (stamp spec proto) (C.exhaustive ~t ~window ~round_step ~modes ())
   in
-  C.run
+  C.run_dispatch ?jobs
     ~run:(run_schedule spec proto)
     ~oracles:(oracles spec ~protocol:proto.Protocol.name @ extra)
     ~candidates:C.schedule_candidates ?max_failures ?shrink_budget schedules

@@ -39,6 +39,7 @@ val stamp : Spec.t -> Protocol.t -> C.Schedule.t -> C.Schedule.t
     self-contained for [doall_cli replay]. *)
 
 val campaign :
+  ?jobs:int ->
   ?seed:int64 ->
   ?executions:int ->
   ?window:int ->
@@ -51,7 +52,11 @@ val campaign :
 (** Seeded-random campaign: [executions] (default 200) schedules from
     {!Simkit.Campaign.sample} with crash rounds in [0, window] (default:
     twice the failure-free running time), judged by {!oracles} plus
-    [extra]. *)
+    [extra]. [jobs] fans execution out over a {!Simkit.Pool} of worker
+    domains (results are byte-identical for every value, see
+    {!Simkit.Campaign.run_parallel}); omitted, the sequential engine runs.
+    Schedule generation is sequential either way, so a seed names the same
+    campaign regardless of [jobs]. *)
 
 (** {1 Crash–recovery campaigns} *)
 
@@ -90,6 +95,7 @@ val recovery_stamp : Spec.t -> Recovery.which -> C.Schedule.t -> C.Schedule.t
     meta, making it self-contained for [doall_cli recovery-replay]. *)
 
 val recovery_campaign :
+  ?jobs:int ->
   ?seed:int64 ->
   ?executions:int ->
   ?window:int ->
@@ -110,6 +116,7 @@ val recovery_campaign :
     rather than a hang. *)
 
 val exhaustive_campaign :
+  ?jobs:int ->
   ?window:int ->
   ?round_step:int ->
   ?modes:C.Schedule.mode list ->

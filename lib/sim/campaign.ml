@@ -539,6 +539,82 @@ let run ~run:exec ~oracles ~candidates ?(max_failures = 3)
     margins;
   }
 
+(* Parallel campaign engine: judge every schedule on a [Simkit.Pool] of
+   [jobs] worker domains, then reduce the verdicts strictly in schedule
+   order, shrinking sequentially (shrinking is a greedy walk whose
+   minimality argument depends on candidate order, so it stays on one
+   domain). The trade against the sequential [run] is early exit: [run]
+   stops executing once [max_failures] violations are found, while this
+   engine always judges the whole campaign and then keeps the first
+   [max_failures] failures in schedule order — the price of results that
+   are byte-identical for every [jobs] value. With no violations the two
+   engines agree exactly. Generic over the schedule type, like [run]. *)
+let run_parallel ?jobs ~run:exec ~oracles ~candidates ?(max_failures = 3)
+    ?(shrink_budget = 500) schedules =
+  let scheds = Array.of_seq schedules in
+  (* Pure per-schedule judgement, mirroring [run]'s oracle fold: margins
+     are noted only for oracles checked before the first failure. *)
+  let judge sched =
+    let r = exec sched in
+    List.fold_left
+      (fun (margins, failure) o ->
+        match failure with
+        | Some _ -> (margins, failure)
+        | None -> (
+            match o.check r with
+            | Pass -> (margins, None)
+            | Pass_margin m -> ((o.name, m) :: margins, None)
+            | Fail detail -> (margins, Some (o.name, detail))))
+      ([], None) oracles
+  in
+  let verdicts = Pool.map ?jobs judge scheds in
+  let margins : (string, float) Hashtbl.t = Hashtbl.create 8 in
+  let note_margin (name, m) =
+    match Hashtbl.find_opt margins name with
+    | Some m' when m' >= m -> ()
+    | _ -> Hashtbl.replace margins name m
+  in
+  let executions = ref (Array.length scheds) in
+  let failures = ref [] in
+  Array.iteri
+    (fun i (ms, verdict) ->
+      List.iter note_margin (List.rev ms);
+      match verdict with
+      | Some (oracle, detail) when List.length !failures < max_failures ->
+          let shrunk, shrunk_detail, spent =
+            shrink ~run:exec ~oracles ~oracle ~candidates ~budget:shrink_budget
+              scheds.(i)
+          in
+          executions := !executions + spent;
+          failures :=
+            { schedule = scheds.(i); oracle; detail; shrunk; shrunk_detail;
+              shrink_executions = spent }
+            :: !failures
+      | _ -> ())
+    verdicts;
+  let margins =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) margins []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  {
+    schedules = Array.length scheds;
+    executions = !executions;
+    failures = List.rev !failures;
+    margins;
+  }
+
+(* [jobs = None] keeps the sequential engine (and its early-exit
+   semantics); [Some j] selects the parallel engine, whose results do not
+   depend on [j]. *)
+let run_dispatch ?jobs ~run:exec ~oracles ~candidates ?max_failures
+    ?shrink_budget schedules =
+  match jobs with
+  | None ->
+      run ~run:exec ~oracles ~candidates ?max_failures ?shrink_budget schedules
+  | Some jobs ->
+      run_parallel ~jobs ~run:exec ~oracles ~candidates ?max_failures
+        ?shrink_budget schedules
+
 let pp_stats ppf s =
   Format.fprintf ppf "schedules=%d executions=%d violations=%d" s.schedules
     s.executions (List.length s.failures);

@@ -185,6 +185,36 @@ val run :
 (** Execute and judge every schedule; shrink each failure on the spot. Stops
     early once [max_failures] (default 3) failures have been collected. *)
 
+val run_parallel :
+  ?jobs:int ->
+  run:('a -> 'r) ->
+  oracles:'r oracle list ->
+  candidates:('a -> 'a Seq.t) ->
+  ?max_failures:int ->
+  ?shrink_budget:int ->
+  'a Seq.t ->
+  'a stats
+(** The multicore engine: execute and judge the schedules on [jobs] worker
+    domains (default {!Pool.default_jobs}; [1] is a plain sequential loop),
+    then reduce the verdicts strictly in schedule order. Results are
+    byte-identical for every [jobs] value. Shrinking stays sequential — the
+    greedy walk's local-minimality argument depends on candidate order.
+    Differs from {!run} only in early exit: the whole campaign is always
+    executed, and the first [max_failures] failures in schedule order are
+    kept; with no violations the two engines return identical stats. *)
+
+val run_dispatch :
+  ?jobs:int ->
+  run:('a -> 'r) ->
+  oracles:'r oracle list ->
+  candidates:('a -> 'a Seq.t) ->
+  ?max_failures:int ->
+  ?shrink_budget:int ->
+  'a Seq.t ->
+  'a stats
+(** [run] when [jobs] is omitted, [run_parallel ~jobs] otherwise — the
+    switch behind every front-end's [?jobs] parameter. *)
+
 val pp_stats : Format.formatter -> 'a stats -> unit
 
 (** {1 Asynchronous schedules} *)

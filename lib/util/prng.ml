@@ -67,3 +67,16 @@ let sample_without_replacement g k bound =
 let split g =
   let seed = next_int64 g in
   create (Int64.logxor seed 0xDEADBEEFCAFEF00DL)
+
+(* Independent stream [i] of a master [seed], without consuming state from
+   any shared generator: the pair (seed, i) is keyed by a second odd gamma
+   and pushed through one splitmix step, so sibling streams land far apart
+   in the state space even for adjacent indices. Used by parallel work
+   pools, where per-task generators must not depend on which worker (or in
+   what order) tasks are executed. *)
+let stream seed i =
+  if i < 0 then invalid_arg "Prng.stream: negative index";
+  let keyed =
+    Int64.logxor seed (Int64.mul (Int64.of_int (i + 1)) 0xD1342543DE82EF95L)
+  in
+  create (next_int64 (create keyed))

@@ -50,3 +50,9 @@ val sample_without_replacement : t -> int -> int -> int list
 
 val split : t -> t
 (** [split g] derives an independent generator and advances [g]. *)
+
+val stream : int64 -> int -> t
+(** [stream seed i] is the [i]-th independent stream of master [seed],
+    derived by hashing the pair — no generator state is consumed, so
+    parallel workers can materialize their streams in any order and still
+    agree with a sequential run. @raise Invalid_argument if [i < 0]. *)

@@ -1,0 +1,118 @@
+(* The doall_cli exit-code contract, as documented in the README: exit
+   codes are machine-readable verdicts. [run]/[async]/[shmem] encode the
+   outcome class (0 completed+correct, 1 incorrect, 2 usage, 3 stalled,
+   4 round/tick limit); the fuzz family exits 1 when a campaign finds a
+   counterexample and replay exits 1 when the replayed schedule still
+   violates its oracle stack. Driven through the real executable so the
+   codes can never drift from the docs silently.
+
+   Protocols A-D never stall and the CLI exposes no round-limit override,
+   so classes 3 and 4 are unreachable from here; they are covered by the
+   kernel tests on synthetic protocols. *)
+
+let cli =
+  lazy
+    (let candidates =
+       [ "../bin/doall_cli.exe"; "_build/default/bin/doall_cli.exe" ]
+     in
+     match List.find_opt Sys.file_exists candidates with
+     | Some c -> c
+     | None -> Alcotest.fail "doall_cli.exe not found (run under dune)")
+
+let null = if Sys.win32 then "NUL" else "/dev/null"
+
+let exec args =
+  Sys.command
+    (Filename.quote_command (Lazy.force cli) ~stdout:null ~stderr:null args)
+
+let check_exit name expected args =
+  Alcotest.(check int) (name ^ ": exit code") expected (exec args)
+
+(* A fresh corpus directory the CLI will create and fill. *)
+let temp_corpus () =
+  let path = Filename.temp_file "dhw-cli-corpus" "" in
+  Sys.remove path;
+  path
+
+let test_run_codes () =
+  check_exit "run clean" 0 [ "run"; "-p"; "a"; "-n"; "24"; "-t"; "6" ];
+  check_exit "run with crashes" 0
+    [ "run"; "-p"; "a"; "-n"; "24"; "-t"; "6"; "--crash"; "0@3"; "--crash"; "2@7" ];
+  check_exit "unknown protocol is usage error" 2
+    [ "run"; "-p"; "nosuch"; "-n"; "24"; "-t"; "6" ]
+
+let test_fuzz_codes () =
+  let corpus = temp_corpus () in
+  check_exit "clean campaign" 0
+    [ "fuzz"; "-p"; "a"; "--seed"; "11"; "--executions"; "40"; "-n"; "24";
+      "-t"; "6"; "--corpus"; corpus ];
+  check_exit "clean campaign, parallel" 0
+    [ "fuzz"; "-p"; "a"; "--seed"; "11"; "--executions"; "40"; "-n"; "24";
+      "-t"; "6"; "--jobs"; "2"; "--corpus"; corpus ];
+  check_exit "negative --jobs is usage error" 2
+    [ "fuzz"; "-p"; "a"; "--jobs=-3"; "--executions"; "5"; "-n"; "12"; "-t"; "4" ]
+
+let test_counterexample_codes () =
+  (* work-cap 1 is violated by every schedule: the campaign must exit 1 and
+     write the shrunk counterexample to the corpus. *)
+  let corpus = temp_corpus () in
+  check_exit "fuzz counterexample" 1
+    [ "fuzz"; "-p"; "a"; "--seed"; "1"; "--executions"; "10"; "-n"; "12";
+      "-t"; "4"; "--work-cap"; "1"; "--max-failures"; "1"; "--corpus"; corpus ];
+  let sched = Filename.concat corpus "a-seed1-0.sched" in
+  Alcotest.(check bool) "counterexample written" true (Sys.file_exists sched);
+  (* Replay's exit code is the verdict of the replayed oracle stack: the
+     schedule passes the standard stack (0) and still violates the cap (1). *)
+  check_exit "replay without cap" 0 [ "replay"; sched ];
+  check_exit "replay with cap" 1 [ "replay"; sched; "--work-cap"; "1" ];
+  (* A missing schedule file is rejected by cmdliner's own argument
+     validation, which uses its fixed code 124 rather than this CLI's 2. *)
+  check_exit "replay of missing file is a cmdliner error" 124
+    [ "replay"; Filename.concat corpus "nosuch.sched" ]
+
+let test_async_and_recovery_codes () =
+  check_exit "async-fuzz clean" 0
+    [ "async-fuzz"; "--seed"; "7"; "--executions"; "15"; "-n"; "25"; "-t"; "4";
+      "--jobs"; "2" ];
+  check_exit "async-fuzz counterexample" 1
+    [ "async-fuzz"; "--seed"; "4"; "--executions"; "8"; "-n"; "16"; "-t"; "4";
+      "--work-cap"; "1"; "--max-failures"; "1"; "--corpus"; temp_corpus () ];
+  check_exit "recovery-fuzz clean" 0
+    [ "recovery-fuzz"; "-p"; "a"; "--seed"; "3"; "--executions"; "40"; "-n";
+      "20"; "-t"; "5"; "--jobs"; "2" ];
+  check_exit "recovery-fuzz counterexample" 1
+    [ "recovery-fuzz"; "-p"; "a"; "--seed"; "4"; "--executions"; "8"; "-n";
+      "16"; "-t"; "4"; "--work-cap"; "1"; "--max-failures"; "1"; "--corpus";
+      temp_corpus () ]
+
+let test_jobs_byte_identical_stdout () =
+  (* The CI determinism gate in miniature: the same seeded campaign at
+     --jobs 1 and --jobs 4 must print byte-identical results. *)
+  let capture jobs =
+    let out = Filename.temp_file "dhw-cli-out" ".txt" in
+    let code =
+      Sys.command
+        (Filename.quote_command (Lazy.force cli) ~stdout:out ~stderr:null
+           [ "fuzz"; "-p"; "a"; "--seed"; "11"; "--executions"; "60"; "-n";
+             "24"; "-t"; "6"; "--jobs"; string_of_int jobs ])
+    in
+    Alcotest.(check int) (Printf.sprintf "jobs=%d exit" jobs) 0 code;
+    let ic = open_in_bin out in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Sys.remove out;
+    s
+  in
+  Alcotest.(check string) "stdout identical at jobs 1 and 4" (capture 1) (capture 4)
+
+let suite =
+  [
+    Alcotest.test_case "run exit codes" `Quick test_run_codes;
+    Alcotest.test_case "fuzz exit codes" `Quick test_fuzz_codes;
+    Alcotest.test_case "counterexample and replay exit codes" `Quick
+      test_counterexample_codes;
+    Alcotest.test_case "async and recovery fuzz exit codes" `Quick
+      test_async_and_recovery_codes;
+    Alcotest.test_case "campaign stdout independent of --jobs" `Quick
+      test_jobs_byte_identical_stdout;
+  ]

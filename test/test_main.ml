@@ -22,4 +22,6 @@ let () =
       ("campaign", Test_campaign.suite);
       ("recovery", Test_recovery.suite);
       ("observability", Test_obs.suite);
+      ("pool", Test_pool.suite);
+      ("cli", Test_cli.suite);
     ]
