@@ -1,4 +1,4 @@
-(* Experiments E1-E19 (see DESIGN.md §3): one table per theorem/claim of the
+(* Experiments E1-E20 (see DESIGN.md §3): one table per theorem/claim of the
    paper, printing measured costs against the stated bounds. *)
 
 module Table = Dhw_util.Table
@@ -846,7 +846,7 @@ let e17 () =
   List.iter
     (fun (label, drop_bp, dup_bp, slow_set) ->
       let link =
-        { Asim.Event_sim.drop_bp; dup_bp; slow_set; slow_factor = 4 }
+        { Asim.Event_sim.drop_bp; dup_bp; corrupt_bp = 0; slow_set; slow_factor = 4 }
       in
       let stats = Asim.Link.stats () in
       let r =
@@ -1034,10 +1034,89 @@ let e19 ?(executions = 250) ?(jobs_list = [ 1; 2; 4; 8 ]) () =
   print_string "\n== E19 ==\n";
   publish "E19" table
 
+(* E20: the price of validation under lies. Per Byzantine budget b, the
+   same seeded storm of corruption/Byzantine schedules is executed by both
+   the exposed Protocol A baseline and the validated A+val (keyed digests +
+   f+1-quorum attestation) through the worker pool. The baseline's
+   violation count shows what the adversary buys; the hardened rows must
+   read 0 violations, and the work ratio is the premium the quorum
+   charges for it. *)
+
+let e20 ?(schedules = 40) ?jobs () =
+  let module C = Simkit.Campaign in
+  let module F = Doall.Fuzz in
+  let spec = Doall.Spec.make ~n:60 ~t:15 in
+  let t = Doall.Spec.processes spec in
+  let window = 60 in
+  let max_rounds = F.byz_max_rounds spec ~window in
+  let budgets =
+    List.sort_uniq compare [ 0; 1; t / 4; (t / 3) - 1 ]
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Corruption & Byzantine overhead: exposed A vs validated A+val\n\
+            under the same %d-schedule seeded storm per Byzantine budget b\n\
+            (n=%d t=%d, fault window %d). Hardened rows must show 0\n\
+            violations; \"work vs A\" is the price of the f+1 quorum."
+           schedules (Doall.Spec.n spec) t window)
+      [ ("b", Right); ("protocol", Left); ("violations", Right);
+        ("mean work", Right); ("mean msgs", Right); ("mean rounds", Right);
+        ("work vs A", Right) ]
+  in
+  List.iter
+    (fun b ->
+      let g = Dhw_util.Prng.create 20260809L in
+      let scheds =
+        List.init schedules (fun _ -> C.sample_byz g ~t ~window ~byz:b)
+      in
+      let eval hardening =
+        let oracles = F.byz_oracles spec ~hardening in
+        let runs =
+          Simkit.Pool.map_list ?jobs
+            (fun sched ->
+              let s = F.run_byz_schedule ~max_rounds spec hardening sched in
+              let m = s.F.report.Doall.Runner.metrics in
+              ( (match C.first_failure oracles s with
+                | Some _ -> 1
+                | None -> 0),
+                Metrics.work m, Metrics.messages m, Metrics.rounds m ))
+            scheds
+        in
+        let viol, work, msgs, rounds =
+          List.fold_left
+            (fun (v, w, m, r) (v', w', m', r') -> (v + v', w + w', m + m', r + r'))
+            (0, 0, 0, 0) runs
+        in
+        let mean x = float_of_int x /. float_of_int schedules in
+        (viol, mean work, mean msgs, mean rounds)
+      in
+      let va, wa, ma, ra = eval F.Unhardened in
+      let vv, wv, mv, rv = eval F.Hardened in
+      Table.add_row table
+        [
+          string_of_int b; F.byz_protocol_name F.Unhardened;
+          string_of_int va; Printf.sprintf "%.1f" wa;
+          Printf.sprintf "%.1f" ma; Printf.sprintf "%.1f" ra; "1.00";
+        ];
+      Table.add_row table
+        [
+          string_of_int b; F.byz_protocol_name F.Hardened;
+          string_of_int vv; Printf.sprintf "%.1f" wv;
+          Printf.sprintf "%.1f" mv; Printf.sprintf "%.1f" rv;
+          Table.fmt_ratio (wv /. wa);
+        ];
+      Table.add_rule table)
+    budgets;
+  print_string "\n== E20 ==\n";
+  publish "E20" table
+
 let all () =
   reset ();
   e1 (); e2 (); e3 (); e4 (); e5 (); e6 (); e7 (); e8 (); e9 (); e10 ();
-  e11 (); e12 (); e13 (); e14 (); e15 (); e16 (); e17 (); e18 (); e19 ()
+  e11 (); e12 (); e13 (); e14 (); e15 (); e16 (); e17 (); e18 (); e19 ();
+  e20 ()
 
 (* The @ci bench smoke: the multicore table at tiny sizes — enough to
    exercise Pool + run_parallel and validate the dhw-bench/v1 schema

@@ -1,5 +1,5 @@
 (* Benchmark harness: regenerates every evaluation claim of the paper
-   (experiments E1-E19, DESIGN.md section 3) and times representative runs
+   (experiments E1-E20, DESIGN.md section 3) and times representative runs
    with Bechamel.
 
      dune exec bench/main.exe                        # all tables + timings

@@ -86,7 +86,7 @@ let build_fault ~t ~crashes ~random ~window ~seed ~adversary =
 let report_arg =
   Arg.(value & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
        & info [ "report" ] ~docv:"FMT"
-       ~doc:"Output format: $(b,text) (default) or $(b,json) (one dhw-report/v2 document on stdout).")
+       ~doc:"Output format: $(b,text) (default) or $(b,json) (one dhw-report/v3 document on stdout).")
 
 (* Distinct exit codes so scripts can tell failure classes apart (2 is
    cmdliner's usage-error code): 0 = completed and correct, 1 = completed
@@ -216,7 +216,7 @@ let timeline_cmd =
   in
   let json_arg =
     Arg.(value & flag & info [ "json" ]
-         ~doc:"Emit the timeline as JSON (schema dhw-timeline/v2) instead of ASCII sparklines.")
+         ~doc:"Emit the timeline as JSON (schema dhw-timeline/v3) instead of ASCII sparklines.")
   in
   let width_arg =
     Arg.(value & opt int 64 & info [ "width" ] ~docv:"COLS"
@@ -306,8 +306,8 @@ let async_cmd =
       report_fmt events =
     let spec = D.Spec.make ~n ~t in
     let link =
-      { Asim.Event_sim.drop_bp = drop; dup_bp = dup; slow_set = slow;
-        slow_factor }
+      { Asim.Event_sim.drop_bp = drop; dup_bp = dup; corrupt_bp = 0;
+        slow_set = slow; slow_factor }
     in
     let seed = Int64.of_int seed in
     let stats = if hardened then Some (Asim.Link.stats ()) else None in
@@ -506,6 +506,19 @@ let resolve_jobs jobs =
   else if jobs = 0 then Simkit.Pool.default_jobs ()
   else jobs
 
+(* Campaign misconfiguration is exit code 2 (like cmdliner usage errors and
+   unknown protocols), distinct from exit 1 = counterexample found. *)
+let check_campaign_config ~executions ~window =
+  if executions < 0 then begin
+    prerr_endline "--executions must be >= 0";
+    exit 2
+  end;
+  match window with
+  | Some w when w < 0 ->
+      prerr_endline "--window must be >= 0";
+      exit 2
+  | _ -> ()
+
 let pp_failure ppf (i, (f : Campaign.Schedule.t Campaign.failure)) =
   Format.fprintf ppf "violation #%d: oracle=%s (%s)@." i f.Campaign.oracle
     f.Campaign.detail;
@@ -597,6 +610,7 @@ let fuzz_cmd =
     match protocol_of_name proto with
     | Error (`Msg m) -> prerr_endline m; exit 2
     | Ok p ->
+        check_campaign_config ~executions ~window;
         let spec = D.Spec.make ~n ~t in
         let name = String.lowercase_ascii proto in
         let jobs = resolve_jobs jobs in
@@ -726,6 +740,7 @@ let recovery_fuzz_cmd =
           ("unknown recovery protocol: " ^ proto ^ " (A, B, a+rec, b+rec)");
         exit 2
     | Some which ->
+        check_campaign_config ~executions ~window;
         let spec = D.Spec.make ~n ~t in
         let name = D.Fuzz.recovery_protocol_name which in
         let jobs = resolve_jobs jobs in
@@ -820,9 +835,251 @@ let recovery_replay_cmd =
     Term.(const run $ file_arg $ work_cap_arg)
 
 (* ------------------------------------------------------------------ *)
-(* Async campaigns: async-fuzz + async-replay *)
+(* Corruption / Byzantine campaigns: byz-fuzz + byz-replay *)
 
 module AF = Asim.Async_fuzz
+
+let write_async_corpus ~corpus ~protocol ~seed failures =
+  if failures <> [] then begin
+    if not (Sys.file_exists corpus) then Sys.mkdir corpus 0o755;
+    List.iteri
+      (fun i (f : Campaign.Async.t Campaign.failure) ->
+        let base =
+          Filename.concat corpus
+            (Printf.sprintf "%s-seed%d-%d" protocol seed i)
+        in
+        let path = base ^ ".sched" in
+        let oc = open_out path in
+        output_string oc (Campaign.Async.print f.Campaign.shrunk);
+        close_out oc;
+        Format.printf "  written: %s@." path;
+        write_failure_report ~path:(base ^ ".report.json") ~protocol ~seed
+          ~index:i ~print:Campaign.Async.print f)
+      failures
+  end
+
+let pp_byz_failure ppf (i, (f : Campaign.Schedule.t Campaign.failure)) =
+  Format.fprintf ppf "violation #%d: oracle=%s (%s)@." i f.Campaign.oracle
+    f.Campaign.detail;
+  Format.fprintf ppf "  schedule (cost %d): %a@."
+    (Campaign.Schedule.cost f.Campaign.schedule)
+    Campaign.Schedule.pp f.Campaign.schedule;
+  Format.fprintf ppf "  cheapest break (cost %d, %d executions): %a (%s)@."
+    (Campaign.Schedule.cost f.Campaign.shrunk)
+    f.Campaign.shrink_executions Campaign.Schedule.pp f.Campaign.shrunk
+    f.Campaign.shrunk_detail
+
+let byz_horizon sched =
+  List.fold_left
+    (fun acc (e : Campaign.Schedule.entry) -> max acc e.at)
+    0 sched.Campaign.Schedule.entries
+
+let report_byz_subject spec hardening sched =
+  let max_rounds = D.Fuzz.byz_max_rounds spec ~window:(byz_horizon sched) in
+  let subject = D.Fuzz.run_byz_schedule ~max_rounds spec hardening sched in
+  Format.printf "  %a@." D.Runner.pp subject.D.Fuzz.report
+
+let pp_async_byz_failure ppf (i, (f : Campaign.Async.t Campaign.failure)) =
+  Format.fprintf ppf "violation #%d: oracle=%s (%s)@." i f.Campaign.oracle
+    f.Campaign.detail;
+  Format.fprintf ppf "  schedule (cost %d): %a@."
+    (Campaign.Async.cost f.Campaign.schedule)
+    Campaign.Async.pp f.Campaign.schedule;
+  Format.fprintf ppf "  cheapest break (cost %d, %d executions): %a (%s)@."
+    (Campaign.Async.cost f.Campaign.shrunk)
+    f.Campaign.shrink_executions Campaign.Async.pp f.Campaign.shrunk
+    f.Campaign.shrunk_detail
+
+let report_async_byz_subject spec hardening sched =
+  let subject = AF.run_byz_schedule spec hardening sched in
+  Format.printf "  %a outcome=%a@." Simkit.Metrics.pp_summary
+    subject.AF.result.Asim.Event_sim.metrics Asim.Event_sim.pp_outcome
+    subject.AF.result.Asim.Event_sim.outcome
+
+let byz_fuzz_cmd =
+  let proto_arg =
+    Arg.(value & opt string "A" & info [ "p"; "protocol" ]
+         ~doc:"Protocol A variant to attack: $(b,a) (unhardened, expect a counterexample) or $(b,a+val) (validated, expect none).")
+  in
+  let executions_arg =
+    Arg.(value & opt int 200 & info [ "executions" ]
+         ~doc:"Random corruption/Byzantine schedules to run.")
+  in
+  let byz_arg =
+    Arg.(value & opt (some int) None & info [ "byz" ] ~docv:"B"
+         ~doc:"Byzantine processes per schedule (default t/3 - 1; must satisfy 0 <= B < t).")
+  in
+  let window_opt_arg =
+    Arg.(value & opt (some int) None & info [ "window" ] ~docv:"ROUNDS"
+         ~doc:"Fault-round window (default: twice the failure-free running time).")
+  in
+  let corpus_arg =
+    Arg.(value & opt string "corpus" & info [ "corpus" ] ~docv:"DIR"
+         ~doc:"Directory where cheapest-break schedules are written.")
+  in
+  let max_failures_arg =
+    Arg.(value & opt int 3 & info [ "max-failures" ]
+         ~doc:"Stop after this many (shrunk) violations.")
+  in
+  let async_arg =
+    Arg.(value & flag & info [ "async" ]
+         ~doc:"Attack the asynchronous substrate instead: corrupt/byz entries act on the reliable-link wire frames of hardened (or validated) async Protocol A.")
+  in
+  let run proto n t seed executions byz window corpus max_failures jobs async =
+    match D.Fuzz.byz_hardening_of_name proto with
+    | None ->
+        prerr_endline ("unknown byz-fuzz protocol: " ^ proto ^ " (a, a+val)");
+        exit 2
+    | Some hardening ->
+        check_campaign_config ~executions ~window;
+        (match byz with
+        | Some b when b < 0 || b >= t ->
+            prerr_endline
+              (Printf.sprintf "--byz must satisfy 0 <= B < t (got %d, t = %d)" b t);
+            exit 2
+        | _ -> ());
+        let spec = D.Spec.make ~n ~t in
+        let jobs = resolve_jobs jobs in
+        let byz_count =
+          match byz with Some b -> b | None -> min (max 0 ((t / 3) - 1)) (t - 1)
+        in
+        if async then begin
+          let name = AF.byz_protocol_name hardening in
+          let stats =
+            AF.byz_campaign ~jobs ~seed:(Int64.of_int seed) ~executions ?byz
+              ?window ~max_failures spec hardening
+          in
+          Format.printf "byz campaign: protocol=%s n=%d t=%d seed=%d byz=%d@."
+            name n t seed byz_count;
+          Format.printf "%a@." Campaign.pp_stats stats;
+          List.iteri
+            (fun i f ->
+              Format.printf "%a" pp_async_byz_failure (i, f);
+              report_async_byz_subject spec hardening f.Campaign.shrunk)
+            stats.Campaign.failures;
+          write_async_corpus ~corpus ~protocol:name ~seed
+            stats.Campaign.failures;
+          if stats.Campaign.failures <> [] then exit 1
+        end
+        else begin
+          let name = D.Fuzz.byz_protocol_name hardening in
+          let stats =
+            D.Fuzz.byz_campaign ~jobs ~seed:(Int64.of_int seed) ~executions ?byz
+              ?window ~max_failures spec hardening
+          in
+          Format.printf "byz campaign: protocol=%s n=%d t=%d seed=%d byz=%d@."
+            name n t seed byz_count;
+          Format.printf "%a@." Campaign.pp_stats stats;
+          List.iteri
+            (fun i f ->
+              Format.printf "%a" pp_byz_failure (i, f);
+              report_byz_subject spec hardening f.Campaign.shrunk)
+            stats.Campaign.failures;
+          write_corpus ~corpus ~protocol:name ~seed stats.Campaign.failures;
+          if stats.Campaign.failures <> [] then exit 1
+        end
+  in
+  Cmd.v
+    (Cmd.info "byz-fuzz"
+       ~doc:"Corruption/Byzantine storm campaign: forged and tampered checkpoint views against plain or validated Protocol A, shrinking any violation to the cheapest breaking schedule")
+    Term.(
+      const run $ proto_arg $ n_arg $ t_arg $ seed_arg $ executions_arg
+      $ byz_arg $ window_opt_arg $ corpus_arg $ max_failures_arg $ jobs_arg
+      $ async_arg)
+
+let byz_replay_async text =
+  match Campaign.Async.parse text with
+  | Error msg -> prerr_endline ("parse error: " ^ msg); exit 2
+  | Ok sched ->
+      let meta key =
+        match Campaign.Async.meta sched key with
+        | Some v -> v
+        | None ->
+            prerr_endline ("schedule file lacks meta " ^ key);
+            exit 2
+      in
+      let name = meta "protocol" in
+      (match AF.byz_hardening_of_name name with
+      | None ->
+          prerr_endline
+            ("not a byz-fuzz protocol: " ^ name ^ " (async-a, async-a+val)");
+          exit 2
+      | Some hardening ->
+          let n = int_of_string (meta "n") and t = int_of_string (meta "t") in
+          let spec = D.Spec.make ~n ~t in
+          let subject = AF.run_byz_schedule spec hardening sched in
+          let oracles = AF.byz_oracles spec ~hardening in
+          Format.printf
+            "byz replay: protocol=%s n=%d t=%d cost=%d schedule: %a@."
+            (AF.byz_protocol_name hardening)
+            n t
+            (Campaign.Async.cost sched)
+            Campaign.Async.pp sched;
+          Format.printf "  %a outcome=%a@." Simkit.Metrics.pp_summary
+            subject.AF.result.Asim.Event_sim.metrics Asim.Event_sim.pp_outcome
+            subject.AF.result.Asim.Event_sim.outcome;
+          (match Campaign.first_failure oracles subject with
+          | None -> Format.printf "verdict: all oracles pass@."
+          | Some (oracle, detail) ->
+              Format.printf "verdict: oracle=%s FAILS (%s)@." oracle detail;
+              exit 1))
+
+let byz_replay_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"Schedule file produced by byz-fuzz (or hand-written; may contain corrupt/byz entries). Both the synchronous (schedule v1) and asynchronous (async-schedule v1) formats are accepted.")
+  in
+  let run file =
+    let ic = open_in file in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    if String.length text >= 14 && String.sub text 0 14 = "async-schedule" then
+      byz_replay_async text
+    else
+    match Campaign.Schedule.parse text with
+    | Error msg -> prerr_endline ("parse error: " ^ msg); exit 2
+    | Ok sched ->
+        let meta key =
+          match Campaign.Schedule.meta sched key with
+          | Some v -> v
+          | None ->
+              prerr_endline ("schedule file lacks meta " ^ key);
+              exit 2
+        in
+        let name = meta "protocol" in
+        (match D.Fuzz.byz_hardening_of_name name with
+        | None ->
+            prerr_endline ("not a byz-fuzz protocol: " ^ name ^ " (a, a+val)");
+            exit 2
+        | Some hardening ->
+            let n = int_of_string (meta "n") and t = int_of_string (meta "t") in
+            let spec = D.Spec.make ~n ~t in
+            let max_rounds =
+              D.Fuzz.byz_max_rounds spec ~window:(byz_horizon sched)
+            in
+            let subject = D.Fuzz.run_byz_schedule ~max_rounds spec hardening sched in
+            let oracles = D.Fuzz.byz_oracles spec ~hardening in
+            Format.printf
+              "byz replay: protocol=%s n=%d t=%d cost=%d schedule: %a@."
+              (D.Fuzz.byz_protocol_name hardening)
+              n t
+              (Campaign.Schedule.cost sched)
+              Campaign.Schedule.pp sched;
+            Format.printf "  %a@." D.Runner.pp subject.D.Fuzz.report;
+            (match Campaign.first_failure oracles subject with
+            | None -> Format.printf "verdict: all oracles pass@."
+            | Some (oracle, detail) ->
+                Format.printf "verdict: oracle=%s FAILS (%s)@." oracle detail;
+                exit 1))
+  in
+  Cmd.v
+    (Cmd.info "byz-replay"
+       ~doc:"Re-run a serialized corruption/Byzantine schedule and re-judge it with the byz oracle stack")
+    Term.(const run $ file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* Async campaigns: async-fuzz + async-replay *)
 
 let pp_async_failure ppf (i, (f : Campaign.Async.t Campaign.failure)) =
   Format.fprintf ppf "violation #%d: oracle=%s (%s)@." i f.Campaign.oracle
@@ -837,24 +1094,6 @@ let report_async_subject spec sched =
   Format.printf "  %a outcome=%a@." Simkit.Metrics.pp_summary
     subject.AF.result.Asim.Event_sim.metrics Asim.Event_sim.pp_outcome
     subject.AF.result.Asim.Event_sim.outcome
-
-let write_async_corpus ~corpus ~seed failures =
-  if failures <> [] then begin
-    if not (Sys.file_exists corpus) then Sys.mkdir corpus 0o755;
-    List.iteri
-      (fun i (f : Campaign.Async.t Campaign.failure) ->
-        let base =
-          Filename.concat corpus (Printf.sprintf "async-a-seed%d-%d" seed i)
-        in
-        let path = base ^ ".sched" in
-        let oc = open_out path in
-        output_string oc (Campaign.Async.print f.Campaign.shrunk);
-        close_out oc;
-        Format.printf "  written: %s@." path;
-        write_failure_report ~path:(base ^ ".report.json") ~protocol:"async-a"
-          ~seed ~index:i ~print:Campaign.Async.print f)
-      failures
-  end
 
 let async_fuzz_cmd =
   let executions_arg =
@@ -878,6 +1117,7 @@ let async_fuzz_cmd =
          ~doc:"Stop after this many (shrunk) violations.")
   in
   let run n t seed executions window corpus work_cap max_failures jobs =
+    check_campaign_config ~executions ~window;
     let spec = D.Spec.make ~n ~t in
     let jobs = resolve_jobs jobs in
     let extra =
@@ -895,7 +1135,7 @@ let async_fuzz_cmd =
         Format.printf "%a" pp_async_failure (i, f);
         report_async_subject spec f.Campaign.shrunk)
       stats.Campaign.failures;
-    write_async_corpus ~corpus ~seed stats.Campaign.failures;
+    write_async_corpus ~corpus ~protocol:"async-a" ~seed stats.Campaign.failures;
     if stats.Campaign.failures <> [] then exit 1
   in
   Cmd.v
@@ -960,4 +1200,4 @@ let () =
           (Cmd.info "doall_cli" ~doc)
           [ run_cmd; timeline_cmd; ba_cmd; async_cmd; shmem_cmd; bootstrap_cmd;
             fuzz_cmd; replay_cmd; recovery_fuzz_cmd; recovery_replay_cmd;
-            async_fuzz_cmd; async_replay_cmd ]))
+            byz_fuzz_cmd; byz_replay_cmd; async_fuzz_cmd; async_replay_cmd ]))

@@ -52,6 +52,7 @@ val run_hardened :
   ?heartbeat:Heartbeat.config ->
   ?stats:Link.stats ->
   ?max_ticks:Event_sim.time ->
+  ?byz:(Simkit.Types.pid * Event_sim.time) list ->
   ?obs:Simkit.Obs.sink ->
   Doall.Spec.t ->
   Event_sim.result
@@ -60,4 +61,45 @@ val run_hardened :
     off — every retirement is detected organically, and suspicions can be
     organically false). Under a lossy [link] the run still completes every
     unit with every live process terminating; the overhead relative to a
-    perfect-link run is the price of the unreliable network (bench E17). *)
+    perfect-link run is the price of the unreliable network (bench E17).
+
+    The raw-alphabet wire tamper model is wired in, so a [corrupt_bp] link
+    and [byz] subversions act: this is the {e exposed} baseline the
+    [byz-fuzz --async] campaign breaks — one forged or garbled
+    [Full (S, g_j)] data frame retires waiting process [j] with the work
+    undone. A subverted pid stops beating, so the heartbeat layer suspects
+    it and the honest takeover chain stays live. Without [byz] and with
+    [corrupt_bp = 0] the model is inert and runs are byte-identical to
+    before it existed. *)
+
+val validated_name : string
+(** ["async-a+val"], the meta/CLI name of {!run_validated}. *)
+
+val run_validated :
+  ?crash_at:(Simkit.Types.pid * Event_sim.time) list ->
+  ?max_delay:int ->
+  ?max_lag:int ->
+  ?seed:int64 ->
+  ?false_suspicions:(Simkit.Types.pid * Simkit.Types.pid * Event_sim.time) list ->
+  ?link:Event_sim.link ->
+  ?link_config:Link.config ->
+  ?heartbeat:Heartbeat.config ->
+  ?stats:Link.stats ->
+  ?max_ticks:Event_sim.time ->
+  ?byz:(Simkit.Types.pid * Event_sim.time) list ->
+  ?obs:Simkit.Obs.sink ->
+  Doall.Spec.t ->
+  Event_sim.result
+(** {!run_hardened} upgraded with the [Doall.Validate] hardening layer:
+    every checkpoint view travels as an authenticated
+    [Doall.Validate.signed] claim inside the reliable-link frames,
+    unverifiable frames are dropped ([Simkit.Metrics.rejected] /
+    [Obs.Reject]), and the inner state machine only ever sees the
+    [(f+1)]-quorum-attested subchunk, [f = Doall.Validate.tolerated p]. A
+    waiting process therefore terminates only once [f+1] distinct signers
+    — hence at least one honest process — have claimed all-done: under any
+    [byz] schedule with at most [f] subverted pids, no phantom
+    termination. The price is the takeover chain running [f+1] scripts to
+    completion ([≈ (f+1)·n] work) instead of one; liveness never depends
+    on the quorum — a subverted or retired active stops beating, so the
+    next process takes over organically. *)

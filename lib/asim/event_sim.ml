@@ -26,11 +26,18 @@ type ('s, 'm) aproc = {
 type link = {
   drop_bp : int;
   dup_bp : int;
+  corrupt_bp : int;
   slow_set : pid list;
   slow_factor : int;
 }
 
-let perfect_link = { drop_bp = 0; dup_bp = 0; slow_set = []; slow_factor = 1 }
+let perfect_link =
+  { drop_bp = 0; dup_bp = 0; corrupt_bp = 0; slow_set = []; slow_factor = 1 }
+
+type 'm tamper_model = {
+  t_corrupt : src:pid -> dst:pid -> at:time -> 'm -> 'm;
+  t_forge : pid -> at:time -> (pid * 'm) list;
+}
 
 type config = {
   n_processes : int;
@@ -42,13 +49,14 @@ type config = {
   max_ticks : time;
   false_suspicions : (pid * pid * time) list;
   link : link;
+  byz : (pid * time) list;
   oracle_detector : bool;
   obs : Simkit.Obs.sink option;
 }
 
 let config ?(crash_at = []) ?(max_delay = 5) ?(max_lag = 8) ?(seed = 1L)
     ?(max_ticks = 10_000_000) ?(false_suspicions = []) ?(link = perfect_link)
-    ?(oracle_detector = true) ?obs ~n_processes ~n_units () =
+    ?(byz = []) ?(oracle_detector = true) ?obs ~n_processes ~n_units () =
   let err fmt = Printf.ksprintf invalid_arg ("Event_sim.config: " ^^ fmt) in
   if n_processes < 1 then err "n_processes must be >= 1 (got %d)" n_processes;
   if n_units < 0 then err "n_units must be >= 0 (got %d)" n_units;
@@ -76,6 +84,8 @@ let config ?(crash_at = []) ?(max_delay = 5) ?(max_lag = 8) ?(seed = 1L)
     err "link.drop_bp must lie in [0, 9999] (got %d)" link.drop_bp;
   if link.dup_bp < 0 || link.dup_bp > 10_000 then
     err "link.dup_bp must lie in [0, 10000] (got %d)" link.dup_bp;
+  if link.corrupt_bp < 0 || link.corrupt_bp > 9_999 then
+    err "link.corrupt_bp must lie in [0, 9999] (got %d)" link.corrupt_bp;
   if link.slow_factor < 1 then
     err "link.slow_factor must be >= 1 (got %d)" link.slow_factor;
   List.iter
@@ -83,8 +93,14 @@ let config ?(crash_at = []) ?(max_delay = 5) ?(max_lag = 8) ?(seed = 1L)
       if not (in_range pid) then
         err "link.slow_set names pid %d outside [0, %d)" pid n_processes)
     link.slow_set;
+  List.iter
+    (fun (pid, at) ->
+      if not (in_range pid) then
+        err "byz names pid %d outside [0, %d)" pid n_processes;
+      if at < 0 then err "byz time for pid %d is negative (%d)" pid at)
+    byz;
   { n_processes; n_units; crash_at; max_delay; max_lag; seed; max_ticks;
-    false_suspicions; link; oracle_detector; obs }
+    false_suspicions; link; byz; oracle_detector; obs }
 
 type run_outcome = Completed | Stalled of time | Tick_limit of time
 
@@ -104,15 +120,20 @@ let pp_outcome ppf = function
   | Stalled t -> Format.fprintf ppf "STALLED@%d" t
   | Tick_limit t -> Format.fprintf ppf "TICK-LIMIT@%d" t
 
-(* Internal queue items. [Crash_item] realises the crash schedule; the rest
-   are process-visible events. *)
+(* Internal queue items. [Crash_item] realises the crash schedule,
+   [Forge_item] the Byzantine one; the rest are process-visible events. *)
 type 'm item =
   | Ev of { dst : pid; ev : 'm aevent }
   | Crash_item of pid
+  | Forge_item of pid
 
-let run cfg proc =
+let run ?metrics ?tamper cfg proc =
   let t = cfg.n_processes in
-  let metrics = Simkit.Metrics.create ~n_processes:t ~n_units:cfg.n_units in
+  let metrics =
+    match metrics with
+    | Some m -> m
+    | None -> Simkit.Metrics.create ~n_processes:t ~n_units:cfg.n_units
+  in
   let emit = match cfg.obs with Some sink -> sink | None -> Simkit.Obs.null in
   let statuses = Array.make t Running in
   let states = Array.init t proc.a_init in
@@ -125,8 +146,21 @@ let run cfg proc =
   let slow = Array.make t false in
   List.iter (fun pid -> slow.(pid) <- true) cfg.link.slow_set;
   let n_sent = ref 0 and n_dropped = ref 0 and n_duplicated = ref 0 in
+  (* Byzantine subversion schedule: from its activation tick a subverted
+     process stops executing its protocol and instead injects forged
+     traffic from the tamper model, once per [max_delay] ticks, until no
+     honest process remains live. It never retires, so completion exempts
+     it. A subversion shadows any later crash of the same pid. *)
+  let byz_from = Array.make t max_int in
+  List.iter
+    (fun (pid, at) -> if at < byz_from.(pid) then byz_from.(pid) <- at)
+    cfg.byz;
+  let byz_active pid now = byz_from.(pid) <= now in
   (* Crash schedule first so a crash at tick τ precedes deliveries at τ. *)
   List.iter (fun (pid, at) -> push at (Crash_item pid)) cfg.crash_at;
+  Array.iteri
+    (fun pid at -> if at < max_int then push at (Forge_item pid))
+    byz_from;
   (* Injected detector unsoundness: a notice about a live process. *)
   List.iter
     (fun (observer, suspect, at) ->
@@ -159,6 +193,21 @@ let run cfg proc =
     let dropped = cfg.link.drop_bp > 0 && Prng.int g 10_000 < cfg.link.drop_bp in
     if dropped then incr n_dropped
     else begin
+      (* In-flight corruption: the payload is garbled by the tamper model
+         before delivery. The draw is skipped entirely at probability zero,
+         and inert without a tamper model, so existing runs stay
+         byte-identical. *)
+      let payload =
+        if cfg.link.corrupt_bp > 0 && Prng.int g 10_000 < cfg.link.corrupt_bp
+        then
+          match tamper with
+          | Some tm ->
+              Simkit.Metrics.record_corruption metrics;
+              emit (Simkit.Obs.Tamper { pid = src; at = now });
+              tm.t_corrupt ~src ~dst ~at:now payload
+          | None -> payload
+        else payload
+      in
       let deliver () =
         let cap =
           if slow.(src) || slow.(dst) then cfg.max_delay * cfg.link.slow_factor
@@ -174,7 +223,7 @@ let run cfg proc =
     end
   in
   let handle now dst ev =
-    if alive dst then begin
+    if alive dst && not (byz_active dst now) then begin
       emit (Simkit.Obs.Step { pid = dst; at = now });
       let o = proc.a_handle dst now states.(dst) ev in
       states.(dst) <- o.state;
@@ -216,11 +265,34 @@ let run cfg proc =
           (fun item ->
             match item with
             | Crash_item pid ->
-                if alive pid then begin
+                if alive pid && not (byz_active pid now) then begin
                   statuses.(pid) <- Crashed now;
                   Simkit.Metrics.record_crash metrics pid now;
                   emit (Simkit.Obs.Crash { pid; at = now });
                   retire_notify pid now
+                end
+            | Forge_item pid ->
+                let honest_alive =
+                  let found = ref false in
+                  Array.iteri
+                    (fun i s ->
+                      if s = Running && byz_from.(i) = max_int then found := true)
+                    statuses;
+                  !found
+                in
+                if alive pid && honest_alive then begin
+                  (match tamper with
+                  | Some tm ->
+                      List.iter
+                        (fun (dst, payload) ->
+                          Simkit.Metrics.record_corruption metrics;
+                          emit (Simkit.Obs.Tamper { pid; at = now });
+                          if dst >= 0 && dst < t then transmit now pid dst payload)
+                        (tm.t_forge pid ~at:now)
+                  | None -> ());
+                  (* the next salvo — stop once every honest process has
+                     retired, so the queue can drain and the run complete *)
+                  push (now + cfg.max_delay) (Forge_item pid)
                 end
             | Ev { dst; ev } -> handle now dst ev)
           (List.rev items);
@@ -228,8 +300,11 @@ let run cfg proc =
     | Some _ -> limited := true
   in
   loop ();
+  let retired_or_byz i s = is_retired s || byz_from.(i) < max_int in
+  let all_done = ref true in
+  Array.iteri (fun i s -> if not (retired_or_byz i s) then all_done := false) statuses;
   let outcome =
-    if Array.for_all is_retired statuses then Completed
+    if !all_done then Completed
     else if !limited then Tick_limit cfg.max_ticks
     else Stalled !last_tick
   in

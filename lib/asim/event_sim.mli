@@ -51,6 +51,12 @@ type link = {
   dup_bp : int;
       (** probability, in basis points, that a delivered message is
           delivered twice (with an independently drawn second delay) *)
+  corrupt_bp : int;
+      (** probability, in basis points (in [0, 9999]), that a delivered
+          message is garbled in flight by the tamper model's [t_corrupt]
+          before delivery; inert unless {!run} is given a [?tamper] model.
+          Each corruption is counted via [Simkit.Metrics.record_corruption]
+          and observed as [Obs.Tamper]. *)
   slow_set : Simkit.Types.pid list;
       (** messages to or from these processes draw their delay from
           [1, slow_factor * max_delay] instead of [1, max_delay] — the
@@ -60,9 +66,22 @@ type link = {
 }
 
 val perfect_link : link
-(** No loss, no duplication, no slow set — the pre-adversary behaviour.
-    Runs under [perfect_link] are byte-identical (same seed, same delivery
-    order, same metrics) to runs that predate the link adversary. *)
+(** No loss, no duplication, no corruption, no slow set — the pre-adversary
+    behaviour. Runs under [perfect_link] are byte-identical (same seed, same
+    delivery order, same metrics) to runs that predate the link adversary. *)
+
+type 'm tamper_model = {
+  t_corrupt : src:Simkit.Types.pid -> dst:Simkit.Types.pid -> at:time -> 'm -> 'm;
+      (** how the link adversary garbles a message in flight (drawn with
+          probability [link.corrupt_bp]); must be pure *)
+  t_forge : Simkit.Types.pid -> at:time -> (Simkit.Types.pid * 'm) list;
+      (** the forged salvo a Byzantine-subverted process injects at a given
+          tick, as [(dst, payload)] pairs; must be pure (draw any
+          randomness from a dedicated stream keyed by [(pid, at)]) so runs
+          replay bit-for-bit *)
+}
+(** How the adversary speaks the protocol's message alphabet — the
+    asynchronous counterpart of [Simkit.Kernel]'s tamper model. *)
 
 type config = {
   n_processes : int;
@@ -80,6 +99,20 @@ type config = {
           processes can be active at once; idempotence keeps the run
           correct, but work and messages are duplicated. *)
   link : link;
+  byz : (Simkit.Types.pid * time) list;
+      (** Byzantine subversions, as [(pid, from_tick)]: from its activation
+          tick the process stops executing its protocol (events addressed
+          to it are discarded) and instead injects the tamper model's
+          [t_forge] salvo once per [max_delay] ticks, for as long as an
+          honest process remains live. It never retires — {!run_outcome}
+          [Completed] exempts subverted pids — and an activation shadows
+          any later [crash_at] entry for the same pid. Without a [?tamper]
+          model the subverted process degrades to a silent crash (no
+          forged traffic), still exempt from completion. The built-in
+          detection service never reports a subverted pid retired;
+          Byzantine campaigns therefore run over the organic
+          {!Asim.Heartbeat} detection ([oracle_detector = false]), where a
+          subverted process's silenced heartbeats get it suspected. *)
   oracle_detector : bool;
       (** when [false], the built-in sound-and-complete detection service is
           silent: no [Retired_notice] is generated for real retirements, and
@@ -99,6 +132,7 @@ val config :
   ?max_ticks:time ->
   ?false_suspicions:(Simkit.Types.pid * Simkit.Types.pid * time) list ->
   ?link:link ->
+  ?byz:(Simkit.Types.pid * time) list ->
   ?oracle_detector:bool ->
   ?obs:Simkit.Obs.sink ->
   n_processes:int ->
@@ -107,13 +141,15 @@ val config :
   config
 (** Validates every field and raises [Invalid_argument] with a descriptive
     message on: [n_processes < 1], [n_units < 0], [max_delay < 1],
-    [max_lag < 1], [max_ticks < 1], a [crash_at] or [false_suspicions]
-    entry naming an out-of-range pid or a negative time, [drop_bp] outside
-    [0, 9999], [dup_bp] outside [0, 10000], [slow_factor < 1], or a
-    [slow_set] pid out of range. *)
+    [max_lag < 1], [max_ticks < 1], a [crash_at], [false_suspicions] or
+    [byz] entry naming an out-of-range pid or a negative time, [drop_bp]
+    or [corrupt_bp] outside [0, 9999], [dup_bp] outside [0, 10000],
+    [slow_factor < 1], or a [slow_set] pid out of range. *)
 
 type run_outcome =
-  | Completed  (** every process retired (crashed or terminated) *)
+  | Completed
+      (** every process retired (crashed or terminated); Byzantine-subverted
+          pids — which never retire — are exempt *)
   | Stalled of time
       (** live processes remain but the event queue ran dry — no pending
           delivery, continuation, crash or notice could ever wake them: an
@@ -139,4 +175,11 @@ val completed : result -> bool
 
 val pp_outcome : Format.formatter -> run_outcome -> unit
 
-val run : config -> ('s, 'm) aproc -> result
+val run :
+  ?metrics:Simkit.Metrics.t -> ?tamper:'m tamper_model -> config -> ('s, 'm) aproc -> result
+(** [metrics] supplies the accumulator the run records into (default: a
+    fresh one) — pass it when an outer harness also records into it (e.g. a
+    validation layer counting rejects). [tamper] gives the corruption /
+    Byzantine powers of the configuration their voice; without it
+    [corrupt_bp] is inert and [byz] pids degrade to silent never-retiring
+    crashes. *)

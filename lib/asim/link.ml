@@ -4,14 +4,15 @@ module IMap = Map.Make (Int)
 
 type time = int
 
-type config = { rto : int; backoff : int; max_rto : int }
+type config = { rto : int; backoff : int; max_rto : int; max_retries : int }
 
-let config ?(rto = 16) ?(backoff = 2) ?(max_rto = 2048) () =
+let config ?(rto = 16) ?(backoff = 2) ?(max_rto = 2048) ?(max_retries = 0) () =
   let err fmt = Printf.ksprintf invalid_arg ("Link.config: " ^^ fmt) in
   if rto < 1 then err "rto must be >= 1 (got %d)" rto;
   if backoff < 1 then err "backoff must be >= 1 (got %d)" backoff;
   if max_rto < rto then err "max_rto (%d) must be >= rto (%d)" max_rto rto;
-  { rto; backoff; max_rto }
+  if max_retries < 0 then err "max_retries must be >= 0 (got %d)" max_retries;
+  { rto; backoff; max_rto; max_retries }
 
 type stats = {
   mutable data_sent : int;
@@ -23,6 +24,7 @@ type stats = {
   mutable suspicions : int;
   mutable false_suspicions : int;
   mutable unsuspects : int;
+  mutable abandoned : int;
   mutable notices : (pid * pid * time) list;
 }
 
@@ -37,6 +39,7 @@ let stats () =
     suspicions = 0;
     false_suspicions = 0;
     unsuspects = 0;
+    abandoned = 0;
     notices = [];
   }
 
@@ -53,6 +56,7 @@ type 'm pending = {
   p_payload : 'm;
   p_next_at : time;
   p_rto : int;
+  p_tries : int;  (* retransmissions already spent on this packet *)
 }
 
 type ('s, 'm) state = {
@@ -113,7 +117,8 @@ let harden ?(config = config ()) ?heartbeat ?stats:stats_arg ~n inner_proc =
                   next_seq = seq + 1;
                   pending =
                     { p_dst = dst; p_seq = seq; p_payload = m;
-                      p_next_at = now + config.rto; p_rto = config.rto }
+                      p_next_at = now + config.rto; p_rto = config.rto;
+                      p_tries = 0 }
                     :: !st.pending };
               stats.data_sent <- stats.data_sent + 1;
               emit dst (Data { seq; payload = m })
@@ -205,12 +210,25 @@ let harden ?(config = config ()) ?heartbeat ?stats:stats_arg ~n inner_proc =
         | None -> ());
         let due, rest = List.partition (fun p -> p.p_next_at <= now) !st.pending in
         let due =
-          List.map
+          List.filter_map
             (fun p ->
-              stats.retransmits <- stats.retransmits + 1;
-              emit p.p_dst (Data { seq = p.p_seq; payload = p.p_payload });
-              let rto = min (p.p_rto * config.backoff) config.max_rto in
-              { p with p_next_at = now + rto; p_rto = rto })
+              if config.max_retries > 0 && p.p_tries >= config.max_retries
+              then begin
+                (* Bounded retransmission: give the packet up. Without a
+                   bound, a Byzantine peer that streams forged traffic —
+                   alive evidence — while never acking would hold a
+                   draining sender hostage forever. *)
+                stats.abandoned <- stats.abandoned + 1;
+                None
+              end
+              else begin
+                stats.retransmits <- stats.retransmits + 1;
+                emit p.p_dst (Data { seq = p.p_seq; payload = p.p_payload });
+                let rto = min (p.p_rto * config.backoff) config.max_rto in
+                Some
+                  { p with p_next_at = now + rto; p_rto = rto;
+                    p_tries = p.p_tries + 1 }
+              end)
             due
         in
         st := { !st with pending = rest @ due };

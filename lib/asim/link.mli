@@ -40,11 +40,19 @@ type config = {
   rto : int;  (** initial retransmission timeout (ticks) *)
   backoff : int;  (** timeout multiplier per retransmission *)
   max_rto : int;  (** backoff cap *)
+  max_retries : int;
+      (** retransmissions allowed per packet before it is abandoned;
+          [0] means retransmit forever. A bound is essential against
+          Byzantine peers: a subverted process that streams forged
+          traffic (alive evidence) while never acking would otherwise
+          hold every draining sender hostage forever. *)
 }
 
-val config : ?rto:int -> ?backoff:int -> ?max_rto:int -> unit -> config
-(** Defaults: rto 16, backoff 2, max_rto 2048. Raises [Invalid_argument]
-    on [rto < 1], [backoff < 1] or [max_rto < rto]. *)
+val config :
+  ?rto:int -> ?backoff:int -> ?max_rto:int -> ?max_retries:int -> unit -> config
+(** Defaults: rto 16, backoff 2, max_rto 2048, max_retries 0 (retransmit
+    forever). Raises [Invalid_argument] on [rto < 1], [backoff < 1],
+    [max_rto < rto] or [max_retries < 0]. *)
 
 type stats = {
   mutable data_sent : int;  (** first transmissions of inner messages *)
@@ -64,6 +72,9 @@ type stats = {
       (** suspected->trusted transitions performed; equals
           [false_suspicions] under crash-stop, and would additionally count
           {!Heartbeat.rejoin}s of genuinely-restarted peers *)
+  mutable abandoned : int;
+      (** packets dropped after exhausting [config.max_retries]
+          retransmissions (always 0 with the unlimited default) *)
   mutable notices : (pid * pid * time) list;
       (** every (observer, suspect, tick) retirement notification handed to
           an inner protocol — oracle-relayed or heartbeat-derived. The

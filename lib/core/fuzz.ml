@@ -288,6 +288,137 @@ let recovery_campaign ?jobs ?(seed = 1L) ?(executions = 200) ?window
     ~candidates:C.schedule_candidates ?max_failures ?shrink_budget
     (List.to_seq schedules)
 
+(* ------------------------------------------------------------------ *)
+(* Corruption / Byzantine campaigns *)
+
+type hardening = Unhardened | Hardened
+
+let byz_protocol_name = function Unhardened -> "a" | Hardened -> "a+val"
+
+let byz_hardening_of_name name =
+  match String.lowercase_ascii name with
+  | "a" -> Some Unhardened
+  | "a+val" | "aval" -> Some Hardened
+  | _ -> None
+
+let run_byz_schedule ?max_rounds spec hardening sched =
+  let trace = Simkit.Trace.create () in
+  let fault = C.Schedule.to_fault sched in
+  let report =
+    match hardening with
+    | Unhardened -> Validate.run_unhardened ~fault ?max_rounds ~trace spec
+    | Hardened -> Validate.run ~fault ?max_rounds ~trace spec
+  in
+  { report; trace }
+
+let no_phantom_unit =
+  {
+    C.name = "no-phantom-unit";
+    check =
+      (fun s ->
+        let m = s.report.Runner.metrics in
+        if Runner.survivors s.report > 0 && not (Metrics.all_units_done m) then
+          C.Fail
+            (Printf.sprintf
+               "%d processes report done with only %d/%d units performed"
+               (Runner.survivors s.report) (Metrics.units_covered m)
+               (Metrics.n_units m))
+        else C.Pass);
+  }
+
+let correct_despite_lies =
+  {
+    C.name = "correct-despite-lies";
+    check =
+      (fun s ->
+        match s.report.Runner.outcome with
+        | Simkit.Kernel.Stalled r ->
+            C.Fail (Printf.sprintf "stalled at round %d" r)
+        | Simkit.Kernel.Round_limit r ->
+            C.Fail (Printf.sprintf "round limit hit at %d" r)
+        | Simkit.Kernel.Completed ->
+            if Runner.correct s.report then C.Pass
+            else
+              C.Fail
+                (Printf.sprintf "%d survivors but only %d/%d units performed"
+                   (Runner.survivors s.report)
+                   (Metrics.units_covered s.report.Runner.metrics)
+                   (Metrics.n_units s.report.Runner.metrics)));
+  }
+
+(* Hardening buys correctness, not free lunch: termination waits for f+1
+   independent completion claims, so up to f+2 honest processes (one of
+   them possibly half-overlapped by the deadline ladder) plus one per
+   crash may each run a full script. The envelope is generous by one extra
+   script so the margin — not the bound — carries the signal. *)
+let validation_overhead spec =
+  let g = Grid.make spec in
+  let f = Validate.tolerated (Spec.processes spec) in
+  {
+    C.name = "validation-overhead-bounded";
+    check =
+      (fun s ->
+        let m = s.report.Runner.metrics in
+        let actives = f + 3 + Metrics.crashes m in
+        let work_bound = actives * Spec.n spec in
+        let msg_bound = actives * Bounds.a_msgs g in
+        if Metrics.work m > work_bound then
+          C.Fail
+            (Printf.sprintf "work = %d exceeds hardened envelope %d"
+               (Metrics.work m) work_bound)
+        else if Metrics.messages m > msg_bound then
+          C.Fail
+            (Printf.sprintf "messages = %d exceeds hardened envelope %d"
+               (Metrics.messages m) msg_bound)
+        else
+          C.Pass_margin (float_of_int (Metrics.work m) /. float_of_int work_bound));
+  }
+
+let byz_oracles spec ~hardening =
+  let base = [ no_phantom_unit; correct_despite_lies ] in
+  match hardening with
+  | Unhardened -> base
+  | Hardened -> base @ [ validation_overhead spec ]
+
+let byz_stamp spec hardening sched =
+  C.Schedule.add_meta sched
+    [
+      ("protocol", byz_protocol_name hardening);
+      ("n", string_of_int (Spec.n spec));
+      ("t", string_of_int (Spec.processes spec));
+    ]
+
+(* A subverted pid acts every round, so byz runs never stall — but they
+   must be capped: the deadline ladder retires the last honest process by
+   (t+1)·L even if no claim ever attests. *)
+let byz_max_rounds spec ~window =
+  ((Spec.processes spec + 2) * Grid.max_active_rounds (Grid.make spec))
+  + window + 64
+
+let byz_campaign ?jobs ?(seed = 1L) ?(executions = 200) ?window ?byz
+    ?(extra = []) ?max_failures ?shrink_budget spec hardening =
+  let t = Spec.processes spec in
+  let byz =
+    match byz with Some b -> b | None -> min (max 0 ((t / 3) - 1)) (t - 1)
+  in
+  let window =
+    match window with
+    | Some w -> w
+    | None ->
+        let ff = Validate.run_unhardened spec in
+        (2 * Metrics.rounds ff.Runner.metrics) + 2
+  in
+  let g = Dhw_util.Prng.create seed in
+  let schedules =
+    List.init executions (fun _ ->
+        byz_stamp spec hardening (C.sample_byz g ~t ~window ~byz))
+  in
+  C.run_dispatch ?jobs
+    ~run:(run_byz_schedule ~max_rounds:(byz_max_rounds spec ~window) spec hardening)
+    ~oracles:(byz_oracles spec ~hardening @ extra)
+    ~candidates:C.schedule_candidates ~cost:C.Schedule.cost ?max_failures
+    ?shrink_budget (List.to_seq schedules)
+
 let exhaustive_campaign ?jobs ?window ?round_step ?modes ?(extra = [])
     ?max_failures ?shrink_budget spec proto =
   let window =

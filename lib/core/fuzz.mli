@@ -115,6 +115,69 @@ val recovery_campaign :
     round budget so a liveness bug surfaces as a ["completed"] failure
     rather than a hang. *)
 
+(** {1 Corruption / Byzantine campaigns} *)
+
+type hardening = Unhardened | Hardened
+(** Which Protocol A variant faces the corruption adversary: plain A with
+    {!Validate.tamper_plain} wired in (the exposed baseline the fuzzer
+    breaks) or the validated ["A+val"] of {!Validate.run}. *)
+
+val byz_protocol_name : hardening -> string
+(** The meta/CLI name: ["a"] / ["a+val"]. *)
+
+val byz_hardening_of_name : string -> hardening option
+(** Inverse of {!byz_protocol_name}. *)
+
+val run_byz_schedule :
+  ?max_rounds:int -> Spec.t -> hardening -> C.Schedule.t -> subject
+(** One traced execution under the schedule's fault plan with the matching
+    tamper model wired in, so [Corrupt]/[Byzantine] entries act. *)
+
+val byz_oracles : Spec.t -> hardening:hardening -> subject C.oracle list
+(** The corruption oracle stack:
+    - ["no-phantom-unit"]: no process reported done while units remain
+      unperformed — the phantom-termination safety property;
+    - ["correct-despite-lies"]: the run completed (no stall / round limit)
+      and satisfies the §2 correctness verdict;
+    - ["validation-overhead-bounded"] (hardened only): work and messages
+      within the [(f + 3 + crashes)]-scripts hardening envelope, reporting
+      the work margin on passing runs.
+    The crash-stop ["one-active"] / ["monotone"] audits are deliberately
+    absent: forged traffic and quorum-delayed takeovers legitimately
+    violate both. *)
+
+val byz_stamp : Spec.t -> hardening -> C.Schedule.t -> C.Schedule.t
+(** Record protocol name ([a] / [a+val]), [n] and [t] in the schedule's
+    meta, making it self-contained for [doall_cli byz-replay]. *)
+
+val byz_max_rounds : Spec.t -> window:int -> int
+(** The round cap byz campaigns run under: the deadline ladder retires the
+    last honest process by [(t+1)·L] even if no claim ever attests, so a
+    liveness bug surfaces as a ["correct-despite-lies"] round-limit failure
+    rather than a hang. *)
+
+val byz_campaign :
+  ?jobs:int ->
+  ?seed:int64 ->
+  ?executions:int ->
+  ?window:int ->
+  ?byz:int ->
+  ?extra:subject C.oracle list ->
+  ?max_failures:int ->
+  ?shrink_budget:int ->
+  Spec.t ->
+  hardening ->
+  C.Schedule.t C.stats
+(** Seeded corruption/Byzantine storm: [executions] (default 200) schedules
+    from {!Simkit.Campaign.sample_byz} with [byz] subverted pids (default
+    [t/3 - 1], clamped to [0 .. t-1]) and fault rounds in [0, window]
+    (default: twice the failure-free running time), judged by
+    {!byz_oracles} plus [extra]. Shrinking is cost-aware
+    ({!Simkit.Campaign.Schedule.cost}): each failure is reduced to the
+    {e cheapest} still-failing schedule, so a reported counterexample never
+    spends Byzantine power where a plain crash or corruption breaks the
+    protocol too. *)
+
 val exhaustive_campaign :
   ?jobs:int ->
   ?window:int ->

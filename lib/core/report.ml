@@ -112,6 +112,8 @@ let metrics_json spec m =
       ("rounds", J.Int (Metrics.rounds m));
       ("crashes", J.Int (Metrics.crashes m));
       ("restarts", J.Int (Metrics.restarts m));
+      ("corruptions", J.Int (Metrics.corruptions m));
+      ("rejected", J.Int (Metrics.rejected m));
       ("terminated", J.Int (Metrics.terminated m));
       ("persists", J.Int (Metrics.persists m));
       ("units_covered", J.Int (Metrics.units_covered m));
@@ -131,7 +133,7 @@ let bound_json b =
 let to_json r =
   J.Obj
     ([
-       ("schema", J.Str "dhw-report/v2");
+       ("schema", J.Str "dhw-report/v3");
        ("kind", J.Str r.kind);
        ("protocol", J.Str r.protocol);
        ( "spec",

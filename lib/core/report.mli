@@ -2,13 +2,16 @@
     instance, the fault plan, the paper's cost measures, the correctness
     verdict, and measured-vs-theorem bound checks.
 
-    Schema [dhw-report/v2]; field order is fixed, so reports from the same
+    Schema [dhw-report/v3]; field order is fixed, so reports from the same
     run are byte-identical across invocations (the golden test pins this).
-    v2 adds the crash–recovery counters — top-level [metrics.restarts] and
-    [metrics.persists] plus a [persists] field per process — and is
-    otherwise a superset of v1 (see DESIGN.md for the compatibility note).
-    Emitted by [doall_cli run/async/shmem --report=json] and, per failure,
-    by the fuzz corpora. *)
+    v3 adds the corruption counters — [metrics.corruptions] (adversarial
+    in-flight tamperings applied) and [metrics.rejected] (authenticated
+    messages discarded by validation) — and is otherwise a superset of v2,
+    which added the crash–recovery counters [metrics.restarts] and
+    [metrics.persists] plus a [persists] field per process (see DESIGN.md
+    for the compatibility note). Emitted by
+    [doall_cli run/async/shmem --report=json] and, per failure, by the
+    fuzz corpora. *)
 
 type bound_check = {
   check : string;  (** e.g. ["work <= Thm 2.3"] *)

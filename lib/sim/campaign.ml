@@ -6,6 +6,8 @@ module Schedule = struct
     | Silent
     | Acting of { keep_work : bool; delivery : Fault.delivery }
     | Restart
+    | Corrupt of Fault.tamper
+    | Byzantine
 
   type entry = { victim : pid; at : round; mode : mode }
 
@@ -39,8 +41,14 @@ module Schedule = struct
     let per : (pid, entry list) Hashtbl.t = Hashtbl.create 8 in
     List.iter
       (fun e ->
-        let tail = Option.value ~default:[] (Hashtbl.find_opt per e.victim) in
-        Hashtbl.replace per e.victim (e :: tail))
+        match e.mode with
+        | Corrupt _ | Byzantine ->
+            () (* not crash/restart cycle members; [to_fault] reads them *)
+        | _ ->
+            let tail =
+              Option.value ~default:[] (Hashtbl.find_opt per e.victim)
+            in
+            Hashtbl.replace per e.victim (e :: tail))
       t.entries;
     let out : (pid, (entry * round option) array) Hashtbl.t = Hashtbl.create 8 in
     Hashtbl.iter
@@ -69,7 +77,68 @@ module Schedule = struct
       per;
     out
 
+  (* Normalization rules for the corruption/Byzantine algebra:
+     - per victim, the earliest [Byzantine] entry wins; later ones are
+       duplicates and dropped;
+     - a Byzantine pid's entries at or after its subversion round are
+       subsumed (crashing, restarting or corrupting an adversary-controlled
+       process adds nothing — in particular Byzantine subsumes later crashes
+       and a subverted pid is never restarted);
+     - duplicate [Corrupt] entries (same victim, same round) keep the first.
+     Crash/restart cycles are left to [cycles_of]'s own state machine.
+     Idempotent; [to_fault] applies it, so un-normalized schedules and their
+     normal forms build identical fault plans. *)
+  let normalize t =
+    let byz_at : (pid, round) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun e ->
+        match e.mode with
+        | Byzantine -> (
+            match Hashtbl.find_opt byz_at e.victim with
+            | Some b when b <= e.at -> ()
+            | _ -> Hashtbl.replace byz_at e.victim e.at)
+        | _ -> ())
+      t.entries;
+    let seen_byz : (pid, unit) Hashtbl.t = Hashtbl.create 8 in
+    let seen_corrupt : (pid * round, unit) Hashtbl.t = Hashtbl.create 8 in
+    let keep e =
+      match e.mode with
+      | Byzantine ->
+          (match Hashtbl.find_opt byz_at e.victim with
+          | Some b when e.at > b -> false
+          | _ ->
+              if Hashtbl.mem seen_byz e.victim then false
+              else begin
+                Hashtbl.add seen_byz e.victim ();
+                true
+              end)
+      | m -> (
+          match Hashtbl.find_opt byz_at e.victim with
+          | Some b when e.at >= b -> false
+          | _ -> (
+              match m with
+              | Corrupt _ ->
+                  if Hashtbl.mem seen_corrupt (e.victim, e.at) then false
+                  else begin
+                    Hashtbl.add seen_corrupt (e.victim, e.at) ();
+                    true
+                  end
+              | _ -> true))
+    in
+    { t with entries = List.filter keep t.entries }
+
+  (* The shrinker's cost objective: how much adversary power a schedule
+     spends. Subverting a process outweighs tampering with one link-round,
+     which outweighs an ordinary crash or restart. *)
+  let cost t =
+    List.fold_left
+      (fun acc e ->
+        acc
+        + match e.mode with Byzantine -> 5 | Corrupt _ -> 2 | _ -> 1)
+      0 t.entries
+
   let to_fault t =
+    let t = normalize t in
     let cycles = cycles_of t in
     (* which cycle each pid is currently in; advanced by committed revivals *)
     let idx : (pid, int) Hashtbl.t = Hashtbl.create 8 in
@@ -106,7 +175,55 @@ module Schedule = struct
       Hashtbl.replace idx pid
         (1 + Option.value ~default:0 (Hashtbl.find_opt idx pid))
     in
-    Fault.custom ~restarts ~on_restart ~crashed_by ~on_step ()
+    (* Corruption entries, per victim in round order, each consumable once:
+       an entry fires at the victim's first message-emitting round >= its
+       scheduled round (the kernel only asks when there are sends to
+       corrupt). *)
+    let corrupt_tbl : (pid, (round * Fault.tamper * bool ref) list) Hashtbl.t =
+      Hashtbl.create 8
+    in
+    List.iter
+      (fun e ->
+        match e.mode with
+        | Corrupt tam ->
+            let tail =
+              Option.value ~default:[] (Hashtbl.find_opt corrupt_tbl e.victim)
+            in
+            Hashtbl.replace corrupt_tbl e.victim
+              ((e.at, tam, ref false) :: tail)
+        | _ -> ())
+      t.entries;
+    Hashtbl.iter
+      (fun pid l ->
+        Hashtbl.replace corrupt_tbl pid
+          (List.stable_sort (fun (a, _, _) (b, _, _) -> compare a b) (List.rev l)))
+      (Hashtbl.copy corrupt_tbl);
+    let corrupts pid r =
+      match Hashtbl.find_opt corrupt_tbl pid with
+      | None -> None
+      | Some l ->
+          let rec go = function
+            | [] -> None
+            | (at, tam, used) :: rest ->
+                if !used then go rest
+                else if at <= r then begin
+                  used := true;
+                  Some tam
+                end
+                else None (* ascending by round: nothing due yet *)
+          in
+          go l
+    in
+    let byz : (pid, round) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun e ->
+        match e.mode with
+        | Byzantine -> Hashtbl.replace byz e.victim e.at
+        | _ -> ())
+      t.entries;
+    let byzantine_from pid = Hashtbl.find_opt byz pid in
+    Fault.custom ~restarts ~on_restart ~corrupts ~byzantine_from ~crashed_by
+      ~on_step ()
 
   let restart_count t =
     List.length (List.filter (fun e -> e.mode = Restart) t.entries)
@@ -124,10 +241,20 @@ module Schedule = struct
           (if keep_work then "keep" else "drop")
           (delivery_to_string delivery)
     | Restart -> "restart"
+    | Corrupt tam ->
+        Printf.sprintf "corrupt %s salt %d"
+          (Fault.tamper_kind_to_string tam.t_kind)
+          tam.t_salt
+    | Byzantine -> "byz"
 
   let entry_to_string e =
     match e.mode with
     | Restart -> Printf.sprintf "restart %d @%d" e.victim e.at
+    | Corrupt tam ->
+        Printf.sprintf "corrupt %d @%d %s salt %d" e.victim e.at
+          (Fault.tamper_kind_to_string tam.t_kind)
+          tam.t_salt
+    | Byzantine -> Printf.sprintf "byz %d @%d" e.victim e.at
     | m -> Printf.sprintf "crash %d @%d %s" e.victim e.at (mode_to_string m)
 
   let print t =
@@ -224,6 +351,35 @@ module Schedule = struct
                       (fun at ->
                         body (lineno + 1) meta
                           ({ victim; at; mode = Restart } :: entries)
+                          rest))
+            | [ "corrupt"; pid; at; kind; "salt"; salt ]
+              when String.length at > 1 && at.[0] = '@' -> (
+                match Fault.tamper_kind_of_string kind with
+                | None ->
+                    err lineno
+                      (Printf.sprintf
+                         "expected lying-view | replay-stale | inflate-done, \
+                          got %S"
+                         kind)
+                | Some t_kind ->
+                    int_tok lineno "pid" pid (fun victim ->
+                        int_tok lineno "round"
+                          (String.sub at 1 (String.length at - 1))
+                          (fun at ->
+                            int_tok lineno "salt" salt (fun t_salt ->
+                                body (lineno + 1) meta
+                                  ({ victim;
+                                     at;
+                                     mode = Corrupt { Fault.t_kind; t_salt } }
+                                  :: entries)
+                                  rest))))
+            | [ "byz"; pid; at ] when String.length at > 1 && at.[0] = '@' ->
+                int_tok lineno "pid" pid (fun victim ->
+                    int_tok lineno "round"
+                      (String.sub at 1 (String.length at - 1))
+                      (fun at ->
+                        body (lineno + 1) meta
+                          ({ victim; at; mode = Byzantine } :: entries)
                           rest))
             | _ -> err lineno (Printf.sprintf "unrecognized line %S" line))
     in
@@ -361,6 +517,60 @@ let sample_recovery g ~t ~window ~restart_gap =
   in
   Schedule.make (base.Schedule.entries @ extra)
 
+(* Corruption/Byzantine sampler: exactly [byz] subverted pids (the storm's
+   [b]), crashes only among the honest remainder (always leaving at least one
+   honest survivor), plus a handful of link corruptions. No restarts: the
+   bounds judged by the byz oracle stacks assume crash-stop honest pids. *)
+let sample_byz g ~t ~window ~byz =
+  if t < 1 then invalid_arg "Campaign.sample_byz: t must be >= 1";
+  if byz < 0 || byz >= t then
+    invalid_arg "Campaign.sample_byz: need 0 <= byz < t";
+  if window < 0 then invalid_arg "Campaign.sample_byz: negative window";
+  let round () = Prng.int g (max 1 (window + 1)) in
+  let byz_pids = Prng.sample_without_replacement g byz t in
+  let byz_entries =
+    List.map
+      (fun victim -> { Schedule.victim; at = round (); mode = Schedule.Byzantine })
+      byz_pids
+  in
+  let honest =
+    List.filter (fun p -> not (List.mem p byz_pids)) (List.init t Fun.id)
+  in
+  let honest_arr = Array.of_list honest in
+  let n_honest = Array.length honest_arr in
+  let n_crash = if n_honest <= 1 then 0 else Prng.int g n_honest in
+  let crash_entries =
+    List.map
+      (fun i ->
+        let victim = honest_arr.(i) in
+        let at = round () in
+        let mode =
+          match Prng.int g 4 with
+          | 0 -> Schedule.Silent
+          | 1 -> Schedule.Acting { keep_work = Prng.bool g; delivery = Fault.All }
+          | _ ->
+              Schedule.Acting
+                { keep_work = Prng.bool g; delivery = Fault.Prefix (Prng.int g 4) }
+        in
+        { Schedule.victim; at; mode })
+      (Prng.sample_without_replacement g n_crash n_honest)
+  in
+  let n_corrupt = Prng.int g (t + 1) in
+  let corrupt_entries =
+    List.init n_corrupt (fun _ ->
+        let victim = Prng.int g t in
+        let at = round () in
+        let t_kind =
+          match Prng.int g 3 with
+          | 0 -> Fault.Lying_view
+          | 1 -> Fault.Replay_stale
+          | _ -> Fault.Inflate_done
+        in
+        let t_salt = Prng.int g 1_000_000 in
+        { Schedule.victim; at; mode = Schedule.Corrupt { Fault.t_kind; t_salt } })
+  in
+  Schedule.make (byz_entries @ crash_entries @ corrupt_entries)
+
 (* ------------------------------------------------------------------ *)
 (* Oracles *)
 
@@ -400,7 +610,10 @@ let schedule_candidates =
           let e = List.nth es i in
           let variants =
             match e.Schedule.mode with
-            | Schedule.Silent | Schedule.Restart -> []
+            | Schedule.Byzantine ->
+                (* weaken full subversion to an ordinary silent crash *)
+                [ Schedule.Silent ]
+            | Schedule.Silent | Schedule.Restart | Schedule.Corrupt _ -> []
             | Schedule.Acting { keep_work; delivery } ->
                 let widened =
                   match delivery with
@@ -435,7 +648,7 @@ let schedule_candidates =
     in
     Seq.append drops (Seq.append weakenings delays)
 
-let shrink ~run ~oracles ~oracle ~candidates ?(budget = 500) sched0 =
+let shrink ~run ~oracles ~oracle ~candidates ?cost ?(budget = 500) sched0 =
   let target = List.find_opt (fun o -> o.name = oracle) oracles in
   let runs = ref 0 in
   let last_detail = ref "" in
@@ -455,8 +668,20 @@ let shrink ~run ~oracles ~oracle ~candidates ?(budget = 500) sched0 =
   in
   (* record the detail of the starting point (and sanity-check it fails) *)
   ignore (still_fails sched0);
+  (* With a cost objective, a candidate must both still fail and not spend
+     more adversary power than the incumbent — the greedy walk then ends on
+     a cheapest-break along its candidate path. Checked before running: the
+     cost test is free, the execution is not. *)
+  let acceptable incumbent =
+    match cost with
+    | None -> fun _ -> true
+    | Some c ->
+        let bound = c incumbent in
+        fun cand -> c cand <= bound
+  in
   let rec improve s =
-    match Seq.find still_fails (candidates s) with
+    let ok = acceptable s in
+    match Seq.find (fun cand -> ok cand && still_fails cand) (candidates s) with
     | Some better -> improve better
     | None -> s
   in
@@ -482,7 +707,7 @@ type 'a stats = {
   margins : (string * float) list;
 }
 
-let run ~run:exec ~oracles ~candidates ?(max_failures = 3)
+let run ~run:exec ~oracles ~candidates ?cost ?(max_failures = 3)
     ?(shrink_budget = 500) schedules =
   let n_schedules = ref 0 in
   let executions = ref 0 in
@@ -517,7 +742,7 @@ let run ~run:exec ~oracles ~candidates ?(max_failures = 3)
          | None -> ()
          | Some (oracle, detail) ->
              let shrunk, shrunk_detail, spent =
-               shrink ~run:exec ~oracles ~oracle ~candidates
+               shrink ~run:exec ~oracles ~oracle ~candidates ?cost
                  ~budget:shrink_budget sched
              in
              executions := !executions + spent;
@@ -549,8 +774,8 @@ let run ~run:exec ~oracles ~candidates ?(max_failures = 3)
    [max_failures] failures in schedule order — the price of results that
    are byte-identical for every [jobs] value. With no violations the two
    engines agree exactly. Generic over the schedule type, like [run]. *)
-let run_parallel ?jobs ~run:exec ~oracles ~candidates ?(max_failures = 3)
-    ?(shrink_budget = 500) schedules =
+let run_parallel ?jobs ~run:exec ~oracles ~candidates ?cost
+    ?(max_failures = 3) ?(shrink_budget = 500) schedules =
   let scheds = Array.of_seq schedules in
   (* Pure per-schedule judgement, mirroring [run]'s oracle fold: margins
      are noted only for oracles checked before the first failure. *)
@@ -582,8 +807,8 @@ let run_parallel ?jobs ~run:exec ~oracles ~candidates ?(max_failures = 3)
       match verdict with
       | Some (oracle, detail) when List.length !failures < max_failures ->
           let shrunk, shrunk_detail, spent =
-            shrink ~run:exec ~oracles ~oracle ~candidates ~budget:shrink_budget
-              scheds.(i)
+            shrink ~run:exec ~oracles ~oracle ~candidates ?cost
+              ~budget:shrink_budget scheds.(i)
           in
           executions := !executions + spent;
           failures :=
@@ -606,13 +831,14 @@ let run_parallel ?jobs ~run:exec ~oracles ~candidates ?(max_failures = 3)
 (* [jobs = None] keeps the sequential engine (and its early-exit
    semantics); [Some j] selects the parallel engine, whose results do not
    depend on [j]. *)
-let run_dispatch ?jobs ~run:exec ~oracles ~candidates ?max_failures
+let run_dispatch ?jobs ~run:exec ~oracles ~candidates ?cost ?max_failures
     ?shrink_budget schedules =
   match jobs with
   | None ->
-      run ~run:exec ~oracles ~candidates ?max_failures ?shrink_budget schedules
+      run ~run:exec ~oracles ~candidates ?cost ?max_failures ?shrink_budget
+        schedules
   | Some jobs ->
-      run_parallel ~jobs ~run:exec ~oracles ~candidates ?max_failures
+      run_parallel ~jobs ~run:exec ~oracles ~candidates ?cost ?max_failures
         ?shrink_budget schedules
 
 let pp_stats ppf s =
@@ -636,6 +862,8 @@ module Async = struct
     crashes : crash list;
     drop_bp : int;
     dup_bp : int;
+    corrupt_bp : int;
+    byz : crash list;  (* adversary-controlled from the given tick on *)
     slow_set : pid list;
     slow_factor : int;
     max_delay : int;
@@ -644,13 +872,15 @@ module Async = struct
   }
 
   let make ?(meta = []) ?(crashes = []) ?(drop_bp = 0) ?(dup_bp = 0)
-      ?(slow_set = []) ?(slow_factor = 1) ?(max_delay = 5) ?(max_lag = 3)
-      ?(seed = 1L) () =
+      ?(corrupt_bp = 0) ?(byz = []) ?(slow_set = []) ?(slow_factor = 1)
+      ?(max_delay = 5) ?(max_lag = 3) ?(seed = 1L) () =
     {
       meta;
       crashes;
       drop_bp;
       dup_bp;
+      corrupt_bp;
+      byz;
       slow_set;
       slow_factor;
       max_delay;
@@ -684,6 +914,8 @@ module Async = struct
       t.meta;
     Buffer.add_string b
       (Printf.sprintf "link drop %d dup %d\n" t.drop_bp t.dup_bp);
+    if t.corrupt_bp > 0 then
+      Buffer.add_string b (Printf.sprintf "corrupt %d\n" t.corrupt_bp);
     Buffer.add_string b
       (Printf.sprintf "slow %s factor %d\n" (csv_of_pids t.slow_set)
          t.slow_factor);
@@ -694,6 +926,10 @@ module Async = struct
       (fun c ->
         Buffer.add_string b (Printf.sprintf "crash %d @%d\n" c.victim c.at))
       t.crashes;
+    List.iter
+      (fun c ->
+        Buffer.add_string b (Printf.sprintf "byz %d @%d\n" c.victim c.at))
+      t.byz;
     Buffer.add_string b "end\n";
     Buffer.contents b
 
@@ -731,7 +967,8 @@ module Async = struct
             Ok
               { acc with
                 meta = List.rev acc.meta;
-                crashes = List.rev acc.crashes }
+                crashes = List.rev acc.crashes;
+                byz = List.rev acc.byz }
           else
             let toks =
               String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
@@ -745,6 +982,9 @@ module Async = struct
                 int_tok lineno "drop basis points" d (fun drop_bp ->
                     int_tok lineno "dup basis points" u (fun dup_bp ->
                         body (lineno + 1) { acc with drop_bp; dup_bp } rest))
+            | [ "corrupt"; c ] ->
+                int_tok lineno "corrupt basis points" c (fun corrupt_bp ->
+                    body (lineno + 1) { acc with corrupt_bp } rest)
             | [ "slow"; pids; "factor"; f ] ->
                 pids_tok lineno pids (fun slow_set ->
                     int_tok lineno "slow factor" f (fun slow_factor ->
@@ -765,6 +1005,14 @@ module Async = struct
                         body (lineno + 1)
                           { acc with crashes = { victim; at } :: acc.crashes }
                           rest))
+            | [ "byz"; pid; at ] when String.length at > 1 && at.[0] = '@' ->
+                int_tok lineno "pid" pid (fun victim ->
+                    int_tok lineno "tick"
+                      (String.sub at 1 (String.length at - 1))
+                      (fun at ->
+                        body (lineno + 1)
+                          { acc with byz = { victim; at } :: acc.byz }
+                          rest))
             | _ -> err lineno (Printf.sprintf "unrecognized line %S" line))
     in
     let rec header lineno = function
@@ -780,14 +1028,21 @@ module Async = struct
   let pp ppf t =
     Format.fprintf ppf "drop %d.%02d%% dup %d.%02d%%" (t.drop_bp / 100)
       (t.drop_bp mod 100) (t.dup_bp / 100) (t.dup_bp mod 100);
+    if t.corrupt_bp > 0 then
+      Format.fprintf ppf " corrupt %d.%02d%%" (t.corrupt_bp / 100)
+        (t.corrupt_bp mod 100);
     if t.slow_set <> [] then
       Format.fprintf ppf " slow {%s}x%d" (csv_of_pids t.slow_set) t.slow_factor;
     Format.fprintf ppf " delay %d lag %d seed %Ld" t.max_delay t.max_lag t.seed;
-    if t.crashes = [] then Format.fprintf ppf " (crash-free)"
-    else
+    if t.crashes = [] && t.byz = [] then Format.fprintf ppf " (crash-free)"
+    else begin
       List.iter
         (fun c -> Format.fprintf ppf " crash %d@@%d" c.victim c.at)
-        t.crashes
+        t.crashes;
+      List.iter
+        (fun c -> Format.fprintf ppf " byz %d@@%d" c.victim c.at)
+        t.byz
+    end
 
   let sample g ~t ~window =
     if t < 1 then invalid_arg "Campaign.Async.sample: t must be >= 1";
@@ -811,6 +1066,47 @@ module Async = struct
     make ~crashes ~drop_bp ~dup_bp ~slow_set ~slow_factor ~max_delay ~max_lag
       ~seed ()
 
+  (* The asynchronous corruption/Byzantine sampler: exactly [byz] subverted
+     pids plus a mildly lossy, possibly-corrupting link; crashes only among
+     the honest remainder (at least one honest pid always survives). *)
+  let sample_byz g ~t ~window ~byz =
+    if t < 1 then invalid_arg "Campaign.Async.sample_byz: t must be >= 1";
+    if byz < 0 || byz >= t then
+      invalid_arg "Campaign.Async.sample_byz: need 0 <= byz < t";
+    if window < 0 then invalid_arg "Campaign.Async.sample_byz: negative window";
+    let drop_bp = Prng.int g 1_501 in
+    let dup_bp = Prng.int g 1_001 in
+    let corrupt_bp = Prng.int g 2_001 in
+    let max_delay = Prng.int_in g 1 6 in
+    let max_lag = Prng.int_in g 1 4 in
+    let tick () = Prng.int g (max 1 (window + 1)) in
+    let byz_pids = Prng.sample_without_replacement g byz t in
+    let byz_entries =
+      List.map (fun victim -> { victim; at = tick () }) byz_pids
+    in
+    let honest =
+      List.filter (fun p -> not (List.mem p byz_pids)) (List.init t Fun.id)
+    in
+    let honest_arr = Array.of_list honest in
+    let n_honest = Array.length honest_arr in
+    let n_crash = if n_honest <= 1 then 0 else Prng.int g n_honest in
+    let crashes =
+      List.map
+        (fun i -> { victim = honest_arr.(i); at = tick () })
+        (Prng.sample_without_replacement g n_crash n_honest)
+    in
+    let seed = Prng.next_int64 g in
+    make ~crashes ~byz:byz_entries ~drop_bp ~dup_bp ~corrupt_bp ~max_delay
+      ~max_lag ~seed ()
+
+  (* Cost objective mirroring [Schedule.cost]: a subverted pid is the most
+     expensive, a corrupting link counts as one corruption, a crash is the
+     unit. *)
+  let cost (s : t) =
+    (5 * List.length s.byz)
+    + (if s.corrupt_bp > 0 then 2 else 0)
+    + List.length s.crashes
+
   let candidates (s : t) : t Seq.t =
     let n = List.length s.crashes in
     (* 1. drop a crash outright *)
@@ -824,6 +1120,10 @@ module Async = struct
             [ { s with drop_bp = 0 }; { s with drop_bp = s.drop_bp / 2 } ]
           else [])
         @ (if s.dup_bp > 0 then [ { s with dup_bp = 0 } ] else [])
+        @ (if s.corrupt_bp > 0 then
+             [ { s with corrupt_bp = 0 };
+               { s with corrupt_bp = s.corrupt_bp / 2 } ]
+           else [])
         @ (if s.slow_set <> [] then
              { s with slow_set = []; slow_factor = 1 }
              :: List.mapi
@@ -833,7 +1133,17 @@ module Async = struct
         @
         if s.slow_factor > 1 then [ { s with slow_factor = 1 } ] else [])
     in
-    (* 3. delay the crashes (larger jumps first) *)
+    (* 3. weaken the Byzantine pids: drop one, or demote it to a crash at
+       the same tick *)
+    let nb = List.length s.byz in
+    let byz_weaken =
+      Seq.append
+        (Seq.init nb (fun i -> { s with byz = remove_at s.byz i }))
+        (Seq.init nb (fun i ->
+             let b = List.nth s.byz i in
+             { s with byz = remove_at s.byz i; crashes = s.crashes @ [ b ] }))
+    in
+    (* 4. delay the crashes (larger jumps first) *)
     let delays =
       Seq.concat_map
         (fun i ->
@@ -848,5 +1158,5 @@ module Async = struct
                [ 16; 4; 1 ]))
         (Seq.init n Fun.id)
     in
-    Seq.append drops (Seq.append link delays)
+    Seq.append drops (Seq.append link (Seq.append byz_weaken delays))
 end

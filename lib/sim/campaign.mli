@@ -28,6 +28,14 @@ module Schedule : sig
         (** revive the victim at round [at] (crash–recovery model): volatile
             state is wiped, stable storage survives, and the kernel asks the
             protocol's recovery hook for the rejoined state *)
+    | Corrupt of Fault.tamper
+        (** tamper with the victim's outgoing payloads at its first
+            message-emitting round [>= at] (one-shot; requires a kernel
+            tamper model, inert without one) *)
+    | Byzantine
+        (** the victim is adversary-controlled from round [at] on: it stops
+            running the protocol and emits forged messages drawn from the
+            tamper model (degrades to a silent crash without one) *)
 
   type entry = { victim : pid; at : round; mode : mode }
 
@@ -45,6 +53,20 @@ module Schedule : sig
   val add_meta : t -> (string * string) list -> t
   (** Appends bindings, replacing keys already present (order of existing
       keys is preserved). *)
+
+  val normalize : t -> t
+(** The corruption/Byzantine normal form: per victim the earliest
+      [Byzantine] entry wins (later ones are duplicates); a Byzantine pid's
+      entries at or after its subversion round are dropped — Byzantine
+      subsumes later crashes, and a subverted pid is never corrupted or
+      restarted; duplicate [Corrupt] entries (same victim and round) keep
+      the first. Idempotent, and applied by {!to_fault}, so a schedule and
+      its normal form build identical fault plans. Crash/restart cycle
+      normalization is separate (see {!to_fault}). *)
+
+  val cost : t -> int
+  (** The shrinker's cost objective — adversary power spent: 5 per
+      [Byzantine] entry, 2 per [Corrupt], 1 per crash or restart. *)
 
   val to_fault : t -> Fault.t
   (** A fresh fault plan realizing the schedule. Entries are normalized into
@@ -72,6 +94,8 @@ module Schedule : sig
       crash 2 @5 acting drop prefix 1
       crash 4 @2 acting drop indices 0,2,5
       restart 0 @9
+      corrupt 3 @4 lying-view salt 17
+      byz 5 @6
       end
       v} *)
 
@@ -117,6 +141,14 @@ val sample_recovery :
     crash(/restart) cycle with probability 1/4. Deterministic in the
     generator state. *)
 
+val sample_byz :
+  Dhw_util.Prng.t -> t:int -> window:round -> byz:int -> Schedule.t
+(** A corruption/Byzantine storm: exactly [byz] subverted pids (uniform
+    activation rounds in [0, window]), crashes among the honest remainder
+    only — at least one honest pid always survives — and up to [t] one-shot
+    [Corrupt] entries with random kinds and salts. No restarts.
+    Deterministic in the generator state; requires [0 <= byz < t]. *)
+
 (** {1 Oracles} *)
 
 type check_result =
@@ -135,7 +167,8 @@ val first_failure : 'r oracle list -> 'r -> (string * string) option
 
 val schedule_candidates : Schedule.t -> Schedule.t Seq.t
 (** The shrink moves for round-synchronous schedules, tried in order: drop a
-    victim entirely; widen its delivery cut toward [All] (also
+    victim entirely; weaken a [Byzantine] entry to a [Silent] crash at the
+    same round; widen a crash's delivery cut toward [All] (also
     [Prefix k → Prefix (k+1)]); let it keep its work; delay its crash
     round. *)
 
@@ -144,6 +177,7 @@ val shrink :
   oracles:'r oracle list ->
   oracle:string ->
   candidates:('a -> 'a Seq.t) ->
+  ?cost:('a -> int) ->
   ?budget:int ->
   'a ->
   'a * string * int
@@ -151,9 +185,13 @@ val shrink :
     while the named oracle keeps failing, restarting from the first
     improving candidate. The engine is schedule-agnostic: [candidates]
     proposes the simplifications ({!schedule_candidates} for round
-    schedules, {!Async.candidates} for asynchronous ones). Returns the
-    reduced schedule, the failure detail it still produces, and the number
-    of executions spent ([budget] caps them, default 500). *)
+    schedules, {!Async.candidates} for asynchronous ones). With [?cost]
+    (e.g. {!Schedule.cost}) a candidate is considered only if its cost does
+    not exceed the incumbent's — the walk then minimizes adversary power,
+    reporting the {e cheapest} still-failing schedule; the cost filter is
+    free (checked before running the candidate). Returns the reduced
+    schedule, the failure detail it still produces, and the number of
+    executions spent ([budget] caps them, default 500). *)
 
 (** {1 Campaign execution} *)
 
@@ -178,18 +216,21 @@ val run :
   run:('a -> 'r) ->
   oracles:'r oracle list ->
   candidates:('a -> 'a Seq.t) ->
+  ?cost:('a -> int) ->
   ?max_failures:int ->
   ?shrink_budget:int ->
   'a Seq.t ->
   'a stats
-(** Execute and judge every schedule; shrink each failure on the spot. Stops
-    early once [max_failures] (default 3) failures have been collected. *)
+(** Execute and judge every schedule; shrink each failure on the spot
+    ([?cost] is forwarded to {!shrink}). Stops early once [max_failures]
+    (default 3) failures have been collected. *)
 
 val run_parallel :
   ?jobs:int ->
   run:('a -> 'r) ->
   oracles:'r oracle list ->
   candidates:('a -> 'a Seq.t) ->
+  ?cost:('a -> int) ->
   ?max_failures:int ->
   ?shrink_budget:int ->
   'a Seq.t ->
@@ -208,6 +249,7 @@ val run_dispatch :
   run:('a -> 'r) ->
   oracles:'r oracle list ->
   candidates:('a -> 'a Seq.t) ->
+  ?cost:('a -> int) ->
   ?max_failures:int ->
   ?shrink_budget:int ->
   'a Seq.t ->
@@ -236,6 +278,13 @@ module Async : sig
     crashes : crash list;
     drop_bp : int;  (** per-message loss probability, basis points *)
     dup_bp : int;  (** per-message duplication probability, basis points *)
+    corrupt_bp : int;
+        (** per-message in-flight corruption probability, basis points;
+            inert unless the executor is given a tamper model *)
+    byz : crash list;
+        (** pids adversary-controlled from the given tick on: they stop
+            running the protocol and emit forged messages drawn from the
+            executor's tamper model *)
     slow_set : pid list;  (** endpoints with inflated delay bound *)
     slow_factor : int;
     max_delay : int;  (** base delivery bound (ticks) *)
@@ -248,6 +297,8 @@ module Async : sig
     ?crashes:crash list ->
     ?drop_bp:int ->
     ?dup_bp:int ->
+    ?corrupt_bp:int ->
+    ?byz:crash list ->
     ?slow_set:pid list ->
     ?slow_factor:int ->
     ?max_delay:int ->
@@ -255,8 +306,8 @@ module Async : sig
     ?seed:int64 ->
     unit ->
     t
-  (** Defaults: no crashes, perfect link, [max_delay 5], [max_lag 3],
-      [seed 1]. *)
+  (** Defaults: no crashes, perfect link, no corruption, no Byzantine pids,
+      [max_delay 5], [max_lag 3], [seed 1]. *)
 
   val meta : t -> string -> string option
 
@@ -269,13 +320,17 @@ module Async : sig
       async-schedule v1
       meta protocol async-a
       link drop 1200 dup 300
+      corrupt 250
       slow 1,3 factor 4
       delay 5 lag 3
       seed 42
       crash 0 @17
+      byz 2 @5
       end
       v}
-      An empty slow set prints as [slow - factor 1]. *)
+      An empty slow set prints as [slow - factor 1]; the [corrupt] line is
+      omitted when [corrupt_bp = 0], and [byz] lines when there are no
+      Byzantine pids. *)
 
   val parse : string -> (t, string) result
   (** Inverse of {!print}: [parse (print s) = Ok s] for every schedule
@@ -292,8 +347,21 @@ module Async : sig
       crash victims with ticks in [0, window], and a fresh executor seed.
       Deterministic in the generator state. *)
 
+  val sample_byz : Dhw_util.Prng.t -> t:int -> window:int -> byz:int -> t
+  (** A corruption/Byzantine async storm: loss up to 15%, duplication up to
+      10%, in-flight corruption up to 20%, exactly [byz] subverted pids
+      with activation ticks in [0, window], and crashes among the honest
+      remainder only (at least one honest pid survives). Deterministic in
+      the generator state; requires [0 <= byz < t]. *)
+
+  val cost : t -> int
+  (** The shrinker's cost objective for async schedules: 5 per Byzantine
+      pid, 2 if the corruption rate is nonzero, 1 per crash. *)
+
   val candidates : t -> t Seq.t
   (** Shrink moves, tried in order: drop a crash; calm the link (zero or
-      halve the loss rate, zero the duplication rate, shrink the slow set,
-      reset the slow factor); delay a crash. *)
+      halve the loss rate, zero the duplication rate, zero or halve the
+      corruption rate, shrink the slow set, reset the slow factor); drop a
+      Byzantine pid or demote it to a crash at the same tick; delay a
+      crash. *)
 end

@@ -5,6 +5,21 @@ type delivery = All | Prefix of int | Indices of int list
 
 type decision = Survive | Crash of { keep_work : bool; delivery : delivery }
 
+type tamper_kind = Lying_view | Replay_stale | Inflate_done
+
+type tamper = { t_kind : tamper_kind; t_salt : int }
+
+let tamper_kind_to_string = function
+  | Lying_view -> "lying-view"
+  | Replay_stale -> "replay-stale"
+  | Inflate_done -> "inflate-done"
+
+let tamper_kind_of_string = function
+  | "lying-view" -> Some Lying_view
+  | "replay-stale" -> Some Replay_stale
+  | "inflate-done" -> Some Inflate_done
+  | _ -> None
+
 type step_view = {
   sv_pid : pid;
   sv_round : round;
@@ -21,16 +36,23 @@ type t = {
       (* static restart schedule, consumed by the kernel *)
   plan_on_restart : pid -> round -> unit;
       (* plan-side notification that the kernel committed a revival *)
+  plan_corrupts : pid -> round -> tamper option;
+      (* consuming query: a [Some] answer spends that corruption entry *)
+  plan_byzantine_from : pid -> round option;
   committed : (pid, round) Hashtbl.t;
       (* crashes the kernel actually committed; authoritative for all plans *)
 }
 
-let make ?(restarts = []) ?(on_restart = fun _ _ -> ()) ~crashed_by ~on_step () =
+let make ?(restarts = []) ?(on_restart = fun _ _ -> ())
+    ?(corrupts = fun _ _ -> None) ?(byzantine_from = fun _ -> None) ~crashed_by
+    ~on_step () =
   {
     plan_crashed_by = crashed_by;
     plan_on_step = on_step;
     plan_restarts = restarts;
     plan_on_restart = on_restart;
+    plan_corrupts = corrupts;
+    plan_byzantine_from = byzantine_from;
     committed = Hashtbl.create 16;
   }
 
@@ -53,6 +75,10 @@ let note_crash t pid round =
   | _ -> Hashtbl.replace t.committed pid round
 
 let restarts t = t.plan_restarts
+
+let corrupts t pid round = t.plan_corrupts pid round
+
+let byzantine_from t pid = t.plan_byzantine_from pid
 
 let note_restart t pid round =
   (* Forget the committed crash so a later crash of the same pid re-records;
@@ -179,7 +205,8 @@ let with_restarts restarts base =
     Hashtbl.replace revived pid r;
     base.plan_on_restart pid r
   in
-  make ~restarts ~on_restart ~crashed_by ~on_step ()
+  make ~restarts ~on_restart ~corrupts:base.plan_corrupts
+    ~byzantine_from:base.plan_byzantine_from ~crashed_by ~on_step ()
 
 let crash_active_after_work ~units_between_crashes ~max_crashes =
   let crashes = ref 0 in

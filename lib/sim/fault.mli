@@ -25,6 +25,22 @@ type decision =
           [keep_work = true] whenever [delivery] lets at least one message
           out. *)
 
+type tamper_kind =
+  | Lying_view  (** claim a later/terminal view than reality *)
+  | Replay_stale  (** re-send a stale (earlier) checkpoint view *)
+  | Inflate_done  (** bump a genuine view's done-count upward *)
+
+type tamper = { t_kind : tamper_kind; t_salt : int }
+(** One corruption action: what lie to tell plus a salt seeding the exact
+    forged payload (the protocol-specific tamper model interprets both, see
+    [Kernel.tamper_model]). *)
+
+val tamper_kind_to_string : tamper_kind -> string
+(** ["lying-view"] / ["replay-stale"] / ["inflate-done"] — the schedule
+    file syntax. *)
+
+val tamper_kind_of_string : string -> tamper_kind option
+
 type step_view = {
   sv_pid : pid;
   sv_round : round;
@@ -78,6 +94,8 @@ val crash_active_after_work :
 val custom :
   ?restarts:(pid * round) list ->
   ?on_restart:(pid -> round -> unit) ->
+  ?corrupts:(pid -> round -> tamper option) ->
+  ?byzantine_from:(pid -> round option) ->
   crashed_by:(pid -> round -> bool) ->
   on_step:(step_view -> decision) ->
   unit ->
@@ -94,7 +112,14 @@ val custom :
     when the kernel commits a revival, so stateful plans can advance to
     their next crash cycle. A plan whose [crashed_by]/[on_step] ignore
     revivals would re-kill the new incarnation instantly; use
-    {!with_restarts} to mask a static plan, or handle [on_restart]. *)
+    {!with_restarts} to mask a static plan, or handle [on_restart].
+
+    [corrupts] is the message-tampering extension: consulted by the kernel
+    when a surviving process is about to emit messages (only when the run
+    carries a tamper model); answering [Some tamper] spends that corruption —
+    the query is consuming, so one-shot entries answer once. [byzantine_from]
+    marks pids the adversary controls outright from a round on (see
+    [Kernel]'s Byzantine execution rules). *)
 
 val with_restarts : (pid * round) list -> t -> t
 (** [with_restarts restarts base]: the base plan plus a restart schedule.
@@ -120,6 +145,15 @@ val note_crash : t -> pid -> round -> unit
 val restarts : t -> (pid * round) list
 (** The plan's static restart schedule, in no particular order; the kernel
     sorts and consumes it. *)
+
+val corrupts : t -> pid -> round -> tamper option
+(** Should [pid]'s outgoing messages of round [r] be tampered with? A [Some]
+    answer consumes the corruption entry, so call it at most once per
+    (pid, round) and only when the tampering will actually be applied. *)
+
+val byzantine_from : t -> pid -> round option
+(** The round from which [pid] is adversary-controlled, if any. Static for
+    the whole run. *)
 
 val note_restart : t -> pid -> round -> unit
 (** Kernel informs the plan that it committed a revival at [round]: the

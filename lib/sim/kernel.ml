@@ -8,6 +8,11 @@ type 'm result = {
   outcome : run_outcome;
 }
 
+type 'm tamper_model = {
+  mutate : Fault.tamper -> src:pid -> dst:pid -> at:round -> 'm -> 'm;
+  forge : pid -> at:round -> 'm send list;
+}
+
 type 'm config = {
   n_processes : int;
   n_units : int;
@@ -16,11 +21,12 @@ type 'm config = {
   trace : Trace.t option;
   obs : Obs.sink option;
   show : 'm -> string;
+  tamper : 'm tamper_model option;
 }
 
 let config ?(fault = Fault.none) ?(max_rounds = max_int / 2) ?trace ?obs
-    ?(show = fun _ -> "<msg>") ~n_processes ~n_units () =
-  { n_processes; n_units; fault; max_rounds; trace; obs; show }
+    ?(show = fun _ -> "<msg>") ?tamper ~n_processes ~n_units () =
+  { n_processes; n_units; fault; max_rounds; trace; obs; show; tamper }
 
 let run ?recover ?metrics cfg proc =
   let t = cfg.n_processes in
@@ -54,7 +60,34 @@ let run ?recover ?metrics cfg proc =
     (match cfg.trace with Some tr -> Trace.record tr e | None -> ());
     match cfg.obs with Some sink -> sink (Obs.of_trace_event e) | None -> ()
   in
+  let obs_ev e = match cfg.obs with Some sink -> sink e | None -> () in
   let alive pid = statuses.(pid) = Running in
+  (* Byzantine pids only act out their subversion when the run carries a
+     tamper model (the model says what "arbitrary-but-typed lies" look like
+     for this protocol's message type). Without one, a Byzantine entry
+     degrades to a silent crash at its activation round. *)
+  let byz_active pid r =
+    match (cfg.tamper, Fault.byzantine_from cfg.fault pid) with
+    | Some _, Some b0 -> b0 <= r
+    | _ -> false
+  in
+  let byz_degraded_crash pid r =
+    match (cfg.tamper, Fault.byzantine_from cfg.fault pid) with
+    | None, Some b0 -> b0 <= r
+    | _ -> false
+  in
+  (* A subverted pid must be scheduled at its activation round even if the
+     protocol put it to sleep beyond it. *)
+  (match cfg.tamper with
+  | Some _ ->
+      for pid = 0 to t - 1 do
+        match Fault.byzantine_from cfg.fault pid with
+        | Some b0 ->
+            wakeups.(pid) <-
+              Some (match wakeups.(pid) with Some w -> min w b0 | None -> b0)
+        | None -> ()
+      done
+  | None -> ());
   (* The adversary's restart schedule, sorted by (round, pid) so revivals in
      the same round happen in pid order — determinism. An entry is *applicable*
      while its pid is down from a round before the scheduled one; entries for
@@ -142,11 +175,31 @@ let run ?recover ?metrics cfg proc =
       let any_sent = ref false in
       for pid = 0 to t - 1 do
         if alive pid then begin
-          if Fault.crashed_by cfg.fault pid r then begin
+          if Fault.crashed_by cfg.fault pid r || byz_degraded_crash pid r
+          then begin
             statuses.(pid) <- Crashed r;
             Fault.note_crash cfg.fault pid r;
             Metrics.record_crash metrics pid r;
             trace_ev (Trace.Crashed_ev { pid; round = r })
+          end
+          else if byz_active pid r then begin
+            (* Adversary-controlled: the protocol state is abandoned; the
+               tamper model forges this round's messages. Forged traffic is
+               counted as corruption, not as honest sends — audits and the
+               message bounds judge only what honest processes do. *)
+            (match cfg.tamper with
+            | Some tm ->
+                List.iter
+                  (fun { dst; payload } ->
+                    Metrics.record_corruption metrics;
+                    obs_ev (Obs.Tamper { pid; at = r });
+                    if dst >= 0 && dst < t then begin
+                      out.(dst) <- { src = pid; sent_at = r; payload } :: out.(dst);
+                      any_sent := true
+                    end)
+                  (tm.forge pid ~at:r)
+            | None -> ());
+            wakeups.(pid) <- Some (r + 1)
           end
           else begin
             let mail = inbox pid in
@@ -184,11 +237,27 @@ let run ?recover ?metrics cfg proc =
                     trace_ev (Trace.Worked { pid; round = r; unit_id = u }))
                   o.work
               in
+              (* Link tampering: a consuming query — asked only when there
+                 are messages to corrupt and a model to corrupt them with. *)
+              let tampered_sends () =
+                match cfg.tamper with
+                | Some tm when o.sends <> [] -> (
+                    match Fault.corrupts cfg.fault pid r with
+                    | Some tam ->
+                        List.map
+                          (fun { dst; payload } ->
+                            Metrics.record_corruption metrics;
+                            obs_ev (Obs.Tamper { pid; at = r });
+                            { dst; payload = tm.mutate tam ~src:pid ~dst ~at:r payload })
+                          o.sends
+                    | None -> o.sends)
+                | _ -> o.sends
+              in
               match decision with
               | Fault.Survive ->
                   states.(pid) <- o.state;
                   commit_work ();
-                  commit_sends o.sends;
+                  commit_sends (tampered_sends ());
                   Metrics.record_round metrics r;
                   if o.terminate then begin
                     statuses.(pid) <- Terminated r;
@@ -240,7 +309,20 @@ let run ?recover ?metrics cfg proc =
           out;
         pending := Some (r, out)
       end;
-      let all_retired = Array.for_all is_retired statuses in
+      (* A subverted pid never terminates; completion is the honest pids'
+         affair. Without a tamper model nothing changes: byzantine entries
+         degraded to crashes and every pid still retires. *)
+      let retired_or_subverted pid =
+        is_retired statuses.(pid)
+        ||
+        match (cfg.tamper, Fault.byzantine_from cfg.fault pid) with
+        | Some _, Some _ -> true
+        | _ -> false
+      in
+      let all_retired =
+        let rec go pid = pid >= t || (retired_or_subverted pid && go (pid + 1)) in
+        go 0
+      in
       if all_retired && not (pending_restart ()) then Completed
       else
         match next_round () with

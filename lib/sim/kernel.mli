@@ -26,6 +26,20 @@ type 'm result = {
   outcome : run_outcome;
 }
 
+type 'm tamper_model = {
+  mutate : Fault.tamper -> src:pid -> dst:pid -> at:round -> 'm -> 'm;
+      (** corrupt one in-flight payload according to a {!Fault.tamper}
+          action; must be pure (same arguments, same lie) so replays and
+          parallel campaigns stay deterministic *)
+  forge : pid -> at:round -> 'm send list;
+      (** the messages a Byzantine [pid] emits at [at] — arbitrary but
+          well-typed lies; must likewise be a pure function of its
+          arguments *)
+}
+(** How the adversary speaks a protocol's message type. Protocol modules
+    provide models (e.g. [Doall.Validate.tamper_plain]); the kernel stays
+    payload-agnostic. *)
+
 type 'm config = {
   n_processes : int;
   n_units : int;  (** sizing for per-unit multiplicity accounting *)
@@ -36,6 +50,10 @@ type 'm config = {
       (** structured event sink, fed the same events as [trace] as they
           happen (see {!Obs}); independent of [trace] *)
   show : 'm -> string;  (** payload printer for traces (unused without) *)
+  tamper : 'm tamper_model option;
+      (** enables the fault plan's [Corrupt]/[Byzantine] powers; without a
+          model, corruptions are inert and Byzantine entries degrade to
+          silent crashes at their activation round *)
 }
 
 val config :
@@ -44,12 +62,24 @@ val config :
   ?trace:Trace.t ->
   ?obs:Obs.sink ->
   ?show:('m -> string) ->
+  ?tamper:'m tamper_model ->
   n_processes:int ->
   n_units:int ->
   unit ->
   'm config
 (** Convenience constructor; defaults: no faults, [max_rounds = max_int / 2],
-    no trace, no observability sink. *)
+    no trace, no observability sink, no tamper model.
+
+    With a tamper model, a pid listed by {!Fault.byzantine_from} stops
+    running the protocol from its activation round: each round it emits
+    [forge]d messages instead (counted via [Metrics.record_corruption] and
+    observed as [Obs.Tamper], never as honest sends), and it is exempt from
+    the completion check — the run is [Completed] once every honest process
+    retired. A surviving honest process whose round has a pending
+    {!Fault.corrupts} entry has all of that round's outgoing payloads passed
+    through [mutate]. Byzantine runs should set [max_rounds]: a subverted
+    pid acts every round, so a liveness bug surfaces as [Round_limit]
+    rather than [Stalled]. *)
 
 val run :
   ?recover:(pid -> round -> 's * round option) ->

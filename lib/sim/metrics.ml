@@ -10,6 +10,8 @@ type t = {
   mutable n_terminated : int;
   mutable n_restarts : int;
   mutable n_persists : int;
+  mutable n_corruptions : int;
+  mutable n_rejected : int;
   unit_mult : int array;
   per_work : int array;
   per_msgs : int array;
@@ -27,6 +29,8 @@ let create ~n_processes ~n_units =
     n_terminated = 0;
     n_restarts = 0;
     n_persists = 0;
+    n_corruptions = 0;
+    n_rejected = 0;
     unit_mult = Array.make (max 1 n_units) 0;
     per_work = Array.make (max 1 n_processes) 0;
     per_msgs = Array.make (max 1 n_processes) 0;
@@ -67,6 +71,12 @@ let record_persist t pid _r =
   t.n_persists <- t.n_persists + 1;
   t.per_persists.(pid) <- t.per_persists.(pid) + 1
 
+(* Adversary activity (forged or mutated payloads) and the hardening layer's
+   response (authenticator/quorum rejections). Neither advances rounds: both
+   piggyback on live-activity scheduling. *)
+let record_corruption t = t.n_corruptions <- t.n_corruptions + 1
+let record_reject t = t.n_rejected <- t.n_rejected + 1
+
 let messages t = t.msgs
 let work t = t.wrk
 let effort t = t.wrk + t.msgs
@@ -75,6 +85,8 @@ let crashes t = t.n_crashes
 let terminated t = t.n_terminated
 let restarts t = t.n_restarts
 let persists t = t.n_persists
+let corruptions t = t.n_corruptions
+let rejected t = t.n_rejected
 
 let unit_multiplicity t u =
   if u < 0 || u >= t.nu then invalid_arg "Metrics.unit_multiplicity";
@@ -95,4 +107,7 @@ let pp_summary ppf t =
     t.wrk t.msgs (effort t) t.max_round t.n_crashes t.n_terminated
     (units_covered t) t.nu;
   if t.n_restarts > 0 || t.n_persists > 0 then
-    Format.fprintf ppf " restarts=%d persists=%d" t.n_restarts t.n_persists
+    Format.fprintf ppf " restarts=%d persists=%d" t.n_restarts t.n_persists;
+  if t.n_corruptions > 0 || t.n_rejected > 0 then
+    Format.fprintf ppf " corruptions=%d rejected=%d" t.n_corruptions
+      t.n_rejected

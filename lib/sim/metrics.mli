@@ -30,6 +30,16 @@ val record_persist : t -> pid -> round -> unit
 (** Counts a stable-storage write ({!Stable.write}) — the fourth cost
     measure of the crash–recovery model. *)
 
+val record_corruption : t -> unit
+(** Counts one adversary-corrupted payload: a Byzantine forgery or an
+    in-flight mutation (kernel-side, when a tamper model is active). Does
+    not advance {!rounds}. *)
+
+val record_reject : t -> unit
+(** Counts one message the validation layer refused (bad authenticator,
+    wrong claimant, or an unattested view) — the hardening cost's visible
+    half. Recorded by [Doall.Validate]-style harnesses, not the kernel. *)
+
 val record_round : t -> round -> unit
 (** Note that activity occurred at [round]; keeps the high-water mark. *)
 
@@ -57,6 +67,12 @@ val restarts : t -> int
 
 val persists : t -> int
 (** Total stable-storage writes. *)
+
+val corruptions : t -> int
+(** Total adversary-corrupted payloads (forged + mutated). *)
+
+val rejected : t -> int
+(** Total messages refused by a validation layer. *)
 
 val unit_multiplicity : t -> int -> int
 (** How many times a given unit was performed. *)

@@ -9,12 +9,14 @@ type event =
   | Crash of { pid : pid; at : int }
   | Restart of { pid : pid; at : int }
   | Persist of { pid : pid; at : int }
+  | Tamper of { pid : pid; at : int }
+  | Reject of { pid : pid; at : int }
   | Terminate of { pid : pid; at : int }
 
 let at = function
   | Step { at; _ } | Send { at; _ } | Drop { at; _ } | Work { at; _ }
   | Crash { at; _ } | Restart { at; _ } | Persist { at; _ }
-  | Terminate { at; _ } ->
+  | Tamper { at; _ } | Reject { at; _ } | Terminate { at; _ } ->
       at
 
 type sink = event -> unit
@@ -42,6 +44,8 @@ let event_to_json e =
     | Crash { pid; at } -> base "crash" at [ ("pid", Int pid) ]
     | Restart { pid; at } -> base "restart" at [ ("pid", Int pid) ]
     | Persist { pid; at } -> base "persist" at [ ("pid", Int pid) ]
+    | Tamper { pid; at } -> base "tamper" at [ ("pid", Int pid) ]
+    | Reject { pid; at } -> base "reject" at [ ("pid", Int pid) ]
     | Terminate { pid; at } -> base "terminate" at [ ("pid", Int pid) ])
 
 let jsonl oc e =
@@ -71,6 +75,8 @@ module Timeline = struct
     mutable d_crashes : int;
     mutable d_restarts : int;
     mutable d_persists : int;
+    mutable d_tampers : int;
+    mutable d_rejects : int;
     mutable d_terminated : int;
   }
 
@@ -95,7 +101,8 @@ module Timeline = struct
     | None ->
         let c =
           { d_steps = 0; d_work = 0; d_msgs = 0; d_drops = 0; d_crashes = 0;
-            d_restarts = 0; d_persists = 0; d_terminated = 0 }
+            d_restarts = 0; d_persists = 0; d_tampers = 0; d_rejects = 0;
+            d_terminated = 0 }
         in
         Hashtbl.add t.cells at c;
         c
@@ -114,6 +121,8 @@ module Timeline = struct
     | Crash _ -> c.d_crashes <- c.d_crashes + 1
     | Restart _ -> c.d_restarts <- c.d_restarts + 1
     | Persist _ -> c.d_persists <- c.d_persists + 1
+    | Tamper _ -> c.d_tampers <- c.d_tampers + 1
+    | Reject _ -> c.d_rejects <- c.d_rejects + 1
     | Terminate _ -> c.d_terminated <- c.d_terminated + 1
 
   let sink t = observe t
@@ -128,12 +137,16 @@ module Timeline = struct
     crashes : int;
     restarts : int;
     persists : int;
+    corruptions : int;
+    rejected : int;
     terminated : int;
     d_work : int;
     d_msgs : int;
     d_crashes : int;
     d_restarts : int;
     d_persists : int;
+    d_tampers : int;
+    d_rejects : int;
     d_terminated : int;
   }
 
@@ -152,6 +165,7 @@ module Timeline = struct
     let work = ref 0 and msgs = ref 0 in
     let crashes = ref 0 and terminated = ref 0 in
     let restarts = ref 0 and persists = ref 0 in
+    let corruptions = ref 0 and rejected = ref 0 in
     List.map
       (fun at ->
         let c = Hashtbl.find t.cells at in
@@ -160,6 +174,8 @@ module Timeline = struct
         crashes := !crashes + c.d_crashes;
         restarts := !restarts + c.d_restarts;
         persists := !persists + c.d_persists;
+        corruptions := !corruptions + c.d_tampers;
+        rejected := !rejected + c.d_rejects;
         terminated := !terminated + c.d_terminated;
         let rec absorb () =
           match !firsts with
@@ -180,12 +196,16 @@ module Timeline = struct
           crashes = !crashes;
           restarts = !restarts;
           persists = !persists;
+          corruptions = !corruptions;
+          rejected = !rejected;
           terminated = !terminated;
           d_work = c.d_work;
           d_msgs = c.d_msgs;
           d_crashes = c.d_crashes;
           d_restarts = c.d_restarts;
           d_persists = c.d_persists;
+          d_tampers = c.d_tampers;
+          d_rejects = c.d_rejects;
           d_terminated = c.d_terminated;
         })
       ats
@@ -207,12 +227,14 @@ module Timeline = struct
           ("crashes", Int r.crashes);
           ("restarts", Int r.restarts);
           ("persists", Int r.persists);
+          ("corruptions", Int r.corruptions);
+          ("rejected", Int r.rejected);
           ("terminated", Int r.terminated);
         ]
     in
     Obj
       [
-        ("schema", Str "dhw-timeline/v2");
+        ("schema", Str "dhw-timeline/v3");
         ("processes", Int t.np);
         ("units", Int t.nu);
         ("rows", Arr (List.map row (rows t)));
@@ -303,5 +325,8 @@ module Timeline = struct
           last.terminated;
         if last.restarts > 0 || last.persists > 0 then
           Format.fprintf ppf "          restarts=%d persists=%d@." last.restarts
-            last.persists
+            last.persists;
+        if last.corruptions > 0 || last.rejected > 0 then
+          Format.fprintf ppf "          corruptions=%d rejected=%d@."
+            last.corruptions last.rejected
 end

@@ -30,6 +30,14 @@ type event =
   | Persist of { pid : pid; at : int }
       (** a stable-storage write ({!Stable.write}); emitted by the recovery
           harness' [on_write] hook, not by the kernel *)
+  | Tamper of { pid : pid; at : int }
+      (** one adversary-corrupted payload — a Byzantine forgery by [pid] or
+          an in-flight mutation of [pid]'s outgoing message (sync kernel
+          with a tamper model, or the async link's [corrupt_bp]) *)
+  | Reject of { pid : pid; at : int }
+      (** a message [pid]'s validation layer refused (bad authenticator or
+          unattested view); emitted by [Doall.Validate]-style harnesses'
+          [on_reject] hook, not by the kernel *)
   | Terminate of { pid : pid; at : int }
 
 val at : event -> int
@@ -81,12 +89,16 @@ module Timeline : sig
     crashes : int;  (** cumulative *)
     restarts : int;  (** cumulative *)
     persists : int;  (** cumulative stable-storage writes *)
+    corruptions : int;  (** cumulative adversary-corrupted payloads *)
+    rejected : int;  (** cumulative validation-layer refusals *)
     terminated : int;  (** cumulative *)
     d_work : int;  (** this round's work *)
     d_msgs : int;
     d_crashes : int;
     d_restarts : int;
     d_persists : int;
+    d_tampers : int;
+    d_rejects : int;
     d_terminated : int;
   }
 
@@ -100,8 +112,9 @@ module Timeline : sig
       the observed run. *)
 
   val to_json : t -> Dhw_util.Jsonw.t
-  (** Schema [dhw-timeline/v2]: processes, units, and the cumulative rows
-      (v2 = v1 plus additive [restarts]/[persists] columns). *)
+  (** Schema [dhw-timeline/v3]: processes, units, and the cumulative rows
+      (v2 = v1 plus additive [restarts]/[persists] columns; v3 = v2 plus
+      additive [corruptions]/[rejected] columns). *)
 
   val spark : ?max:int -> int list -> string
   (** Render a series as one ASCII character per value, using the density

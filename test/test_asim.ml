@@ -335,7 +335,7 @@ let prop_seed_determinism =
       let go () =
         let log = ref [] in
         let link =
-          { E.drop_bp = 1_500; dup_bp = 800; slow_set = [ 1 ]; slow_factor = 3 }
+          { E.drop_bp = 1_500; dup_bp = 800; corrupt_bp = 0; slow_set = [ 1 ]; slow_factor = 3 }
         in
         let cfg =
           E.config ~crash_at:[ (0, 25) ] ~max_delay:4 ~seed ~link
@@ -490,7 +490,7 @@ let test_hardened_a_lossy_campaign () =
      terminating, across seeds *)
   let spec = Helpers.spec ~n:40 ~t:6 in
   let link =
-    { E.drop_bp = 3_000; dup_bp = 1_000; slow_set = [ 4 ]; slow_factor = 3 }
+    { E.drop_bp = 3_000; dup_bp = 1_000; corrupt_bp = 0; slow_set = [ 4 ]; slow_factor = 3 }
   in
   for seed = 1 to 10 do
     let stats = L.stats () in

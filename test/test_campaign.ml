@@ -19,6 +19,16 @@ let gen_delivery =
         (Gen.list_size (Gen.int_bound 4) (Gen.int_bound 9));
     ]
 
+let gen_tamper =
+  Gen.map2
+    (fun t_kind t_salt -> { Simkit.Fault.t_kind; t_salt })
+    (Gen.oneofl
+       [
+         Simkit.Fault.Lying_view; Simkit.Fault.Replay_stale;
+         Simkit.Fault.Inflate_done;
+       ])
+    (Gen.int_bound 999_999)
+
 let gen_mode =
   Gen.oneof
     [
@@ -27,6 +37,8 @@ let gen_mode =
         (fun keep_work delivery -> C.Schedule.Acting { keep_work; delivery })
         Gen.bool gen_delivery;
       Gen.return C.Schedule.Restart;
+      Gen.map (fun tam -> C.Schedule.Corrupt tam) gen_tamper;
+      Gen.return C.Schedule.Byzantine;
     ]
 
 let gen_entry =
@@ -84,6 +96,11 @@ let test_parse_rejects_garbage () =
       "schedule v1\ncrash 1 @2 floating\nend\n";
       "schedule v1\ncrash 1 @2 acting drop prefix q\nend\n";
       "schedule v1\ncrash 1 @2 silent\n";
+      "schedule v1\nbyz 1 2\nend\n";
+      "schedule v1\nbyz x @2\nend\n";
+      "schedule v1\ncorrupt 1 @2 bogus-kind salt 3\nend\n";
+      "schedule v1\ncorrupt 1 @2 lying-view salt q\nend\n";
+      "schedule v1\ncorrupt 1 @2 lying-view\nend\n";
     ]
   in
   List.iter
@@ -107,14 +124,21 @@ let gen_async_schedule =
   in
   let* drop_bp = int_bound 3000 in
   let* dup_bp = int_bound 2000 in
+  let* corrupt_bp = int_bound 2500 in
+  let* byz =
+    list_size (int_bound 2)
+      (map2
+         (fun victim at -> { C.Async.victim; at })
+         (int_bound 9) (int_bound 300))
+  in
   let* slow_set = list_size (int_bound 3) (int_bound 9) in
   let* slow_factor = int_range 1 5 in
   let* max_delay = int_range 1 8 in
   let* max_lag = int_range 1 8 in
   let* seed = map Int64.of_int int in
   return
-    (C.Async.make ~meta ~crashes ~drop_bp ~dup_bp ~slow_set ~slow_factor
-       ~max_delay ~max_lag ~seed ())
+    (C.Async.make ~meta ~crashes ~drop_bp ~dup_bp ~corrupt_bp ~byz ~slow_set
+       ~slow_factor ~max_delay ~max_lag ~seed ())
 
 let prop_async_round_trip =
   Helpers.qcheck_case ~count:500 ~name:"async schedule: parse (print s) = s"
@@ -157,6 +181,9 @@ let test_async_parse_rejects_garbage () =
       "async-schedule v1\nslow 1;2 factor 1\nend\n";
       "async-schedule v1\nseed abc\nend\n";
       "async-schedule v1\ncrash 1 @2\n";
+      "async-schedule v1\nbyz 1 2\nend\n";
+      "async-schedule v1\nbyz x @2\nend\n";
+      "async-schedule v1\ncorrupt nan\nend\n";
     ]
   in
   List.iter
@@ -292,6 +319,105 @@ let test_shrunk_schedule_replays_identically () =
   | None -> Alcotest.fail "replay did not reproduce the violation"
 
 (* ------------------------------------------------------------------ *)
+(* The corruption/Byzantine schedule algebra: normalization and cost. *)
+
+let entry victim at mode = { C.Schedule.victim; at; mode }
+
+let corrupt_mode kind salt =
+  C.Schedule.Corrupt { Simkit.Fault.t_kind = kind; t_salt = salt }
+
+let test_normalize_byz_earliest_wins () =
+  let s =
+    C.Schedule.make
+      [
+        entry 2 9 C.Schedule.Byzantine;
+        entry 2 4 C.Schedule.Byzantine;
+        entry 2 7 C.Schedule.Byzantine;
+      ]
+  in
+  match (C.Schedule.normalize s).C.Schedule.entries with
+  | [ { C.Schedule.at = 4; mode = C.Schedule.Byzantine; victim = 2 } ] -> ()
+  | es ->
+      Alcotest.failf "expected the earliest subversion alone, got %d entries"
+        (List.length es)
+
+let test_normalize_byz_subsumes_later_entries () =
+  let s =
+    C.Schedule.make
+      [
+        entry 1 3 C.Schedule.Silent (* strictly before subversion: kept *);
+        entry 1 5 C.Schedule.Byzantine;
+        entry 1 5 C.Schedule.Silent (* at the subversion round: dropped *);
+        entry 1 8 C.Schedule.Restart (* a subverted pid never restarts *);
+        entry 1 9 (corrupt_mode Simkit.Fault.Lying_view 7) (* subsumed *);
+        entry 0 8 C.Schedule.Silent (* other victims untouched *);
+      ]
+  in
+  let n = C.Schedule.normalize s in
+  Alcotest.(check int) "survivors" 3 (List.length n.C.Schedule.entries);
+  List.iter
+    (fun (e : C.Schedule.entry) ->
+      if e.victim = 1 && e.at >= 5 && e.mode <> C.Schedule.Byzantine then
+        Alcotest.failf "entry at %d survived its victim's subversion" e.at)
+    n.C.Schedule.entries
+
+let test_normalize_corrupt_dedup () =
+  let s =
+    C.Schedule.make
+      [
+        entry 3 6 (corrupt_mode Simkit.Fault.Lying_view 11);
+        entry 3 6 (corrupt_mode Simkit.Fault.Inflate_done 99) (* dup round *);
+        entry 3 7 (corrupt_mode Simkit.Fault.Replay_stale 5) (* distinct *);
+      ]
+  in
+  match (C.Schedule.normalize s).C.Schedule.entries with
+  | [ { C.Schedule.at = 6; mode = C.Schedule.Corrupt tam; _ };
+      { C.Schedule.at = 7; _ } ] ->
+      Alcotest.(check int) "first same-round corruption wins" 11
+        tam.Simkit.Fault.t_salt
+  | es -> Alcotest.failf "unexpected normal form (%d entries)" (List.length es)
+
+let prop_normalize_idempotent =
+  Helpers.qcheck_case ~count:300
+    ~name:"schedule: normalize (normalize s) = normalize s" gen_schedule
+    (fun s ->
+      let n = C.Schedule.normalize s in
+      let n' = C.Schedule.normalize n in
+      if n' <> n then
+        QCheck2.Test.fail_reportf "not idempotent:@.%s@.->@.%s"
+          (C.Schedule.print n) (C.Schedule.print n')
+      else true)
+
+let test_cost_weighs_adversary_power () =
+  let s =
+    C.Schedule.make
+      [
+        entry 0 1 C.Schedule.Byzantine;
+        entry 1 2 (corrupt_mode Simkit.Fault.Replay_stale 3);
+        entry 2 3 C.Schedule.Silent;
+        entry 2 9 C.Schedule.Restart;
+      ]
+  in
+  Alcotest.(check int) "5 + 2 + 1 + 1" 9 (C.Schedule.cost s)
+
+let test_byz_campaign_jobs_deterministic () =
+  let go jobs =
+    Doall.Fuzz.byz_campaign ~jobs ~seed:3L ~executions:40 ~max_failures:1
+      (Doall.Spec.make ~n:24 ~t:6)
+      Doall.Fuzz.Unhardened
+  in
+  Alcotest.(check bool) "sync byz: jobs 1 = jobs 4" true (go 1 = go 4)
+
+let test_async_byz_campaign_jobs_deterministic () =
+  let go jobs =
+    Asim.Async_fuzz.byz_campaign ~jobs ~seed:1L ~executions:20 ~window:40
+      ~max_failures:1
+      (Doall.Spec.make ~n:24 ~t:6)
+      Doall.Fuzz.Unhardened
+  in
+  Alcotest.(check bool) "async byz: jobs 1 = jobs 4" true (go 1 = go 4)
+
+(* ------------------------------------------------------------------ *)
 (* to_fault semantics *)
 
 let test_schedule_to_fault_earliest_wins () =
@@ -388,6 +514,19 @@ let suite =
       test_shrunk_schedule_is_locally_minimal;
     Alcotest.test_case "shrunk counterexample replays identically" `Quick
       test_shrunk_schedule_replays_identically;
+    Alcotest.test_case "normalize: earliest byz subversion wins" `Quick
+      test_normalize_byz_earliest_wins;
+    Alcotest.test_case "normalize: byz subsumes later entries" `Quick
+      test_normalize_byz_subsumes_later_entries;
+    Alcotest.test_case "normalize: same-round corruption deduped" `Quick
+      test_normalize_corrupt_dedup;
+    prop_normalize_idempotent;
+    Alcotest.test_case "cost: byz 5, corrupt 2, crash/restart 1" `Quick
+      test_cost_weighs_adversary_power;
+    Alcotest.test_case "byz campaign deterministic across jobs" `Quick
+      test_byz_campaign_jobs_deterministic;
+    Alcotest.test_case "async byz campaign deterministic across jobs" `Quick
+      test_async_byz_campaign_jobs_deterministic;
     Alcotest.test_case "to_fault: earliest entry per victim wins" `Quick
       test_schedule_to_fault_earliest_wins;
     Alcotest.test_case "restart entries: parse + restart_count" `Quick
