@@ -1,4 +1,4 @@
-(* Experiments E1-E20 (see DESIGN.md §3): one table per theorem/claim of the
+(* Experiments E1-E21 (see DESIGN.md §3): one table per theorem/claim of the
    paper, printing measured costs against the stated bounds. *)
 
 module Table = Dhw_util.Table
@@ -1112,11 +1112,131 @@ let e20 ?(schedules = 40) ?jobs () =
   print_string "\n== E20 ==\n";
   publish "E20" table
 
+(* E21: sim-vs-real effort parity. Each scenario is executed twice — once in
+   the simulator and once as a fleet of real dhw_node processes over unix
+   sockets, with the fault plan enforced by actual SIGKILLs and respawned
+   incarnations recovering from on-disk checkpoints. Because the
+   orchestrator replicates the kernel's loop rules and consults the same
+   fault plan, every effort measure (work, messages, rounds, stable writes)
+   must match exactly; the kill-storm rows double as a survival check for
+   the respawn/recover path under back-to-back process deaths. *)
+
+let e21_tmpdir () =
+  let d = Filename.temp_file "dhwe21" "" in
+  Sys.remove d;
+  Unix.mkdir d 0o700;
+  d
+
+let rec e21_rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter
+        (fun e -> e21_rm_rf (Filename.concat path e))
+        (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let e21 () =
+  let module C = Simkit.Campaign in
+  let module F = Doall.Fuzz in
+  let module O = Dhw_net.Orchestrator in
+  let node_exe =
+    Filename.concat
+      (Filename.dirname Sys.executable_name)
+      "../bin/dhw_node.exe"
+  in
+  let scenarios =
+    [
+      ("A / fault-free", "a", 12, 3, [], []);
+      ("A+rec / kill + recover", "a+rec", 12, 3, [ (0, 2) ], [ (0, 6) ]);
+      ( "A+rec / kill-storm",
+        "a+rec", 24, 4,
+        [ (0, 2); (1, 4); (2, 6) ],
+        [ (0, 5); (1, 8); (2, 10) ] );
+      ("B+rec / kill + recover", "b+rec", 12, 3, [ (1, 3) ], [ (1, 7) ]);
+    ]
+  in
+  let table =
+    Table.create
+      ~title:
+        "Sim-vs-real effort parity: each schedule executed by the simulator\n\
+         and by a fleet of real dhw_node processes (unix sockets, real\n\
+         SIGKILLs, checkpoint-recovering respawns). Effort cells read\n\
+         sim-value = real-value; any inequality is a parity break."
+      [ ("scenario", Table.Left); ("t", Right); ("n", Right);
+        ("kills", Right); ("respawns", Right); ("work", Right);
+        ("msgs", Right); ("rounds", Right); ("persists", Right);
+        ("frames", Right); ("parity", Left) ]
+  in
+  if not (Sys.file_exists node_exe) then
+    Table.add_row table
+      [ "dhw_node.exe not found; skipped"; "-"; "-"; "-"; "-"; "-"; "-";
+        "-"; "-"; "-"; "-" ]
+  else
+    List.iter
+      (fun (label, protocol, n, t, crashes, restarts) ->
+        let entries =
+          List.map
+            (fun (victim, at) -> { C.Schedule.victim; at; mode = C.Schedule.Silent })
+            crashes
+          @ List.map
+              (fun (victim, at) ->
+                { C.Schedule.victim; at; mode = C.Schedule.Restart })
+              restarts
+        in
+        let sched = C.Schedule.make entries in
+        let spec = Doall.Spec.make ~n ~t in
+        let sim =
+          match protocol with
+          | "a+rec" -> F.run_recovery_schedule spec Doall.Recovery.A sched
+          | "b+rec" -> F.run_recovery_schedule spec Doall.Recovery.B sched
+          | "a" -> F.run_schedule spec Doall.Protocol_a.protocol sched
+          | _ -> F.run_schedule spec Doall.Protocol_b.protocol sched
+        in
+        let dir = e21_tmpdir () in
+        let ckpt_dir = Filename.concat dir "ckpt" in
+        Unix.mkdir ckpt_dir 0o700;
+        let cfg =
+          O.config
+            ~fault:(C.Schedule.to_fault sched)
+            ~log_dir:dir ~node_exe
+            ~addr:(Dhw_net.Transport.Unix_sock (Filename.concat dir "ctl.sock"))
+            ~protocol ~n ~t ~ckpt_dir ()
+        in
+        let real = Fun.protect ~finally:(fun () -> e21_rm_rf dir) (fun () -> O.run cfg) in
+        let sm = sim.F.report.Doall.Runner.metrics and rm = real.O.metrics in
+        let cell f =
+          let s = f sm and r = f rm in
+          if s = r then string_of_int s else Printf.sprintf "%d!=%d" s r
+        in
+        let parity =
+          List.for_all
+            (fun f -> f sm = f rm)
+            [ Metrics.work; Metrics.messages; Metrics.rounds;
+              Metrics.persists; Metrics.restarts; Metrics.crashes ]
+          && real.O.stop = O.Completed
+        in
+        Table.add_row table
+          [
+            label; string_of_int t; string_of_int n;
+            string_of_int real.O.kills; string_of_int real.O.respawns;
+            cell Metrics.work; cell Metrics.messages; cell Metrics.rounds;
+            cell Metrics.persists;
+            string_of_int
+              (real.O.transport.Dhw_net.Transport.frames_sent
+              + real.O.transport.Dhw_net.Transport.frames_received);
+            (if parity then "ok" else "FAIL");
+          ])
+      scenarios;
+  print_string "\n== E21 ==\n";
+  publish "E21" table
+
 let all () =
   reset ();
   e1 (); e2 (); e3 (); e4 (); e5 (); e6 (); e7 (); e8 (); e9 (); e10 ();
   e11 (); e12 (); e13 (); e14 (); e15 (); e16 (); e17 (); e18 (); e19 ();
-  e20 ()
+  e20 (); e21 ()
 
 (* The @ci bench smoke: the multicore table at tiny sizes — enough to
    exercise Pool + run_parallel and validate the dhw-bench/v1 schema

@@ -1192,6 +1192,342 @@ let async_replay_cmd =
        ~doc:"Re-run a serialized async campaign schedule and re-judge it with the same oracle stack")
     Term.(const run $ file_arg $ work_cap_arg)
 
+(* ------------------------------------------------------------------ *)
+(* Real-process deployment: net-run + net-replay *)
+
+module Net = Dhw_net
+
+let net_protocol_of_name name =
+  match String.lowercase_ascii name with
+  | "a" -> Some "a"
+  | "b" -> Some "b"
+  | "a+rec" -> Some "a+rec"
+  | "b+rec" -> Some "b+rec"
+  | _ -> None
+
+let find_node_exe = function
+  | Some p -> p
+  | None ->
+      let cand =
+        Filename.concat (Filename.dirname Sys.executable_name) "dhw_node.exe"
+      in
+      if Sys.file_exists cand then cand else "dhw_node.exe"
+
+let fresh_run_dir () =
+  let base = Filename.get_temp_dir_name () in
+  let rec go i =
+    (* Short names: a unix-socket path tops out around 108 bytes. *)
+    let d = Filename.concat base (Printf.sprintf "dhw%d-%d" (Unix.getpid ()) i) in
+    match Unix.mkdir d 0o700 with
+    | () -> d
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> go (i + 1)
+  in
+  go 0
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+(* Entries a real deployment cannot realize: there is no tamper model over
+   sockets, so refuse rather than silently degrade. *)
+let net_check_entries (sched : Campaign.Schedule.t) =
+  List.iter
+    (fun (e : Campaign.Schedule.entry) ->
+      match e.mode with
+      | Campaign.Schedule.Corrupt _ | Campaign.Schedule.Byzantine ->
+          prerr_endline
+            "net-run: corrupt/byzantine entries are not realizable over real \
+             sockets";
+          exit 2
+      | _ -> ())
+    sched.Campaign.Schedule.entries
+
+let net_runner_report spec ~protocol (res : Net.Orchestrator.result) =
+  {
+    D.Runner.spec;
+    protocol;
+    metrics = res.Net.Orchestrator.metrics;
+    statuses = res.Net.Orchestrator.statuses;
+    outcome = Net.Orchestrator.to_run_outcome res.Net.Orchestrator.stop;
+  }
+
+(* The sim-vs-real differential: the same schedule through the simulator
+   (its own fresh fault plan — plans are stateful) and through the real
+   fleet must spend identical effort. *)
+let net_sim_subject spec ~protocol ~rejoin_rounds ~max_rounds sched =
+  match D.Fuzz.recovery_which_of_name protocol with
+  | Some which when protocol = "a+rec" || protocol = "b+rec" ->
+      D.Fuzz.run_recovery_schedule ~max_rounds ~rejoin_rounds spec which sched
+  | _ -> (
+      match protocol_of_name protocol with
+      | Ok p -> D.Fuzz.run_schedule ~max_rounds spec p sched
+      | Error (`Msg m) -> prerr_endline m; exit 2)
+
+let net_parity_check ~(sim : D.Fuzz.subject) ~(real : D.Runner.report) =
+  let sm = sim.D.Fuzz.report.D.Runner.metrics and rm = real.D.Runner.metrics in
+  let measures =
+    [
+      ("work", Simkit.Metrics.work);
+      ("messages", Simkit.Metrics.messages);
+      ("rounds", Simkit.Metrics.rounds);
+      ("persists", Simkit.Metrics.persists);
+      ("restarts", Simkit.Metrics.restarts);
+      ("crashes", Simkit.Metrics.crashes);
+    ]
+  in
+  List.filter_map
+    (fun (name, f) ->
+      let s = f sm and r = f rm in
+      if s = r then None else Some (Printf.sprintf "%s: sim=%d real=%d" name s r))
+    measures
+
+let net_exit (res : Net.Orchestrator.result) ~ok =
+  exit_run ~ok
+    (match res.Net.Orchestrator.stop with
+    | Net.Orchestrator.Completed -> `Completed
+    | Net.Orchestrator.Stalled _ | Net.Orchestrator.Node_failure _ -> `Stalled
+    | Net.Orchestrator.Round_limit _ | Net.Orchestrator.Watchdog _ -> `Limit)
+
+let net_print_report ~report_fmt ~fault_desc ~protocol spec
+    (res : Net.Orchestrator.result) rr =
+  let correct = D.Runner.correct rr in
+  (match report_fmt with
+  | `Json ->
+      let rep =
+        D.Report.make ~kind:"net" ~protocol ~spec ~fault:fault_desc
+          ~metrics:res.Net.Orchestrator.metrics
+          ~outcome:(Net.Orchestrator.stop_to_string res.Net.Orchestrator.stop)
+          ~correct
+          ~survivors:(status_survivors res.Net.Orchestrator.statuses)
+          ~crashed:(status_crashed res.Net.Orchestrator.statuses)
+          ~extra:(Net.Orchestrator.transport_json res)
+          ()
+      in
+      print_endline (D.Report.to_string rep)
+  | `Text ->
+      Format.printf "%a@." D.Runner.pp rr;
+      let s = res.Net.Orchestrator.transport in
+      Format.printf
+        "transport: connects=%d retries=%d timeouts=%d frames=%d/%d \
+         spawns=%d kills=%d respawns=%d wall=%.2fs@."
+        s.Net.Transport.connects s.Net.Transport.retries
+        s.Net.Transport.timeouts s.Net.Transport.frames_sent
+        s.Net.Transport.frames_received res.Net.Orchestrator.spawns
+        res.Net.Orchestrator.kills res.Net.Orchestrator.respawns
+        res.Net.Orchestrator.wall_s;
+      Format.printf "outcome: %s@."
+        (Net.Orchestrator.stop_to_string res.Net.Orchestrator.stop);
+      Format.printf "verdict: %s@." (if correct then "CORRECT" else "INCORRECT"));
+  correct
+
+let node_exe_arg =
+  Arg.(value & opt (some string) None & info [ "node-exe" ] ~docv:"PATH"
+       ~doc:"Path to the dhw_node binary (default: next to this executable).")
+
+let addr_arg =
+  Arg.(value & opt (some string) None & info [ "addr" ] ~docv:"ADDR"
+       ~doc:"Control-plane address: $(b,unix:<path>) or $(b,tcp:<host>:<port>) (port 0 picks one). Default: a unix socket in a fresh temp dir.")
+
+let watchdog_arg =
+  Arg.(value & opt float 60. & info [ "watchdog" ] ~docv:"SECONDS"
+       ~doc:"Wall-clock budget for the whole run.")
+
+let io_timeout_arg =
+  Arg.(value & opt float 10. & info [ "io-timeout" ] ~docv:"SECONDS"
+       ~doc:"Per-RPC deadline (handshake, step, heartbeat).")
+
+let rejoin_arg =
+  Arg.(value & opt int 3 & info [ "rejoin-rounds" ] ~docv:"ROUNDS"
+       ~doc:"State-transfer window a restarted node spends rebooting.")
+
+let max_rounds_arg =
+  Arg.(value & opt int 10_000 & info [ "max-rounds" ] ~doc:"Round limit.")
+
+let keep_dir_arg =
+  Arg.(value & flag & info [ "keep-dir" ]
+       ~doc:"Keep the run directory (sockets, checkpoints, node logs) instead of deleting it.")
+
+let diff_arg =
+  Arg.(value & flag & info [ "diff" ]
+       ~doc:"Also run the identical schedule in the simulator and require effort parity (work, messages, rounds, persists, restarts, crashes).")
+
+(* Run a schedule against a real-process fleet; shared by net-run and
+   net-replay. Returns (orchestrator result, runner-shaped report). *)
+let net_execute ~node_exe ~addr ~watchdog ~io_timeout ~rejoin_rounds
+    ~max_rounds ~keep_dir spec ~protocol sched =
+  net_check_entries sched;
+  let run_dir = fresh_run_dir () in
+  let addr =
+    match addr with
+    | Some s -> (
+        match Net.Transport.addr_of_string s with
+        | Ok a -> a
+        | Error e -> prerr_endline e; exit 2)
+    | None -> Net.Transport.Unix_sock (Filename.concat run_dir "ctl.sock")
+  in
+  let cfg =
+    Net.Orchestrator.config
+      ~fault:(Campaign.Schedule.to_fault sched)
+      ~max_rounds ~rejoin_rounds ~watchdog_s:watchdog ~io_timeout_s:io_timeout
+      ~log_dir:run_dir ~node_exe:(find_node_exe node_exe) ~addr ~protocol
+      ~n:(D.Spec.n spec) ~t:(D.Spec.processes spec)
+      ~ckpt_dir:(Filename.concat run_dir "ckpt") ()
+  in
+  let res = Net.Orchestrator.run cfg in
+  if keep_dir then Printf.eprintf "run dir kept: %s\n%!" run_dir
+  else rm_rf run_dir;
+  (res, net_runner_report spec ~protocol res)
+
+let net_run_cmd =
+  let proto_arg =
+    Arg.(value & opt string "a+rec" & info [ "p"; "protocol" ]
+         ~doc:"Protocol to deploy: $(b,a), $(b,b), $(b,a+rec) or $(b,b+rec).")
+  in
+  let run proto n t crashes restarts node_exe addr watchdog io_timeout
+      rejoin_rounds max_rounds keep_dir diff report_fmt =
+    let protocol =
+      match net_protocol_of_name proto with
+      | Some p -> p
+      | None ->
+          prerr_endline
+            ("net-run: unknown protocol " ^ proto ^ " (a, b, a+rec, b+rec)");
+          exit 2
+    in
+    let recovery = protocol = "a+rec" || protocol = "b+rec" in
+    if restarts <> [] && not recovery then begin
+      prerr_endline "net-run: --restarts needs a recovery protocol (a+rec or b+rec)";
+      exit 2
+    end;
+    let spec = D.Spec.make ~n ~t in
+    let entry mode (victim, at) = { Campaign.Schedule.victim; at; mode } in
+    let sched =
+      Campaign.Schedule.make
+        ~meta:
+          [ ("protocol", protocol); ("n", string_of_int n); ("t", string_of_int t) ]
+        (List.map (entry Campaign.Schedule.Silent) crashes
+        @ List.map (entry Campaign.Schedule.Restart) restarts)
+    in
+    let fault_desc =
+      match (crashes, restarts) with
+      | [], [] -> "none"
+      | cs, [] -> crash_desc cs
+      | [], rs -> restart_desc rs
+      | cs, rs -> crash_desc cs ^ "; " ^ restart_desc rs
+    in
+    let res, rr =
+      net_execute ~node_exe ~addr ~watchdog ~io_timeout ~rejoin_rounds
+        ~max_rounds ~keep_dir spec ~protocol sched
+    in
+    let correct = net_print_report ~report_fmt ~fault_desc ~protocol spec res rr in
+    let parity_ok =
+      if not diff then true
+      else begin
+        let sim =
+          net_sim_subject spec ~protocol ~rejoin_rounds ~max_rounds sched
+        in
+        match net_parity_check ~sim ~real:rr with
+        | [] ->
+            Format.printf "diff: sim and real runs agree on every measure@.";
+            true
+        | ms ->
+            Format.printf "diff: sim-vs-real MISMATCH (%s)@."
+              (String.concat "; " ms);
+            false
+      end
+    in
+    if not parity_ok then exit 1;
+    net_exit res ~ok:correct
+  in
+  Cmd.v
+    (Cmd.info "net-run"
+       ~doc:"Run a Do-All protocol as real OS processes over sockets, with SIGKILL crashes and checkpoint-recovering restarts")
+    Term.(
+      const run $ proto_arg $ n_arg $ t_arg $ crashes_arg $ restarts_arg
+      $ node_exe_arg $ addr_arg $ watchdog_arg $ io_timeout_arg $ rejoin_arg
+      $ max_rounds_arg $ keep_dir_arg $ diff_arg $ report_arg)
+
+let net_replay_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"Schedule file (from fuzz, recovery-fuzz, or hand-written).")
+  in
+  let run file node_exe addr watchdog io_timeout rejoin_rounds max_rounds
+      keep_dir =
+    let ic = open_in file in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    match Campaign.Schedule.parse text with
+    | Error msg -> prerr_endline ("parse error: " ^ msg); exit 2
+    | Ok sched ->
+        let meta key =
+          match Campaign.Schedule.meta sched key with
+          | Some v -> v
+          | None ->
+              prerr_endline ("schedule file lacks meta " ^ key);
+              exit 2
+        in
+        let protocol =
+          match net_protocol_of_name (meta "protocol") with
+          | Some p -> p
+          | None ->
+              prerr_endline
+                ("net-replay: protocol " ^ meta "protocol"
+                ^ " has no real-process deployment (a, b, a+rec, b+rec)");
+              exit 2
+        in
+        let n = int_of_string (meta "n") and t = int_of_string (meta "t") in
+        let spec = D.Spec.make ~n ~t in
+        let res, rr =
+          net_execute ~node_exe ~addr ~watchdog ~io_timeout ~rejoin_rounds
+            ~max_rounds ~keep_dir spec ~protocol sched
+        in
+        Format.printf "net replay: protocol=%s n=%d t=%d schedule: %a@."
+          protocol n t Campaign.Schedule.pp sched;
+        Format.printf "  %a@." D.Runner.pp rr;
+        Format.printf "  outcome: %s@."
+          (Net.Orchestrator.stop_to_string res.Net.Orchestrator.stop);
+        let subject = { D.Fuzz.report = rr; trace = res.Net.Orchestrator.trace } in
+        (* The same oracle stack a simulator replay of this schedule faces. *)
+        let oracles =
+          match D.Fuzz.recovery_which_of_name protocol with
+          | Some which when protocol = "a+rec" || protocol = "b+rec" ->
+              let horizon =
+                List.fold_left
+                  (fun acc (e : Campaign.Schedule.entry) -> max acc e.at)
+                  0 sched.Campaign.Schedule.entries
+              in
+              D.Fuzz.recovery_oracles spec which ~horizon
+          | _ -> D.Fuzz.oracles spec ~protocol
+        in
+        let oracle_failure = Campaign.first_failure oracles subject in
+        (match oracle_failure with
+        | None -> Format.printf "oracles: all pass@."
+        | Some (oracle, detail) ->
+            Format.printf "oracles: %s FAILS (%s)@." oracle detail);
+        let sim =
+          net_sim_subject spec ~protocol ~rejoin_rounds ~max_rounds sched
+        in
+        let parity = net_parity_check ~sim ~real:rr in
+        (match parity with
+        | [] -> Format.printf "diff: sim and real runs agree on every measure@."
+        | ms ->
+            Format.printf "diff: sim-vs-real MISMATCH (%s)@."
+              (String.concat "; " ms));
+        if oracle_failure <> None || parity <> [] then exit 1;
+        net_exit res ~ok:true
+  in
+  Cmd.v
+    (Cmd.info "net-replay"
+       ~doc:"Re-run a serialized schedule against real processes, re-judge with the simulator's oracle stack, and require sim-vs-real effort parity")
+    Term.(
+      const run $ file_arg $ node_exe_arg $ addr_arg $ watchdog_arg
+      $ io_timeout_arg $ rejoin_arg $ max_rounds_arg $ keep_dir_arg)
+
 let () =
   let doc = "Do-All protocols of Dwork, Halpern and Waarts (PODC 1992)" in
   exit
@@ -1200,4 +1536,5 @@ let () =
           (Cmd.info "doall_cli" ~doc)
           [ run_cmd; timeline_cmd; ba_cmd; async_cmd; shmem_cmd; bootstrap_cmd;
             fuzz_cmd; replay_cmd; recovery_fuzz_cmd; recovery_replay_cmd;
-            byz_fuzz_cmd; byz_replay_cmd; async_fuzz_cmd; async_replay_cmd ]))
+            byz_fuzz_cmd; byz_replay_cmd; async_fuzz_cmd; async_replay_cmd;
+            net_run_cmd; net_replay_cmd ]))

@@ -41,6 +41,67 @@ val view_rank : Ckpt_script.last -> int * int
     then partial [<] full ordered by informed-group index. Exposed for
     tests. *)
 
+(** {1 Deployment hooks}
+
+    The pieces [run] composes, exported so a real [dhw_node] process can
+    host exactly the same recovery-hardened per-pid process over sockets:
+    the wrapper message type, the protocol adapters, the hardening
+    combinator and the restart hook. The node supplies a
+    [Simkit.Stable.t] whose [on_write] mirrors the cell to disk
+    ([Dhw_net.Ckpt]), which is what makes "persist survives a crash" true
+    under a real [SIGKILL]. *)
+
+type 'm rmsg =
+  | Payload of 'm  (** an inner-protocol message, passed through *)
+  | Announce  (** rejoiner's state-transfer request, broadcast on revival *)
+  | Transfer of Ckpt_script.last  (** a peer's reply: its best durable view *)
+
+val show_rmsg : ('m -> string) -> 'm rmsg -> string
+
+type 's rstate
+(** Wrapper state: the inner protocol's state (or a rejoin handshake in
+    progress) plus the best checkpoint view seen. *)
+
+type ('s, 'm) adapter = {
+  n_procs : int;
+  init : Simkit.Types.pid -> 's * Simkit.Types.round option;
+  step :
+    Simkit.Types.pid ->
+    Simkit.Types.round ->
+    's ->
+    'm Simkit.Types.envelope list ->
+    ('s, 'm) Simkit.Types.outcome;
+  show : 'm -> string;
+  view_of : 'm -> Ckpt_script.ord option;
+  resume :
+    Simkit.Types.pid ->
+    at:Simkit.Types.round ->
+    Ckpt_script.last ->
+    's * Simkit.Types.round option;
+}
+(** How the wrapper speaks one inner protocol: its process function, its
+    view-extraction map and its post-rejoin resume state. *)
+
+val adapter_a : Grid.t -> (Protocol_a.state, Protocol_a.msg) adapter
+val adapter_b : Grid.t -> (Protocol_b.pstate, Protocol_b.msg) adapter
+
+val harden :
+  ('s, 'm) adapter ->
+  stable:Ckpt_script.last Simkit.Stable.t ->
+  ('s rstate, 'm rmsg) Simkit.Types.process
+(** The recovery-hardened per-pid process: checkpoint mirroring on strict
+    view-rank improvement, Announce/Transfer state transfer, and best-rank
+    inbox sanitization — the exact process [run] feeds the kernel. *)
+
+val recover_hook :
+  Ckpt_script.last Simkit.Stable.t ->
+  rejoin_rounds:int ->
+  Simkit.Types.pid ->
+  Simkit.Types.round ->
+  's rstate * Simkit.Types.round option
+(** The state a restarted incarnation adopts at its revival round: a
+    rejoin handshake window seeded from the pid's stable cell. *)
+
 val run :
   ?fault:Simkit.Fault.t ->
   ?max_rounds:int ->

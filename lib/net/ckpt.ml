@@ -1,0 +1,74 @@
+let magic = "DHWC"
+let version = 1
+
+let path ~dir ~pid = Filename.concat dir (Printf.sprintf "%d.ckpt" pid)
+
+let encode ~pid payload =
+  let b = Buffer.create (String.length payload + 24) in
+  Buffer.add_string b magic;
+  Wire.put_u8 b version;
+  Wire.put_int b pid;
+  Wire.put_string b payload;
+  Wire.put_u32 b (Wire.crc32 payload);
+  Buffer.contents b
+
+let decode ~pid s =
+  try
+    let r = Wire.reader s in
+    if Wire.get_raw r 4 "ckpt.magic" <> magic then None
+    else if Wire.get_u8 r "ckpt.version" <> version then None
+    else if Wire.get_int r "ckpt.pid" <> pid then None
+    else
+      let payload = Wire.get_string r "ckpt.payload" in
+      let crc = Wire.get_u32 r "ckpt.crc" in
+      if Wire.remaining r <> 0 then None
+      else if Wire.crc32 payload <> crc then None
+      else Some payload
+  with Wire.Decode _ -> None
+
+let fsync_dir dir =
+  (* Directory fsync makes the rename itself durable; some filesystems
+     refuse it (EINVAL/EBADF), in which case the rename is still atomic,
+     merely not yet guaranteed on stable media. *)
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      Unix.close fd
+  | exception Unix.Unix_error _ -> ()
+
+let save ~dir ~pid payload =
+  let p = path ~dir ~pid in
+  let tmp = p ^ ".tmp" and prev = p ^ ".prev" in
+  let data = encode ~pid payload in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let n = Unix.write_substring fd data 0 (String.length data) in
+      if n <> String.length data then
+        raise (Unix.Unix_error (Unix.EIO, "write", tmp));
+      Unix.fsync fd);
+  (* Keep the displaced generation: a crash between the two renames leaves
+     no current file but a valid .prev, and a later torn/corrupt current
+     file still has a fallback. *)
+  if Sys.file_exists p then Sys.rename p prev;
+  Sys.rename tmp p;
+  fsync_dir dir
+
+let read_file p =
+  match open_in_bin p with
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Some (really_input_string ic (in_channel_length ic)))
+  | exception Sys_error _ -> None
+
+let load ~dir ~pid =
+  let p = path ~dir ~pid in
+  let try_file f =
+    match read_file f with
+    | None -> None
+    | Some raw -> decode ~pid raw
+    | exception _ -> None
+  in
+  match try_file p with Some v -> Some v | None -> try_file (p ^ ".prev")

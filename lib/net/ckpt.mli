@@ -1,0 +1,30 @@
+(** Crash-atomic on-disk checkpoints for real [dhw_node] processes — the
+    deployment-mode realization of [Simkit.Stable]'s "persist survives a
+    crash" contract.
+
+    A checkpoint is one small file per process. {!save} is crash-atomic in
+    the write-tmp / fsync / rename discipline: a [SIGKILL] at any
+    instruction boundary leaves either the new checkpoint, the previous
+    one, or both the previous one (under [<pid>.ckpt.prev]) and a garbage
+    temp file — never a torn current file that parses as valid. Payloads
+    are framed with a magic, a version, the owning pid, a length and a
+    CRC-32, so {!load} detects truncation and bit rot and falls back to
+    the previous generation instead of crashing recovery. *)
+
+val path : dir:string -> pid:int -> string
+(** [<dir>/<pid>.ckpt] — the current generation. The previous generation
+    lives at [<path>.prev], the in-flight temp at [<path>.tmp]. *)
+
+val save : dir:string -> pid:int -> string -> unit
+(** Durably replace [pid]'s checkpoint with the given payload:
+    write [<path>.tmp], [fsync] it, demote any current file to
+    [<path>.prev], rename the temp into place, and [fsync] the directory
+    (best effort on filesystems that refuse directory fsync). Raises
+    [Unix.Unix_error] on I/O failure. *)
+
+val load : dir:string -> pid:int -> string option
+(** [pid]'s most recent recoverable payload: the current file if it
+    validates (magic, version, pid, length, CRC); otherwise the previous
+    generation if that validates; otherwise [None]. Never raises on
+    corrupt or missing files — a node recovering from a torn disk must
+    degrade to an older rank, not crash. *)

@@ -1,0 +1,91 @@
+module Ck = Doall.Ckpt_script
+
+let to_string put v =
+  let b = Buffer.create 16 in
+  put b v;
+  Buffer.contents b
+
+let of_string get s =
+  let r = Wire.reader s in
+  let v = get r in
+  Wire.expect_end r "payload";
+  v
+
+let put_ord b = function
+  | Ck.Partial c ->
+      Wire.put_u8 b 0;
+      Wire.put_int b c
+  | Ck.Full (c, g) ->
+      Wire.put_u8 b 1;
+      Wire.put_int b c;
+      Wire.put_int b g
+
+let get_ord r =
+  match Wire.get_u8 r "ord.tag" with
+  | 0 -> Ck.Partial (Wire.get_int r "ord.partial")
+  | 1 ->
+      let c = Wire.get_int r "ord.full.c" in
+      let g = Wire.get_int r "ord.full.g" in
+      Ck.Full (c, g)
+  | t -> raise (Wire.Decode (Printf.sprintf "ord: unknown tag %d" t))
+
+let put_last b = function
+  | Ck.No_msg -> Wire.put_u8 b 0
+  | Ck.Last_ord { ord; src } ->
+      Wire.put_u8 b 1;
+      put_ord b ord;
+      Wire.put_int b src
+
+let get_last r =
+  match Wire.get_u8 r "last.tag" with
+  | 0 -> Ck.No_msg
+  | 1 ->
+      let ord = get_ord r in
+      let src = Wire.get_int r "last.src" in
+      Ck.Last_ord { ord; src }
+  | t -> raise (Wire.Decode (Printf.sprintf "last: unknown tag %d" t))
+
+let encode_ord = to_string put_ord
+let decode_ord = of_string get_ord
+let encode_last = to_string put_last
+let decode_last = of_string get_last
+
+let put_b b = function
+  | Doall.Protocol_b.Ord o ->
+      Wire.put_u8 b 0;
+      put_ord b o
+  | Doall.Protocol_b.Go_ahead -> Wire.put_u8 b 1
+
+let get_b r =
+  match Wire.get_u8 r "bmsg.tag" with
+  | 0 -> Doall.Protocol_b.Ord (get_ord r)
+  | 1 -> Doall.Protocol_b.Go_ahead
+  | t -> raise (Wire.Decode (Printf.sprintf "bmsg: unknown tag %d" t))
+
+let encode_b = to_string put_b
+let decode_b = of_string get_b
+
+let encode_rmsg enc = function
+  | Doall.Recovery.Payload m ->
+      let b = Buffer.create 16 in
+      Wire.put_u8 b 0;
+      Wire.put_string b (enc m);
+      Buffer.contents b
+  | Doall.Recovery.Announce -> to_string Wire.put_u8 1
+  | Doall.Recovery.Transfer l ->
+      let b = Buffer.create 16 in
+      Wire.put_u8 b 2;
+      put_last b l;
+      Buffer.contents b
+
+let decode_rmsg dec s =
+  let r = Wire.reader s in
+  let v =
+    match Wire.get_u8 r "rmsg.tag" with
+    | 0 -> Doall.Recovery.Payload (dec (Wire.get_string r "rmsg.payload"))
+    | 1 -> Doall.Recovery.Announce
+    | 2 -> Doall.Recovery.Transfer (get_last r)
+    | t -> raise (Wire.Decode (Printf.sprintf "rmsg: unknown tag %d" t))
+  in
+  Wire.expect_end r "rmsg";
+  v

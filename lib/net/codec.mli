@@ -1,0 +1,21 @@
+(** Binary codecs for the Do-All protocol payloads carried opaquely inside
+    {!Frame} envelopes. Only nodes use these — the orchestrator never
+    interprets payload bytes.
+
+    Every [decode_*] raises {!Wire.Decode} on malformed input; a node that
+    receives an undecodable payload is talking to a peer from a different
+    build and must fail loudly, not guess. *)
+
+val encode_ord : Doall.Ckpt_script.ord -> string
+val decode_ord : string -> Doall.Ckpt_script.ord
+
+val encode_last : Doall.Ckpt_script.last -> string
+val decode_last : string -> Doall.Ckpt_script.last
+
+val encode_b : Doall.Protocol_b.msg -> string
+val decode_b : string -> Doall.Protocol_b.msg
+
+val encode_rmsg : ('m -> string) -> 'm Doall.Recovery.rmsg -> string
+val decode_rmsg : (string -> 'm) -> string -> 'm Doall.Recovery.rmsg
+(** Parameterized over the inner protocol's payload codec, mirroring
+    [Doall.Recovery.rmsg]'s parameterization. *)

@@ -1,0 +1,129 @@
+exception Decode of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Decode m)) fmt
+let max_string_len = 0x100_0000 (* 16 MiB *)
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let put_u8 b v =
+  if v < 0 || v > 0xff then invalid_arg "Wire.put_u8: out of range";
+  Buffer.add_uint8 b v
+
+let put_u32 b v =
+  if v < 0 || v > 0xffff_ffff then invalid_arg "Wire.put_u32: out of range";
+  Buffer.add_int32_be b (Int32.of_int v)
+
+let put_int b v = Buffer.add_int64_be b (Int64.of_int v)
+let put_bool b v = put_u8 b (if v then 1 else 0)
+
+let put_opt_int b = function
+  | None -> put_u8 b 0
+  | Some v ->
+      put_u8 b 1;
+      put_int b v
+
+let put_string b s =
+  if String.length s > max_string_len then
+    invalid_arg "Wire.put_string: string exceeds max_string_len";
+  put_u32 b (String.length s);
+  Buffer.add_string b s
+
+let put_list b put_elt xs =
+  put_u32 b (List.length xs);
+  List.iter (put_elt b) xs
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type reader = { buf : string; mutable pos : int }
+
+let reader ?(pos = 0) buf = { buf; pos }
+let remaining r = String.length r.buf - r.pos
+
+let need r n field =
+  if remaining r < n then
+    fail "truncated frame: %s needs %d byte(s), %d left" field n (remaining r)
+
+let get_u8 r field =
+  need r 1 field;
+  let v = Char.code r.buf.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let get_u32 r field =
+  need r 4 field;
+  let v = String.get_int32_be r.buf r.pos in
+  r.pos <- r.pos + 4;
+  Int32.to_int v land 0xffff_ffff
+
+let get_int r field =
+  need r 8 field;
+  let v = String.get_int64_be r.buf r.pos in
+  r.pos <- r.pos + 8;
+  let i = Int64.to_int v in
+  if Int64.of_int i <> v then fail "%s: 64-bit value out of OCaml int range" field;
+  i
+
+let get_bool r field =
+  match get_u8 r field with
+  | 0 -> false
+  | 1 -> true
+  | v -> fail "%s: invalid boolean byte %d" field v
+
+let get_opt_int r field =
+  match get_u8 r field with
+  | 0 -> None
+  | 1 -> Some (get_int r field)
+  | v -> fail "%s: invalid option flag %d" field v
+
+let get_string r field =
+  let len = get_u32 r field in
+  if len > max_string_len then
+    fail "%s: declared string length %d exceeds cap %d" field len max_string_len;
+  need r len field;
+  let s = String.sub r.buf r.pos len in
+  r.pos <- r.pos + len;
+  s
+
+let get_raw r n field =
+  need r n field;
+  let s = String.sub r.buf r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let get_list r get_elt field =
+  let count = get_u32 r field in
+  (* Each element costs at least one byte; a count beyond the remaining
+     bytes is corruption, caught before any allocation balloons. *)
+  if count > remaining r then
+    fail "%s: declared list length %d exceeds remaining %d byte(s)" field count
+      (remaining r);
+  List.init count (fun _ -> get_elt r)
+
+let expect_end r field =
+  if remaining r <> 0 then
+    fail "%s: %d trailing byte(s) after frame body" field (remaining r)
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xffff_ffff in
+  String.iter
+    (fun ch -> c := table.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
+    s;
+  !c lxor 0xffff_ffff

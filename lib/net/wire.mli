@@ -1,0 +1,61 @@
+(** Byte-level primitives for the length-prefixed wire protocol: a writer
+    over [Buffer], a bounds-checked reader with strict decode errors, and
+    the CRC-32 used by on-disk checkpoints.
+
+    Every multi-byte integer is big-endian. Decoding never reads past the
+    supplied string: a short buffer raises {!Decode} with a message naming
+    the field that was being read — the strictness the frame codec and the
+    checkpoint loader rely on to reject truncated input loudly. *)
+
+exception Decode of string
+(** Raised by every [get_*] on malformed input (truncation, negative or
+    oversized lengths, invalid booleans/flags). *)
+
+val max_string_len : int
+(** Cap on an encoded string field (16 MiB). [put_string] refuses longer
+    values with [Invalid_argument]; [get_string] treats a longer declared
+    length as corruption and raises {!Decode}. *)
+
+(** {1 Writing} *)
+
+val put_u8 : Buffer.t -> int -> unit
+val put_u32 : Buffer.t -> int -> unit
+(** [0 <= v < 2^32]; raises [Invalid_argument] outside. *)
+
+val put_int : Buffer.t -> int -> unit
+(** Full-width OCaml int as a signed 64-bit value. *)
+
+val put_bool : Buffer.t -> bool -> unit
+val put_opt_int : Buffer.t -> int option -> unit
+val put_string : Buffer.t -> string -> unit
+val put_list : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a list -> unit
+
+(** {1 Reading} *)
+
+type reader
+(** A cursor over an immutable string. *)
+
+val reader : ?pos:int -> string -> reader
+val remaining : reader -> int
+val get_u8 : reader -> string -> int
+(** [get_u8 r field]: the [field] name appears in the {!Decode} message on
+    truncation — same for every other [get_*]. *)
+
+val get_u32 : reader -> string -> int
+val get_int : reader -> string -> int
+val get_bool : reader -> string -> bool
+val get_opt_int : reader -> string -> int option
+val get_string : reader -> string -> string
+val get_raw : reader -> int -> string -> string
+(** Exactly [n] raw bytes (no length prefix) — the {!Frame.magic} path. *)
+
+val get_list : reader -> (reader -> 'a) -> string -> 'a list
+val expect_end : reader -> string -> unit
+(** Raises {!Decode} if any bytes remain — trailing garbage is corruption,
+    not padding. *)
+
+(** {1 Checksums} *)
+
+val crc32 : string -> int
+(** Standard CRC-32 (IEEE 802.3, polynomial [0xEDB88320]), as a value in
+    [0, 2^32). *)

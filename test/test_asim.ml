@@ -482,6 +482,52 @@ let test_link_harden_dedups_duplicates () =
   Alcotest.(check bool) "duplicates suppressed" true
     (stats.L.dups_suppressed > 0)
 
+let test_link_max_retries_exhaust () =
+  (* The receiver crashes before acking and no detector ever says so
+     (oracle off, no heartbeat): an unbounded sender would retransmit into
+     the void forever. With max_retries the packet is abandoned after the
+     budget, the abandonment is counted, and the sender drains and
+     terminates — the run completes instead of deadlocking on an
+     unackable packet. *)
+  let delivered = ref [] in
+  let stats = L.stats () in
+  let hardened =
+    L.harden
+      ~config:(L.config ~rto:4 ~max_retries:3 ())
+      ~stats ~n:2 (relay_proc ~delivered)
+  in
+  let cfg =
+    E.config ~crash_at:[ (1, 1) ] ~oracle_detector:false ~max_ticks:50_000
+      ~seed:3L ~n_processes:2 ~n_units:1 ()
+  in
+  let r = E.run cfg hardened in
+  Alcotest.(check bool) "completed, not stalled or tick-limited" true
+    (E.completed r);
+  Alcotest.(check (list string)) "nothing delivered" [] !delivered;
+  Alcotest.(check int) "retry budget spent" 3 stats.L.retransmits;
+  Alcotest.(check bool) "abandonment counted" true (stats.L.abandoned >= 1);
+  match r.E.statuses.(0) with
+  | Simkit.Types.Terminated _ -> ()
+  | st -> Alcotest.failf "sender still %s" (Simkit.Types.status_to_string st)
+
+let test_link_unbounded_retries_stall () =
+  (* The same scenario with the unlimited default shows why the bound
+     matters: the sender retries until the tick guard fires, and nothing
+     is ever abandoned. *)
+  let delivered = ref [] in
+  let stats = L.stats () in
+  let hardened = L.harden ~config:(L.config ~rto:4 ()) ~stats ~n:2 (relay_proc ~delivered) in
+  let cfg =
+    E.config ~crash_at:[ (1, 1) ] ~oracle_detector:false ~max_ticks:2_000
+      ~seed:3L ~n_processes:2 ~n_units:1 ()
+  in
+  let r = E.run cfg hardened in
+  (match r.E.outcome with
+  | E.Tick_limit _ -> ()
+  | o -> Alcotest.failf "expected tick limit, got %a" E.pp_outcome o);
+  Alcotest.(check int) "nothing abandoned" 0 stats.L.abandoned;
+  Alcotest.(check bool) "kept retransmitting" true (stats.L.retransmits > 3)
+
 (* --- hardened async Protocol A: the acceptance criterion --- *)
 
 let test_hardened_a_lossy_campaign () =
@@ -653,6 +699,10 @@ let suite =
       test_link_harden_survives_loss;
     Alcotest.test_case "harden: duplicates delivered once" `Quick
       test_link_harden_dedups_duplicates;
+    Alcotest.test_case "harden: max_retries exhaustion abandons, no deadlock"
+      `Quick test_link_max_retries_exhaust;
+    Alcotest.test_case "harden: unbounded retries stall without a bound"
+      `Quick test_link_unbounded_retries_stall;
     Alcotest.test_case "hardened A: lossy campaign completes (acceptance)"
       `Quick test_hardened_a_lossy_campaign;
     Alcotest.test_case "hardened A: loss costs overhead, not units" `Quick

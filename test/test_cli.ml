@@ -105,6 +105,28 @@ let test_jobs_byte_identical_stdout () =
   in
   Alcotest.(check string) "stdout identical at jobs 1 and 4" (capture 1) (capture 4)
 
+let test_net_codes () =
+  (* Real-process family. Misconfigurations must be rejected before any
+     node is spawned; one tiny clean fleet proves the 0 path end to end. *)
+  check_exit "net-run clean fleet" 0
+    [ "net-run"; "-p"; "a"; "-n"; "8"; "-t"; "2" ];
+  check_exit "net-run unknown protocol is usage error" 2
+    [ "net-run"; "-p"; "nosuch"; "-n"; "8"; "-t"; "2" ];
+  check_exit "net-run restarts need a recovery protocol" 2
+    [ "net-run"; "-p"; "a"; "-n"; "8"; "-t"; "2"; "--restarts"; "0@6" ];
+  check_exit "net-run watchdog expiry is a limit" 4
+    [ "net-run"; "-p"; "a"; "-n"; "200"; "-t"; "8"; "--watchdog"; "0.01" ];
+  (* Corrupt/Byzantine entries have no tamper model over real sockets:
+     net-replay must refuse them as misconfiguration, not degrade. *)
+  let sched = Filename.temp_file "dhw-cli-net" ".sched" in
+  let oc = open_out sched in
+  output_string oc
+    "schedule v1\nmeta protocol a\nmeta n 8\nmeta t 2\n\
+     corrupt 0 @2 lying-view salt 1\nend\n";
+  close_out oc;
+  check_exit "net-replay rejects corrupt entries" 2 [ "net-replay"; sched ];
+  Sys.remove sched
+
 let suite =
   [
     Alcotest.test_case "run exit codes" `Quick test_run_codes;
@@ -115,4 +137,6 @@ let suite =
       test_async_and_recovery_codes;
     Alcotest.test_case "campaign stdout independent of --jobs" `Quick
       test_jobs_byte_identical_stdout;
+    Alcotest.test_case "net-run and net-replay exit codes" `Quick
+      test_net_codes;
   ]

@@ -24,4 +24,5 @@ let () =
       ("observability", Test_obs.suite);
       ("pool", Test_pool.suite);
       ("cli", Test_cli.suite);
+      ("net", Test_net.suite);
     ]

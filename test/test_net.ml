@@ -1,0 +1,383 @@
+(* The real-process deployment substrate (lib/net): wire-frame codec laws
+   (round-trip plus strict rejection of every malformed shape), payload
+   codecs, crash-atomic on-disk checkpoints with torn-write fallback, and
+   the socket transport's deadlines and bounded connect retries. *)
+
+module Gen = QCheck2.Gen
+module Net = Dhw_net
+module F = Dhw_net.Frame
+module W = Dhw_net.Wire
+module Ck = Doall.Ckpt_script
+
+let frame_t = Alcotest.testable F.pp F.equal
+
+(* ------------------------------------------------------------------ *)
+(* Frame codec: round-trip law and rejections *)
+
+let gen_bytes = Gen.(string_size ~gen:char (0 -- 12))
+let gen_small = Gen.(0 -- 1000)
+let gen_wakeup = Gen.(option (0 -- 500))
+
+let gen_envelope =
+  Gen.map3
+    (fun src sent_at payload -> { F.src; sent_at; payload })
+    gen_small gen_small gen_bytes
+
+let gen_send =
+  Gen.map3 (fun dst payload show -> { F.dst; payload; show }) gen_small gen_bytes
+    gen_bytes
+
+let gen_frame =
+  Gen.oneof
+    [
+      Gen.map
+        (fun ((pid, protocol, n), (t, incarnation, wakeup)) ->
+          F.Hello { pid; protocol; n; t; incarnation; wakeup })
+        Gen.(
+          pair
+            (triple gen_small (string_size ~gen:printable (0 -- 8)) gen_small)
+            (triple gen_small gen_small gen_wakeup));
+      Gen.map (fun round -> F.Welcome { round }) gen_small;
+      Gen.map2
+        (fun round inbox -> F.Round_start { round; inbox })
+        gen_small
+        Gen.(list_size (0 -- 6) gen_envelope);
+      Gen.map
+        (fun ((round, sends, work), (terminate, wakeup, persists)) ->
+          F.Step_result { round; sends; work; terminate; wakeup; persists })
+        Gen.(
+          pair
+            (triple gen_small (list_size (0 -- 6) gen_send)
+               (list_size (0 -- 6) gen_small))
+            (triple bool gen_wakeup gen_small));
+      Gen.map (fun tick -> F.Heartbeat { tick }) gen_small;
+      Gen.pure F.Shutdown;
+    ]
+
+let pp_frame f = Format.asprintf "%a" F.pp f
+
+let frame_roundtrip =
+  Helpers.qcheck_case ~count:300 ~name:"frame: decode (encode f) = Ok f"
+    gen_frame (fun f ->
+      match F.decode (F.encode f) with
+      | Ok f' when F.equal f f' -> true
+      | Ok f' ->
+          QCheck2.Test.fail_reportf "decoded %s from %s" (pp_frame f') (pp_frame f)
+      | Error e -> QCheck2.Test.fail_reportf "decode failed: %s (%s)" e (pp_frame f))
+
+let frame_truncation_rejected =
+  Helpers.qcheck_case ~count:100
+    ~name:"frame: every proper prefix is rejected" gen_frame (fun f ->
+      let s = F.encode f in
+      let ok = ref true in
+      for k = 0 to String.length s - 1 do
+        match F.decode (String.sub s 0 k) with
+        | Error _ -> ()
+        | Ok f' ->
+            ok := false;
+            ignore f'
+      done;
+      if not !ok then
+        QCheck2.Test.fail_reportf "a prefix of %s decoded" (pp_frame f);
+      !ok)
+
+let frame_trailing_rejected =
+  Helpers.qcheck_case ~count:100 ~name:"frame: trailing garbage is rejected"
+    gen_frame (fun f ->
+      match F.decode (F.encode f ^ "\x00") with
+      | Error _ -> true
+      | Ok _ -> QCheck2.Test.fail_reportf "trailing byte accepted (%s)" (pp_frame f))
+
+let expect_error name s =
+  match F.decode s with
+  | Error _ -> ()
+  | Ok f -> Alcotest.failf "%s: accepted %s" name (pp_frame f)
+
+let hello =
+  F.Hello { pid = 1; protocol = "a+rec"; n = 12; t = 3; incarnation = 0; wakeup = Some 0 }
+
+(* encode layout: [0..3] length, [4] tag, then (hello only) [5..8] magic,
+   [9] version. *)
+let mutate s i c =
+  let b = Bytes.of_string s in
+  Bytes.set b i c;
+  Bytes.to_string b
+
+let test_rejections () =
+  let b = Buffer.create 8 in
+  W.put_u32 b (F.max_frame_len + 1);
+  expect_error "oversized length prefix" (Buffer.contents b);
+  let h = F.encode hello in
+  expect_error "wrong hello version" (mutate h 9 '\xee');
+  expect_error "bad hello magic" (mutate h 5 'X');
+  expect_error "unknown tag" (mutate h 4 '\x7f');
+  (match F.decode (mutate h 9 '\x02') with
+  | Error e ->
+      let mentions_version =
+        let needle = "version" in
+        let nl = String.length needle and el = String.length e in
+        let rec scan i = i + nl <= el && (String.sub e i nl = needle || scan (i + 1)) in
+        scan 0
+      in
+      Alcotest.(check bool) "version error names the mismatch" true mentions_version
+  | Ok _ -> Alcotest.fail "future version accepted");
+  (* a frame body shorter than its length prefix *)
+  expect_error "short body" (String.sub h 0 (String.length h - 2))
+
+(* ------------------------------------------------------------------ *)
+(* Payload codecs *)
+
+let gen_ord =
+  Gen.oneof
+    [
+      Gen.map (fun c -> Ck.Partial c) gen_small;
+      Gen.map2 (fun c g -> Ck.Full (c, g)) gen_small gen_small;
+    ]
+
+let gen_last =
+  Gen.oneof
+    [
+      Gen.pure Ck.No_msg;
+      Gen.map2 (fun ord src -> Ck.Last_ord { ord; src }) gen_ord gen_small;
+    ]
+
+let codec_ord_roundtrip =
+  Helpers.qcheck_case ~count:200 ~name:"codec: ord round-trips" gen_ord
+    (fun o -> Net.Codec.decode_ord (Net.Codec.encode_ord o) = o)
+
+let codec_last_roundtrip =
+  Helpers.qcheck_case ~count:200 ~name:"codec: last round-trips" gen_last
+    (fun l -> Net.Codec.decode_last (Net.Codec.encode_last l) = l)
+
+let gen_bmsg =
+  Gen.oneof
+    [
+      Gen.map (fun o -> Doall.Protocol_b.Ord o) gen_ord;
+      Gen.pure Doall.Protocol_b.Go_ahead;
+    ]
+
+let codec_b_roundtrip =
+  Helpers.qcheck_case ~count:200 ~name:"codec: protocol-B msg round-trips"
+    gen_bmsg (fun m -> Net.Codec.decode_b (Net.Codec.encode_b m) = m)
+
+let gen_rmsg =
+  Gen.oneof
+    [
+      Gen.map (fun o -> Doall.Recovery.Payload o) gen_ord;
+      Gen.pure Doall.Recovery.Announce;
+      Gen.map (fun l -> Doall.Recovery.Transfer l) gen_last;
+    ]
+
+let codec_rmsg_roundtrip =
+  Helpers.qcheck_case ~count:200 ~name:"codec: recovery rmsg round-trips"
+    gen_rmsg (fun m ->
+      Net.Codec.decode_rmsg Net.Codec.decode_ord
+        (Net.Codec.encode_rmsg Net.Codec.encode_ord m)
+      = m)
+
+let test_codec_rejects () =
+  (try
+     ignore (Net.Codec.decode_ord "");
+     Alcotest.fail "empty ord accepted"
+   with W.Decode _ -> ());
+  (try
+     ignore (Net.Codec.decode_ord (Net.Codec.encode_ord (Ck.Partial 3) ^ "\x00"));
+     Alcotest.fail "trailing ord byte accepted"
+   with W.Decode _ -> ());
+  try
+    ignore (Net.Codec.decode_last "\x07");
+    Alcotest.fail "unknown last tag accepted"
+  with W.Decode _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Crash-atomic checkpoints *)
+
+let tmpdir () =
+  let d = Filename.temp_file "dhwnet" "" in
+  Sys.remove d;
+  Unix.mkdir d 0o700;
+  d
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let with_tmpdir f =
+  let d = tmpdir () in
+  Fun.protect ~finally:(fun () -> rm_rf d) (fun () -> f d)
+
+let truncate_file p keep =
+  let fd = Unix.openfile p [ Unix.O_WRONLY ] 0 in
+  Unix.ftruncate fd keep;
+  Unix.close fd
+
+let flip_byte p i =
+  let ic = open_in_bin p in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let b = Bytes.of_string s in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xFF));
+  let oc = open_out_bin p in
+  output_bytes oc b;
+  close_out oc
+
+let test_ckpt_roundtrip () =
+  with_tmpdir (fun dir ->
+      Alcotest.(check (option string)) "empty dir" None (Net.Ckpt.load ~dir ~pid:0);
+      Net.Ckpt.save ~dir ~pid:0 "view-1";
+      Alcotest.(check (option string)) "first save" (Some "view-1")
+        (Net.Ckpt.load ~dir ~pid:0);
+      Net.Ckpt.save ~dir ~pid:0 "view-2";
+      Alcotest.(check (option string)) "overwrite" (Some "view-2")
+        (Net.Ckpt.load ~dir ~pid:0);
+      (* per-pid isolation: pid 1 sees nothing, and pid 0's file refuses to
+         masquerade as pid 1's *)
+      Alcotest.(check (option string)) "other pid" None (Net.Ckpt.load ~dir ~pid:1))
+
+let test_ckpt_truncated_falls_back () =
+  with_tmpdir (fun dir ->
+      Net.Ckpt.save ~dir ~pid:3 "rank-1";
+      Net.Ckpt.save ~dir ~pid:3 "rank-2";
+      (* a torn write of the current generation must recover the previous
+         rank, not crash and not return garbage *)
+      truncate_file (Net.Ckpt.path ~dir ~pid:3) 7;
+      Alcotest.(check (option string)) "truncated current -> previous rank"
+        (Some "rank-1") (Net.Ckpt.load ~dir ~pid:3))
+
+let test_ckpt_corrupt_falls_back () =
+  with_tmpdir (fun dir ->
+      Net.Ckpt.save ~dir ~pid:0 "rank-1";
+      Net.Ckpt.save ~dir ~pid:0 "rank-2";
+      let p = Net.Ckpt.path ~dir ~pid:0 in
+      flip_byte p (String.length "DHWC" + 12);
+      Alcotest.(check (option string)) "bit-flipped current -> previous rank"
+        (Some "rank-1") (Net.Ckpt.load ~dir ~pid:0);
+      (* both generations gone bad: recovery starts from nothing *)
+      truncate_file p 3;
+      flip_byte (p ^ ".prev") 6;
+      Alcotest.(check (option string)) "both bad -> none" None
+        (Net.Ckpt.load ~dir ~pid:0))
+
+let test_ckpt_binary_payload () =
+  with_tmpdir (fun dir ->
+      let payload =
+        Net.Codec.encode_last (Ck.Last_ord { ord = Ck.Full (2, 1); src = 7 })
+      in
+      Net.Ckpt.save ~dir ~pid:2 payload;
+      match Net.Ckpt.load ~dir ~pid:2 with
+      | Some raw ->
+          Alcotest.(check bool) "decodes back" true
+            (Net.Codec.decode_last raw = Ck.Last_ord { ord = Ck.Full (2, 1); src = 7 })
+      | None -> Alcotest.fail "binary payload lost")
+
+(* ------------------------------------------------------------------ *)
+(* Transport *)
+
+let test_addr_parse () =
+  let ok s a =
+    match Net.Transport.addr_of_string s with
+    | Ok a' ->
+        Alcotest.(check string) s (Net.Transport.addr_to_string a)
+          (Net.Transport.addr_to_string a')
+    | Error e -> Alcotest.failf "%s rejected: %s" s e
+  in
+  ok "unix:/tmp/x.sock" (Net.Transport.Unix_sock "/tmp/x.sock");
+  ok "tcp:127.0.0.1:8080" (Net.Transport.Tcp ("127.0.0.1", 8080));
+  ok "tcp:localhost:0" (Net.Transport.Tcp ("localhost", 0));
+  List.iter
+    (fun s ->
+      match Net.Transport.addr_of_string s with
+      | Ok _ -> Alcotest.failf "%s accepted" s
+      | Error _ -> ())
+    [ "bogus"; "unix:"; "tcp:host"; "tcp::80"; "tcp:h:notaport"; "tcp:h:70000" ]
+
+let test_transport_loopback () =
+  with_tmpdir (fun dir ->
+      let addr = Net.Transport.Unix_sock (Filename.concat dir "s.sock") in
+      let stats = Net.Transport.stats () in
+      let srv = Net.Transport.listen addr in
+      let client = Net.Transport.connect ~stats addr in
+      let peer = Net.Transport.accept ~stats srv in
+      Net.Transport.send_frame ~stats client (F.Heartbeat { tick = 42 });
+      Alcotest.(check frame_t) "server receives" (F.Heartbeat { tick = 42 })
+        (Net.Transport.recv_frame ~stats peer);
+      Net.Transport.send_frame ~stats peer hello;
+      Alcotest.(check frame_t) "client receives" hello
+        (Net.Transport.recv_frame ~stats client);
+      Alcotest.(check int) "two connects (dial + accept)" 2
+        stats.Net.Transport.connects;
+      Alcotest.(check int) "two frames sent" 2 stats.Net.Transport.frames_sent;
+      Alcotest.(check int) "two frames received" 2
+        stats.Net.Transport.frames_received;
+      Alcotest.(check bool) "bytes counted" true
+        (stats.Net.Transport.bytes_sent > 0
+        && stats.Net.Transport.bytes_sent = stats.Net.Transport.bytes_received);
+      (* peer closes: the reader sees Closed, not a hang *)
+      Net.Transport.close_noerr client;
+      (match Net.Transport.recv_frame ~stats peer with
+      | exception Net.Transport.Closed _ -> ()
+      | f -> Alcotest.failf "read %s after close" (pp_frame f));
+      Net.Transport.close_noerr peer;
+      Net.Transport.close_noerr srv)
+
+let test_connect_retries_exhaust () =
+  with_tmpdir (fun dir ->
+      let addr = Net.Transport.Unix_sock (Filename.concat dir "absent.sock") in
+      let stats = Net.Transport.stats () in
+      match
+        Net.Transport.connect ~stats ~attempts:3 ~backoff_s:0.001
+          ~max_backoff_s:0.002 addr
+      with
+      | _ -> Alcotest.fail "connect to nothing succeeded"
+      | exception Unix.Unix_error _ ->
+          Alcotest.(check int) "attempts-1 retries" 2 stats.Net.Transport.retries;
+          Alcotest.(check int) "no connect counted" 0 stats.Net.Transport.connects)
+
+let test_recv_timeout () =
+  with_tmpdir (fun dir ->
+      let addr = Net.Transport.Unix_sock (Filename.concat dir "s.sock") in
+      let stats = Net.Transport.stats () in
+      let srv = Net.Transport.listen addr in
+      let client = Net.Transport.connect ~stats addr in
+      let peer = Net.Transport.accept ~stats srv in
+      (match Net.Transport.recv_frame ~stats ~timeout_s:0.05 peer with
+      | exception Net.Transport.Timeout _ ->
+          Alcotest.(check int) "timeout counted" 1 stats.Net.Transport.timeouts
+      | f -> Alcotest.failf "read %s from silence" (pp_frame f));
+      Net.Transport.close_noerr client;
+      Net.Transport.close_noerr peer;
+      Net.Transport.close_noerr srv)
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    frame_roundtrip;
+    frame_truncation_rejected;
+    frame_trailing_rejected;
+    Alcotest.test_case "frame: malformed shapes rejected" `Quick test_rejections;
+    codec_ord_roundtrip;
+    codec_last_roundtrip;
+    codec_b_roundtrip;
+    codec_rmsg_roundtrip;
+    Alcotest.test_case "codec: malformed payloads rejected" `Quick
+      test_codec_rejects;
+    Alcotest.test_case "ckpt: save/load round-trip" `Quick test_ckpt_roundtrip;
+    Alcotest.test_case "ckpt: truncated file falls back to previous rank"
+      `Quick test_ckpt_truncated_falls_back;
+    Alcotest.test_case "ckpt: corrupt generations degrade gracefully" `Quick
+      test_ckpt_corrupt_falls_back;
+    Alcotest.test_case "ckpt: binary payload survives" `Quick
+      test_ckpt_binary_payload;
+    Alcotest.test_case "transport: address syntax" `Quick test_addr_parse;
+    Alcotest.test_case "transport: loopback frames + stats" `Quick
+      test_transport_loopback;
+    Alcotest.test_case "transport: bounded connect retries exhaust" `Quick
+      test_connect_retries_exhaust;
+    Alcotest.test_case "transport: recv deadline fires" `Quick
+      test_recv_timeout;
+  ]
