@@ -1232,11 +1232,119 @@ let e21 () =
   print_string "\n== E21 ==\n";
   publish "E21" table
 
+(* ------------------------------------------------------------------ *)
+(* E22: the online Do-All latency picture. Per-unit arrival-to-completion
+   latency percentiles (from the log-bucketed {!Dhw_util.Hist}) as the
+   crash rate rises. Units arriving at a site that is already dead are
+   lost by the model's own semantics, so the lost column grows with the
+   crash count while the survivors' tail latency degrades gracefully. *)
+
+let e22 () =
+  let table =
+    Table.create
+      ~title:
+        "E22: online Protocol D, per-unit arrival->completion latency (rounds) vs\n\
+         crash rate. n=400 units arrive at seeded random rounds/sites over an\n\
+         80-round horizon on t=16 processes; units arriving at crashed sites are\n\
+         lost by design, and the surviving units' percentiles come from the\n\
+         log-bucketed histogram (exact-rank, within one bucket of exact)."
+      [ ("crashes", Table.Right); ("completed", Right); ("lost", Right);
+        ("p50", Right); ("p90", Right); ("p99", Right); ("p999", Right);
+        ("max", Right) ]
+  in
+  let n = 400 and t = 16 and horizon = 80 in
+  let arrivals =
+    Doall.Latency.gen_arrivals ~seed:97L ~n_units:n ~sites:t ~horizon
+  in
+  let spec = Doall.Spec.make ~n ~t in
+  List.iter
+    (fun crashes ->
+      let fault =
+        if crashes = 0 then Simkit.Fault.none
+        else
+          Simkit.Fault.crash_silently_at
+            (List.init crashes (fun i -> (i, 10 + (7 * i))))
+      in
+      let cfg =
+        { Doall.Protocol_d_online.arrivals; horizon; idle_block = 4 }
+      in
+      let lat = Doall.Latency.create ~arrivals in
+      let _r =
+        Doall.Runner.run ~fault ~obs:(Doall.Latency.sink lat) spec
+          (Doall.Protocol_d_online.protocol cfg)
+      in
+      let h = Doall.Latency.hist lat in
+      let q p = Table.fmt_int (Dhw_util.Hist.quantile h p) in
+      Table.add_row table
+        [
+          string_of_int crashes;
+          Table.fmt_int (Doall.Latency.completed lat);
+          Table.fmt_int (Doall.Latency.lost lat);
+          q 0.5; q 0.9; q 0.99; q 0.999;
+          Table.fmt_int (Dhw_util.Hist.max_value h);
+        ])
+    [ 0; 2; 4; 8 ];
+  print_string "\n== E22 ==\n";
+  publish "E22" table
+
+(* ------------------------------------------------------------------ *)
+(* E23: allocation discipline of the kernel hot loop. Minor-heap words
+   allocated per round (Gc.minor_words deltas around a fault-free run),
+   with and without the span sink armed — guards against the tracing layer
+   sneaking per-event allocation into untraced runs. *)
+
+let e23 () =
+  let table =
+    Table.create
+      ~title:
+        "E23: minor-heap allocation per kernel round (Gc.minor_words delta over\n\
+         a fault-free n=400 t=16 run), untraced vs with the span collector\n\
+         armed. Tracing costs only when requested."
+      [ ("protocol", Table.Left); ("rounds", Right); ("minor words", Right);
+        ("words/round", Right); ("words/round traced", Right) ]
+  in
+  let n = 400 and t = 16 in
+  let spec = Doall.Spec.make ~n ~t in
+  let online_cfg =
+    {
+      Doall.Protocol_d_online.arrivals =
+        Doall.Latency.gen_arrivals ~seed:97L ~n_units:n ~sites:t ~horizon:80;
+      horizon = 80;
+      idle_block = 4;
+    }
+  in
+  let measure ?spans proto =
+    let before = Gc.minor_words () in
+    let r = Doall.Runner.run ?spans spec proto in
+    let words = Gc.minor_words () -. before in
+    (r, words)
+  in
+  List.iter
+    (fun (name, proto) ->
+      let r, words = measure proto in
+      let sink, _spans = Simkit.Obs.span_collector ~src:"bench" () in
+      let _, words_traced = measure ~spans:sink proto in
+      let rounds = max 1 (m_rounds r) in
+      let per w = Table.fmt_int (int_of_float (w /. float_of_int rounds)) in
+      Table.add_row table
+        [
+          name; Table.fmt_int (m_rounds r);
+          Table.fmt_int (int_of_float words); per words; per words_traced;
+        ])
+    [
+      ("A", Doall.Protocol_a.protocol);
+      ("B", Doall.Protocol_b.protocol);
+      ("D", Doall.Protocol_d.protocol);
+      ("D-online", Doall.Protocol_d_online.protocol online_cfg);
+    ];
+  print_string "\n== E23 ==\n";
+  publish "E23" table
+
 let all () =
   reset ();
   e1 (); e2 (); e3 (); e4 (); e5 (); e6 (); e7 (); e8 (); e9 (); e10 ();
   e11 (); e12 (); e13 (); e14 (); e15 (); e16 (); e17 (); e18 (); e19 ();
-  e20 (); e21 ()
+  e20 (); e21 (); e22 (); e23 ()
 
 (* The @ci bench smoke: the multicore table at tiny sizes — enough to
    exercise Pool + run_parallel and validate the dhw-bench/v1 schema

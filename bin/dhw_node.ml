@@ -13,6 +13,8 @@
 module T = Simkit.Types
 module Rec = Doall.Recovery
 module Net = Dhw_net
+module Sf = Dhw_util.Spanfile
+module J = Dhw_util.Jsonw
 
 let die fmt = Printf.ksprintf (fun s -> prerr_endline ("dhw_node: " ^ s); exit 2) fmt
 
@@ -28,7 +30,53 @@ type args = {
   recover : bool;
   recover_at : int;
   io_timeout_s : float;
+  trace_dir : string;  (* "" = tracing off *)
 }
+
+(* Per-incarnation span sink: trace-<pid>.jsonl in --trace-dir, opened in
+   append mode so a respawned incarnation extends the same file. Every span
+   line is flushed as written, so a SIGKILL loses at most the line in
+   flight — the orchestrator's tolerant reader skips it. *)
+let trace_oc : out_channel option ref = ref None
+
+let open_trace a =
+  match a.trace_dir with
+  | "" -> ()
+  | dir ->
+      (try
+         if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+       with Unix.Unix_error _ -> ());
+      let path = Filename.concat dir (Printf.sprintf "trace-%d.jsonl" a.pid) in
+      let fresh =
+        (not (Sys.file_exists path)) || (Unix.stat path).Unix.st_size = 0
+      in
+      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+      if fresh then
+        Sf.write_header
+          ~meta:[ ("pid", J.Int a.pid) ]
+          ~source:(Printf.sprintf "node-%d" a.pid)
+          oc;
+      trace_oc := Some oc
+
+let with_span a ~name ~round f =
+  match !trace_oc with
+  | None -> f ()
+  | Some oc ->
+      let t0 = Dhw_util.Clock.now_us () in
+      let r = f () in
+      let t1 = Dhw_util.Clock.now_us () in
+      Sf.write_span oc
+        {
+          Sf.name;
+          src = "node";
+          pid = a.pid;
+          inc = a.incarnation;
+          round;
+          ts_us = t0;
+          dur_us = t1 -. t0;
+          args = [];
+        };
+      r
 
 let parse_args () =
   let addr = ref "" in
@@ -42,6 +90,7 @@ let parse_args () =
   let recover = ref false in
   let recover_at = ref 0 in
   let io_timeout = ref 120.0 in
+  let trace_dir = ref "" in
   let spec =
     [
       ("--addr", Arg.Set_string addr, "ADDR orchestrator address (unix:<path> or tcp:<host>:<port>)");
@@ -55,6 +104,7 @@ let parse_args () =
       ("--recover", Arg.Set recover, " restart: resume from the on-disk checkpoint");
       ("--recover-at", Arg.Set_int recover_at, "R the revival round (with --recover)");
       ("--io-timeout", Arg.Set_float io_timeout, "S per-frame deadline in seconds");
+      ("--trace-dir", Arg.Set_string trace_dir, "DIR write dhw-trace/v1 spans to DIR/trace-<pid>.jsonl");
     ]
   in
   Arg.parse spec (fun a -> die "unexpected argument %S" a) "dhw_node: one net-run participant";
@@ -77,6 +127,7 @@ let parse_args () =
     recover = !recover;
     recover_at = !recover_at;
     io_timeout_s = !io_timeout;
+    trace_dir = !trace_dir;
   }
 
 (* The per-protocol part of the node, closed over the protocol's state and
@@ -121,7 +172,10 @@ let make_stable a ~persist_pending ~booting =
       match !stable_ref with
       | Some stable -> (
           match Simkit.Stable.read stable pid with
-          | Some v -> Net.Ckpt.save ~dir:a.ckpt_dir ~pid (Net.Codec.encode_last v)
+          | Some v ->
+              with_span a ~name:"ckpt" ~round:_at (fun () ->
+                  Net.Ckpt.save ~dir:a.ckpt_dir ~pid
+                    (Net.Codec.encode_last v))
           | None -> ())
       | None -> ()
     end
@@ -180,6 +234,7 @@ let main () =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> exit 0));
   let a = parse_args () in
+  open_trace a;
   let persist_pending = ref 0 in
   let session =
     match a.protocol with
@@ -208,7 +263,9 @@ let main () =
   let rec loop () =
     match Net.Transport.recv_frame ~stats ~timeout_s:a.io_timeout_s fd with
     | Net.Frame.Round_start { round; inbox } ->
-        let sends, work, terminate, wakeup = session.step round inbox in
+        let sends, work, terminate, wakeup =
+          with_span a ~name:"step" ~round (fun () -> session.step round inbox)
+        in
         let persists = !persist_pending in
         persist_pending := 0;
         send (Net.Frame.Step_result { round; sends; work; terminate; wakeup; persists });

@@ -24,7 +24,7 @@ let protocol_of_name name =
       (try Ok (D.Baseline_checkpoint.protocol ~period:(int_of_string (String.sub s 11 (String.length s - 11))))
        with _ -> Error (`Msg "checkpoint:<period> needs an integer period"))
   | "checkpoint" -> Ok (D.Baseline_checkpoint.protocol ~period:1)
-  | _ -> Error (`Msg ("unknown protocol: " ^ name ^ " (A, B, C, C-chunked, C-naive, D, D-coord, trivial, checkpoint[:k])"))
+  | _ -> Error (`Msg ("unknown protocol: " ^ name ^ " (A, B, C, C-chunked, C-naive, D, D-coord, D-online, trivial, checkpoint[:k])"))
 
 let crash_conv =
   let parse s =
@@ -86,7 +86,7 @@ let build_fault ~t ~crashes ~random ~window ~seed ~adversary =
 let report_arg =
   Arg.(value & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
        & info [ "report" ] ~docv:"FMT"
-       ~doc:"Output format: $(b,text) (default) or $(b,json) (one dhw-report/v3 document on stdout).")
+       ~doc:"Output format: $(b,text) (default) or $(b,json) (one dhw-report/v4 document on stdout).")
 
 (* Distinct exit codes so scripts can tell failure classes apart (2 is
    cmdliner's usage-error code): 0 = completed and correct, 1 = completed
@@ -132,21 +132,53 @@ let restart_desc rs =
   ^ String.concat ", "
       (List.map (fun (p, r) -> Printf.sprintf "%d@%d" p r) rs)
 
+let trace_out_arg =
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"PATH"
+       ~doc:"Write a dhw-trace/v1 span file (wall-clock round/step/deliver/persist timings) to $(i,PATH); render it with the $(b,trace) subcommand.")
+
+let horizon_arg =
+  Arg.(value & opt int 32 & info [ "horizon" ] ~docv:"ROUNDS"
+       ~doc:"D-online only: work units arrive at seeded random rounds in [0, $(i,ROUNDS)).")
+
+let idle_block_arg =
+  Arg.(value & opt int 4 & info [ "idle-block" ] ~docv:"ROUNDS"
+       ~doc:"D-online only: idle-round block size between arrival sweeps.")
+
 let run_cmd =
   let proto_arg =
-    Arg.(value & opt string "A" & info [ "p"; "protocol" ] ~doc:"Protocol (A, B, C, C-chunked, C-naive, D, trivial, checkpoint[:k]).")
+    Arg.(value & opt string "A" & info [ "p"; "protocol" ] ~doc:"Protocol (A, B, C, C-chunked, C-naive, D, D-online, trivial, checkpoint[:k]).")
   in
   let run proto n t crashes restarts random window seed adversary trace_n
-      report_fmt events =
+      report_fmt events trace_out horizon idle_block =
     let spec = D.Spec.make ~n ~t in
     let trace = Option.map (fun _ -> Simkit.Trace.create ()) trace_n in
-    let finish fault_desc (report : D.Runner.report) =
+    (* Wall-clock span collection is a separate sink from --events so the
+       deterministic event stream stays byte-stable across machines. *)
+    let spans, flush_spans =
+      match trace_out with
+      | None -> (None, fun _proto -> ())
+      | Some path ->
+          let sink, collected = Simkit.Obs.span_collector ~src:"sim" () in
+          ( Some sink,
+            fun proto_name ->
+              Dhw_util.Spanfile.write_file
+                ~meta:
+                  [ ("protocol", J.Str proto_name); ("n", J.Int n);
+                    ("t", J.Int t) ]
+                ~source:"sim" path (collected ()) )
+    in
+    let finish ?latency fault_desc (report : D.Runner.report) =
+      flush_spans report.D.Runner.protocol;
       (match report_fmt with
       | `Json ->
           print_endline
-            (D.Report.to_string (D.Report.of_run ~fault:fault_desc report))
+            (D.Report.to_string
+               (D.Report.of_run ~fault:fault_desc ?latency report))
       | `Text ->
           Format.printf "%a@." D.Runner.pp report;
+          (match latency with
+          | Some l -> Format.printf "latency: %s@." (J.to_string l)
+          | None -> ());
           Format.printf "verdict: %s@."
             (if D.Runner.correct report then "CORRECT" else "INCORRECT");
           (match (trace, trace_n) with
@@ -190,7 +222,35 @@ let run_cmd =
           in
           finish fault_desc
             (with_events events (fun obs ->
-                 D.Recovery.run ~fault ?trace ?obs spec which))
+                 D.Recovery.run ~fault ?trace ?obs ?spans spec which))
+    end
+    else if
+      String.lowercase_ascii proto = "d-online"
+      || String.lowercase_ascii proto = "donline"
+    then begin
+      (* Online Do-All: units arrive over time (seeded by --seed), and the
+         report gains a latency section with arrival-to-completion
+         percentiles over the surviving units. *)
+      let arrivals =
+        D.Latency.gen_arrivals ~seed:(Int64.of_int seed) ~n_units:n ~sites:t
+          ~horizon
+      in
+      let cfg = { D.Protocol_d_online.arrivals; horizon; idle_block } in
+      let p = D.Protocol_d_online.protocol cfg in
+      let lat = D.Latency.create ~arrivals in
+      let fault, fault_desc =
+        build_fault ~t ~crashes ~random ~window ~seed ~adversary
+      in
+      let report =
+        with_events events (fun obs ->
+            let obs =
+              match obs with
+              | None -> Some (D.Latency.sink lat)
+              | Some o -> Some (Simkit.Obs.tee [ o; D.Latency.sink lat ])
+            in
+            D.Runner.run ~fault ?trace ?obs ?spans spec p)
+      in
+      finish ~latency:(D.Latency.to_json lat) fault_desc report
     end
     else
       match protocol_of_name proto with
@@ -201,14 +261,15 @@ let run_cmd =
           in
           finish fault_desc
             (with_events events (fun obs ->
-                 D.Runner.run ~fault ?trace ?obs spec p))
+                 D.Runner.run ~fault ?trace ?obs ?spans spec p))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a Do-All protocol under a fault schedule")
     Term.(
       const run $ proto_arg $ n_arg $ t_arg $ crashes_arg $ restarts_arg
       $ random_arg $ window_arg $ seed_arg $ adversary_arg $ trace_arg
-      $ report_arg $ events_arg)
+      $ report_arg $ events_arg $ trace_out_arg $ horizon_arg
+      $ idle_block_arg)
 
 let timeline_cmd =
   let proto_arg =
@@ -1293,7 +1354,7 @@ let net_exit (res : Net.Orchestrator.result) ~ok =
     | Net.Orchestrator.Round_limit _ | Net.Orchestrator.Watchdog _ -> `Limit)
 
 let net_print_report ~report_fmt ~fault_desc ~protocol spec
-    (res : Net.Orchestrator.result) rr =
+    (cfg : Net.Orchestrator.config) (res : Net.Orchestrator.result) rr =
   let correct = D.Runner.correct rr in
   (match report_fmt with
   | `Json ->
@@ -1304,7 +1365,7 @@ let net_print_report ~report_fmt ~fault_desc ~protocol spec
           ~correct
           ~survivors:(status_survivors res.Net.Orchestrator.statuses)
           ~crashed:(status_crashed res.Net.Orchestrator.statuses)
-          ~extra:(Net.Orchestrator.transport_json res)
+          ~extra:(Net.Orchestrator.transport_json cfg res)
           ()
       in
       print_endline (D.Report.to_string rep)
@@ -1313,12 +1374,12 @@ let net_print_report ~report_fmt ~fault_desc ~protocol spec
       let s = res.Net.Orchestrator.transport in
       Format.printf
         "transport: connects=%d retries=%d timeouts=%d frames=%d/%d \
-         spawns=%d kills=%d respawns=%d wall=%.2fs@."
+         spawns=%d kills=%d respawns=%d heartbeats=%d wall=%.2fs@."
         s.Net.Transport.connects s.Net.Transport.retries
         s.Net.Transport.timeouts s.Net.Transport.frames_sent
         s.Net.Transport.frames_received res.Net.Orchestrator.spawns
         res.Net.Orchestrator.kills res.Net.Orchestrator.respawns
-        res.Net.Orchestrator.wall_s;
+        res.Net.Orchestrator.heartbeats res.Net.Orchestrator.wall_s;
       Format.printf "outcome: %s@."
         (Net.Orchestrator.stop_to_string res.Net.Orchestrator.stop);
       Format.printf "verdict: %s@." (if correct then "CORRECT" else "INCORRECT"));
@@ -1355,10 +1416,22 @@ let diff_arg =
   Arg.(value & flag & info [ "diff" ]
        ~doc:"Also run the identical schedule in the simulator and require effort parity (work, messages, rounds, persists, restarts, crashes).")
 
+let copy_file src dst =
+  let ic = open_in_bin src in
+  let len = in_channel_length ic in
+  let data = really_input_string ic len in
+  close_in ic;
+  let oc = open_out_bin dst in
+  output_string oc data;
+  close_out oc
+
 (* Run a schedule against a real-process fleet; shared by net-run and
-   net-replay. Returns (orchestrator result, runner-shaped report). *)
+   net-replay. Returns (config, orchestrator result, runner-shaped
+   report). With [~trace_out:(Some path)] the fleet runs traced: nodes and
+   orchestrator write span files under the run dir and the merged
+   dhw-trace/v1 stream is copied to [path] before the run dir is deleted. *)
 let net_execute ~node_exe ~addr ~watchdog ~io_timeout ~rejoin_rounds
-    ~max_rounds ~keep_dir spec ~protocol sched =
+    ~max_rounds ~keep_dir ~trace_out spec ~protocol sched =
   net_check_entries sched;
   let run_dir = fresh_run_dir () in
   let addr =
@@ -1369,18 +1442,27 @@ let net_execute ~node_exe ~addr ~watchdog ~io_timeout ~rejoin_rounds
         | Error e -> prerr_endline e; exit 2)
     | None -> Net.Transport.Unix_sock (Filename.concat run_dir "ctl.sock")
   in
+  let trace_dir =
+    Option.map (fun _ -> Filename.concat run_dir "trace") trace_out
+  in
   let cfg =
     Net.Orchestrator.config
       ~fault:(Campaign.Schedule.to_fault sched)
       ~max_rounds ~rejoin_rounds ~watchdog_s:watchdog ~io_timeout_s:io_timeout
-      ~log_dir:run_dir ~node_exe:(find_node_exe node_exe) ~addr ~protocol
-      ~n:(D.Spec.n spec) ~t:(D.Spec.processes spec)
+      ~log_dir:run_dir ?trace_dir ~node_exe:(find_node_exe node_exe) ~addr
+      ~protocol ~n:(D.Spec.n spec) ~t:(D.Spec.processes spec)
       ~ckpt_dir:(Filename.concat run_dir "ckpt") ()
   in
   let res = Net.Orchestrator.run cfg in
+  (match (trace_out, trace_dir) with
+  | Some out, Some dir ->
+      let merged = Filename.concat dir "trace.jsonl" in
+      if Sys.file_exists merged then copy_file merged out
+      else Printf.eprintf "net: no merged trace at %s\n%!" merged
+  | _ -> ());
   if keep_dir then Printf.eprintf "run dir kept: %s\n%!" run_dir
   else rm_rf run_dir;
-  (res, net_runner_report spec ~protocol res)
+  (cfg, res, net_runner_report spec ~protocol res)
 
 let net_run_cmd =
   let proto_arg =
@@ -1388,7 +1470,7 @@ let net_run_cmd =
          ~doc:"Protocol to deploy: $(b,a), $(b,b), $(b,a+rec) or $(b,b+rec).")
   in
   let run proto n t crashes restarts node_exe addr watchdog io_timeout
-      rejoin_rounds max_rounds keep_dir diff report_fmt =
+      rejoin_rounds max_rounds keep_dir diff report_fmt trace_out =
     let protocol =
       match net_protocol_of_name proto with
       | Some p -> p
@@ -1418,11 +1500,13 @@ let net_run_cmd =
       | [], rs -> restart_desc rs
       | cs, rs -> crash_desc cs ^ "; " ^ restart_desc rs
     in
-    let res, rr =
+    let cfg, res, rr =
       net_execute ~node_exe ~addr ~watchdog ~io_timeout ~rejoin_rounds
-        ~max_rounds ~keep_dir spec ~protocol sched
+        ~max_rounds ~keep_dir ~trace_out spec ~protocol sched
     in
-    let correct = net_print_report ~report_fmt ~fault_desc ~protocol spec res rr in
+    let correct =
+      net_print_report ~report_fmt ~fault_desc ~protocol spec cfg res rr
+    in
     let parity_ok =
       if not diff then true
       else begin
@@ -1448,7 +1532,7 @@ let net_run_cmd =
     Term.(
       const run $ proto_arg $ n_arg $ t_arg $ crashes_arg $ restarts_arg
       $ node_exe_arg $ addr_arg $ watchdog_arg $ io_timeout_arg $ rejoin_arg
-      $ max_rounds_arg $ keep_dir_arg $ diff_arg $ report_arg)
+      $ max_rounds_arg $ keep_dir_arg $ diff_arg $ report_arg $ trace_out_arg)
 
 let net_replay_cmd =
   let file_arg =
@@ -1456,7 +1540,7 @@ let net_replay_cmd =
          ~doc:"Schedule file (from fuzz, recovery-fuzz, or hand-written).")
   in
   let run file node_exe addr watchdog io_timeout rejoin_rounds max_rounds
-      keep_dir =
+      keep_dir trace_out =
     let ic = open_in file in
     let len = in_channel_length ic in
     let text = really_input_string ic len in
@@ -1482,9 +1566,9 @@ let net_replay_cmd =
         in
         let n = int_of_string (meta "n") and t = int_of_string (meta "t") in
         let spec = D.Spec.make ~n ~t in
-        let res, rr =
+        let _cfg, res, rr =
           net_execute ~node_exe ~addr ~watchdog ~io_timeout ~rejoin_rounds
-            ~max_rounds ~keep_dir spec ~protocol sched
+            ~max_rounds ~keep_dir ~trace_out spec ~protocol sched
         in
         Format.printf "net replay: protocol=%s n=%d t=%d schedule: %a@."
           protocol n t Campaign.Schedule.pp sched;
@@ -1526,7 +1610,44 @@ let net_replay_cmd =
        ~doc:"Re-run a serialized schedule against real processes, re-judge with the simulator's oracle stack, and require sim-vs-real effort parity")
     Term.(
       const run $ file_arg $ node_exe_arg $ addr_arg $ watchdog_arg
-      $ io_timeout_arg $ rejoin_arg $ max_rounds_arg $ keep_dir_arg)
+      $ io_timeout_arg $ rejoin_arg $ max_rounds_arg $ keep_dir_arg
+      $ trace_out_arg)
+
+let trace_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"A dhw-trace/v1 span file (per-pid, control-plane, or merged).")
+  in
+  let chrome_arg =
+    Arg.(value & opt (some string) None & info [ "chrome" ] ~docv:"PATH"
+         ~doc:"Export Chrome trace-event JSON (open in chrome://tracing or ui.perfetto.dev) to $(i,PATH); $(b,-) writes to stdout.")
+  in
+  let width_arg =
+    Arg.(value & opt int 64 & info [ "width" ] ~docv:"COLS"
+         ~doc:"ASCII timeline width in columns.")
+  in
+  let run file chrome width =
+    match Dhw_util.Spanfile.read_file file with
+    | Error e -> prerr_endline ("trace: " ^ e); exit 2
+    | Ok { Dhw_util.Spanfile.spans; _ } -> (
+        let spans = Dhw_util.Spanfile.merge [ spans ] in
+        match chrome with
+        | Some path ->
+            let j = J.pretty (Dhw_util.Spanfile.to_chrome spans) in
+            if path = "-" then print_endline j
+            else begin
+              let oc = open_out path in
+              output_string oc j;
+              output_char oc '\n';
+              close_out oc;
+              Printf.printf "wrote %s (%d spans)\n" path (List.length spans)
+            end
+        | None -> Dhw_util.Spanfile.render ~width Format.std_formatter spans)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Render a dhw-trace/v1 span file as per-pid ASCII timelines, or export it as Chrome trace-event JSON")
+    Term.(const run $ file_arg $ chrome_arg $ width_arg)
 
 let () =
   let doc = "Do-All protocols of Dwork, Halpern and Waarts (PODC 1992)" in
@@ -1537,4 +1658,4 @@ let () =
           [ run_cmd; timeline_cmd; ba_cmd; async_cmd; shmem_cmd; bootstrap_cmd;
             fuzz_cmd; replay_cmd; recovery_fuzz_cmd; recovery_replay_cmd;
             byz_fuzz_cmd; byz_replay_cmd; async_fuzz_cmd; async_replay_cmd;
-            net_run_cmd; net_replay_cmd ]))
+            net_run_cmd; net_replay_cmd; trace_cmd ]))

@@ -52,11 +52,12 @@ type config = {
   byz : (pid * time) list;
   oracle_detector : bool;
   obs : Simkit.Obs.sink option;
+  spans : Simkit.Obs.sink option;
 }
 
 let config ?(crash_at = []) ?(max_delay = 5) ?(max_lag = 8) ?(seed = 1L)
     ?(max_ticks = 10_000_000) ?(false_suspicions = []) ?(link = perfect_link)
-    ?(byz = []) ?(oracle_detector = true) ?obs ~n_processes ~n_units () =
+    ?(byz = []) ?(oracle_detector = true) ?obs ?spans ~n_processes ~n_units () =
   let err fmt = Printf.ksprintf invalid_arg ("Event_sim.config: " ^^ fmt) in
   if n_processes < 1 then err "n_processes must be >= 1 (got %d)" n_processes;
   if n_units < 0 then err "n_units must be >= 0 (got %d)" n_units;
@@ -100,7 +101,7 @@ let config ?(crash_at = []) ?(max_delay = 5) ?(max_lag = 8) ?(seed = 1L)
       if at < 0 then err "byz time for pid %d is negative (%d)" pid at)
     byz;
   { n_processes; n_units; crash_at; max_delay; max_lag; seed; max_ticks;
-    false_suspicions; link; byz; oracle_detector; obs }
+    false_suspicions; link; byz; oracle_detector; obs; spans }
 
 type run_outcome = Completed | Stalled of time | Tick_limit of time
 
@@ -222,10 +223,28 @@ let run ?metrics ?tamper cfg proc =
       end
     end
   in
+  let with_span ~name ~pid now f =
+    match cfg.spans with
+    | None -> f ()
+    | Some sink ->
+        sink
+          (Simkit.Obs.Span_begin
+             { name; pid; at = now; inc = 0;
+               ts_us = Dhw_util.Clock.now_us () });
+        let res = f () in
+        sink
+          (Simkit.Obs.Span_end
+             { name; pid; at = now; inc = 0;
+               ts_us = Dhw_util.Clock.now_us () });
+        res
+  in
   let handle now dst ev =
     if alive dst && not (byz_active dst now) then begin
       emit (Simkit.Obs.Step { pid = dst; at = now });
-      let o = proc.a_handle dst now states.(dst) ev in
+      let o =
+        with_span ~name:"handle" ~pid:dst now (fun () ->
+            proc.a_handle dst now states.(dst) ev)
+      in
       states.(dst) <- o.state;
       List.iter
         (fun u ->
@@ -261,6 +280,7 @@ let run ?metrics ?tamper cfg proc =
         queue := TMap.remove now !queue;
         last_tick := now;
         (* items were accumulated in reverse insertion order *)
+        with_span ~name:"tick" ~pid:(-1) now (fun () ->
         List.iter
           (fun item ->
             match item with
@@ -295,7 +315,7 @@ let run ?metrics ?tamper cfg proc =
                   push (now + cfg.max_delay) (Forge_item pid)
                 end
             | Ev { dst; ev } -> handle now dst ev)
-          (List.rev items);
+          (List.rev items));
         loop ()
     | Some _ -> limited := true
   in

@@ -122,6 +122,12 @@ type config = {
       (** structured event sink, fed the same events {!Simkit.Metrics}
           records, stamped with ticks instead of rounds (see
           {!Simkit.Obs}) *)
+  spans : Simkit.Obs.sink option;
+      (** timing sink, fed [Obs.Span_begin]/[Span_end] pairs named ["tick"]
+          ([pid = -1]) around each processed tick batch and ["handle"]
+          around each process event handler, stamped with
+          [Dhw_util.Clock.now_us]. Separate from [obs] so the deterministic
+          stream stays free of wall-clock data. *)
 }
 
 val config :
@@ -135,6 +141,7 @@ val config :
   ?byz:(Simkit.Types.pid * time) list ->
   ?oracle_detector:bool ->
   ?obs:Simkit.Obs.sink ->
+  ?spans:Simkit.Obs.sink ->
   n_processes:int ->
   n_units:int ->
   unit ->

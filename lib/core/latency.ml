@@ -1,0 +1,51 @@
+module Hist = Dhw_util.Hist
+module J = Dhw_util.Jsonw
+
+type t = {
+  arrival : (int, int) Hashtbl.t; (* unit -> earliest arrival round *)
+  mutable open_units : int; (* arrived, not yet performed *)
+  hist : Hist.t;
+}
+
+let create ~arrivals =
+  let arrival = Hashtbl.create 64 in
+  List.iter
+    (fun (r, u, _site) ->
+      match Hashtbl.find_opt arrival u with
+      | Some r0 when r0 <= r -> ()
+      | _ -> Hashtbl.replace arrival u r)
+    arrivals;
+  { arrival; open_units = Hashtbl.length arrival; hist = Hist.create () }
+
+let sink t = function
+  | Simkit.Obs.Work { unit_id; at; _ } -> (
+      match Hashtbl.find_opt t.arrival unit_id with
+      | Some r0 ->
+          Hashtbl.remove t.arrival unit_id;
+          t.open_units <- t.open_units - 1;
+          Hist.record t.hist (max 0 (at - r0))
+      | None -> ())
+  | _ -> ()
+
+let hist t = t.hist
+let completed t = Hist.count t.hist
+let lost t = t.open_units
+
+let to_json t =
+  match Hist.to_json t.hist with
+  | J.Obj fields ->
+      J.Obj
+        (("unit", J.Str "rounds")
+        :: ("completed", J.Int (completed t))
+        :: ("lost", J.Int (lost t))
+        :: List.filter (fun (k, _) -> k <> "count") fields)
+  | j -> j
+
+let gen_arrivals ~seed ~n_units ~sites ~horizon =
+  if n_units < 0 then invalid_arg "Latency.gen_arrivals: n_units >= 0";
+  if sites < 1 then invalid_arg "Latency.gen_arrivals: sites >= 1";
+  if horizon < 1 then invalid_arg "Latency.gen_arrivals: horizon >= 1";
+  let g = Dhw_util.Prng.create seed in
+  List.init n_units (fun u ->
+      (Dhw_util.Prng.int g horizon, u, Dhw_util.Prng.int g sites))
+  |> List.sort compare

@@ -1,0 +1,46 @@
+(** Per-unit latency for the online Do-All setting: arrival round →
+    first-performance round, collected observationally.
+
+    The collector is an {!Simkit.Obs} sink that watches [Work] events; the
+    protocol itself is untouched. A unit's arrival round is the earliest
+    round any site receives it (from the {!Protocol_d_online.config}
+    arrival schedule); its completion round is the first round any process
+    performs it. The difference, in rounds, feeds a {!Dhw_util.Hist}
+    histogram whose p50/p99/p999 surface in the [latency] section of
+    [dhw-report/v4]. Units that never complete (their only site crashed
+    before sharing them) are reported as [pending], not silently dropped. *)
+
+type t
+
+val create : arrivals:(int * int * int) list -> t
+(** [arrivals] as in {!Protocol_d_online.config}: (round, unit id, site).
+    A unit listed at several sites arrives at the earliest listed round. *)
+
+val sink : t -> Simkit.Obs.sink
+(** Watches [Work] events, ignores everything else. Only a unit's first
+    performance counts; re-execution under crashes does not re-record. *)
+
+val hist : t -> Dhw_util.Hist.t
+(** Latencies (completion round − arrival round, min 0) of completed
+    units, in rounds. *)
+
+val completed : t -> int
+(** Units that arrived and were performed at least once. *)
+
+val lost : t -> int
+(** Units that arrived but were never performed. *)
+
+val to_json : t -> Dhw_util.Jsonw.t
+(** The [latency] report section: [unit] ("rounds"), [completed], [lost],
+    and the {!Dhw_util.Hist.to_json} summary fields inline. *)
+
+val gen_arrivals :
+  seed:int64 ->
+  n_units:int ->
+  sites:int ->
+  horizon:int ->
+  (int * int * int) list
+(** A seeded arrival schedule for CLI and bench use: each unit id in
+    [0, n_units) arrives at a uniform round in [0, horizon) at a uniform
+    site in [0, sites), drawn from {!Dhw_util.Prng}; sorted by (round,
+    unit) so the schedule is deterministic and readable. *)

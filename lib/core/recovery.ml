@@ -214,7 +214,7 @@ let adapter_b grid : (Protocol_b.pstate, Protocol_b.msg) adapter =
 (* Runner                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let run ?fault ?max_rounds ?trace ?obs ?(rejoin_rounds = 3) spec which =
+let run ?fault ?max_rounds ?trace ?obs ?spans ?(rejoin_rounds = 3) spec which =
   let grid = Grid.make spec in
   let metrics =
     Simkit.Metrics.create ~n_processes:(Spec.processes spec) ~n_units:(Spec.n spec)
@@ -226,12 +226,12 @@ let run ?fault ?max_rounds ?trace ?obs ?(rejoin_rounds = 3) spec which =
     | None -> ()
   in
   let stable =
-    Simkit.Stable.create ~on_write ~n_processes:(Spec.processes spec) ()
+    Simkit.Stable.create ~on_write ?spans ~n_processes:(Spec.processes spec) ()
   in
   let run_with (type s m) (ad : (s, m) adapter) =
     let proc = harden ad ~stable in
     let cfg =
-      Simkit.Kernel.config ?fault ?max_rounds ?trace ?obs
+      Simkit.Kernel.config ?fault ?max_rounds ?trace ?obs ?spans
         ~show:(show_rmsg ad.show) ~n_processes:ad.n_procs ~n_units:(Spec.n spec)
         ()
     in

@@ -107,6 +107,7 @@ val run :
   ?max_rounds:int ->
   ?trace:Simkit.Trace.t ->
   ?obs:Simkit.Obs.sink ->
+  ?spans:Simkit.Obs.sink ->
   ?rejoin_rounds:int ->
   Spec.t ->
   which ->

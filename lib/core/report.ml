@@ -14,6 +14,7 @@ type t = {
   crashed : int;
   metrics : Metrics.t;
   bounds : bound_check list;
+  latency : J.t option;
   extra : (string * J.t) list;
 }
 
@@ -71,7 +72,7 @@ let bound_checks spec ~protocol m =
   | _ -> []
 
 let make ~kind ~protocol ~spec ?(fault = "none") ~metrics ~outcome ~correct
-    ~survivors ~crashed ?bounds ?(extra = []) () =
+    ~survivors ~crashed ?bounds ?latency ?(extra = []) () =
   let bounds =
     match bounds with
     | Some b -> b
@@ -79,7 +80,7 @@ let make ~kind ~protocol ~spec ?(fault = "none") ~metrics ~outcome ~correct
         if kind = "sync" then bound_checks spec ~protocol metrics else []
   in
   { kind; protocol; spec; fault; outcome; correct; survivors; crashed;
-    metrics; bounds; extra }
+    metrics; bounds; latency; extra }
 
 let outcome_string (o : Simkit.Kernel.run_outcome) =
   match o with
@@ -87,11 +88,11 @@ let outcome_string (o : Simkit.Kernel.run_outcome) =
   | Simkit.Kernel.Stalled r -> Printf.sprintf "stalled@%d" r
   | Simkit.Kernel.Round_limit r -> Printf.sprintf "round-limit@%d" r
 
-let of_run ?fault (r : Runner.report) =
+let of_run ?fault ?latency (r : Runner.report) =
   make ~kind:"sync" ~protocol:r.protocol ~spec:r.spec ?fault
     ~metrics:r.metrics ~outcome:(outcome_string r.outcome)
     ~correct:(Runner.correct r) ~survivors:(Runner.survivors r)
-    ~crashed:(Runner.crashed r) ()
+    ~crashed:(Runner.crashed r) ?latency ()
 
 let metrics_json spec m =
   let per_process =
@@ -133,7 +134,7 @@ let bound_json b =
 let to_json r =
   J.Obj
     ([
-       ("schema", J.Str "dhw-report/v3");
+       ("schema", J.Str "dhw-report/v4");
        ("kind", J.Str r.kind);
        ("protocol", J.Str r.protocol);
        ( "spec",
@@ -150,6 +151,7 @@ let to_json r =
        ("metrics", metrics_json r.spec r.metrics);
        ("bounds", J.Arr (List.map bound_json r.bounds));
      ]
+    @ (match r.latency with Some l -> [ ("latency", l) ] | None -> [])
     @ r.extra)
 
 let to_string r = J.pretty (to_json r)

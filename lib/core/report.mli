@@ -2,14 +2,14 @@
     instance, the fault plan, the paper's cost measures, the correctness
     verdict, and measured-vs-theorem bound checks.
 
-    Schema [dhw-report/v3]; field order is fixed, so reports from the same
+    Schema [dhw-report/v4]; field order is fixed, so reports from the same
     run are byte-identical across invocations (the golden test pins this).
-    v3 adds the corruption counters — [metrics.corruptions] (adversarial
-    in-flight tamperings applied) and [metrics.rejected] (authenticated
-    messages discarded by validation) — and is otherwise a superset of v2,
-    which added the crash–recovery counters [metrics.restarts] and
-    [metrics.persists] plus a [persists] field per process (see DESIGN.md
-    for the compatibility note). Emitted by
+    v4 adds an optional [latency] section — per-unit arrival→completion
+    percentiles (p50/p99/p999, from {!Latency}/{!Dhw_util.Hist}) for the
+    online Do-All setting — and is otherwise a superset of v3, which added
+    the corruption counters [metrics.corruptions]/[metrics.rejected] on
+    top of v2's crash–recovery counters (see DESIGN.md for the
+    compatibility notes). Emitted by
     [doall_cli run/async/shmem --report=json] and, per failure, by the
     fuzz corpora. *)
 
@@ -31,6 +31,9 @@ type t = {
   crashed : int;
   metrics : Simkit.Metrics.t;
   bounds : bound_check list;
+  latency : Dhw_util.Jsonw.t option;
+      (** the [latency] section (see {!Latency.to_json}); emitted between
+          [bounds] and the kind-specific extras when present *)
   extra : (string * Dhw_util.Jsonw.t) list;
       (** kind-specific trailing fields (net counters, shmem cost), appended
           after the common fields in the given order *)
@@ -54,6 +57,7 @@ val make :
   survivors:int ->
   crashed:int ->
   ?bounds:bound_check list ->
+  ?latency:Dhw_util.Jsonw.t ->
   ?extra:(string * Dhw_util.Jsonw.t) list ->
   unit ->
   t
@@ -62,8 +66,9 @@ val make :
     accesses the synchronous theorems do not speak about — callers opt in
     explicitly if they want the work/message checks anyway). *)
 
-val of_run : ?fault:string -> Runner.report -> t
-(** A ["sync"] report from a {!Runner} execution, bounds included. *)
+val of_run : ?fault:string -> ?latency:Dhw_util.Jsonw.t -> Runner.report -> t
+(** A ["sync"] report from a {!Runner} execution, bounds included;
+    [?latency] attaches a pre-built latency section (online Do-All). *)
 
 val to_json : t -> Dhw_util.Jsonw.t
 val to_string : t -> string

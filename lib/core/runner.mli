@@ -14,6 +14,7 @@ val run :
   ?max_rounds:int ->
   ?trace:Simkit.Trace.t ->
   ?obs:Simkit.Obs.sink ->
+  ?spans:Simkit.Obs.sink ->
   Spec.t ->
   Protocol.t ->
   report

@@ -16,11 +16,12 @@ type config = {
   watchdog_s : float;
   io_timeout_s : float;
   max_rounds : int;
+  trace_dir : string option;
 }
 
 let config ?(fault = Fault.none) ?(max_rounds = 10_000) ?(rejoin_rounds = 3)
-    ?(watchdog_s = 60.) ?(io_timeout_s = 10.) ?log_dir ~node_exe ~addr ~protocol
-    ~n ~t ~ckpt_dir () =
+    ?(watchdog_s = 60.) ?(io_timeout_s = 10.) ?log_dir ?trace_dir ~node_exe
+    ~addr ~protocol ~n ~t ~ckpt_dir () =
   {
     node_exe;
     addr;
@@ -34,6 +35,7 @@ let config ?(fault = Fault.none) ?(max_rounds = 10_000) ?(rejoin_rounds = 3)
     watchdog_s;
     io_timeout_s;
     max_rounds;
+    trace_dir;
   }
 
 type stop =
@@ -66,10 +68,11 @@ type result = {
   spawns : int;
   kills : int;
   respawns : int;
+  heartbeats : int;
   wall_s : float;
 }
 
-let transport_json res =
+let transport_json cfg res =
   let s = res.transport in
   [
     ( "transport",
@@ -85,6 +88,9 @@ let transport_json res =
           ("spawns", Dhw_util.Jsonw.Int res.spawns);
           ("kills", Dhw_util.Jsonw.Int res.kills);
           ("respawns", Dhw_util.Jsonw.Int res.respawns);
+          ("heartbeats", Dhw_util.Jsonw.Int res.heartbeats);
+          ("io_timeout_s", Dhw_util.Jsonw.Float cfg.io_timeout_s);
+          ("watchdog_s", Dhw_util.Jsonw.Float cfg.watchdog_s);
           ("wall_s", Dhw_util.Jsonw.Float res.wall_s);
         ] );
   ]
@@ -113,10 +119,37 @@ let run cfg =
   let statuses = Array.make cfg.t Running in
   let wakeups : round option array = Array.make cfg.t None in
   let spawns = ref 0 and kills = ref 0 and respawns = ref 0 in
+  let heartbeats = ref 0 in
   if not (Sys.file_exists cfg.ckpt_dir) then Unix.mkdir cfg.ckpt_dir 0o755;
   (match cfg.log_dir with
   | Some d when not (Sys.file_exists d) -> Unix.mkdir d 0o755
   | _ -> ());
+  (match cfg.trace_dir with
+  | Some d when not (Sys.file_exists d) -> Unix.mkdir d 0o755
+  | _ -> ());
+  (* Control-plane spans, collected in memory and merged with the nodes'
+     per-pid trace files after the run. Inert without a trace_dir. *)
+  let ctl_spans = ref [] in
+  let tracing = cfg.trace_dir <> None in
+  let ctl_mark ?(args = []) ~name ~pid ~inc ~round () =
+    if tracing then
+      ctl_spans :=
+        { Dhw_util.Spanfile.name; src = "ctl"; pid; inc; round;
+          ts_us = Dhw_util.Clock.now_us (); dur_us = 0.0; args }
+        :: !ctl_spans
+  in
+  let ctl_timed ~name ~pid ~inc ~round f =
+    if not tracing then f ()
+    else begin
+      let ts0 = Dhw_util.Clock.now_us () in
+      let res = f () in
+      ctl_spans :=
+        { Dhw_util.Spanfile.name; src = "ctl"; pid; inc; round; ts_us = ts0;
+          dur_us = Dhw_util.Clock.now_us () -. ts0; args = [] }
+        :: !ctl_spans;
+      res
+    end
+  in
   let listen_fd = Transport.listen cfg.addr in
   let bound = Transport.bound_addr cfg.addr listen_fd in
   let nodes =
@@ -153,6 +186,11 @@ let run cfg =
         "--incarnation"; string_of_int nd.incarnation;
       ]
     in
+    let base =
+      match cfg.trace_dir with
+      | Some d -> base @ [ "--trace-dir"; d ]
+      | None -> base
+    in
     let argv =
       match recover_at with
       | None -> base
@@ -164,6 +202,8 @@ let run cfg =
           Unix.create_process cfg.node_exe (Array.of_list argv) devnull out err)
     in
     nd.os_pid <- os_pid;
+    ctl_mark ~name:"spawn" ~pid:nd.npid ~inc:nd.incarnation
+      ~round:(Option.value ~default:0 recover_at) ();
     incr spawns
   in
   let reap nd =
@@ -330,6 +370,7 @@ let run cfg =
             nd.incarnation <- nd.incarnation + 1;
             spawn nd ~recover_at:(Some r);
             incr respawns;
+            ctl_mark ~name:"respawn" ~pid ~inc:nd.incarnation ~round:r ();
             ignore (accept_hello ~expect:(Some pid) ~welcome_round:r);
             statuses.(pid) <- Running;
             Fault.note_restart cfg.fault pid r;
@@ -344,7 +385,8 @@ let run cfg =
   let commit_crash pid r ~signal =
     if signal then begin
       kill nodes.(pid);
-      incr kills
+      incr kills;
+      ctl_mark ~name:"kill" ~pid ~inc:nodes.(pid).incarnation ~round:r ()
     end;
     statuses.(pid) <- Crashed r;
     wakeups.(pid) <- None;
@@ -364,6 +406,7 @@ let run cfg =
       if r > cfg.max_rounds then Round_limit r
       else if Unix.gettimeofday () > deadline then Watchdog r
       else begin
+        ctl_timed ~name:"round" ~pid:(-1) ~inc:0 ~round:r (fun () ->
         apply_restarts r;
         let boxes = deliveries_for r in
         let inbox pid = match boxes with Some b -> b.(pid) | None -> [] in
@@ -380,18 +423,29 @@ let run cfg =
               if mail <> [] || due then begin
                 Trace.record trace (Trace.Stepped { pid; round = r });
                 let fd = conn_of nd in
-                Transport.send_frame ~stats ~timeout_s:(io_left ()) fd
-                  (Frame.Round_start { round = r; inbox = mail });
                 let sends, work, terminate, wakeup, persists =
-                  match Transport.recv_frame ~stats ~timeout_s:(io_left ()) fd with
-                  | Frame.Step_result { round = rr; sends; work; terminate; wakeup; persists } ->
-                      if rr <> r then
-                        raise
-                          (Bad_node
-                             (Printf.sprintf "pid %d replied for round %d at round %d"
-                                pid rr r));
-                      (sends, work, terminate, wakeup, persists)
-                  | f -> raise (Bad_node (Fmt.str "pid %d: expected step result, got %a" pid Frame.pp f))
+                  ctl_timed ~name:"rpc" ~pid ~inc:nd.incarnation ~round:r
+                    (fun () ->
+                      Transport.send_frame ~stats ~timeout_s:(io_left ()) fd
+                        (Frame.Round_start { round = r; inbox = mail });
+                      match
+                        Transport.recv_frame ~stats ~timeout_s:(io_left ()) fd
+                      with
+                      | Frame.Step_result
+                          { round = rr; sends; work; terminate; wakeup; persists }
+                        ->
+                          if rr <> r then
+                            raise
+                              (Bad_node
+                                 (Printf.sprintf
+                                    "pid %d replied for round %d at round %d"
+                                    pid rr r));
+                          (sends, work, terminate, wakeup, persists)
+                      | f ->
+                          raise
+                            (Bad_node
+                               (Fmt.str "pid %d: expected step result, got %a"
+                                  pid Frame.pp f)))
                 in
                 (* Stable-storage writes happened inside the node's step,
                    before any crash decision — write-ahead, as in the sim. *)
@@ -472,13 +526,20 @@ let run cfg =
                    outside the fault plan surfaces as a failure, not a hang
                    at its next wakeup. *)
                 let fd = conn_of nd in
-                Transport.send_frame ~stats ~timeout_s:(io_left ()) fd
-                  (Frame.Heartbeat { tick = r });
-                match Transport.recv_frame ~stats ~timeout_s:(io_left ()) fd with
-                | Frame.Heartbeat { tick } when tick = r -> ()
-                | f ->
-                    raise
-                      (Bad_node (Fmt.str "pid %d: expected heartbeat echo, got %a" pid Frame.pp f))
+                incr heartbeats;
+                ctl_timed ~name:"hb" ~pid ~inc:nd.incarnation ~round:r
+                  (fun () ->
+                    Transport.send_frame ~stats ~timeout_s:(io_left ()) fd
+                      (Frame.Heartbeat { tick = r });
+                    match
+                      Transport.recv_frame ~stats ~timeout_s:(io_left ()) fd
+                    with
+                    | Frame.Heartbeat { tick } when tick = r -> ()
+                    | f ->
+                        raise
+                          (Bad_node
+                             (Fmt.str "pid %d: expected heartbeat echo, got %a"
+                                pid Frame.pp f)))
               end
             end
           end
@@ -490,7 +551,7 @@ let run cfg =
                 List.sort (fun a b -> compare a.Frame.src b.Frame.src) msgs)
             out;
           pending := Some (r, out)
-        end;
+        end);
         let all_retired =
           let rec go pid = pid >= cfg.t || (is_retired statuses.(pid) && go (pid + 1)) in
           go 0
@@ -521,6 +582,44 @@ let run cfg =
         Node_failure (!cur, Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message e))
   in
   cleanup ();
+  (* Collect the trace: control-plane spans to trace-ctl.jsonl, then merge
+     every per-source file (including partial ones from SIGKILLed nodes —
+     the reader skips the torn final line) into one causally-ordered
+     dhw-trace/v1 stream. Runs after cleanup so every node file is final. *)
+  (match cfg.trace_dir with
+  | None -> ()
+  | Some dir ->
+      let module Sf = Dhw_util.Spanfile in
+      let meta =
+        [
+          ("protocol", Dhw_util.Jsonw.Str cfg.protocol);
+          ("n", Dhw_util.Jsonw.Int cfg.n);
+          ("t", Dhw_util.Jsonw.Int cfg.t);
+        ]
+      in
+      Sf.write_file ~meta ~source:"ctl"
+        (Filename.concat dir "trace-ctl.jsonl")
+        (List.rev !ctl_spans);
+      let parts =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f ->
+               f <> "trace.jsonl"
+               && String.length f > 6
+               && String.sub f 0 6 = "trace-"
+               && Filename.check_suffix f ".jsonl")
+        |> List.sort compare
+      in
+      let streams =
+        List.filter_map
+          (fun f ->
+            match Sf.read_file (Filename.concat dir f) with
+            | Ok { Sf.spans; _ } -> Some spans
+            | Error _ -> None)
+          parts
+      in
+      Sf.write_file ~meta ~source:"merged"
+        (Filename.concat dir "trace.jsonl")
+        (Sf.merge streams));
   {
     metrics;
     statuses;
@@ -530,5 +629,6 @@ let run cfg =
     spawns = !spawns;
     kills = !kills;
     respawns = !respawns;
+    heartbeats = !heartbeats;
     wall_s = Unix.gettimeofday () -. started;
   }

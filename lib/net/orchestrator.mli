@@ -34,6 +34,14 @@ type config = {
   watchdog_s : float;  (** wall-clock budget for the whole run *)
   io_timeout_s : float;  (** per-RPC deadline (spawn-to-hello, step, kill) *)
   max_rounds : int;
+  trace_dir : string option;
+      (** when set, nodes are launched with [--trace-dir] and write per-pid
+          [trace-<pid>.jsonl] span files there; the orchestrator adds its
+          control-plane spans as [trace-ctl.jsonl] (round, per-step RPC,
+          heartbeat probes, spawn/kill/respawn marks) and, after the run,
+          merges everything — including partial files from SIGKILLed nodes
+          — into one causally-ordered [dhw-trace/v1] stream at
+          [trace.jsonl]. [None] (the default) traces nothing. *)
 }
 
 val config :
@@ -43,6 +51,7 @@ val config :
   ?watchdog_s:float ->
   ?io_timeout_s:float ->
   ?log_dir:string ->
+  ?trace_dir:string ->
   node_exe:string ->
   addr:Transport.addr ->
   protocol:string ->
@@ -83,12 +92,18 @@ type result = {
   spawns : int;  (** total node processes launched (initial + respawns) *)
   kills : int;  (** SIGKILLs delivered by the fault plan *)
   respawns : int;  (** restart entries committed with a fresh incarnation *)
+  heartbeats : int;
+      (** liveness probes sent to sleeping nodes; a probe that is not
+          echoed raises [Bad_node] and stops the run, so a non-zero count
+          with a clean stop means every suspicion was refuted *)
   wall_s : float;
 }
 
-val transport_json : result -> (string * Dhw_util.Jsonw.t) list
-(** The report's [transport] extra section: socket counters plus
-    spawn/kill/respawn totals and wall-clock time. *)
+val transport_json : config -> result -> (string * Dhw_util.Jsonw.t) list
+(** The report's [transport] extra section: socket counters (connects,
+    bounded-backoff retries, deadline timeouts, frame/byte totals) plus
+    spawn/kill/respawn totals, heartbeat-probe count, the configured
+    [io_timeout_s]/[watchdog_s] deadlines, and wall-clock time. *)
 
 val run : config -> result
 (** Execute. Never leaks child processes: every spawned node is killed and

@@ -21,12 +21,13 @@ type 'm config = {
   trace : Trace.t option;
   obs : Obs.sink option;
   show : 'm -> string;
+  spans : Obs.sink option;
   tamper : 'm tamper_model option;
 }
 
 let config ?(fault = Fault.none) ?(max_rounds = max_int / 2) ?trace ?obs
-    ?(show = fun _ -> "<msg>") ?tamper ~n_processes ~n_units () =
-  { n_processes; n_units; fault; max_rounds; trace; obs; show; tamper }
+    ?(show = fun _ -> "<msg>") ?spans ?tamper ~n_processes ~n_units () =
+  { n_processes; n_units; fault; max_rounds; trace; obs; show; spans; tamper }
 
 let run ?recover ?metrics cfg proc =
   let t = cfg.n_processes in
@@ -61,6 +62,21 @@ let run ?recover ?metrics cfg proc =
     match cfg.obs with Some sink -> sink (Obs.of_trace_event e) | None -> ()
   in
   let obs_ev e = match cfg.obs with Some sink -> sink e | None -> () in
+  (* Incarnation counters for span context: 0 until the first restart. *)
+  let incs = Array.make t 0 in
+  let with_span ~name ~pid ~inc r f =
+    match cfg.spans with
+    | None -> f ()
+    | Some sink ->
+        sink
+          (Obs.Span_begin
+             { name; pid; at = r; inc; ts_us = Dhw_util.Clock.now_us () });
+        let res = f () in
+        sink
+          (Obs.Span_end
+             { name; pid; at = r; inc; ts_us = Dhw_util.Clock.now_us () });
+        res
+  in
   let alive pid = statuses.(pid) = Running in
   (* Byzantine pids only act out their subversion when the run carries a
      tamper model (the model says what "arbitrary-but-typed lies" look like
@@ -107,6 +123,7 @@ let run ?recover ?metrics cfg proc =
           restart_queue := rest;
           if applicable (rr, pid) then begin
             statuses.(pid) <- Running;
+            incs.(pid) <- incs.(pid) + 1;
             let s, w = recover pid r in
             states.(pid) <- s;
             wakeups.(pid) <- w;
@@ -167,6 +184,7 @@ let run ?recover ?metrics cfg proc =
   let rec loop r =
     if r > cfg.max_rounds then Round_limit r
     else begin
+      with_span ~name:"round" ~pid:(-1) ~inc:0 r (fun () ->
       apply_restarts r;
       let boxes = deliveries_for r in
       let inbox pid = match boxes with Some b -> b.(pid) | None -> [] in
@@ -206,7 +224,10 @@ let run ?recover ?metrics cfg proc =
             let due = match wakeups.(pid) with Some w -> w <= r | None -> false in
             if mail <> [] || due then begin
               trace_ev (Trace.Stepped { pid; round = r });
-              let o = proc.step pid r states.(pid) mail in
+              let o =
+                with_span ~name:"step" ~pid ~inc:incs.(pid) r (fun () ->
+                    proc.step pid r states.(pid) mail)
+              in
               let view =
                 {
                   Fault.sv_pid = pid;
@@ -300,15 +321,15 @@ let run ?recover ?metrics cfg proc =
           end
         end
       done;
-      if !any_sent then begin
-        (* Inboxes sorted by sender for determinism. *)
-        Array.iteri
-          (fun dst msgs ->
-            out.(dst) <- List.sort (fun a b -> compare a.src b.src) msgs;
-            ignore dst)
-          out;
-        pending := Some (r, out)
-      end;
+      if !any_sent then
+        with_span ~name:"deliver" ~pid:(-1) ~inc:0 r (fun () ->
+            (* Inboxes sorted by sender for determinism. *)
+            Array.iteri
+              (fun dst msgs ->
+                out.(dst) <- List.sort (fun a b -> compare a.src b.src) msgs;
+                ignore dst)
+              out;
+            pending := Some (r, out)));
       (* A subverted pid never terminates; completion is the honest pids'
          affair. Without a tamper model nothing changes: byzantine entries
          degraded to crashes and every pid still retires. *)

@@ -50,6 +50,13 @@ type 'm config = {
       (** structured event sink, fed the same events as [trace] as they
           happen (see {!Obs}); independent of [trace] *)
   show : 'm -> string;  (** payload printer for traces (unused without) *)
+  spans : Obs.sink option;
+      (** timing sink, fed only [Obs.Span_begin]/[Span_end] pairs around
+          each processed round ([pid = -1]), each process step, and each
+          end-of-round delivery commit, stamped with
+          [Dhw_util.Clock.now_us]. Kept separate from [obs] so the
+          deterministic event stream carries no wall-clock data; [None]
+          (the default) costs nothing. *)
   tamper : 'm tamper_model option;
       (** enables the fault plan's [Corrupt]/[Byzantine] powers; without a
           model, corruptions are inert and Byzantine entries degrade to
@@ -62,13 +69,14 @@ val config :
   ?trace:Trace.t ->
   ?obs:Obs.sink ->
   ?show:('m -> string) ->
+  ?spans:Obs.sink ->
   ?tamper:'m tamper_model ->
   n_processes:int ->
   n_units:int ->
   unit ->
   'm config
 (** Convenience constructor; defaults: no faults, [max_rounds = max_int / 2],
-    no trace, no observability sink, no tamper model.
+    no trace, no observability sink, no span sink, no tamper model.
 
     With a tamper model, a pid listed by {!Fault.byzantine_from} stops
     running the protocol from its activation round: each round it emits

@@ -12,11 +12,14 @@ type event =
   | Tamper of { pid : pid; at : int }
   | Reject of { pid : pid; at : int }
   | Terminate of { pid : pid; at : int }
+  | Span_begin of { name : string; pid : pid; at : int; inc : int; ts_us : float }
+  | Span_end of { name : string; pid : pid; at : int; inc : int; ts_us : float }
 
 let at = function
   | Step { at; _ } | Send { at; _ } | Drop { at; _ } | Work { at; _ }
   | Crash { at; _ } | Restart { at; _ } | Persist { at; _ }
-  | Tamper { at; _ } | Reject { at; _ } | Terminate { at; _ } ->
+  | Tamper { at; _ } | Reject { at; _ } | Terminate { at; _ }
+  | Span_begin { at; _ } | Span_end { at; _ } ->
       at
 
 type sink = event -> unit
@@ -46,7 +49,15 @@ let event_to_json e =
     | Persist { pid; at } -> base "persist" at [ ("pid", Int pid) ]
     | Tamper { pid; at } -> base "tamper" at [ ("pid", Int pid) ]
     | Reject { pid; at } -> base "reject" at [ ("pid", Int pid) ]
-    | Terminate { pid; at } -> base "terminate" at [ ("pid", Int pid) ])
+    | Terminate { pid; at } -> base "terminate" at [ ("pid", Int pid) ]
+    | Span_begin { name; pid; at; inc; ts_us } ->
+        base "span_begin" at
+          [ ("name", Str name); ("pid", Int pid); ("inc", Int inc);
+            ("ts_us", Float ts_us) ]
+    | Span_end { name; pid; at; inc; ts_us } ->
+        base "span_end" at
+          [ ("name", Str name); ("pid", Int pid); ("inc", Int inc);
+            ("ts_us", Float ts_us) ])
 
 let jsonl oc e =
   output_string oc (Jsonw.to_string (event_to_json e));
@@ -62,6 +73,51 @@ let of_trace_event : Trace.event -> event = function
   | Trace.Terminated_ev { pid; round } -> Terminate { pid; at = round }
 
 let replay trace sink = List.iter (fun e -> sink (of_trace_event e)) (Trace.events trace)
+
+(* ------------------------------------------------------------------ *)
+(* Span collector: pair Span_begin/Span_end into completed Spanfile
+   spans. Begins nest per (name, pid, inc) — a later begin with the same
+   key shadows the earlier one until its end arrives (LIFO), which is the
+   only shape the substrates emit. Unmatched begins (e.g. a crash inside
+   a span) are discarded: a span without an end has no duration. *)
+
+let span_collector ~src () =
+  let open_spans : (string * int * int, (int * float) list ref) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let done_spans = ref [] in
+  let sink = function
+    | Span_begin { name; pid; at; inc; ts_us } ->
+        let key = (name, pid, inc) in
+        let stack =
+          match Hashtbl.find_opt open_spans key with
+          | Some s -> s
+          | None ->
+              let s = ref [] in
+              Hashtbl.add open_spans key s;
+              s
+        in
+        stack := (at, ts_us) :: !stack
+    | Span_end { name; pid; at = _; inc; ts_us } -> (
+        match Hashtbl.find_opt open_spans (name, pid, inc) with
+        | Some ({ contents = (at0, ts0) :: rest } as stack) ->
+            stack := rest;
+            done_spans :=
+              {
+                Dhw_util.Spanfile.name;
+                src;
+                pid;
+                inc;
+                round = at0;
+                ts_us = ts0;
+                dur_us = ts_us -. ts0;
+                args = [];
+              }
+              :: !done_spans
+        | _ -> ())
+    | _ -> ()
+  in
+  (sink, fun () -> List.rev !done_spans)
 
 (* ------------------------------------------------------------------ *)
 (* Timeline: fold the stream into per-round aggregates. *)
@@ -108,8 +164,12 @@ module Timeline = struct
         c
 
   let observe t e =
+    match e with
+    | Span_begin _ | Span_end _ -> () (* timing, not accounting: no cell *)
+    | _ ->
     let c = cell t (at e) in
     match e with
+    | Span_begin _ | Span_end _ -> assert false
     | Step _ -> c.d_steps <- c.d_steps + 1
     | Send _ -> c.d_msgs <- c.d_msgs + 1
     | Drop _ -> c.d_drops <- c.d_drops + 1

@@ -39,6 +39,14 @@ type event =
           unattested view); emitted by [Doall.Validate]-style harnesses'
           [on_reject] hook, not by the kernel *)
   | Terminate of { pid : pid; at : int }
+  | Span_begin of { name : string; pid : pid; at : int; inc : int; ts_us : float }
+      (** a timed region opened: kernel round ([pid = -1]), a process step,
+          message delivery, a stable-storage write, or an async tick.
+          [inc] is the incarnation (0 before any restart), [ts_us] a
+          monotonic wall-clock stamp ([Dhw_util.Clock.now_us]). Spans flow
+          through a separate [?spans] sink, never the [?obs] stream, so
+          deterministic event output stays free of wall-clock data. *)
+  | Span_end of { name : string; pid : pid; at : int; inc : int; ts_us : float }
 
 val at : event -> int
 (** The round/tick stamp of an event. *)
@@ -65,6 +73,15 @@ val of_trace_event : Trace.event -> event
 val replay : Trace.t -> sink -> unit
 (** Feed a recorded {!Trace} through a sink, in recorded order — the bridge
     for post-hoc analysis of runs that only kept a trace. *)
+
+val span_collector :
+  src:string -> unit -> sink * (unit -> Dhw_util.Spanfile.span list)
+(** A sink that pairs {!Span_begin}/{!Span_end} events (by name, pid and
+    incarnation, LIFO) into completed [Dhw_util.Spanfile] spans stamped
+    with [src], ignoring every non-span event — wire it into a [?spans]
+    config slot and call the second component afterwards for the spans in
+    completion order. Begins left open (a crash inside a span) are
+    discarded. *)
 
 module Timeline : sig
   (** Folds the event stream into per-round rows: alive processes,

@@ -6,9 +6,10 @@ type 'd t = {
   per_writes : int array;
   mutable total : int;
   on_write : pid -> round -> unit;
+  spans : Obs.sink option;
 }
 
-let create ?(on_write = fun _ _ -> ()) ~n_processes () =
+let create ?(on_write = fun _ _ -> ()) ?spans ~n_processes () =
   if n_processes <= 0 then invalid_arg "Stable.create: need at least one process";
   {
     cells = Array.make n_processes None;
@@ -16,6 +17,7 @@ let create ?(on_write = fun _ _ -> ()) ~n_processes () =
     per_writes = Array.make n_processes 0;
     total = 0;
     on_write;
+    spans;
   }
 
 let check t pid =
@@ -23,11 +25,25 @@ let check t pid =
 
 let write t pid ~at v =
   check t pid;
+  (match t.spans with
+  | Some sink ->
+      sink
+        (Obs.Span_begin
+           { name = "persist"; pid; at; inc = 0;
+             ts_us = Dhw_util.Clock.now_us () })
+  | None -> ());
   t.cells.(pid) <- Some v;
   t.wrote_at.(pid) <- Some at;
   t.per_writes.(pid) <- t.per_writes.(pid) + 1;
   t.total <- t.total + 1;
-  t.on_write pid at
+  t.on_write pid at;
+  match t.spans with
+  | Some sink ->
+      sink
+        (Obs.Span_end
+           { name = "persist"; pid; at; inc = 0;
+             ts_us = Dhw_util.Clock.now_us () })
+  | None -> ()
 
 let read t pid =
   check t pid;

@@ -17,9 +17,17 @@ open Types
 
 type 'd t
 
-val create : ?on_write:(pid -> round -> unit) -> n_processes:int -> unit -> 'd t
+val create :
+  ?on_write:(pid -> round -> unit) ->
+  ?spans:Obs.sink ->
+  n_processes:int ->
+  unit ->
+  'd t
 (** A store of [n_processes] empty cells. [on_write] is invoked after every
-    committed {!write} — the hook point for metrics and event sinks. *)
+    committed {!write} — the hook point for metrics and event sinks.
+    [spans], if given, receives an [Obs.Span_begin]/[Span_end] pair named
+    ["persist"] around every write (incarnation 0 — the store has no
+    incarnation knowledge), so stable-storage traffic shows up on traces. *)
 
 val write : 'd t -> pid -> at:round -> 'd -> unit
 (** Overwrite [pid]'s cell. Counted. Writes are modelled as atomic and

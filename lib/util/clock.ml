@@ -1,0 +1,11 @@
+let last = Atomic.make 0.0
+
+let now_us () =
+  let t = Unix.gettimeofday () *. 1e6 in
+  let rec clamp () =
+    let prev = Atomic.get last in
+    if t <= prev then prev
+    else if Atomic.compare_and_set last prev t then t
+    else clamp ()
+  in
+  clamp ()

@@ -1,0 +1,13 @@
+(** Wall-clock timestamps for the tracing layer, in microseconds.
+
+    [Unix.gettimeofday] can step backwards under NTP adjustment; spans whose
+    end precedes their begin render as negative durations in Chrome's trace
+    viewer, so {!now_us} clamps to the largest value it has returned —
+    monotone non-decreasing within a process, at the cost of flat-lining
+    through a backwards step. Timestamps from different processes on the
+    same host are comparable only to wall-clock accuracy; the trace merger
+    therefore orders by logical round first and timestamp second. *)
+
+val now_us : unit -> float
+(** Microseconds since the Unix epoch, monotone non-decreasing within this
+    process. *)

@@ -1,0 +1,128 @@
+(* Log-bucketed histogram: 32 exact unit buckets for v < 32, then 32
+   sub-buckets per power of two. With sub_bits = 5 the bucket index for
+   2^e <= v < 2^(e+1) (e >= 5) is
+
+     32 + (e - 5) * 32 + ((v lsr (e - 5)) - 32)
+
+   covering the full non-negative int range in 32 + 57*32 slots. *)
+
+let sub_bits = 5
+let sub = 1 lsl sub_bits (* 32 *)
+let n_buckets = sub + ((62 - sub_bits) * sub)
+
+type t = {
+  buckets : int array;
+  mutable count : int;
+  mutable total : int;
+  mutable vmin : int;
+  mutable vmax : int;
+}
+
+let create () =
+  { buckets = Array.make n_buckets 0; count = 0; total = 0; vmin = 0; vmax = 0 }
+
+(* Index of the highest set bit; v >= sub here. *)
+let msb v =
+  let rec go v e = if v <= 1 then e else go (v lsr 1) (e + 1) in
+  go v 0
+
+let index v =
+  if v < sub then v
+  else
+    let e = msb v in
+    sub + (((e - sub_bits) * sub) + ((v lsr (e - sub_bits)) - sub))
+
+(* Exclusive upper bound of bucket [i]: the largest value mapping to [i]. *)
+let bucket_top i =
+  if i < sub then i
+  else
+    let e = sub_bits + ((i - sub) / sub) in
+    let s = (i - sub) mod sub in
+    (((s + sub + 1) lsl (e - sub_bits)) - 1)
+
+let record_n t v k =
+  if k > 0 then begin
+    let v = if v < 0 then 0 else v in
+    t.buckets.(index v) <- t.buckets.(index v) + k;
+    if t.count = 0 then begin
+      t.vmin <- v;
+      t.vmax <- v
+    end
+    else begin
+      if v < t.vmin then t.vmin <- v;
+      if v > t.vmax then t.vmax <- v
+    end;
+    t.count <- t.count + k;
+    t.total <- t.total + (v * k)
+  end
+
+let record t v = record_n t v 1
+let count t = t.count
+let total t = t.total
+let min_value t = if t.count = 0 then 0 else t.vmin
+let max_value t = if t.count = 0 then 0 else t.vmax
+let mean t = if t.count = 0 then 0.0 else float_of_int t.total /. float_of_int t.count
+
+let quantile t q =
+  if t.count = 0 then 0
+  else begin
+    let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+    let rank =
+      let r = int_of_float (ceil (q *. float_of_int t.count)) in
+      if r < 1 then 1 else if r > t.count then t.count else r
+    in
+    let acc = ref 0 and i = ref 0 and res = ref t.vmax in
+    (try
+       while !i < n_buckets do
+         acc := !acc + t.buckets.(!i);
+         if !acc >= rank then begin
+           res := bucket_top !i;
+           raise Exit
+         end;
+         incr i
+       done
+     with Exit -> ());
+    let v = !res in
+    if v < t.vmin then t.vmin else if v > t.vmax then t.vmax else v
+  end
+
+let merge a b =
+  let m = create () in
+  for i = 0 to n_buckets - 1 do
+    m.buckets.(i) <- a.buckets.(i) + b.buckets.(i)
+  done;
+  m.count <- a.count + b.count;
+  m.total <- a.total + b.total;
+  (if a.count = 0 then begin
+     m.vmin <- b.vmin;
+     m.vmax <- b.vmax
+   end
+   else if b.count = 0 then begin
+     m.vmin <- a.vmin;
+     m.vmax <- a.vmax
+   end
+   else begin
+     m.vmin <- min a.vmin b.vmin;
+     m.vmax <- max a.vmax b.vmax
+   end);
+  m
+
+let clear t =
+  Array.fill t.buckets 0 n_buckets 0;
+  t.count <- 0;
+  t.total <- 0;
+  t.vmin <- 0;
+  t.vmax <- 0
+
+let to_json t =
+  Jsonw.Obj
+    [
+      ("count", Jsonw.Int t.count);
+      ("min", Jsonw.Int (min_value t));
+      ("max", Jsonw.Int (max_value t));
+      ("mean", Jsonw.Float (mean t));
+      ("p50", Jsonw.Int (quantile t 0.5));
+      ("p90", Jsonw.Int (quantile t 0.9));
+      ("p99", Jsonw.Int (quantile t 0.99));
+      ("p999", Jsonw.Int (quantile t 0.999));
+    ]

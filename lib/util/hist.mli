@@ -1,0 +1,55 @@
+(** Allocation-light log-bucketed histogram for non-negative integer samples
+    (HDR-histogram style).
+
+    Values below 32 land in exact unit-width buckets; above that, each power
+    of two is split into 32 sub-buckets, so every bucket's width is at most
+    1/32 (~3.1%) of its lower bound. Quantiles are computed by exact rank —
+    walk the buckets until the cumulative count reaches [ceil (q * count)] —
+    and reported as the bucket's upper bound clamped to the observed
+    [min..max], so a reported quantile is always within one bucket of the
+    exact order statistic. Recording is O(1) and allocation-free after
+    {!create}; the backing store is a fixed int array (~1900 slots for the
+    full 62-bit range). *)
+
+type t
+
+val create : unit -> t
+(** A fresh empty histogram. *)
+
+val record : t -> int -> unit
+(** [record t v] adds one sample. Negative [v] is clamped to 0. *)
+
+val record_n : t -> int -> int -> unit
+(** [record_n t v k] adds [k] samples of value [v]. [k <= 0] is a no-op. *)
+
+val count : t -> int
+(** Number of recorded samples. *)
+
+val total : t -> int
+(** Sum of all recorded samples (exact, not bucketed). *)
+
+val min_value : t -> int
+(** Smallest recorded sample. 0 on an empty histogram. *)
+
+val max_value : t -> int
+(** Largest recorded sample. 0 on an empty histogram. *)
+
+val mean : t -> float
+(** Exact mean ([total/count]); 0.0 on an empty histogram. *)
+
+val quantile : t -> float -> int
+(** [quantile t q] for [q] in [0,1]: the upper bound of the bucket holding
+    the sample of rank [max 1 (ceil (q * count))], clamped to the observed
+    [min..max]. 0 on an empty histogram. *)
+
+val merge : t -> t -> t
+(** [merge a b] is a new histogram equivalent to recording all samples of
+    [a] and [b]; by bucket-wise addition this is exactly the histogram of
+    the concatenated sample streams. Inputs are not mutated. *)
+
+val clear : t -> unit
+(** Reset to empty, keeping the backing store. *)
+
+val to_json : t -> Jsonw.t
+(** Summary object: [count], [min], [max], [mean], [p50], [p90], [p99],
+    [p999]. All integer fields except [mean]. *)

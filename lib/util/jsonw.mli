@@ -7,9 +7,11 @@
     strings are escaped per RFC 8259, and non-finite floats become [null]
     (JSON has no representation for them).
 
-    There is deliberately no parser: the repo emits JSON for external
-    consumers (dashboards, diffing bench trajectories, jq) and never needs
-    to read it back. *)
+    Since the tracing layer, there is also a minimal parser ({!parse}):
+    the trace merger must read back the per-pid [trace-*.jsonl] files that
+    nodes (possibly SIGKILLed mid-line) wrote through this writer. It
+    accepts the RFC 8259 subset this module emits and is tolerant only in
+    the sense of returning [Error] rather than raising. *)
 
 type t =
   | Null
@@ -33,3 +35,22 @@ val to_buffer : ?indent:int -> Buffer.t -> t -> unit
 (** Append a rendering to [buf]; compact unless [indent] is given. *)
 
 val to_channel : ?indent:int -> out_channel -> t -> unit
+
+val parse : string -> (t, string) result
+(** Parse one JSON value (surrounding whitespace allowed; trailing garbage
+    is an error). Numbers without [.], [e] or [E] become [Int]; others
+    [Float]. [\uXXXX] escapes outside ASCII are decoded as UTF-8. Intended
+    for reading back this module's own output — not a general validator. *)
+
+val member : string -> t -> t option
+(** [member k j] is field [k] of object [j], if present. [None] on
+    non-objects. *)
+
+val to_int : t -> int option
+(** [Int] directly; integral [Float] (e.g. re-parsed large timestamps) is
+    truncated. *)
+
+val to_float : t -> float option
+(** [Float] or [Int] as a float. *)
+
+val to_str : t -> string option

@@ -1,0 +1,217 @@
+module J = Jsonw
+
+let schema = "dhw-trace/v1"
+
+type span = {
+  name : string;
+  src : string;
+  pid : int;
+  inc : int;
+  round : int;
+  ts_us : float;
+  dur_us : float;
+  args : (string * J.t) list;
+}
+
+let span_to_json s =
+  let base =
+    [
+      ("ev", J.Str "span");
+      ("name", J.Str s.name);
+      ("src", J.Str s.src);
+      ("pid", J.Int s.pid);
+      ("inc", J.Int s.inc);
+      ("round", J.Int s.round);
+      ("ts_us", J.Float s.ts_us);
+      ("dur_us", J.Float s.dur_us);
+    ]
+  in
+  J.Obj (if s.args = [] then base else base @ [ ("args", J.Obj s.args) ])
+
+let span_of_json j =
+  match J.member "ev" j with
+  | Some (J.Str "span") ->
+      let str k d = Option.value ~default:d (Option.bind (J.member k j) J.to_str) in
+      let int k d = Option.value ~default:d (Option.bind (J.member k j) J.to_int) in
+      let flt k d =
+        Option.value ~default:d (Option.bind (J.member k j) J.to_float)
+      in
+      (match Option.bind (J.member "name" j) J.to_str with
+      | None -> None
+      | Some name ->
+          Some
+            {
+              name;
+              src = str "src" "";
+              pid = int "pid" (-1);
+              inc = int "inc" 0;
+              round = int "round" 0;
+              ts_us = flt "ts_us" 0.0;
+              dur_us = flt "dur_us" 0.0;
+              args =
+                (match J.member "args" j with
+                | Some (J.Obj fields) -> fields
+                | _ -> []);
+            })
+  | _ -> None
+
+let header_json ~meta ~source =
+  J.Obj (("schema", J.Str schema) :: ("source", J.Str source) :: meta)
+
+let write_header ?(meta = []) ~source oc =
+  output_string oc (J.to_string (header_json ~meta ~source));
+  output_char oc '\n';
+  flush oc
+
+let write_span oc s =
+  output_string oc (J.to_string (span_to_json s));
+  output_char oc '\n';
+  flush oc
+
+type file = { source : string option; spans : span list }
+
+let read_file path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let source = ref None in
+      let spans = ref [] in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.trim line <> "" then
+             match J.parse line with
+             | Error _ -> () (* truncated final line from a killed writer *)
+             | Ok j -> (
+                 match J.member "schema" j with
+                 | Some (J.Str s) when s = schema ->
+                     if !source = None then
+                       source := Option.bind (J.member "source" j) J.to_str
+                 | _ -> (
+                     match span_of_json j with
+                     | Some sp ->
+                         let sp =
+                           if sp.src = "" then
+                             { sp with src = Option.value ~default:"" !source }
+                           else sp
+                         in
+                         spans := sp :: !spans
+                     | None -> ()))
+         done
+       with End_of_file -> ());
+      close_in ic;
+      Ok { source = !source; spans = List.rev !spans }
+
+let compare_span a b =
+  let c = compare a.round b.round in
+  if c <> 0 then c
+  else
+    let c = compare a.ts_us b.ts_us in
+    if c <> 0 then c else compare a.pid b.pid
+
+let merge streams = List.stable_sort compare_span (List.concat streams)
+
+let write_file ?meta ~source path spans =
+  let oc = open_out path in
+  write_header ?meta ~source oc;
+  List.iter (write_span oc) spans;
+  close_out oc
+
+(* --- ASCII rendering ------------------------------------------------ *)
+
+let row_label pid inc =
+  if pid < 0 then "ctl" else Printf.sprintf "p%d.%d" pid inc
+
+let render ?(width = 64) ppf spans =
+  match spans with
+  | [] -> Format.fprintf ppf "dhw-trace/v1: empty trace@."
+  | _ ->
+      let t0 =
+        List.fold_left (fun acc s -> min acc s.ts_us) Float.max_float spans
+      in
+      let t1 =
+        List.fold_left
+          (fun acc s -> max acc (s.ts_us +. s.dur_us))
+          Float.min_float spans
+      in
+      let extent = if t1 > t0 then t1 -. t0 else 1.0 in
+      let col ts =
+        let c = int_of_float (float_of_int width *. (ts -. t0) /. extent) in
+        if c < 0 then 0 else if c >= width then width - 1 else c
+      in
+      (* Rows keyed by (pid, inc), first-seen order; ctl (pid -1) first. *)
+      let rows = ref [] in
+      List.iter
+        (fun s ->
+          let key = (s.pid, s.inc) in
+          if not (List.mem_assoc key !rows) then
+            rows := (key, ref []) :: !rows)
+        spans;
+      let rows =
+        List.sort (fun ((p, i), _) ((q, j), _) -> compare (p, i) (q, j))
+          !rows
+      in
+      List.iter
+        (fun s ->
+          match List.assoc_opt (s.pid, s.inc) rows with
+          | Some cell -> cell := s :: !cell
+          | None -> ())
+        spans;
+      Format.fprintf ppf
+        "dhw-trace/v1  spans=%d  window=%.1fms  (1 col ~ %.2fms)@."
+        (List.length spans) (extent /. 1000.0)
+        (extent /. float_of_int width /. 1000.0);
+      let label_w =
+        List.fold_left
+          (fun acc ((p, i), _) -> max acc (String.length (row_label p i)))
+          3 rows
+      in
+      List.iter
+        (fun ((pid, inc), cell) ->
+          let line = Bytes.make width '.' in
+          let counts = Hashtbl.create 8 in
+          List.iter
+            (fun s ->
+              Hashtbl.replace counts s.name
+                (1 + Option.value ~default:0 (Hashtbl.find_opt counts s.name));
+              let c0 = col s.ts_us and c1 = col (s.ts_us +. s.dur_us) in
+              let ch = if s.name = "" then '?' else s.name.[0] in
+              for c = c0 to c1 do
+                Bytes.set line c ch
+              done)
+            (List.rev !cell);
+          let summary =
+            Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []
+            |> List.sort compare
+            |> List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+            |> String.concat " "
+          in
+          Format.fprintf ppf "%-*s |%s| %s@." label_w (row_label pid inc)
+            (Bytes.to_string line) summary)
+        rows
+
+(* --- Chrome trace-event export -------------------------------------- *)
+
+let to_chrome spans =
+  let t0 =
+    List.fold_left (fun acc s -> min acc s.ts_us) Float.max_float spans
+  in
+  let t0 = if spans = [] then 0.0 else t0 in
+  let ev s =
+    J.Obj
+      [
+        ("name", J.Str s.name);
+        ("cat", J.Str (if s.src = "" then "span" else s.src));
+        ("ph", J.Str "X");
+        ("pid", J.Int s.pid);
+        ("tid", J.Int s.inc);
+        ("ts", J.Float (s.ts_us -. t0));
+        ("dur", J.Float s.dur_us);
+        ("args", J.Obj (("round", J.Int s.round) :: s.args));
+      ]
+  in
+  J.Obj
+    [
+      ("traceEvents", J.Arr (List.map ev spans));
+      ("displayTimeUnit", J.Str "ms");
+    ]

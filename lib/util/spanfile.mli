@@ -1,0 +1,71 @@
+(** The [dhw-trace/v1] span stream: the on-disk trace format shared by the
+    simulator, the real-process nodes, and the orchestrator control plane.
+
+    A trace file is JSONL: one header line
+
+    {v {"schema":"dhw-trace/v1","source":"node","protocol":"a+rec","n":12,"t":3} v}
+
+    followed by one compact span object per line. Files are written
+    append-only and flushed per line, so a SIGKILLed node leaves at worst
+    one truncated final line — {!read_file} skips lines that do not parse
+    as spans, which makes every partial file a valid trace. Merging is
+    concatenation plus a stable sort by (round, ts_us, pid): logical round
+    first because wall clocks of different processes are only loosely
+    comparable, timestamp within a round, control plane (pid -1) before the
+    nodes it drives. *)
+
+val schema : string
+(** ["dhw-trace/v1"]. *)
+
+type span = {
+  name : string;  (** e.g. ["round"], ["step"], ["deliver"], ["ckpt"] *)
+  src : string;  (** origin: ["sim"], ["asim"], ["node"], or ["ctl"] *)
+  pid : int;  (** participant id; [-1] for the control plane *)
+  inc : int;  (** incarnation (0 before any restart) *)
+  round : int;  (** logical round / tick the span belongs to *)
+  ts_us : float;  (** begin timestamp, µs (process wall clock) *)
+  dur_us : float;  (** duration in µs; [0.] for instant marks *)
+  args : (string * Jsonw.t) list;  (** extra context, e.g. units done *)
+}
+
+val span_to_json : span -> Jsonw.t
+val span_of_json : Jsonw.t -> span option
+
+val header_json : meta:(string * Jsonw.t) list -> source:string -> Jsonw.t
+(** The header line value: [schema], [source], then [meta] fields in order. *)
+
+val write_header :
+  ?meta:(string * Jsonw.t) list -> source:string -> out_channel -> unit
+(** Write the header line and flush. *)
+
+val write_span : out_channel -> span -> unit
+(** Write one compact span line and flush, so a kill loses at most the
+    current line. *)
+
+type file = { source : string option; spans : span list }
+
+val read_file : string -> (file, string) result
+(** Tolerant reader: [Error] only if the file cannot be opened. Lines that
+    do not parse, or parse but are not spans (including a truncated final
+    line from a killed writer), are skipped. A header line, if present,
+    provides [source] and stamps spans that carry no [src] of their own. *)
+
+val merge : span list list -> span list
+(** Concatenate and stable-sort by (round, ts_us, pid). *)
+
+val write_file :
+  ?meta:(string * Jsonw.t) list -> source:string -> string -> span list -> unit
+(** Write a complete merged trace file (header + spans, in given order). *)
+
+val render : ?width:int -> Format.formatter -> span list -> unit
+(** Per-pid ASCII timelines: one row per (pid, incarnation), columns
+    bucketing wall-clock time, cell = initial of the dominant span name in
+    that bucket; plus per-row span counts. [width] is the number of columns
+    (default 64). *)
+
+val to_chrome : span list -> Jsonw.t
+(** Chrome trace-event (catapult) JSON for [chrome://tracing] / Perfetto:
+    [{"traceEvents":[...]}] with ["ph":"X"] complete events, [ts]
+    normalized so the earliest span starts at 0 (byte-deterministic for a
+    fixed input trace), [pid] = participant ([-1] → control plane),
+    [tid] = incarnation, and [round] carried in [args]. *)

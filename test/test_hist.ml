@@ -1,0 +1,107 @@
+(* Laws of the log-bucketed histogram (Dhw_util.Hist): exact-rank
+   quantiles stay within one bucket of the exact order statistic, and
+   merging two histograms is indistinguishable from one histogram of the
+   concatenated samples. *)
+
+module Hist = Dhw_util.Hist
+module J = Dhw_util.Jsonw
+module Gen = QCheck2.Gen
+
+let of_samples xs =
+  let h = Hist.create () in
+  List.iter (Hist.record h) xs;
+  h
+
+(* Exact order statistic at the same rank definition the histogram uses:
+   rank = clamp(ceil(q * count), 1, count), 1-indexed into sorted order. *)
+let exact_quantile xs q =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  let rank =
+    let r = int_of_float (ceil (q *. float_of_int n)) in
+    if r < 1 then 1 else if r > n then n else r
+  in
+  a.(rank - 1)
+
+(* Samples spanning the unit buckets, the log buckets, and large values. *)
+let gen_samples =
+  let open Gen in
+  let value =
+    oneof [ 0 -- 31; 32 -- 4096; map (fun v -> v * 977) (0 -- 1_000_000) ]
+  in
+  list_size (1 -- 200) value
+
+let gen_q = Gen.float_range 0.001 1.0
+
+(* quantile >= exact, overshooting by at most the width of exact's bucket
+   (2^(e-5) <= exact/32 for exact >= 32; unit buckets are exact). *)
+let test_quantile_within_bucket =
+  Helpers.qcheck_case ~count:300 ~name:"quantile within one bucket of exact"
+    (Gen.pair gen_samples gen_q)
+    (fun (xs, q) ->
+      let h = of_samples xs in
+      let qv = Hist.quantile h q in
+      let exact = exact_quantile xs q in
+      if not (exact <= qv && qv - exact <= max 0 (exact asr 5)) then
+        QCheck2.Test.fail_reportf "q=%.4f: hist=%d exact=%d (n=%d)" q qv
+          exact (List.length xs);
+      true)
+
+let test_merge_is_concat =
+  Helpers.qcheck_case ~count:200 ~name:"merge == histogram of concat"
+    (Gen.pair gen_samples gen_samples)
+    (fun (xs, ys) ->
+      let m = Hist.merge (of_samples xs) (of_samples ys) in
+      let c = of_samples (xs @ ys) in
+      (* to_json covers count/min/max/mean and four quantiles; probe more
+         quantile points on top so bucket-level drift cannot hide. *)
+      let probe h =
+        List.map (Hist.quantile h) [ 0.01; 0.25; 0.5; 0.75; 0.9; 0.999 ]
+      in
+      if not (Hist.to_json m = Hist.to_json c && probe m = probe c) then
+        QCheck2.Test.fail_reportf "merge diverges: %s vs %s"
+          (J.to_string (Hist.to_json m))
+          (J.to_string (Hist.to_json c));
+      true)
+
+let test_empty () =
+  let h = Hist.create () in
+  Alcotest.(check int) "count" 0 (Hist.count h);
+  Alcotest.(check int) "quantile" 0 (Hist.quantile h 0.5);
+  Alcotest.(check int) "min" 0 (Hist.min_value h);
+  Alcotest.(check int) "max" 0 (Hist.max_value h)
+
+let test_negative_clamped () =
+  let h = Hist.create () in
+  Hist.record h (-7);
+  Hist.record h 3;
+  Alcotest.(check int) "min clamped to 0" 0 (Hist.min_value h);
+  Alcotest.(check int) "count" 2 (Hist.count h);
+  Alcotest.(check int) "total" 3 (Hist.total h)
+
+let test_record_n () =
+  let h = Hist.create () in
+  Hist.record_n h 10 5;
+  Hist.record_n h 20 0 (* k <= 0 ignored *);
+  Alcotest.(check int) "count" 5 (Hist.count h);
+  Alcotest.(check int) "total" 50 (Hist.total h);
+  Alcotest.(check int) "p50 exact in unit range" 10 (Hist.quantile h 0.5)
+
+let test_clear () =
+  let h = Hist.create () in
+  Hist.record h 99;
+  Hist.clear h;
+  Alcotest.(check int) "count" 0 (Hist.count h);
+  Alcotest.(check int) "quantile" 0 (Hist.quantile h 0.9)
+
+let suite =
+  [
+    test_quantile_within_bucket;
+    test_merge_is_concat;
+    Alcotest.test_case "empty histogram" `Quick test_empty;
+    Alcotest.test_case "negative values clamp to 0" `Quick
+      test_negative_clamped;
+    Alcotest.test_case "record_n weights" `Quick test_record_n;
+    Alcotest.test_case "clear resets" `Quick test_clear;
+  ]

@@ -25,4 +25,6 @@ let () =
       ("pool", Test_pool.suite);
       ("cli", Test_cli.suite);
       ("net", Test_net.suite);
+      ("hist", Test_hist.suite);
+      ("trace", Test_trace.suite);
     ]

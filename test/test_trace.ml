@@ -1,0 +1,155 @@
+(* The dhw-trace/v1 span layer: collector pairing, tolerant file reading
+   (SIGKILL-torn lines), causal merge order, and the Chrome trace-event
+   export. *)
+
+module Sf = Dhw_util.Spanfile
+module J = Dhw_util.Jsonw
+module Obs = Simkit.Obs
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let span ?(name = "step") ?(src = "x") ?(pid = 0) ?(inc = 0) ?(round = 0)
+    ?(ts = 0.0) ?(dur = 1.0) () =
+  { Sf.name; src; pid; inc; round; ts_us = ts; dur_us = dur; args = [] }
+
+let test_collector_pairs () =
+  let sink, collected = Obs.span_collector ~src:"sim" () in
+  sink (Obs.Span_begin { name = "round"; pid = -1; at = 3; inc = 0; ts_us = 10.0 });
+  sink (Obs.Span_begin { name = "step"; pid = 1; at = 3; inc = 0; ts_us = 11.0 });
+  sink (Obs.Span_end { name = "step"; pid = 1; at = 3; inc = 0; ts_us = 14.0 });
+  sink (Obs.Work { pid = 1; unit_id = 0; at = 3 }) (* non-span: ignored *);
+  sink (Obs.Span_end { name = "round"; pid = -1; at = 3; inc = 0; ts_us = 20.0 });
+  (* left open on purpose: a crash inside a span *)
+  sink (Obs.Span_begin { name = "step"; pid = 2; at = 4; inc = 0; ts_us = 30.0 });
+  let spans = collected () in
+  Alcotest.(check int) "two completed spans" 2 (List.length spans);
+  let step = List.nth spans 0 and round = List.nth spans 1 in
+  Alcotest.(check string) "completion order" "step" step.Sf.name;
+  Alcotest.(check string) "src stamped" "sim" step.Sf.src;
+  Alcotest.(check (float 0.0)) "step duration" 3.0 step.Sf.dur_us;
+  Alcotest.(check (float 0.0)) "round duration" 10.0 round.Sf.dur_us;
+  Alcotest.(check int) "round anchored at begin round" 3 round.Sf.round
+
+let test_nested_same_name () =
+  (* LIFO pairing: an end matches the innermost open begin of its key *)
+  let sink, collected = Obs.span_collector ~src:"s" () in
+  sink (Obs.Span_begin { name = "a"; pid = 0; at = 0; inc = 0; ts_us = 0.0 });
+  sink (Obs.Span_begin { name = "a"; pid = 0; at = 1; inc = 0; ts_us = 5.0 });
+  sink (Obs.Span_end { name = "a"; pid = 0; at = 1; inc = 0; ts_us = 6.0 });
+  sink (Obs.Span_end { name = "a"; pid = 0; at = 1; inc = 0; ts_us = 9.0 });
+  let spans = collected () in
+  Alcotest.(check (list (float 0.0))) "durations inner-first" [ 1.0; 9.0 ]
+    (List.map (fun s -> s.Sf.dur_us) spans)
+
+let with_tmp f =
+  let path = Filename.temp_file "dhwtrace" ".jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let test_file_roundtrip () =
+  with_tmp (fun path ->
+      let spans =
+        [ span ~name:"round" ~pid:(-1) ~ts:1.0 ~dur:4.0 ();
+          span ~name:"step" ~pid:0 ~ts:2.0 () ]
+      in
+      Sf.write_file ~meta:[ ("n", J.Int 4) ] ~source:"sim" path spans;
+      match Sf.read_file path with
+      | Error e -> Alcotest.fail e
+      | Ok f ->
+          Alcotest.(check (option string)) "source" (Some "sim") f.Sf.source;
+          Alcotest.(check int) "spans back" 2 (List.length f.Sf.spans))
+
+let test_torn_file_tolerated () =
+  with_tmp (fun path ->
+      let oc = open_out path in
+      Sf.write_header ~source:"node-0" oc;
+      Sf.write_span oc (span ~src:"" ());
+      (* a SIGKILL mid-write: truncated JSON, then garbage *)
+      output_string oc "{\"ev\":\"span\",\"name\":\"st";
+      close_out oc;
+      match Sf.read_file path with
+      | Error e -> Alcotest.fail e
+      | Ok f ->
+          Alcotest.(check int) "only the whole span" 1 (List.length f.Sf.spans);
+          (* header source stamps spans that carry no src *)
+          Alcotest.(check string) "src from header" "node-0"
+            (List.hd f.Sf.spans).Sf.src)
+
+let test_merge_order () =
+  let a = [ span ~round:2 ~ts:5.0 (); span ~round:0 ~ts:9.0 () ] in
+  let b = [ span ~round:0 ~ts:1.0 ~pid:1 (); span ~round:2 ~ts:5.0 ~pid:(-1) () ] in
+  let merged = Sf.merge [ a; b ] in
+  let keys = List.map (fun s -> (s.Sf.round, s.Sf.ts_us, s.Sf.pid)) merged in
+  Alcotest.(check bool) "sorted by (round, ts, pid)" true
+    (keys = List.sort compare keys)
+
+let test_chrome_export () =
+  let spans =
+    [ span ~name:"round" ~src:"ctl" ~pid:(-1) ~ts:100.0 ~dur:50.0 ();
+      span ~name:"step" ~src:"node" ~pid:0 ~inc:1 ~ts:110.0 ~dur:5.0 () ]
+  in
+  match Sf.to_chrome spans with
+  | J.Obj fields ->
+      (match List.assoc "traceEvents" fields with
+      | J.Arr evs ->
+          Alcotest.(check int) "one event per span" 2 (List.length evs);
+          let ev = List.hd evs in
+          Alcotest.(check (option string)) "complete event" (Some "X")
+            (Option.bind (J.member "ph" ev) J.to_str);
+          (* timestamps normalized to the earliest span *)
+          Alcotest.(check (option (float 0.0))) "ts normalized" (Some 0.0)
+            (Option.bind (J.member "ts" ev) J.to_float);
+          let step = List.nth evs 1 in
+          Alcotest.(check (option int)) "tid = incarnation" (Some 1)
+            (Option.bind (J.member "tid" step) J.to_int)
+      | _ -> Alcotest.fail "traceEvents not an array")
+  | _ -> Alcotest.fail "chrome export not an object"
+
+let test_render_smoke () =
+  let spans =
+    [ span ~name:"round" ~pid:(-1) ~ts:0.0 ~dur:100.0 ();
+      span ~name:"step" ~pid:0 ~ts:10.0 ~dur:20.0 () ]
+  in
+  let out = Fmt.str "%a" (Sf.render ~width:32) spans in
+  Alcotest.(check bool) "mentions schema" true (contains out "dhw-trace/v1");
+  Alcotest.(check bool) "has a pid row" true (contains out "p0.0")
+
+(* End-to-end: a traced kernel run produces round/step/deliver spans whose
+   wall-clock timestamps are monotone in completion order, without
+   perturbing the deterministic metrics. *)
+let test_kernel_spans () =
+  let spec = Doall.Spec.make ~n:12 ~t:4 in
+  let sink, collected = Obs.span_collector ~src:"sim" () in
+  let r = Doall.Runner.run ~spans:sink spec Doall.Protocol_a.protocol in
+  let r0 = Doall.Runner.run spec Doall.Protocol_a.protocol in
+  Alcotest.(check bool) "metrics unchanged by tracing" true
+    (Simkit.Metrics.work r.metrics = Simkit.Metrics.work r0.metrics
+    && Simkit.Metrics.messages r.metrics
+       = Simkit.Metrics.messages r0.metrics);
+  let spans = collected () in
+  let names = List.sort_uniq compare (List.map (fun s -> s.Sf.name) spans) in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " spans present") true (List.mem n names))
+    [ "round"; "step"; "deliver" ];
+  List.iter
+    (fun s ->
+      if s.Sf.dur_us < 0.0 then Alcotest.fail "negative span duration")
+    spans
+
+let suite =
+  [
+    Alcotest.test_case "collector pairs begin/end" `Quick test_collector_pairs;
+    Alcotest.test_case "collector LIFO on same name" `Quick
+      test_nested_same_name;
+    Alcotest.test_case "file round-trip" `Quick test_file_roundtrip;
+    Alcotest.test_case "torn file tolerated" `Quick test_torn_file_tolerated;
+    Alcotest.test_case "merge is causally ordered" `Quick test_merge_order;
+    Alcotest.test_case "chrome export shape" `Quick test_chrome_export;
+    Alcotest.test_case "ascii render" `Quick test_render_smoke;
+    Alcotest.test_case "kernel emits spans, metrics unchanged" `Quick
+      test_kernel_spans;
+  ]
