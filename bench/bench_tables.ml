@@ -3,6 +3,7 @@
 
 module Table = Dhw_util.Table
 module Intmath = Dhw_util.Intmath
+module Hist = Dhw_util.Hist
 module Metrics = Simkit.Metrics
 module Bounds = Doall.Bounds
 
@@ -846,7 +847,8 @@ let e17 () =
   List.iter
     (fun (label, drop_bp, dup_bp, slow_set) ->
       let link =
-        { Asim.Event_sim.drop_bp; dup_bp; corrupt_bp = 0; slow_set; slow_factor = 4 }
+        { Asim.Event_sim.drop_bp; dup_bp; corrupt_bp = 0; slow_set;
+          slow_factor = 4; severs = [] }
       in
       let stats = Asim.Link.stats () in
       let r =
@@ -1340,11 +1342,84 @@ let e23 () =
   print_string "\n== E23 ==\n";
   publish "E23" table
 
+(* ------------------------------------------------------------------ *)
+(* E24: the asynchronous real fleet under rising chaos loss. Unlike E21's
+   round-lockstep orchestrator, here the nodes run free over the datagram
+   mesh with organic heartbeat detection; each row SIGKILLs two waiters
+   mid-run and respawns them from their checkpoints. Throughput is end-to-
+   end units per wall second; detection latency is the tick distance from
+   each SIGKILL to the first surviving suspicion of the victim, straight
+   from the fleet's {!Dhw_util.Hist}. Loss slows the transport (more
+   retransmission rounds) but must never cost units or oracles. *)
+
+let e24 () =
+  let module CA = Simkit.Campaign.Async in
+  let module Fl = Dhw_net.Fleet in
+  let node_exe =
+    Filename.concat
+      (Filename.dirname Sys.executable_name)
+      "../bin/dhw_node.exe"
+  in
+  let n = 400 and t = 3 in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E24: async real fleet (t=%d dhw_node --async processes, datagram\n\
+            mesh, organic heartbeat detection) vs chaos loss. Each row moves\n\
+            n=%d units through real processes while two waiters are SIGKILLed\n\
+            and respawned from checkpoints; detection latency is SIGKILL ->\n\
+            first surviving suspicion, in ticks."
+           t n)
+      [ ("drop", Table.Right); ("n", Right); ("t", Right); ("kills", Right);
+        ("respawns", Right); ("work", Right); ("units/s", Right);
+        ("detect p50", Right); ("detect p99", Right); ("oracles", Left) ]
+  in
+  if not (Sys.file_exists node_exe) then
+    Table.add_row table
+      [ "dhw_node.exe not found; skipped"; "-"; "-"; "-"; "-"; "-"; "-"; "-";
+        "-"; "-" ]
+  else
+    List.iter
+      (fun drop_bp ->
+        let sched =
+          CA.make
+            ~meta:
+              [ ("protocol", "async-a"); ("n", string_of_int n);
+                ("t", string_of_int t) ]
+            ~crashes:[ { CA.victim = 1; at = 80 }; { CA.victim = 2; at = 160 } ]
+            ~restarts:
+              [ { CA.victim = 1; at = 320 }; { CA.victim = 2; at = 360 } ]
+            ~drop_bp ~seed:7L ()
+        in
+        let dir = e21_tmpdir () in
+        let cfg =
+          Fl.config ~dir ~node_exe ~spec:(Doall.Spec.make ~n ~t) ~sched ()
+        in
+        let r =
+          Fun.protect ~finally:(fun () -> e21_rm_rf dir) (fun () -> Fl.run cfg)
+        in
+        let q h p =
+          if Hist.count h = 0 then "-" else string_of_int (Hist.quantile h p)
+        in
+        Table.add_row table
+          [
+            Printf.sprintf "%d bp" drop_bp; string_of_int n; string_of_int t;
+            string_of_int r.Fl.kills; string_of_int r.Fl.restarts;
+            string_of_int r.Fl.total_work;
+            Printf.sprintf "%.0f" (float_of_int n /. r.Fl.wall_s);
+            q r.Fl.detect_hist 0.5; q r.Fl.detect_hist 0.99;
+            (if r.Fl.ok then "ok" else "FAIL");
+          ])
+      [ 0; 1000; 3000 ];
+  print_string "\n== E24 ==\n";
+  publish "E24" table
+
 let all () =
   reset ();
   e1 (); e2 (); e3 (); e4 (); e5 (); e6 (); e7 (); e8 (); e9 (); e10 ();
   e11 (); e12 (); e13 (); e14 (); e15 (); e16 (); e17 (); e18 (); e19 ();
-  e20 (); e21 (); e22 (); e23 ()
+  e20 (); e21 (); e22 (); e23 (); e24 ()
 
 (* The @ci bench smoke: the multicore table at tiny sizes — enough to
    exercise Pool + run_parallel and validate the dhw-bench/v1 schema

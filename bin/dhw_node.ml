@@ -31,6 +31,7 @@ type args = {
   recover_at : int;
   io_timeout_s : float;
   trace_dir : string;  (* "" = tracing off *)
+  seed : int64;  (* run seed: connect-retry jitter, chaos decisions *)
 }
 
 (* Per-incarnation span sink: trace-<pid>.jsonl in --trace-dir, opened in
@@ -91,6 +92,7 @@ let parse_args () =
   let recover_at = ref 0 in
   let io_timeout = ref 120.0 in
   let trace_dir = ref "" in
+  let seed = ref 1L in
   let spec =
     [
       ("--addr", Arg.Set_string addr, "ADDR orchestrator address (unix:<path> or tcp:<host>:<port>)");
@@ -105,6 +107,13 @@ let parse_args () =
       ("--recover-at", Arg.Set_int recover_at, "R the revival round (with --recover)");
       ("--io-timeout", Arg.Set_float io_timeout, "S per-frame deadline in seconds");
       ("--trace-dir", Arg.Set_string trace_dir, "DIR write dhw-trace/v1 spans to DIR/trace-<pid>.jsonl");
+      ( "--seed",
+        Arg.String
+          (fun s ->
+            match Int64.of_string_opt s with
+            | Some v -> seed := v
+            | None -> die "--seed: expected an integer, got %S" s),
+        "S run seed (connect jitter, chaos decisions)" );
     ]
   in
   Arg.parse spec (fun a -> die "unexpected argument %S" a) "dhw_node: one net-run participant";
@@ -128,6 +137,7 @@ let parse_args () =
     recover_at = !recover_at;
     io_timeout_s = !io_timeout;
     trace_dir = !trace_dir;
+    seed = !seed;
   }
 
 (* The per-protocol part of the node, closed over the protocol's state and
@@ -230,9 +240,71 @@ let make_plain_session a ~proto =
       make_session a proc ~enc:Net.Codec.encode_b ~dec:Net.Codec.decode_b
         ~show:Doall.Protocol_b.show_msg ~init:(proc.T.init a.pid)
 
+(* ---- asynchronous deployment mode (--async) ------------------------------
+   No control plane: the node joins the datagram mesh under [--dir],
+   exchanges protocol traffic and heartbeats with its peers directly, and
+   detects failures with its own ◇P monitor. The whole driver lives in
+   [Dhw_net.Async_node]; this entry point only parses flags and the chaos
+   schedule. *)
+
+let async_main () =
+  let dir = ref "" in
+  let pid = ref (-1) in
+  let units = ref 0 in
+  let procs = ref 0 in
+  let plan_path = ref "" in
+  let tick_ms = ref 5 in
+  let epoch_ms = ref 0.0 in
+  let incarnation = ref 0 in
+  let recover = ref false in
+  let max_ticks = ref 200_000 in
+  let spec =
+    [
+      ("--async", Arg.Unit (fun () -> ()), " asynchronous mesh mode (this mode)");
+      ("--dir", Arg.Set_string dir, "DIR run directory (sockets, ckpts, traces)");
+      ("--pid", Arg.Set_int pid, "PID protocol participant id");
+      ("--units", Arg.Set_int units, "N work units");
+      ("--procs", Arg.Set_int procs, "T fleet size");
+      ("--plan", Arg.Set_string plan_path, "FILE async-schedule v1 chaos plan");
+      ("--tick-ms", Arg.Set_int tick_ms, "MS wall-clock quantum per tick");
+      ("--epoch-ms", Arg.Set_float epoch_ms, "MS fleet-global start (wall ms)");
+      ("--incarnation", Arg.Set_int incarnation, "K 0 first launch, +1 per restart");
+      ("--recover", Arg.Set recover, " resume from the on-disk checkpoint");
+      ("--max-ticks", Arg.Set_int max_ticks, "T stall bound (exit 3 beyond)");
+    ]
+  in
+  Arg.parse spec (fun a -> die "unexpected argument %S" a) "dhw_node --async: one mesh participant";
+  if !dir = "" then die "--dir is required";
+  if !pid < 0 then die "--pid is required";
+  if !units <= 0 || !procs <= 0 then die "--units and --procs are required";
+  if !pid >= !procs then die "--pid %d out of range for procs=%d" !pid !procs;
+  let plan =
+    match !plan_path with
+    | "" -> Net.Chaos.none
+    | p -> (
+        let ic = open_in p in
+        let len = in_channel_length ic in
+        let s = really_input_string ic len in
+        close_in ic;
+        match Simkit.Campaign.Async.parse s with
+        | Ok sched -> Net.Chaos.of_async sched
+        | Error e -> die "--plan %s: %s" p e)
+  in
+  let epoch_ms =
+    if !epoch_ms > 0.0 then !epoch_ms else Unix.gettimeofday () *. 1000.0
+  in
+  let cfg =
+    Net.Async_node.config ~incarnation:!incarnation ~recover:!recover
+      ~tick_ms:!tick_ms ~plan ~max_ticks:!max_ticks ~dir:!dir ~pid:!pid
+      ~spec:(Doall.Spec.make ~n:!units ~t:!procs)
+      ~epoch_ms ()
+  in
+  exit (Net.Async_node.run cfg)
+
 let main () =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> exit 0));
+  if Array.exists (fun a -> a = "--async") Sys.argv then async_main ();
   let a = parse_args () in
   open_trace a;
   let persist_pending = ref 0 in
@@ -245,7 +317,8 @@ let main () =
     | p -> die "unknown protocol %S" p
   in
   let stats = Net.Transport.stats () in
-  let fd = Net.Transport.connect ~stats a.addr in
+  let jitter_prng = Dhw_util.Prng.stream a.seed (0x7e0 + a.pid) in
+  let fd = Net.Transport.connect ~stats ~prng:jitter_prng a.addr in
   let send = Net.Transport.send_frame ~stats ~timeout_s:a.io_timeout_s fd in
   send
     (Net.Frame.Hello

@@ -368,7 +368,7 @@ let async_cmd =
     let spec = D.Spec.make ~n ~t in
     let link =
       { Asim.Event_sim.drop_bp = drop; dup_bp = dup; corrupt_bp = 0;
-        slow_set = slow; slow_factor }
+        slow_set = slow; slow_factor; severs = [] }
     in
     let seed = Int64.of_int seed in
     let stats = if hardened then Some (Asim.Link.stats ()) else None in
@@ -1613,6 +1613,363 @@ let net_replay_cmd =
       $ io_timeout_arg $ rejoin_arg $ max_rounds_arg $ keep_dir_arg
       $ trace_out_arg)
 
+(* ------------------------------------------------------------------ *)
+(* Asynchronous real-process fleet: async-net-run + async-net-replay.
+   No round-lockstep control plane: dhw_node --async peers exchange
+   protocol traffic and heartbeats directly over a datagram mesh, detect
+   failures organically, and the runner only spawns / SIGKILLs /
+   respawns / collects. *)
+
+let async_net_check (sched : Campaign.Async.t) =
+  if sched.Campaign.Async.corrupt_bp > 0 || sched.Campaign.Async.byz <> [] then begin
+    prerr_endline
+      "async-net-run: corrupt/byzantine entries are not realizable over real \
+       sockets";
+    exit 2
+  end;
+  List.iter
+    (fun (r : Campaign.Async.crash) ->
+      if
+        not
+          (List.exists
+             (fun (c : Campaign.Async.crash) ->
+               c.Campaign.Async.victim = r.Campaign.Async.victim
+               && c.Campaign.Async.at < r.Campaign.Async.at)
+             sched.Campaign.Async.crashes)
+      then begin
+        Printf.eprintf
+          "async-net-run: restart %d@%d has no earlier crash of that pid\n%!"
+          r.Campaign.Async.victim r.Campaign.Async.at;
+        exit 2
+      end)
+    sched.Campaign.Async.restarts
+
+(* The canonical stdout: protocol-level facts that are deterministic by
+   construction for a given schedule — outcome of the oracle stack, unit
+   coverage, multiplicity, work. Timing-dependent transport/detector
+   counters go to the rich report only, so two replays of the same
+   schedule print byte-identical canonical sections (the CI determinism
+   leg cmps them). *)
+let async_net_print_canonical spec sched (rep : Net.Fleet.report) =
+  Format.printf "async-net: n=%d t=%d schedule: %a@." (D.Spec.n spec)
+    (D.Spec.processes spec) Campaign.Async.pp sched;
+  Format.printf "units-covered=%d/%d max-multiplicity=%d work=%d@."
+    rep.Net.Fleet.units_covered (D.Spec.n spec) rep.Net.Fleet.max_multiplicity
+    rep.Net.Fleet.total_work;
+  Format.printf
+    "oracles: completed=%b no-lost-unit=%b detector-complete=%b \
+     bounded-duplication=%b@."
+    rep.Net.Fleet.completed rep.Net.Fleet.no_lost_unit
+    rep.Net.Fleet.detector_complete rep.Net.Fleet.bounded_dup;
+  Format.printf "verdict: %s@."
+    (if rep.Net.Fleet.ok then "all oracles pass" else "ORACLE FAILURE")
+
+let async_net_rich_report ~report_fmt spec sched (rep : Net.Fleet.report) =
+  let transport_totals =
+    List.fold_left
+      (fun (ds, rt, ab, dg, un) (nr : Net.Fleet.node_report) ->
+        let c = Net.Fleet.counter nr.Net.Fleet.nr_counters in
+        ( ds + c "data_sent",
+          rt + c "retransmits",
+          ab + c "abandoned",
+          dg + c "dg_sent",
+          un + c "undeliverable" ))
+      (0, 0, 0, 0, 0) rep.Net.Fleet.nodes
+  in
+  let detector_totals =
+    List.fold_left
+      (fun (su, fs, us, pk) (nr : Net.Fleet.node_report) ->
+        let c = Net.Fleet.counter nr.Net.Fleet.nr_counters in
+        ( su + c "suspicions",
+          fs + c "false_suspicions",
+          us + c "unsuspects",
+          pk + c "parks" ))
+      (0, 0, 0, 0) rep.Net.Fleet.nodes
+  in
+  match report_fmt with
+  | `Text ->
+      let ds, rt, ab, dg, un = transport_totals in
+      Format.printf
+        "transport: data=%d retransmits=%d abandoned=%d datagrams=%d \
+         undeliverable=%d wall=%.2fs@."
+        ds rt ab dg un rep.Net.Fleet.wall_s;
+      let su, fs, us, pk = detector_totals in
+      Format.printf
+        "detector: suspicions=%d false=%d unsuspects=%d parks=%d@." su fs us
+        pk;
+      let h = rep.Net.Fleet.detect_hist in
+      if Dhw_util.Hist.count h > 0 then
+        Format.printf "detection latency (ticks): p50=%d p99=%d max=%d@."
+          (Dhw_util.Hist.quantile h 0.5)
+          (Dhw_util.Hist.quantile h 0.99)
+          (Dhw_util.Hist.max_value h);
+      let h = rep.Net.Fleet.recover_hist in
+      if Dhw_util.Hist.count h > 0 then
+        Format.printf
+          "false-suspicion recovery latency (ticks): p50=%d p99=%d max=%d@."
+          (Dhw_util.Hist.quantile h 0.5)
+          (Dhw_util.Hist.quantile h 0.99)
+          (Dhw_util.Hist.max_value h)
+  | `Json ->
+      let ds, rt, ab, dg, un = transport_totals in
+      let su, fs, us, pk = detector_totals in
+      let node_json (nr : Net.Fleet.node_report) =
+        J.Obj
+          [
+            ("pid", J.Int nr.Net.Fleet.nr_pid);
+            ("incarnations", J.Int nr.Net.Fleet.nr_incarnations);
+            ( "exit",
+              match nr.Net.Fleet.nr_exit with
+              | None -> J.Null
+              | Some c -> J.Int c );
+            ( "counters",
+              J.Obj
+                (List.map
+                   (fun (k, v) -> (k, J.Int v))
+                   nr.Net.Fleet.nr_counters) );
+          ]
+      in
+      print_endline
+        (J.to_string
+           (J.Obj
+              [
+                ("kind", J.Str "async-net");
+                ("protocol", J.Str "async-a");
+                ("n", J.Int (D.Spec.n spec));
+                ("t", J.Int (D.Spec.processes spec));
+                ("schedule", J.Str (Fmt.str "%a" Campaign.Async.pp sched));
+                ("ok", J.Bool rep.Net.Fleet.ok);
+                ("completed", J.Bool rep.Net.Fleet.completed);
+                ("no_lost_unit", J.Bool rep.Net.Fleet.no_lost_unit);
+                ("detector_complete", J.Bool rep.Net.Fleet.detector_complete);
+                ("bounded_duplication", J.Bool rep.Net.Fleet.bounded_dup);
+                ("units_covered", J.Int rep.Net.Fleet.units_covered);
+                ("max_multiplicity", J.Int rep.Net.Fleet.max_multiplicity);
+                ("work", J.Int rep.Net.Fleet.total_work);
+                ("kills", J.Int rep.Net.Fleet.kills);
+                ("restarts", J.Int rep.Net.Fleet.restarts);
+                ("wall_s", J.Float rep.Net.Fleet.wall_s);
+                ( "transport",
+                  J.Obj
+                    [
+                      ("data_sent", J.Int ds);
+                      ("retransmits", J.Int rt);
+                      ("abandoned", J.Int ab);
+                      ("datagrams_sent", J.Int dg);
+                      ("undeliverable", J.Int un);
+                    ] );
+                ( "detector",
+                  J.Obj
+                    [
+                      ("suspicions", J.Int su);
+                      ("false_suspicions", J.Int fs);
+                      ("unsuspects", J.Int us);
+                      ("parks", J.Int pk);
+                      ( "detection_latency_ticks",
+                        Dhw_util.Hist.to_json rep.Net.Fleet.detect_hist );
+                      ( "recovery_latency_ticks",
+                        Dhw_util.Hist.to_json rep.Net.Fleet.recover_hist );
+                    ] );
+                ("nodes", J.Arr (List.map node_json rep.Net.Fleet.nodes));
+              ]))
+
+(* The sim side of --diff: the same schedule through the asynchronous
+   simulator (which treats every crash as final — restarts are a
+   real-fleet notion). Work and unit coverage are the protocol-level
+   measures both sides must agree on; message counts are timing-dependent
+   on a real network and deliberately excluded. *)
+let async_net_parity spec sched (rep : Net.Fleet.report) =
+  let subject = AF.run_schedule spec sched in
+  let sim_work =
+    Simkit.Metrics.work subject.AF.result.Asim.Event_sim.metrics
+  in
+  let sim_units =
+    match Campaign.first_failure [ AF.no_lost_unit ] subject with
+    | None -> D.Spec.n spec
+    | Some _ -> -1
+  in
+  List.filter_map
+    (fun (name, s, r) ->
+      if s = r then None else Some (Printf.sprintf "%s: sim=%d real=%d" name s r))
+    [
+      ("work", sim_work, rep.Net.Fleet.total_work);
+      ("units", sim_units, rep.Net.Fleet.units_covered);
+    ]
+
+let async_net_exit (rep : Net.Fleet.report) ~parity =
+  if rep.Net.Fleet.watchdog_fired then exit 4;
+  if
+    List.exists
+      (fun (nr : Net.Fleet.node_report) -> nr.Net.Fleet.nr_exit = Some 3)
+      rep.Net.Fleet.nodes
+  then exit 3;
+  if (not rep.Net.Fleet.ok) || parity <> [] then exit 1
+
+(* Shared by async-net-run and async-net-replay. *)
+let async_net_execute ~node_exe ~watchdog ~tick_ms ~max_ticks ~keep_dir
+    ~trace_out ~diff ~report_fmt spec sched =
+  async_net_check sched;
+  let run_dir = fresh_run_dir () in
+  let cfg =
+    Net.Fleet.config ~tick_ms ~watchdog_s:watchdog ~max_ticks ~dir:run_dir
+      ~node_exe:(find_node_exe node_exe) ~spec ~sched ()
+  in
+  let rep = Net.Fleet.run cfg in
+  (match trace_out with
+  | Some out ->
+      Dhw_util.Spanfile.write_file
+        ~meta:
+          [
+            ("protocol", J.Str "async-a");
+            ("n", J.Int (D.Spec.n spec));
+            ("t", J.Int (D.Spec.processes spec));
+          ]
+        ~source:"fleet" out rep.Net.Fleet.spans
+  | None -> ());
+  if keep_dir then Printf.eprintf "run dir kept: %s\n%!" run_dir
+  else rm_rf run_dir;
+  async_net_print_canonical spec sched rep;
+  let parity =
+    if diff then begin
+      let ms = async_net_parity spec sched rep in
+      (match ms with
+      | [] -> Format.printf "diff: sim and real runs agree on work and units@."
+      | ms ->
+          Format.printf "diff: sim-vs-real MISMATCH (%s)@."
+            (String.concat "; " ms));
+      ms
+    end
+    else []
+  in
+  (match report_fmt with
+  | `Text -> async_net_rich_report ~report_fmt:`Text spec sched rep
+  | `Json -> async_net_rich_report ~report_fmt:`Json spec sched rep);
+  async_net_exit rep ~parity
+
+let tick_ms_arg =
+  Arg.(value & opt int 5 & info [ "tick-ms" ] ~docv:"MS"
+       ~doc:"Wall-clock quantum one protocol tick maps to.")
+
+let max_ticks_arg =
+  Arg.(value & opt int 20_000 & info [ "max-ticks" ]
+       ~doc:"Per-node stall bound in ticks.")
+
+let sever_conv =
+  let parse s =
+    (* SRC>DST@FROM-TO *)
+    match String.split_on_char '@' s with
+    | [ link; window ] -> (
+        match
+          (String.split_on_char '>' link, String.split_on_char '-' window)
+        with
+        | [ a; b ], [ f; t ] -> (
+            try Ok (int_of_string a, int_of_string b, int_of_string f, int_of_string t)
+            with _ -> Error (`Msg "expected SRC>DST@FROM-TO"))
+        | _ -> Error (`Msg "expected SRC>DST@FROM-TO"))
+    | _ -> Error (`Msg "expected SRC>DST@FROM-TO")
+  in
+  let print ppf (a, b, f, t) = Format.fprintf ppf "%d>%d@@%d-%d" a b f t in
+  Arg.conv (parse, print)
+
+let async_net_run_cmd =
+  let drop_arg =
+    Arg.(value & opt int 0 & info [ "drop" ] ~docv:"BP"
+         ~doc:"Per-message loss probability in basis points (3000 = 30%).")
+  in
+  let dup_arg =
+    Arg.(value & opt int 0 & info [ "dup" ] ~docv:"BP"
+         ~doc:"Per-message duplication probability in basis points.")
+  in
+  let crash_arg =
+    Arg.(value & opt_all crash_conv [] & info [ "crash" ] ~docv:"PID@TICK"
+         ~doc:"SIGKILL $(i,PID)'s process at $(i,TICK) (repeatable).")
+  in
+  let restart_arg =
+    Arg.(value & opt_all crash_conv [] & info [ "restart" ] ~docv:"PID@TICK"
+         ~doc:"Respawn a SIGKILLed $(i,PID) at $(i,TICK) with $(b,--recover), reading its on-disk checkpoint (repeatable).")
+  in
+  let sever_arg =
+    Arg.(value & opt_all sever_conv [] & info [ "sever" ] ~docv:"SRC>DST@FROM-TO"
+         ~doc:"Cut the directed link $(i,SRC)→$(i,DST) over the tick window (repeatable).")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE"
+         ~doc:"Also serialize the schedule to $(i,FILE) for async-net-replay.")
+  in
+  let run n t seed drop dup crashes restarts severs node_exe watchdog tick_ms
+      max_ticks keep_dir trace_out diff report_fmt out =
+    let spec = D.Spec.make ~n ~t in
+    let sched =
+      Campaign.Async.make
+        ~meta:
+          [
+            ("protocol", "async-a");
+            ("n", string_of_int n);
+            ("t", string_of_int t);
+          ]
+        ~crashes:
+          (List.map (fun (p, at) -> { Campaign.Async.victim = p; at }) crashes)
+        ~restarts:
+          (List.map (fun (p, at) -> { Campaign.Async.victim = p; at }) restarts)
+        ~drop_bp:drop ~dup_bp:dup
+        ~severs:
+          (List.map
+             (fun (a, b, f, t) ->
+               { Campaign.Async.s_src = a; s_dst = b; s_from = f; s_to = t })
+             severs)
+        ~seed:(Int64.of_int seed) ()
+    in
+    (match out with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (Campaign.Async.print sched);
+        close_out oc);
+    async_net_execute ~node_exe ~watchdog ~tick_ms ~max_ticks ~keep_dir
+      ~trace_out ~diff ~report_fmt spec sched
+  in
+  Cmd.v
+    (Cmd.info "async-net-run"
+       ~doc:"Run the asynchronous Protocol A as a fleet of real dhw_node processes exchanging datagrams peer-to-peer, with organic heartbeat failure detection, seeded chaos (drop/duplicate/delay/sever), real SIGKILLs and --recover respawns")
+    Term.(
+      const run $ n_arg $ t_arg $ seed_arg $ drop_arg $ dup_arg $ crash_arg
+      $ restart_arg $ sever_arg $ node_exe_arg $ watchdog_arg $ tick_ms_arg
+      $ max_ticks_arg $ keep_dir_arg $ trace_out_arg $ diff_arg $ report_arg
+      $ out_arg)
+
+let async_net_replay_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"Async schedule file (async-schedule v1, as written by async-net-run --out or async-fuzz).")
+  in
+  let run file node_exe watchdog tick_ms max_ticks keep_dir trace_out diff
+      report_fmt =
+    let ic = open_in file in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    match Campaign.Async.parse text with
+    | Error msg -> prerr_endline ("parse error: " ^ msg); exit 2
+    | Ok sched ->
+        let meta key =
+          match Campaign.Async.meta sched key with
+          | Some v -> v
+          | None ->
+              prerr_endline ("schedule file lacks meta " ^ key);
+              exit 2
+        in
+        let n = int_of_string (meta "n") and t = int_of_string (meta "t") in
+        let spec = D.Spec.make ~n ~t in
+        async_net_execute ~node_exe ~watchdog ~tick_ms ~max_ticks ~keep_dir
+          ~trace_out ~diff ~report_fmt spec sched
+  in
+  Cmd.v
+    (Cmd.info "async-net-replay"
+       ~doc:"Re-run a serialized async schedule against a real dhw_node fleet; the canonical stdout section is deterministic for a fixed schedule, so two replays can be compared byte-for-byte")
+    Term.(
+      const run $ file_arg $ node_exe_arg $ watchdog_arg $ tick_ms_arg
+      $ max_ticks_arg $ keep_dir_arg $ trace_out_arg $ diff_arg $ report_arg)
+
 let trace_cmd =
   let file_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
@@ -1658,4 +2015,5 @@ let () =
           [ run_cmd; timeline_cmd; ba_cmd; async_cmd; shmem_cmd; bootstrap_cmd;
             fuzz_cmd; replay_cmd; recovery_fuzz_cmd; recovery_replay_cmd;
             byz_fuzz_cmd; byz_replay_cmd; async_fuzz_cmd; async_replay_cmd;
-            net_run_cmd; net_replay_cmd; trace_cmd ]))
+            net_run_cmd; net_replay_cmd; async_net_run_cmd;
+            async_net_replay_cmd; trace_cmd ]))

@@ -18,6 +18,11 @@ let link_of_schedule (sched : C.Async.t) =
     corrupt_bp = sched.C.Async.corrupt_bp;
     slow_set = sched.C.Async.slow_set;
     slow_factor = sched.C.Async.slow_factor;
+    severs =
+      List.map
+        (fun s ->
+          C.Async.(s.s_src, s.s_dst, s.s_from, s.s_to))
+        sched.C.Async.severs;
   }
 
 let run_schedule ?(max_ticks = default_max_ticks) spec (sched : C.Async.t) =

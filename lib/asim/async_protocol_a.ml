@@ -19,7 +19,14 @@ let idle st =
     continue_after = None;
   }
 
-let aproc spec =
+(* [recover = None] is the fresh state machine of the paper; [Some last]
+   builds the state a restarted incarnation adopts: it rejoins as a waiting
+   process seeded with its best on-disk checkpoint knowledge, and never
+   self-activates on [Started] (pid 0's vacuous takeover right would
+   otherwise duplicate the active chain on every respawn). If the
+   checkpoint already proves all work done, the incarnation terminates on
+   [Started] — nothing is owed. *)
+let aproc_gen ?recover spec =
   let grid = Grid.make spec in
   let run_script script =
     (* the round argument only feeds the wakeup, which we discard *)
@@ -32,7 +39,12 @@ let aproc spec =
       continue_after = (if o.terminate then None else Some 1);
     }
   in
-  let a_init _pid = Awaiting_fd { retired_below = ISet.empty; last = Ckpt_script.No_msg } in
+  let a_init _pid =
+    let last =
+      match recover with Some l -> l | None -> Ckpt_script.No_msg
+    in
+    Awaiting_fd { retired_below = ISet.empty; last }
+  in
   let a_handle pid _now st (ev : msg Event_sim.aevent) =
     match st with
     | Running_script script -> (
@@ -54,9 +66,21 @@ let aproc spec =
           else idle (Awaiting_fd { retired_below; last })
         in
         match ev with
-        | Started ->
-            if pid = 0 then run_script (Ckpt_script.work_script grid 0 1)
-            else idle st
+        | Started -> (
+            match recover with
+            | Some _ ->
+                if Ckpt_script.knows_all_done grid pid last then
+                  {
+                    Event_sim.state = st;
+                    sends = [];
+                    work = [];
+                    terminate = true;
+                    continue_after = None;
+                  }
+                else idle st
+            | None ->
+                if pid = 0 then run_script (Ckpt_script.work_script grid 0 1)
+                else idle st)
         | Got { src; payload } ->
             let last = Ckpt_script.Last_ord { ord = payload; src } in
             if Ckpt_script.knows_all_done grid pid last then
@@ -76,6 +100,9 @@ let aproc spec =
         | Continue -> idle st)
   in
   { Event_sim.a_init; a_handle }
+
+let aproc spec = aproc_gen spec
+let aproc_recover ~last spec = aproc_gen ~recover:last spec
 
 let run ?crash_at ?max_delay ?max_lag ?seed ?false_suspicions ?link ?obs spec =
   let cfg =

@@ -6,7 +6,10 @@
     liveness. Work and message counts obey Theorem 2.3's bounds — time is
     whatever the delay adversary makes it. *)
 
-type msg
+type msg = Doall.Ckpt_script.ord
+(** The only protocol payload is a checkpoint ordinal — public so the
+    real-process deployment can put it on the wire with the shared
+    [Ckpt_script.ord] codec instead of a parallel serializer. *)
 
 val show_msg : msg -> string
 
@@ -16,6 +19,18 @@ type state
 val aproc : Doall.Spec.t -> (state, msg) Event_sim.aproc
 (** The bare state machine, for wrapping ({!Link.harden}) or custom
     executor configurations. *)
+
+val aproc_recover :
+  last:Doall.Ckpt_script.last -> Doall.Spec.t -> (state, msg) Event_sim.aproc
+(** The state machine a {e restarted} incarnation runs: it starts waiting,
+    seeded with [last] — its best checkpoint knowledge read back from disk
+    — and never self-activates on [Started] (even pid 0, whose vacuous
+    takeover right would duplicate the active chain on every respawn);
+    activation still happens organically once every lower pid is reported
+    retired. If [last] already proves all work done the incarnation
+    terminates immediately. This is the async counterpart of
+    {!Doall.Recovery.recover_hook}, used by the real-process fleet's
+    [--recover] respawns. *)
 
 val run :
   ?crash_at:(Simkit.Types.pid * Event_sim.time) list ->

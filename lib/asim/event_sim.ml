@@ -29,10 +29,18 @@ type link = {
   corrupt_bp : int;
   slow_set : pid list;
   slow_factor : int;
+  severs : (pid * pid * time * time) list;
 }
 
 let perfect_link =
-  { drop_bp = 0; dup_bp = 0; corrupt_bp = 0; slow_set = []; slow_factor = 1 }
+  {
+    drop_bp = 0;
+    dup_bp = 0;
+    corrupt_bp = 0;
+    slow_set = [];
+    slow_factor = 1;
+    severs = [];
+  }
 
 type 'm tamper_model = {
   t_corrupt : src:pid -> dst:pid -> at:time -> 'm -> 'm;
@@ -94,6 +102,15 @@ let config ?(crash_at = []) ?(max_delay = 5) ?(max_lag = 8) ?(seed = 1L)
       if not (in_range pid) then
         err "link.slow_set names pid %d outside [0, %d)" pid n_processes)
     link.slow_set;
+  List.iter
+    (fun (src, dst, from_, to_) ->
+      if not (in_range src) then
+        err "link.severs names src %d outside [0, %d)" src n_processes;
+      if not (in_range dst) then
+        err "link.severs names dst %d outside [0, %d)" dst n_processes;
+      if from_ < 0 || to_ < from_ then
+        err "link.severs window for (%d, %d) must be 0 <= from <= to" src dst)
+    link.severs;
   List.iter
     (fun (pid, at) ->
       if not (in_range pid) then
@@ -191,7 +208,19 @@ let run ?metrics ?tamper cfg proc =
        keeping perfect-link runs byte-identical to the pre-adversary
        behaviour. *)
     incr n_sent;
-    let dropped = cfg.link.drop_bp > 0 && Prng.int g 10_000 < cfg.link.drop_bp in
+    (* A severed link loses the message deterministically, before any
+       adversary coin is consumed — schedules without severs stay
+       byte-identical. *)
+    let severed =
+      List.exists
+        (fun (s, d, from_, to_) ->
+          s = src && d = dst && from_ <= now && now <= to_)
+        cfg.link.severs
+    in
+    let dropped =
+      severed
+      || (cfg.link.drop_bp > 0 && Prng.int g 10_000 < cfg.link.drop_bp)
+    in
     if dropped then incr n_dropped
     else begin
       (* In-flight corruption: the payload is garbled by the tamper model

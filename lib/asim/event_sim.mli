@@ -63,6 +63,12 @@ type link = {
           "unboundedly late" processes an eventually-perfect detector must
           tolerate *)
   slow_factor : int;  (** >= 1; 1 makes the slow set inert *)
+  severs : (Simkit.Types.pid * Simkit.Types.pid * time * time) list;
+      (** directed link cuts, as [(src, dst, from, to)]: every message from
+          [src] to [dst] sent while [from <= now <= to] is dropped
+          {e deterministically} — the cut consumes no adversary coin, so a
+          schedule without severs runs byte-identically to one that
+          predates them. Each loss still counts in {!net}'s [dropped]. *)
 }
 
 val perfect_link : link

@@ -26,6 +26,8 @@ type stats = {
   mutable unsuspects : int;
   mutable abandoned : int;
   mutable notices : (pid * pid * time) list;
+  mutable suspect_log : (pid * pid * time) list;
+  mutable unsuspect_log : (pid * pid * time) list;
 }
 
 let stats () =
@@ -41,6 +43,8 @@ let stats () =
     unsuspects = 0;
     abandoned = 0;
     notices = [];
+    suspect_log = [];
+    unsuspect_log = [];
   }
 
 type 'm wire = Data of { seq : int; payload : 'm } | Ack of int | Beat
@@ -154,12 +158,26 @@ let harden ?(config = config ()) ?heartbeat ?stats:stats_arg ~n inner_proc =
             stats.recoveries <- stats.recoveries + 1;
             stats.false_suspicions <- stats.false_suspicions + 1;
             stats.unsuspects <- stats.unsuspects + 1;
+            stats.unsuspect_log <- (me, src, now) :: stats.unsuspect_log;
             st := { !st with retired = ISet.remove src !st.retired }
           end
       | None -> ()
     in
     (match ev with
-    | Event_sim.Started -> inner_call Event_sim.Started
+    | Event_sim.Started ->
+        (* Anchor the monitor at the tick this process actually started:
+           a_init built it at time 0, which is right for the simulator's
+           universal start but catastrophically wrong for a respawned
+           real-fleet incarnation entering at a late tick — every peer
+           deadline would be long expired and the whole fleet instantly
+           (and permanently, since mutual suspicion silences both beat
+           directions) suspected. *)
+        (match heartbeat with
+        | Some cfg ->
+            st :=
+              { !st with hb = Some (Heartbeat.create ~config:cfg ~me ~n ~now ()) }
+        | None -> ());
+        inner_call Event_sim.Started
     | Event_sim.Got { src; payload = Beat } -> alive_evidence src
     | Event_sim.Got { src; payload = Ack seq } ->
         alive_evidence src;
@@ -195,6 +213,9 @@ let harden ?(config = config ()) ?heartbeat ?stats:stats_arg ~n inner_proc =
         | Some hb ->
             let newly, beat = Heartbeat.tick hb ~now in
             stats.suspicions <- stats.suspicions + List.length newly;
+            List.iter
+              (fun w -> stats.suspect_log <- (me, w, now) :: stats.suspect_log)
+              newly;
             List.iter
               (fun w ->
                 mark_retired w;
@@ -278,3 +299,6 @@ let harden ?(config = config ()) ?heartbeat ?stats:stats_arg ~n inner_proc =
 
 let inner_state st = st.inner
 let in_flight st = List.length st.pending
+
+let suspects st =
+  match st.hb with Some hb -> Heartbeat.suspects hb | None -> []

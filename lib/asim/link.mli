@@ -80,6 +80,14 @@ type stats = {
           an inner protocol — oracle-relayed or heartbeat-derived. The
           campaign oracles judge detector completeness and suspicion
           accuracy from this log. *)
+  mutable suspect_log : (pid * pid * time) list;
+      (** every (observer, suspect, tick) heartbeat-timeout suspicion event
+          — unlike [notices], repeated suspicions of the same peer all
+          appear. Paired with [unsuspect_log] this yields per-episode
+          suspicion→retraction latencies (the real-fleet detector report). *)
+  mutable unsuspect_log : (pid * pid * time) list;
+      (** every (observer, peer, tick) suspected→trusted retraction
+          performed on evidence of life *)
 }
 
 val stats : unit -> stats
@@ -97,6 +105,11 @@ val inner_state : ('s, 'm) state -> 's
 val in_flight : ('s, 'm) state -> int
 (** Unacked packets currently being retransmitted. *)
 
+val suspects : ('s, 'm) state -> pid list
+(** The peers this process's heartbeat monitor currently suspects; [[]]
+    without a [?heartbeat]. A node whose suspect set covers every peer has
+    lost its quorum — the real-fleet driver parks on this signal. *)
+
 val harden :
   ?config:config ->
   ?heartbeat:Heartbeat.config ->
@@ -107,6 +120,9 @@ val harden :
 (** [harden ~n inner] wraps [inner] (for an [n]-process run). With
     [?heartbeat] the wrapper broadcasts heartbeats and derives
     [Retired_notice] events from {!Heartbeat} timeouts — run it with
-    [oracle_detector = false] for fully organic detection. Without
-    [?heartbeat] the wrapper only adds reliable delivery and relays oracle
-    notices unchanged. *)
+    [oracle_detector = false] for fully organic detection. The monitor is
+    anchored at the tick the [Started] event arrives, so a process (or a
+    respawned real-fleet incarnation) entering at a late tick grants its
+    peers a full timeout rather than finding every deadline pre-expired.
+    Without [?heartbeat] the wrapper only adds reliable delivery and
+    relays oracle notices unchanged. *)

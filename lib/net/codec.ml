@@ -89,3 +89,85 @@ let decode_rmsg dec s =
   in
   Wire.expect_end r "rmsg";
   v
+
+(* --- Async deployment-mode peer datagrams ------------------------------- *)
+
+(* The driver-level envelope around [Asim.Link]'s wire alphabet. Sequence
+   numbers on the wire are RAW (as the sender's Link emitted them, i.e.
+   restarting at 0 in every incarnation); the receiver namespaces them by
+   the sender's incarnation before handing them to its own Link, and an
+   ack carries the incarnation it targets so a respawned sender can
+   discard acks meant for its dead predecessor. *)
+
+type peer_msg =
+  | P_data of { src : int; inc : int; seq : int; ord : Ck.ord }
+  | P_ack of { src : int; inc : int; target_inc : int; seq : int }
+  | P_beat of { src : int; inc : int }
+
+let put_peer b = function
+  | P_data { src; inc; seq; ord } ->
+      Wire.put_u8 b 1;
+      Wire.put_int b src;
+      Wire.put_int b inc;
+      Wire.put_int b seq;
+      put_ord b ord
+  | P_ack { src; inc; target_inc; seq } ->
+      Wire.put_u8 b 2;
+      Wire.put_int b src;
+      Wire.put_int b inc;
+      Wire.put_int b target_inc;
+      Wire.put_int b seq
+  | P_beat { src; inc } ->
+      Wire.put_u8 b 3;
+      Wire.put_int b src;
+      Wire.put_int b inc
+
+let get_peer r =
+  match Wire.get_u8 r "peer.tag" with
+  | 1 ->
+      let src = Wire.get_int r "peer.data.src" in
+      let inc = Wire.get_int r "peer.data.inc" in
+      let seq = Wire.get_int r "peer.data.seq" in
+      let ord = get_ord r in
+      P_data { src; inc; seq; ord }
+  | 2 ->
+      let src = Wire.get_int r "peer.ack.src" in
+      let inc = Wire.get_int r "peer.ack.inc" in
+      let target_inc = Wire.get_int r "peer.ack.target_inc" in
+      let seq = Wire.get_int r "peer.ack.seq" in
+      P_ack { src; inc; target_inc; seq }
+  | 3 ->
+      let src = Wire.get_int r "peer.beat.src" in
+      let inc = Wire.get_int r "peer.beat.inc" in
+      P_beat { src; inc }
+  | t -> raise (Wire.Decode (Printf.sprintf "peer: unknown tag %d" t))
+
+let encode_peer = to_string put_peer
+let decode_peer = of_string get_peer
+
+(* A node's terminal result: a flat self-describing counter bag, so the
+   collector and the report writer never chase field order. *)
+
+let encode_counters kvs =
+  let b = Buffer.create 64 in
+  Wire.put_int b (List.length kvs);
+  List.iter
+    (fun (k, v) ->
+      Wire.put_string b k;
+      Wire.put_int b v)
+    kvs;
+  Buffer.contents b
+
+let decode_counters s =
+  let r = Wire.reader s in
+  let n = Wire.get_int r "counters.len" in
+  if n < 0 || n > 4096 then
+    raise (Wire.Decode (Printf.sprintf "counters: bad length %d" n));
+  let kvs =
+    List.init n (fun i ->
+        let k = Wire.get_string r (Printf.sprintf "counters.%d.key" i) in
+        let v = Wire.get_int r (Printf.sprintf "counters.%d.val" i) in
+        (k, v))
+  in
+  Wire.expect_end r "counters";
+  kvs

@@ -1,0 +1,91 @@
+(* Node-to-node datagram mesh over unix-domain sockets.
+
+   Every fleet member binds <dir>/p<pid>.sock (SOCK_DGRAM) and sends to its
+   peers' paths directly — no connections, no orchestrator relay. Datagram
+   semantics fit the asynchronous substrate exactly: message boundaries are
+   preserved, a SIGKILLed peer just stops reading (sends to its stale path
+   fail and count as loss, which is what death looks like on a wire), and a
+   respawned incarnation rebinds the same path and is immediately
+   reachable. Reliability is NOT this layer's job — the Asim.Link shim
+   above provides acks, retransmission and dedup, same as in the
+   simulator. *)
+
+type stats = {
+  mutable datagrams_sent : int;
+  mutable datagrams_received : int;
+  mutable undeliverable : int;
+      (* sends that failed because the peer's socket is gone or full —
+         organic loss, distinct from chaos-injected loss *)
+}
+
+let stats () = { datagrams_sent = 0; datagrams_received = 0; undeliverable = 0 }
+
+type t = {
+  fd : Unix.file_descr;
+  dir : string;
+  me : int;
+  st : stats;
+  buf : Bytes.t;
+}
+
+let max_datagram = 65_000
+
+let path ~dir ~pid = Filename.concat dir (Printf.sprintf "p%d.sock" pid)
+
+let create ~dir ~pid =
+  let p = path ~dir ~pid in
+  (try Unix.unlink p with Unix.Unix_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_DGRAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX p);
+  Unix.set_nonblock fd;
+  { fd; dir; me = pid; st = stats (); buf = Bytes.create max_datagram }
+
+let stats_of t = t.st
+
+let send t ~dst payload =
+  if String.length payload > max_datagram then
+    invalid_arg "Mesh.send: datagram too large";
+  let addr = Unix.ADDR_UNIX (path ~dir:t.dir ~pid:dst) in
+  match
+    Unix.sendto_substring t.fd payload 0 (String.length payload) [] addr
+  with
+  | _ ->
+      t.st.datagrams_sent <- t.st.datagrams_sent + 1;
+      true
+  | exception
+      Unix.Unix_error
+        ( ( Unix.ENOENT | Unix.ECONNREFUSED | Unix.EAGAIN | Unix.EWOULDBLOCK
+          | Unix.ENOBUFS ),
+          _,
+          _ ) ->
+      (* Dead peer (no socket / nobody reading) or a full queue: the
+         message is lost, exactly as a crash-faulty network loses it. The
+         hardening layer's retransmission owns recovery. *)
+      t.st.undeliverable <- t.st.undeliverable + 1;
+      false
+
+(* One datagram, waiting up to [timeout_s] (<= 0 polls). [None] on
+   timeout. EINTR and spurious wakeups retry within the deadline. *)
+let recv t ~timeout_s =
+  let deadline = Unix.gettimeofday () +. Float.max 0.0 timeout_s in
+  let rec go () =
+    match Unix.recvfrom t.fd t.buf 0 max_datagram [] with
+    | len, _ ->
+        t.st.datagrams_received <- t.st.datagrams_received + 1;
+        Some (Bytes.sub_string t.buf 0 len)
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        let left = deadline -. Unix.gettimeofday () in
+        if left <= 0.0 then None
+        else begin
+          (match Unix.select [ t.fd ] [] [] left with
+          | _ -> ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          go ()
+        end
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let close t =
+  (try Unix.close t.fd with Unix.Unix_error _ -> ());
+  try Unix.unlink (path ~dir:t.dir ~pid:t.me) with Unix.Unix_error _ -> ()

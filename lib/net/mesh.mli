@@ -1,0 +1,47 @@
+(** Node-to-node datagram mesh over unix-domain sockets — the peer data
+    plane of the asynchronous deployment mode.
+
+    Each fleet member binds [<dir>/p<pid>.sock] ([SOCK_DGRAM]) and sends
+    to its peers' paths directly; there is no orchestrator relay and no
+    connection state. A SIGKILLed peer simply stops reading — sends to
+    its path fail and count as {e organic} loss — and a respawned
+    incarnation rebinds the same path. Reliability lives one layer up, in
+    [Asim.Link.harden]'s ack/retransmit/dedup machinery, exactly as in
+    the simulator. *)
+
+type stats = {
+  mutable datagrams_sent : int;
+  mutable datagrams_received : int;
+  mutable undeliverable : int;
+      (** sends that failed because the peer's socket was gone or its
+          queue full — organic loss, distinct from chaos-injected loss *)
+}
+
+type t
+
+val max_datagram : int
+(** Largest accepted payload (65 000 bytes — far above any protocol
+    message). *)
+
+val path : dir:string -> pid:int -> string
+(** [<dir>/p<pid>.sock]. *)
+
+val create : dir:string -> pid:int -> t
+(** Bind this node's socket (unlinking any stale one) in non-blocking
+    mode. Raises [Unix.Unix_error] on bind failure. *)
+
+val stats_of : t -> stats
+
+val send : t -> dst:int -> string -> bool
+(** Fire one datagram at [dst]'s path. [false] when the peer is
+    unreachable (dead, not yet bound, or queue full) — the loss is
+    counted in [stats] and recovery is the hardening layer's job.
+    Raises [Invalid_argument] on an oversized payload; other socket
+    errors propagate as [Unix.Unix_error]. *)
+
+val recv : t -> timeout_s:float -> string option
+(** One datagram, waiting at most [timeout_s] ([<= 0] polls); [None] on
+    timeout. *)
+
+val close : t -> unit
+(** Close the socket and unlink its path; never raises. *)

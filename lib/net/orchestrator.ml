@@ -17,11 +17,12 @@ type config = {
   io_timeout_s : float;
   max_rounds : int;
   trace_dir : string option;
+  seed : int64;  (* drives the nodes' connect-retry jitter *)
 }
 
 let config ?(fault = Fault.none) ?(max_rounds = 10_000) ?(rejoin_rounds = 3)
-    ?(watchdog_s = 60.) ?(io_timeout_s = 10.) ?log_dir ?trace_dir ~node_exe
-    ~addr ~protocol ~n ~t ~ckpt_dir () =
+    ?(watchdog_s = 60.) ?(io_timeout_s = 10.) ?log_dir ?trace_dir
+    ?(seed = 1L) ~node_exe ~addr ~protocol ~n ~t ~ckpt_dir () =
   {
     node_exe;
     addr;
@@ -36,6 +37,7 @@ let config ?(fault = Fault.none) ?(max_rounds = 10_000) ?(rejoin_rounds = 3)
     io_timeout_s;
     max_rounds;
     trace_dir;
+    seed;
   }
 
 type stop =
@@ -184,6 +186,7 @@ let run cfg =
         "--ckpt-dir"; cfg.ckpt_dir;
         "--rejoin-rounds"; string_of_int cfg.rejoin_rounds;
         "--incarnation"; string_of_int nd.incarnation;
+        "--seed"; Int64.to_string cfg.seed;
       ]
     in
     let base =

@@ -42,6 +42,10 @@ type config = {
           merges everything — including partial files from SIGKILLed nodes
           — into one causally-ordered [dhw-trace/v1] stream at
           [trace.jsonl]. [None] (the default) traces nothing. *)
+  seed : int64;
+      (** run seed; nodes derive their connect-retry jitter from
+          [Prng.stream seed pid], so respawn reconnect timing replays
+          deterministically (default [1L]) *)
 }
 
 val config :
@@ -52,6 +56,7 @@ val config :
   ?io_timeout_s:float ->
   ?log_dir:string ->
   ?trace_dir:string ->
+  ?seed:int64 ->
   node_exe:string ->
   addr:Transport.addr ->
   protocol:string ->

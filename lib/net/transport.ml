@@ -130,15 +130,26 @@ let connect_once addr timeout_s =
     (try Unix.close fd with Unix.Unix_error _ -> ());
     raise e
 
-let connect ?stats ?(attempts = 8) ?(backoff_s = 0.05) ?(max_backoff_s = 1.0)
-    ?(timeout_s = 10.) addr =
-  let seed = ref (Hashtbl.hash (addr_to_string addr, Unix.getpid ()) land 0xFFFF) in
-  let jitter delay =
-    (* xorshift-ish local PRNG: no global Random state disturbed. *)
-    seed := (!seed * 1103515245) + 12345 land 0x3FFFFFFF;
-    let u = float_of_int (!seed land 0xFFFF) /. 65536.0 in
-    delay *. (0.5 +. u)
+let connect ?stats ?prng ?(attempts = 8) ?(backoff_s = 0.05)
+    ?(max_backoff_s = 1.0) ?(timeout_s = 10.) addr =
+  (* Retry jitter comes from the run seed when the caller threads a
+     [Prng.t] through (a [Prng.stream] of the schedule seed, keyed by pid,
+     like the worker pool) — the sleep pattern then replays exactly.
+     Without one, fall back to a local hash: never the global [Random]
+     state. *)
+  let draw =
+    match prng with
+    | Some g -> fun () -> float_of_int (Dhw_util.Prng.int g 65_536) /. 65536.0
+    | None ->
+        let seed =
+          ref (Hashtbl.hash (addr_to_string addr, Unix.getpid ()) land 0xFFFF)
+        in
+        fun () ->
+          (* xorshift-ish local PRNG: no global Random state disturbed. *)
+          seed := (!seed * 1103515245) + 12345 land 0x3FFFFFFF;
+          float_of_int (!seed land 0xFFFF) /. 65536.0
   in
+  let jitter delay = delay *. (0.5 +. draw ()) in
   let rec go i delay =
     match connect_once addr timeout_s with
     | fd ->

@@ -47,6 +47,7 @@ val accept : ?timeout_s:float -> ?stats:stats -> Unix.file_descr -> Unix.file_de
 
 val connect :
   ?stats:stats ->
+  ?prng:Dhw_util.Prng.t ->
   ?attempts:int ->
   ?backoff_s:float ->
   ?max_backoff_s:float ->
@@ -59,7 +60,13 @@ val connect :
     [0.5×, 1.5×] so restarting fleets do not reconnect in lockstep.
     [timeout_s] (default 10 s) bounds each individual attempt. Raises the
     last failure ({!Timeout} or [Unix.Unix_error]) once attempts are
-    exhausted, with every retry counted in [stats]. *)
+    exhausted, with every retry counted in [stats].
+
+    With [?prng] the jitter draws come from the given generator — thread a
+    [Prng.stream] of the run seed through (keyed by pid, as the worker
+    pool does) and the retry sleep pattern is a pure function of the seed,
+    closing the one nondeterminism leak in [net-run] replays. Without it
+    the jitter falls back to a local hash of [(addr, getpid)]. *)
 
 val send_frame :
   ?stats:stats -> ?timeout_s:float -> Unix.file_descr -> Frame.t -> unit

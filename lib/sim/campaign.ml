@@ -856,33 +856,44 @@ let pp_stats ppf s =
 
 module Async = struct
   type crash = { victim : pid; at : int }
+  type sever = { s_src : pid; s_dst : pid; s_from : int; s_to : int }
 
   type t = {
     meta : (string * string) list;
     crashes : crash list;
+    restarts : crash list;  (* respawn ticks; net fleets only, sim crashes are final *)
     drop_bp : int;
     dup_bp : int;
     corrupt_bp : int;
     byz : crash list;  (* adversary-controlled from the given tick on *)
     slow_set : pid list;
     slow_factor : int;
+    severs : sever list;  (* directed link cuts over tick windows *)
     max_delay : int;
     max_lag : int;
     seed : int64;
   }
 
-  let make ?(meta = []) ?(crashes = []) ?(drop_bp = 0) ?(dup_bp = 0)
-      ?(corrupt_bp = 0) ?(byz = []) ?(slow_set = []) ?(slow_factor = 1)
-      ?(max_delay = 5) ?(max_lag = 3) ?(seed = 1L) () =
+  let make ?(meta = []) ?(crashes = []) ?(restarts = []) ?(drop_bp = 0)
+      ?(dup_bp = 0) ?(corrupt_bp = 0) ?(byz = []) ?(slow_set = [])
+      ?(slow_factor = 1) ?(severs = []) ?(max_delay = 5) ?(max_lag = 3)
+      ?(seed = 1L) () =
+    List.iter
+      (fun s ->
+        if s.s_from < 0 || s.s_to < s.s_from then
+          invalid_arg "Campaign.Async.make: sever window must be 0 <= from <= to")
+      severs;
     {
       meta;
       crashes;
+      restarts;
       drop_bp;
       dup_bp;
       corrupt_bp;
       byz;
       slow_set;
       slow_factor;
+      severs;
       max_delay;
       max_lag;
       seed;
@@ -930,6 +941,16 @@ module Async = struct
       (fun c ->
         Buffer.add_string b (Printf.sprintf "byz %d @%d\n" c.victim c.at))
       t.byz;
+    List.iter
+      (fun c ->
+        Buffer.add_string b (Printf.sprintf "restart %d @%d\n" c.victim c.at))
+      t.restarts;
+    List.iter
+      (fun s ->
+        Buffer.add_string b
+          (Printf.sprintf "sever %d %d @%d @%d\n" s.s_src s.s_dst s.s_from
+             s.s_to))
+      t.severs;
     Buffer.add_string b "end\n";
     Buffer.contents b
 
@@ -968,6 +989,8 @@ module Async = struct
               { acc with
                 meta = List.rev acc.meta;
                 crashes = List.rev acc.crashes;
+                restarts = List.rev acc.restarts;
+                severs = List.rev acc.severs;
                 byz = List.rev acc.byz }
           else
             let toks =
@@ -1013,6 +1036,37 @@ module Async = struct
                         body (lineno + 1)
                           { acc with byz = { victim; at } :: acc.byz }
                           rest))
+            | [ "restart"; pid; at ] when String.length at > 1 && at.[0] = '@'
+              ->
+                int_tok lineno "pid" pid (fun victim ->
+                    int_tok lineno "tick"
+                      (String.sub at 1 (String.length at - 1))
+                      (fun at ->
+                        body (lineno + 1)
+                          { acc with restarts = { victim; at } :: acc.restarts }
+                          rest))
+            | [ "sever"; src; dst; from_; to_ ]
+              when String.length from_ > 1
+                   && from_.[0] = '@'
+                   && String.length to_ > 1
+                   && to_.[0] = '@' ->
+                int_tok lineno "pid" src (fun s_src ->
+                    int_tok lineno "pid" dst (fun s_dst ->
+                        int_tok lineno "tick"
+                          (String.sub from_ 1 (String.length from_ - 1))
+                          (fun s_from ->
+                            int_tok lineno "tick"
+                              (String.sub to_ 1 (String.length to_ - 1))
+                              (fun s_to ->
+                                if s_from < 0 || s_to < s_from then
+                                  err lineno "sever window must be 0 <= from <= to"
+                                else
+                                  body (lineno + 1)
+                                    { acc with
+                                      severs =
+                                        { s_src; s_dst; s_from; s_to }
+                                        :: acc.severs }
+                                    rest))))
             | _ -> err lineno (Printf.sprintf "unrecognized line %S" line))
     in
     let rec header lineno = function
@@ -1042,7 +1096,15 @@ module Async = struct
       List.iter
         (fun c -> Format.fprintf ppf " byz %d@@%d" c.victim c.at)
         t.byz
-    end
+    end;
+    List.iter
+      (fun c -> Format.fprintf ppf " restart %d@@%d" c.victim c.at)
+      t.restarts;
+    List.iter
+      (fun s ->
+        Format.fprintf ppf " sever %d>%d@@%d-%d" s.s_src s.s_dst s.s_from
+          s.s_to)
+      t.severs
 
   let sample g ~t ~window =
     if t < 1 then invalid_arg "Campaign.Async.sample: t must be >= 1";
@@ -1106,6 +1168,7 @@ module Async = struct
     (5 * List.length s.byz)
     + (if s.corrupt_bp > 0 then 2 else 0)
     + List.length s.crashes
+    + List.length s.severs
 
   let candidates (s : t) : t Seq.t =
     let n = List.length s.crashes in
@@ -1158,5 +1221,14 @@ module Async = struct
                [ 16; 4; 1 ]))
         (Seq.init n Fun.id)
     in
-    Seq.append drops (Seq.append link (Seq.append byz_weaken delays))
+    (* 5. heal a severed link, or keep a crash but cancel its respawn *)
+    let heal =
+      Seq.append
+        (Seq.init (List.length s.severs) (fun i ->
+             { s with severs = remove_at s.severs i }))
+        (Seq.init (List.length s.restarts) (fun i ->
+             { s with restarts = remove_at s.restarts i }))
+    in
+    Seq.append drops
+      (Seq.append link (Seq.append byz_weaken (Seq.append delays heal)))
 end

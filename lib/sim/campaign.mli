@@ -271,11 +271,22 @@ module Async : sig
 
   type crash = { victim : pid; at : int  (** tick, not round *) }
 
+  type sever = { s_src : pid; s_dst : pid; s_from : int; s_to : int }
+  (** A directed link cut: every message from [s_src] to [s_dst] sent while
+      the clock is within [[s_from, s_to]] is lost (deterministically — no
+      adversary coin is consumed). *)
+
   type t = {
     meta : (string * string) list;
         (** replay context (protocol, n, t, …) under the same token
             constraints as {!Schedule.t} meta *)
     crashes : crash list;
+    restarts : crash list;
+        (** respawn ticks for previously crashed pids. Only the real-process
+            fleet executor ([async-net-run]) enforces them — as [--recover]
+            respawns reading the on-disk checkpoint; the simulator treats
+            every crash as final, which is the conservative differential
+            baseline ([--diff] compares work/units, both unaffected). *)
     drop_bp : int;  (** per-message loss probability, basis points *)
     dup_bp : int;  (** per-message duplication probability, basis points *)
     corrupt_bp : int;
@@ -287,6 +298,7 @@ module Async : sig
             executor's tamper model *)
     slow_set : pid list;  (** endpoints with inflated delay bound *)
     slow_factor : int;
+    severs : sever list;  (** directed link cuts over tick windows *)
     max_delay : int;  (** base delivery bound (ticks) *)
     max_lag : int;  (** local-step lag bound (ticks) *)
     seed : int64;  (** executor seed — fixes every adversary coin *)
@@ -295,19 +307,23 @@ module Async : sig
   val make :
     ?meta:(string * string) list ->
     ?crashes:crash list ->
+    ?restarts:crash list ->
     ?drop_bp:int ->
     ?dup_bp:int ->
     ?corrupt_bp:int ->
     ?byz:crash list ->
     ?slow_set:pid list ->
     ?slow_factor:int ->
+    ?severs:sever list ->
     ?max_delay:int ->
     ?max_lag:int ->
     ?seed:int64 ->
     unit ->
     t
-  (** Defaults: no crashes, perfect link, no corruption, no Byzantine pids,
-      [max_delay 5], [max_lag 3], [seed 1]. *)
+  (** Defaults: no crashes, no restarts, perfect link, no corruption, no
+      Byzantine pids, no severs, [max_delay 5], [max_lag 3], [seed 1].
+      Raises [Invalid_argument] on a sever window with [s_from < 0] or
+      [s_to < s_from]. *)
 
   val meta : t -> string -> string option
 
@@ -330,7 +346,10 @@ module Async : sig
       v}
       An empty slow set prints as [slow - factor 1]; the [corrupt] line is
       omitted when [corrupt_bp = 0], and [byz] lines when there are no
-      Byzantine pids. *)
+      Byzantine pids. Restart entries print as [restart 0 @40] and sever
+      entries as [sever 0 1 @10 @40] (one line each, after the crash/byz
+      lines); both are omitted when empty, so pre-existing schedules print
+      byte-identically. *)
 
   val parse : string -> (t, string) result
   (** Inverse of {!print}: [parse (print s) = Ok s] for every schedule

@@ -335,7 +335,7 @@ let prop_seed_determinism =
       let go () =
         let log = ref [] in
         let link =
-          { E.drop_bp = 1_500; dup_bp = 800; corrupt_bp = 0; slow_set = [ 1 ]; slow_factor = 3 }
+          { E.drop_bp = 1_500; dup_bp = 800; corrupt_bp = 0; slow_set = [ 1 ]; slow_factor = 3; severs = [] }
         in
         let cfg =
           E.config ~crash_at:[ (0, 25) ] ~max_delay:4 ~seed ~link
@@ -428,6 +428,144 @@ let test_heartbeat_stats_and_rejoin () =
   check_hb_stats "rejoiner re-suspected" hb (3, 1, 2);
   Alcotest.(check bool) "evidence works after rejoin" true
     (H.alive_evidence hb ~src:2 ~now:26)
+
+(* The real fleet's rejoin path is organic: a respawned incarnation simply
+   beats again, and {!H.alive_evidence} retracts the standing suspicion.
+   Under an arbitrary churn of long crashes and revivals the detector must
+   stay ◇P-shaped: every sufficiently long silence is suspected
+   (completeness), and a peer whose beats resume is promptly trusted again
+   and never re-suspected while it keeps beating (eventual accuracy). The
+   generator keeps [timeout >= 2 * period] so a live beating peer can
+   never expire between beats, and makes every down phase outlast the
+   backed-off timeout cap so suspicion provably fires. *)
+let gen_churn =
+  let open QCheck2.Gen in
+  let* period = int_range 2 8 in
+  let* timeout = int_range (2 * period) (4 * period) in
+  let* episodes =
+    list_size (int_range 1 4)
+      (pair
+         (int_range ((4 * timeout) + period + 2) (6 * timeout))
+         (int_range (3 * period) (6 * period)))
+  in
+  return (period, timeout, episodes)
+
+let prop_heartbeat_restart_churn =
+  Helpers.qcheck_case ~count:60
+    ~name:"heartbeat: under restart churn every rejoiner is trusted again"
+    gen_churn
+    (fun (period, timeout, episodes) ->
+      let cfg =
+        H.config ~period ~timeout ~backoff:2 ~max_timeout:(4 * timeout) ()
+      in
+      let hb = H.create ~config:cfg ~me:0 ~n:2 ~now:0 () in
+      let now = ref 0 in
+      let fail = ref None in
+      let flunk fmt = Printf.ksprintf (fun m -> if !fail = None then fail := Some m) fmt in
+      let run_down len =
+        for _ = 1 to len do
+          incr now;
+          ignore (H.tick hb ~now:!now)
+        done;
+        (* completeness: the silence outlasted even the capped timeout *)
+        if not (H.suspected hb 1) then
+          flunk "down %d ticks (cap %d) yet never suspected" len (4 * timeout)
+      in
+      let run_up len =
+        let start = !now in
+        for _ = 1 to len do
+          incr now;
+          ignore (H.tick hb ~now:!now);
+          (* the revived peer beats every period, starting one period in *)
+          if (!now - start) mod period = 0 then
+            ignore (H.alive_evidence hb ~src:1 ~now:!now)
+        done;
+        (* eventual accuracy: beats resumed, so the suspicion must have
+           been retracted — and with timeout >= 2 * period it cannot have
+           been re-raised between beats *)
+        if H.suspected hb 1 then flunk "still suspected after beats resumed"
+      in
+      List.iter
+        (fun (down, up) ->
+          run_down down;
+          run_up up)
+        episodes;
+      let s = H.stats hb in
+      if s.H.suspicions < List.length episodes then
+        flunk "only %d suspicions over %d crash episodes" s.H.suspicions
+          (List.length episodes);
+      if s.H.unsuspects <> s.H.false_suspicions then
+        flunk "evidence-path retractions must count as false suspicions";
+      match !fail with
+      | Some m -> QCheck2.Test.fail_report m
+      | None -> true)
+
+(* --- the per-process engine (caller-clocked driver) --- *)
+
+module Eng = Asim.Engine
+
+let test_engine_event_contract () =
+  (* a proc that sends on Started, schedules a wakeup chain, does one unit
+     per Continue, and terminates on a Got *)
+  let events = ref [] in
+  let proc =
+    unit_proc (fun _ now () ev ->
+        events := (now, ev) :: !events;
+        match ev with
+        | E.Started -> outcome ~sends:[ (1, "hello") ] ~continue_after:4 ()
+        | E.Continue -> outcome ~work:[ 7 ] ~continue_after:4 ()
+        | E.Got _ -> outcome ~terminate:true ()
+        | E.Retired_notice _ -> outcome ())
+  in
+  let eng = Eng.create proc ~pid:0 in
+  Alcotest.(check (option int)) "no wakeup before start" None
+    (Eng.next_wakeup eng);
+  let fx = Eng.start eng ~now:10 in
+  Alcotest.(check bool) "started send surfaces" true
+    (fx.Eng.sends = [ (1, "hello") ]);
+  Alcotest.(check (option int)) "wakeup scheduled" (Some 14)
+    (Eng.next_wakeup eng);
+  (match Eng.start eng ~now:11 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "second start accepted");
+  (* a due wakeup fires at the caller's (possibly late) now; the handler's
+     re-arm is measured from that now, so it lands beyond this call — one
+     handler call per scheduled wakeup, exactly the simulator's contract *)
+  let fx = Eng.advance eng ~now:18 in
+  Alcotest.(check (list int)) "one unit for the one due continue" [ 7 ]
+    fx.Eng.work;
+  Alcotest.(check (option int)) "re-armed from the late now" (Some 22)
+    (Eng.next_wakeup eng);
+  let fx = Eng.advance eng ~now:22 in
+  Alcotest.(check (list int)) "second continue fires when due" [ 7 ]
+    fx.Eng.work;
+  Alcotest.(check bool) "not terminated yet" false (Eng.terminated eng);
+  let fx = Eng.deliver eng ~now:20 ~src:1 "bye" in
+  Alcotest.(check bool) "terminated on delivery" true fx.Eng.terminated;
+  Alcotest.(check bool) "engine agrees" true (Eng.terminated eng);
+  (* inert afterwards: no effects, no wakeups *)
+  let fx = Eng.advance eng ~now:99 in
+  Alcotest.(check bool) "inert after termination" true
+    (fx.Eng.sends = [] && fx.Eng.work = [] && Eng.next_wakeup eng = None);
+  let seen_continues =
+    List.length (List.filter (fun (_, e) -> e = E.Continue) !events)
+  in
+  Alcotest.(check int) "exactly two continues delivered" 2 seen_continues
+
+let test_engine_notice_relays_detector () =
+  let noticed = ref [] in
+  let proc =
+    unit_proc (fun _ _ () ev ->
+        match ev with
+        | E.Retired_notice q ->
+            noticed := q :: !noticed;
+            outcome ()
+        | _ -> outcome ())
+  in
+  let eng = Eng.create proc ~pid:2 in
+  ignore (Eng.start eng ~now:0);
+  ignore (Eng.notice eng ~now:5 7);
+  Alcotest.(check (list int)) "notice delivered" [ 7 ] !noticed
 
 (* --- reliable links (Link.harden) --- *)
 
@@ -536,7 +674,7 @@ let test_hardened_a_lossy_campaign () =
      terminating, across seeds *)
   let spec = Helpers.spec ~n:40 ~t:6 in
   let link =
-    { E.drop_bp = 3_000; dup_bp = 1_000; corrupt_bp = 0; slow_set = [ 4 ]; slow_factor = 3 }
+    { E.drop_bp = 3_000; dup_bp = 1_000; corrupt_bp = 0; slow_set = [ 4 ]; slow_factor = 3; severs = [] }
   in
   for seed = 1 to 10 do
     let stats = L.stats () in
@@ -695,6 +833,11 @@ let suite =
       test_heartbeat_stop_is_permanent;
     Alcotest.test_case "heartbeat: detector stats + rejoin un-suspects" `Quick
       test_heartbeat_stats_and_rejoin;
+    prop_heartbeat_restart_churn;
+    Alcotest.test_case "engine: per-process event contract" `Quick
+      test_engine_event_contract;
+    Alcotest.test_case "engine: oracle notices relayed" `Quick
+      test_engine_notice_relays_detector;
     Alcotest.test_case "harden: retransmission survives 70% loss" `Quick
       test_link_harden_survives_loss;
     Alcotest.test_case "harden: duplicates delivered once" `Quick

@@ -131,14 +131,28 @@ let gen_async_schedule =
          (fun victim at -> { C.Async.victim; at })
          (int_bound 9) (int_bound 300))
   in
+  let* restarts =
+    list_size (int_bound 3)
+      (map2
+         (fun victim at -> { C.Async.victim; at })
+         (int_bound 9) (int_bound 300))
+  in
+  let* severs =
+    list_size (int_bound 2)
+      (map3
+         (fun s_src s_dst (s_from, len) ->
+           { C.Async.s_src; s_dst; s_from; s_to = s_from + len })
+         (int_bound 9) (int_bound 9)
+         (pair (int_bound 200) (int_bound 50)))
+  in
   let* slow_set = list_size (int_bound 3) (int_bound 9) in
   let* slow_factor = int_range 1 5 in
   let* max_delay = int_range 1 8 in
   let* max_lag = int_range 1 8 in
   let* seed = map Int64.of_int int in
   return
-    (C.Async.make ~meta ~crashes ~drop_bp ~dup_bp ~corrupt_bp ~byz ~slow_set
-       ~slow_factor ~max_delay ~max_lag ~seed ())
+    (C.Async.make ~meta ~crashes ~restarts ~drop_bp ~dup_bp ~corrupt_bp ~byz
+       ~slow_set ~slow_factor ~severs ~max_delay ~max_lag ~seed ())
 
 let prop_async_round_trip =
   Helpers.qcheck_case ~count:500 ~name:"async schedule: parse (print s) = s"
@@ -184,6 +198,10 @@ let test_async_parse_rejects_garbage () =
       "async-schedule v1\nbyz 1 2\nend\n";
       "async-schedule v1\nbyz x @2\nend\n";
       "async-schedule v1\ncorrupt nan\nend\n";
+      "async-schedule v1\nrestart 1 2\nend\n";
+      "async-schedule v1\nrestart x @2\nend\n";
+      "async-schedule v1\nsever 0 1 @5\nend\n";
+      "async-schedule v1\nsever 0 1 5 9\nend\n";
     ]
   in
   List.iter

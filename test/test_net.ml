@@ -262,6 +262,25 @@ let test_ckpt_corrupt_falls_back () =
       Alcotest.(check (option string)) "both bad -> none" None
         (Net.Ckpt.load ~dir ~pid:0))
 
+let test_ckpt_torn_rename_falls_back () =
+  with_tmpdir (fun dir ->
+      Net.Ckpt.save ~dir ~pid:5 "rank-1";
+      Net.Ckpt.save ~dir ~pid:5 "rank-2";
+      (* Simulate a crash inside save's torn-rename window on a third
+         attempt: the current generation has already been demoted to
+         .prev (displacing rank-1) but the fsynced tmp never made it into
+         place — the node dies leaving NO current file, only .prev and a
+         stray partial tmp. Recovery must surface the .prev generation. *)
+      let p = Net.Ckpt.path ~dir ~pid:5 in
+      Sys.rename p (p ^ ".prev");
+      let oc = open_out_bin (p ^ ".tmp") in
+      output_string oc "torn";
+      close_out oc;
+      Alcotest.(check bool) "current generation gone" false (Sys.file_exists p);
+      Alcotest.(check (option string)) "missing current -> .prev generation"
+        (Some "rank-2")
+        (Net.Ckpt.load ~dir ~pid:5))
+
 let test_ckpt_binary_payload () =
   with_tmpdir (fun dir ->
       let payload =
@@ -353,6 +372,109 @@ let test_recv_timeout () =
       Net.Transport.close_noerr srv)
 
 (* ------------------------------------------------------------------ *)
+(* Async deployment substrate: peer codec, datagram mesh, seeded chaos *)
+
+let test_peer_codec_roundtrip () =
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) "peer_msg round-trips" true
+        (Net.Codec.decode_peer (Net.Codec.encode_peer m) = m))
+    [
+      Net.Codec.P_data { src = 2; inc = 3; seq = 41; ord = Ck.Full (7, 2) };
+      Net.Codec.P_data { src = 0; inc = 0; seq = 0; ord = Ck.Partial 9 };
+      Net.Codec.P_ack { src = 1; inc = 2; target_inc = 0; seq = 999_983 };
+      Net.Codec.P_beat { src = 2; inc = 5 };
+    ];
+  match Net.Codec.decode_peer "garbage" with
+  | exception W.Decode _ -> ()
+  | _ -> Alcotest.fail "garbage decoded as a peer_msg"
+
+let test_counters_codec_roundtrip () =
+  let bag = [ ("work", 600); ("data_sent", 3); ("parks", 0); ("inc", 2) ] in
+  Alcotest.(check bool) "counter bag round-trips" true
+    (Net.Codec.decode_counters (Net.Codec.encode_counters bag) = bag);
+  Alcotest.(check bool) "empty bag round-trips" true
+    (Net.Codec.decode_counters (Net.Codec.encode_counters []) = [])
+
+let test_mesh_loopback () =
+  with_tmpdir (fun dir ->
+      let a = Net.Mesh.create ~dir ~pid:0 in
+      let b = Net.Mesh.create ~dir ~pid:1 in
+      Alcotest.(check bool) "send reaches bound peer" true
+        (Net.Mesh.send a ~dst:1 "hello");
+      Alcotest.(check (option string)) "datagram arrives" (Some "hello")
+        (Net.Mesh.recv b ~timeout_s:1.0);
+      Alcotest.(check (option string)) "silence times out" None
+        (Net.Mesh.recv b ~timeout_s:0.01);
+      (* an unbound pid is organic loss: counted, returned, never raised *)
+      Alcotest.(check bool) "unbound peer unreachable" false
+        (Net.Mesh.send a ~dst:7 "x");
+      let sa = Net.Mesh.stats_of a in
+      Alcotest.(check int) "one undeliverable" 1 sa.Net.Mesh.undeliverable;
+      Alcotest.(check int) "one delivered send" 1 sa.Net.Mesh.datagrams_sent;
+      (* SIGKILL semantics: a closed peer's path is gone; a respawned
+         incarnation rebinds the same path and traffic resumes *)
+      Net.Mesh.close b;
+      Alcotest.(check bool) "dead peer unreachable" false
+        (Net.Mesh.send a ~dst:1 "y");
+      let b2 = Net.Mesh.create ~dir ~pid:1 in
+      Alcotest.(check bool) "respawn reachable" true
+        (Net.Mesh.send a ~dst:1 "z");
+      Alcotest.(check (option string)) "respawn receives" (Some "z")
+        (Net.Mesh.recv b2 ~timeout_s:1.0);
+      Net.Mesh.close a;
+      Net.Mesh.close b2)
+
+let test_chaos_content_keyed () =
+  let plan =
+    { Net.Chaos.none with drop_bp = 3000; dup_bp = 1000; max_delay = 5;
+      seed = 42L }
+  in
+  let judge ?(now = 7) kind =
+    (Net.Chaos.judge plan ~src:0 ~dst:1 ~kind ~now ()).Net.Chaos.release_at
+  in
+  let k = Net.Chaos.Data { seq = 3; attempt = 0 } in
+  (* content-keying: the same identity meets the same fate every time *)
+  Alcotest.(check (list int)) "verdict is pure" (judge k) (judge k);
+  (* delays are offsets from the send tick *)
+  List.iter2
+    (fun a b -> Alcotest.(check int) "verdict shifts with now" (a + 100) b)
+    (judge k)
+    (judge ~now:107 k);
+  (* a retransmission is a fresh identity — otherwise a dropped packet
+     would be condemned forever and loss could never heal *)
+  let differs = ref false in
+  for seq = 0 to 199 do
+    if
+      judge (Net.Chaos.Data { seq; attempt = 0 })
+      <> judge (Net.Chaos.Data { seq; attempt = 1 })
+    then differs := true
+  done;
+  Alcotest.(check bool) "attempts draw fresh fates" true !differs;
+  (* the drop coin lands near its basis points over many identities *)
+  let dropped = ref 0 in
+  for seq = 0 to 999 do
+    if judge (Net.Chaos.Ack { seq; attempt = 0 }) = [] then incr dropped
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "drop rate near 3000bp (got %d/1000)" !dropped)
+    true
+    (!dropped > 200 && !dropped < 400)
+
+let test_chaos_sever_window () =
+  let k = Net.Chaos.Beat { index = 4 } in
+  let plan = { Net.Chaos.none with severs = [ (0, 1, 10, 20) ] } in
+  let cut ~src ~dst now =
+    (Net.Chaos.judge plan ~src ~dst ~kind:k ~now ()).Net.Chaos.release_at = []
+  in
+  Alcotest.(check bool) "inside the window" true (cut ~src:0 ~dst:1 15);
+  Alcotest.(check bool) "window is inclusive" true
+    (cut ~src:0 ~dst:1 10 && cut ~src:0 ~dst:1 20);
+  Alcotest.(check bool) "after the window" false (cut ~src:0 ~dst:1 21);
+  (* severs are directed: the reverse link stays up *)
+  Alcotest.(check bool) "reverse direction up" false (cut ~src:1 ~dst:0 15)
+
+(* ------------------------------------------------------------------ *)
 
 let suite =
   [
@@ -371,6 +493,8 @@ let suite =
       `Quick test_ckpt_truncated_falls_back;
     Alcotest.test_case "ckpt: corrupt generations degrade gracefully" `Quick
       test_ckpt_corrupt_falls_back;
+    Alcotest.test_case "ckpt: torn rename leaves .prev as the live generation"
+      `Quick test_ckpt_torn_rename_falls_back;
     Alcotest.test_case "ckpt: binary payload survives" `Quick
       test_ckpt_binary_payload;
     Alcotest.test_case "transport: address syntax" `Quick test_addr_parse;
@@ -380,4 +504,14 @@ let suite =
       test_connect_retries_exhaust;
     Alcotest.test_case "transport: recv deadline fires" `Quick
       test_recv_timeout;
+    Alcotest.test_case "codec: peer_msg round-trips, garbage rejected" `Quick
+      test_peer_codec_roundtrip;
+    Alcotest.test_case "codec: counter bag round-trips" `Quick
+      test_counters_codec_roundtrip;
+    Alcotest.test_case "mesh: loopback, organic loss, respawn rebind" `Quick
+      test_mesh_loopback;
+    Alcotest.test_case "chaos: verdicts are content-keyed and pure" `Quick
+      test_chaos_content_keyed;
+    Alcotest.test_case "chaos: severs are directed deterministic windows"
+      `Quick test_chaos_sever_window;
   ]
