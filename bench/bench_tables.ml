@@ -1415,15 +1415,122 @@ let e24 () =
   print_string "\n== E24 ==\n";
   publish "E24" table
 
+(* ------------------------------------------------------------------ *)
+(* E25: the million-unit kernel. Wall-clock and minor-heap allocation for
+   failure-free runs of A, B and D as n sweeps up to 10^7 at t=10^3 —
+   the scale regime the interval-set protocol views, the preallocated
+   kernel inboxes and the trivial-fault scheduling fast path exist for.
+   The words/round column is the proof that the round loop itself does
+   not allocate: it must stay flat (near-zero per process-step) as n
+   grows by two orders of magnitude. D is capped at 10^6: its agreement
+   phases are t^2 messages each, which dominates long before n does. *)
+
+type scale_row = {
+  sc_proto : string;
+  sc_n : int;
+  sc_wall_s : float;
+  sc_words_per_round : float;
+  sc_ok : bool;
+}
+
+let e25 ?(scales = [ 100_000; 1_000_000; 10_000_000 ]) ?(d_cap = 1_000_000) ()
+    =
+  let t = 1000 in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E25: scale sweep at t=%d, failure-free. Wall-clock and minor-heap\n\
+            words per round must stay flat as n grows (the kernel round loop\n\
+            allocates nothing of its own; protocol views are interval sets).\n\
+            D capped at n=%d: its agreement traffic is t^2 per phase." t d_cap)
+      [ ("protocol", Table.Left); ("n", Right); ("t", Right); ("rounds", Right);
+        ("work", Right); ("msgs", Right); ("wall ms", Right);
+        ("minor words", Right); ("words/round", Right); ("ok", Left) ]
+  in
+  let rows = ref [] in
+  List.iter
+    (fun (name, proto) ->
+      List.iter
+        (fun n ->
+          if not (name = "D" && n > d_cap) then begin
+            let spec = Doall.Spec.make ~n ~t in
+            let t0 = Unix.gettimeofday () in
+            let before = Gc.minor_words () in
+            let r = run spec proto in
+            let words = Gc.minor_words () -. before in
+            let wall = Unix.gettimeofday () -. t0 in
+            let rounds = max 1 (m_rounds r) in
+            let wpr = words /. float_of_int rounds in
+            let ok = Doall.Runner.correct r in
+            Table.add_row table
+              [
+                name; Table.fmt_int n; string_of_int t;
+                Table.fmt_int (m_rounds r); Table.fmt_int (m_work r);
+                Table.fmt_int (m_msgs r);
+                Printf.sprintf "%.1f" (wall *. 1000.);
+                Table.fmt_int (int_of_float words);
+                Printf.sprintf "%.1f" wpr;
+                (if ok then "ok" else "FAIL");
+              ];
+            rows :=
+              { sc_proto = name; sc_n = n; sc_wall_s = wall;
+                sc_words_per_round = wpr; sc_ok = ok }
+              :: !rows
+          end)
+        scales;
+      Table.add_rule table)
+    [
+      ("A", Doall.Protocol_a.protocol);
+      ("B", Doall.Protocol_b.protocol);
+      ("D", Doall.Protocol_d.protocol);
+    ];
+  print_string "\n== E25 ==\n";
+  publish "E25" table;
+  List.rev !rows
+
 let all () =
   reset ();
   e1 (); e2 (); e3 (); e4 (); e5 (); e6 (); e7 (); e8 (); e9 (); e10 ();
   e11 (); e12 (); e13 (); e14 (); e15 (); e16 (); e17 (); e18 (); e19 ();
-  e20 (); e21 (); e22 (); e23 (); e24 ()
+  e20 (); e21 (); e22 (); e23 (); e24 ();
+  ignore (e25 ())
 
 (* The @ci bench smoke: the multicore table at tiny sizes — enough to
-   exercise Pool + run_parallel and validate the dhw-bench/v1 schema
+   exercise Pool + run_parallel and validate the dhw-bench/v2 schema
    end-to-end in a few seconds. *)
 let smoke () =
   reset ();
   e19 ~executions:30 ~jobs_list:[ 1; 2 ] ()
+
+(* The full sweep, alone — `bench scale`. *)
+let scale () =
+  reset ();
+  ignore (e25 ())
+
+(* The @scale-smoke CI leg: the sweep truncated to n <= 10^6, with hard
+   budgets asserted on the protocol-A n=10^6 run — wall-clock and
+   minor-words-per-round ceilings that fail the build (exit 1) when the
+   kernel hot path regresses into per-round allocation or superlinear
+   scheduling. Returns the violations; [] = within budget. *)
+let scale_smoke ?(wall_budget_s = 60.) ?(words_per_round_ceiling = 256.) () =
+  reset ();
+  let rows = e25 ~scales:[ 100_000; 1_000_000 ] () in
+  let violations = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  List.iter
+    (fun sc ->
+      if not sc.sc_ok then add "%s n=%d: run incorrect" sc.sc_proto sc.sc_n)
+    rows;
+  (match
+     List.find_opt (fun sc -> sc.sc_proto = "A" && sc.sc_n = 1_000_000) rows
+   with
+  | None -> add "A n=1000000 leg missing from the sweep"
+  | Some sc ->
+      if sc.sc_wall_s > wall_budget_s then
+        add "A n=1000000 took %.1fs > %.0fs wall budget" sc.sc_wall_s
+          wall_budget_s;
+      if sc.sc_words_per_round > words_per_round_ceiling then
+        add "A n=1000000 allocates %.1f minor words/round > ceiling %.0f"
+          sc.sc_words_per_round words_per_round_ceiling);
+  List.rev !violations

@@ -6,7 +6,14 @@ let show_ord = function
   | Partial c -> Printf.sprintf "(%d)" c
   | Full (c, g) -> Printf.sprintf "(%d,g%d)" c g
 
-type action = Do_unit of int | Bcast of ord * pid list
+type action = Do_units of int * int | Bcast of ord * pid list
+
+let script_rounds script =
+  List.fold_left
+    (fun acc -> function
+      | Do_units (lo, hi) -> acc + (hi - lo)
+      | Bcast _ -> acc + 1)
+    0 script
 
 type last = No_msg | Last_ord of { ord : ord; src : pid }
 
@@ -34,7 +41,8 @@ let work_script grid j from_sub =
   let rec go c acc =
     if c > last_sub then List.concat (List.rev acc)
     else
-      let units = List.map (fun u -> Do_unit u) (Grid.subchunk_units grid c) in
+      let lo, hi = Grid.subchunk_range grid c in
+      let units = if hi > lo then [ Do_units (lo, hi) ] else [] in
       let ckpts =
         partial_ckpt grid j c
         @ if Grid.is_chunk_end grid c then full_ckpt grid j c (gj + 1) else []
@@ -81,11 +89,13 @@ let knows_all_done grid j last =
 let run_active ~inject ?(map_dst = Fun.id) ?(map_unit = Fun.id) r script =
   match script with
   | [] -> { state = []; sends = []; work = []; terminate = true; wakeup = None }
-  | Do_unit u :: rest ->
+  | Do_units (lo, hi) :: rest ->
+      (* one unit per round, exactly as the per-unit actions did *)
+      let rest = if lo + 1 < hi then Do_units (lo + 1, hi) :: rest else rest in
       {
         state = rest;
         sends = [];
-        work = [ map_unit u ];
+        work = [ map_unit lo ];
         terminate = rest = [];
         wakeup = Some (r + 1);
       }

@@ -14,8 +14,16 @@ type ord = Partial of int | Full of int * int
 
 val show_ord : ord -> string
 
-type action = Do_unit of int | Bcast of ord * pid list
-(** One action = one synchronous round of the active process. *)
+type action = Do_units of int * int | Bcast of ord * pid list
+(** [Bcast] = one synchronous round; [Do_units (lo, hi)] = the half-open
+    run of work units [lo..hi-1], still executed {e one unit per round} by
+    {!run_active} (the range is a compression of the former per-unit
+    actions, not a batching change — scripts are O(subchunks) instead of
+    O(n) in space). *)
+
+val script_rounds : action list -> int
+(** Number of synchronous rounds the script takes to drain: one per
+    broadcast, [hi - lo] per unit range. *)
 
 type last = No_msg | Last_ord of { ord : ord; src : pid }
 (** A process's knowledge: the last ordinary message it received. *)

@@ -41,12 +41,15 @@ let rank_in_group g pid = pid mod g.s
 
 let n_subchunks g = g.n_sub
 
+let subchunk_range g c =
+  if c < 1 || c > g.n_sub then invalid_arg "Grid.subchunk_range";
+  let n = Spec.n g.spec in
+  ((c - 1) * n / g.n_sub, c * n / g.n_sub)
+
 let subchunk_units g c =
   if c < 1 || c > g.n_sub then invalid_arg "Grid.subchunk_units";
-  let n = Spec.n g.spec in
-  let lo = (c - 1) * n / g.n_sub in
-  let hi = (c * n / g.n_sub) - 1 in
-  List.init (hi - lo + 1) (fun i -> lo + i)
+  let lo, hi = subchunk_range g c in
+  List.init (hi - lo) (fun i -> lo + i)
 
 let subchunk_size_max g = Intmath.ceil_div (Spec.n g.spec) g.n_sub
 

@@ -52,9 +52,15 @@ val rank_in_group : t -> int -> int
 val n_subchunks : t -> int
 (** [S]; subchunks are numbered [1 .. S]. *)
 
-val subchunk_units : t -> int -> int list
-(** Work-unit ids (0-based, ascending) of subchunk [c] (1-based).
+val subchunk_range : t -> int -> int * int
+(** Work-unit ids of subchunk [c] (1-based) as a half-open range
+    [(lo, hi)] — subchunks are contiguous, so the range is the whole
+    story, in O(1) space at any [n].
     @raise Invalid_argument if [c] outside [1 .. S]. *)
+
+val subchunk_units : t -> int -> int list
+(** {!subchunk_range} materialised as a list (0-based, ascending) — for
+    tests and small-n callers only; allocates [hi - lo] cells. *)
 
 val subchunk_size_max : t -> int
 (** Largest subchunk size, [⌈n/S⌉]. *)

@@ -1,14 +1,20 @@
 open Simkit.Types
 module ISet = Set.Make (Int)
+module Uset = Dhw_util.Unitset
 module Intmath = Dhw_util.Intmath
 
+(* Process sets (T, U) are ISets — size <= t, fine. Unit sets (S and its
+   derivatives) are {!Dhw_util.Unitset} interval sets: S starts as the single
+   run [0, n) and only ever shrinks by removing contiguous slices, so it
+   stays a handful of runs no matter how large n is — O(t) words instead of
+   an O(n) tree per process, and inter/diff in O(runs). *)
 type msg =
-  | View of { phase : int; s : ISet.t; live : ISet.t; done_ : bool }
+  | View of { phase : int; s : Uset.t; live : ISet.t; done_ : bool }
   | AOrd of Ckpt_script.ord  (** embedded-Protocol-A traffic after a revert *)
 
 let show_msg = function
   | View { phase; s; live; done_ } ->
-      Printf.sprintf "view(p%d,|S|=%d,|T|=%d,%b)" phase (ISet.cardinal s)
+      Printf.sprintf "view(p%d,|S|=%d,|T|=%d,%b)" phase (Uset.cardinal s)
         (ISet.cardinal live) done_
   | AOrd o -> "A:" ^ Ckpt_script.show_ord o
 
@@ -16,7 +22,7 @@ let show_msg = function
    smallest surviving pid, A-unit k the k-th smallest outstanding unit. *)
 type ra_ctx = {
   ra_grid : Grid.t;
-  ra_units : int array;
+  ra_units : Uset.t;  (* A-unit k = k-th smallest outstanding unit *)
   ra_ranks : int array;
   ra_my_rank : int;
   ra_deadline : round;
@@ -24,27 +30,28 @@ type ra_ctx = {
 
 type working_st = {
   w_phase : int;
-  s_after : ISet.t;  (* S minus my own slice *)
+  s_after : Uset.t;  (* S minus my own slice *)
   w_live : ISet.t;  (* T from the previous agreement *)
   w_round0 : int;  (* 1 in phase 1 (no grace round), 0 afterwards *)
-  slice : int array;
+  slice : Uset.t;
+  slice_n : int;  (* [Uset.cardinal slice], precomputed *)
   idx : int;  (* rounds of this work phase already spent *)
   block : int;  (* ⌈|S|/|T|⌉ = total work-phase rounds *)
   (* agreement traffic that arrived early from peers one round ahead: *)
-  stash_s : ISet.t;
+  stash_s : Uset.t;
   stash_t : ISet.t;
-  stash_done : (ISet.t * ISet.t) option;
+  stash_done : (Uset.t * ISet.t) option;
 }
 
 type agreeing_st = {
   a_phase : int;
-  a_s : ISet.t;
+  a_s : Uset.t;
   a_live_new : ISet.t;  (* T being re-accumulated, starts {j} ∪ stash *)
   a_u : ISet.t;  (* processes not suspected; starts as the old T *)
   a_old_live : ISet.t;  (* T' for the revert test *)
   a_round0 : int;
   a_iter : int;
-  a_adopted : (ISet.t * ISet.t) option;
+  a_adopted : (Uset.t * ISet.t) option;
 }
 
 type mode =
@@ -58,11 +65,9 @@ let iset_of_range k = ISet.of_list (List.init k Fun.id)
 let grade set x = ISet.cardinal (ISet.filter (fun y -> y < x) set)
 
 let slice_of s live pid block =
-  let sorted = Array.of_list (ISet.elements s) in
   let rank = grade live pid in
   let lo = rank * block in
-  let hi = min (lo + block) (Array.length sorted) in
-  if lo >= hi then [||] else Array.sub sorted lo (hi - lo)
+  Uset.slice s ~lo ~hi:(lo + block)
 
 let protocol_with_alpha ~alpha ~name =
   if not (alpha > 0.0 && alpha < 1.0) then
@@ -75,12 +80,13 @@ let protocol_with_alpha ~alpha ~name =
       < alpha *. float_of_int (ISet.cardinal old_live)
     in
     let enter_work ~phase ~s ~live ~round0 pid =
-      let block = max 1 (Intmath.ceil_div (ISet.cardinal s) (ISet.cardinal live)) in
+      let block = max 1 (Intmath.ceil_div (Uset.cardinal s) (ISet.cardinal live)) in
       let slice = slice_of s live pid block in
       Working
         {
           w_phase = phase;
-          s_after = Array.fold_left (fun acc u -> ISet.remove u acc) s slice;
+          s_after = Uset.diff s slice;
+          slice_n = Uset.cardinal slice;
           w_live = live;
           w_round0 = round0;
           slice;
@@ -92,10 +98,10 @@ let protocol_with_alpha ~alpha ~name =
         }
     in
     let enter_revert ~s ~live pid r =
-      let ra_units = Array.of_list (ISet.elements s) in
+      let ra_units = s in
       let ra_ranks = Array.of_list (ISet.elements live) in
       let sub_spec =
-        Spec.make ~n:(Array.length ra_units) ~t:(Array.length ra_ranks)
+        Spec.make ~n:(Uset.cardinal ra_units) ~t:(Array.length ra_ranks)
       in
       let ra_grid = Grid.make sub_spec in
       let ra_my_rank = grade live pid in
@@ -113,7 +119,7 @@ let protocol_with_alpha ~alpha ~name =
         Ckpt_script.run_active
           ~inject:(fun o -> AOrd o)
           ~map_dst:(fun rank -> ra.ra_ranks.(rank))
-          ~map_unit:(fun k -> ra.ra_units.(k))
+          ~map_unit:(fun k -> Uset.nth ra.ra_units k)
           r script
       in
       {
@@ -134,7 +140,7 @@ let protocol_with_alpha ~alpha ~name =
     in
     let init pid =
       let all = iset_of_range t in
-      let units = iset_of_range n in
+      let units = Uset.of_range 0 n in
       (enter_work ~phase:1 ~s:units ~live:all ~round0:1 pid, Some 0)
     in
     (* One agreement iteration: merge the inbox, apply removals, decide
@@ -155,7 +161,7 @@ let protocol_with_alpha ~alpha ~name =
         List.fold_left
           (fun (s, tn, ad) (_, vs, vt, done_) ->
             if done_ then (vs, vt, Some (vs, vt))
-            else (ISet.inter s vs, ISet.union tn vt, ad))
+            else (Uset.inter s vs, ISet.union tn vt, ad))
           (a.a_s, a.a_live_new, a.a_adopted)
           views
       in
@@ -185,7 +191,7 @@ let protocol_with_alpha ~alpha ~name =
           terminate = false;
           wakeup = Some (r + 1);
         }
-      else if ISet.is_empty s then
+      else if Uset.is_empty s then
         { state = Agreeing a; sends = bcast; work = []; terminate = true; wakeup = None }
       else if revert_needed ~old_live:a.a_old_live ~live_new then begin
         let mode, wakeup = enter_revert ~s ~live:live_new pid r in
@@ -213,13 +219,13 @@ let protocol_with_alpha ~alpha ~name =
                     else
                       {
                         w with
-                        stash_s = ISet.inter w.stash_s s;
+                        stash_s = Uset.inter w.stash_s s;
                         stash_t = ISet.union w.stash_t live;
                       }
                 | View _ | AOrd _ -> w)
               w inbox
           in
-          let work = if w.idx < Array.length w.slice then [ w.slice.(w.idx) ] else [] in
+          let work = if w.idx < w.slice_n then [ Uset.nth w.slice w.idx ] else [] in
           if w.idx < w.block - 1 then
             {
               state = Working { w with idx = w.idx + 1 };
@@ -232,7 +238,7 @@ let protocol_with_alpha ~alpha ~name =
             (* Last work round: piggyback the first agreement broadcast
                (the model allows one unit of work plus one round of
                communication per time unit). *)
-            let s = ISet.inter w.s_after w.stash_s in
+            let s = Uset.inter w.s_after w.stash_s in
             let live_new = ISet.add pid w.stash_t in
             let bcast =
               List.map

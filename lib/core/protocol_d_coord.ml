@@ -1,40 +1,44 @@
 open Simkit.Types
 module ISet = Set.Make (Int)
+module Uset = Dhw_util.Unitset
 module Intmath = Dhw_util.Intmath
 
+(* As in [Protocol_d]: process sets are ISets, unit sets are interval sets
+   (S shrinks by contiguous slices, so it stays a few runs at any n). *)
 type msg =
-  | Up of { u_phase : int; u_s : ISet.t }  (* worker's view, to the coordinator *)
-  | Decision of { d_phase : int; d_s : ISet.t; d_live : ISet.t }
+  | Up of { u_phase : int; u_s : Uset.t }  (* worker's view, to the coordinator *)
+  | Decision of { d_phase : int; d_s : Uset.t; d_live : ISet.t }
   | Help
   | FOrd of Ckpt_script.ord  (* fallback Protocol A traffic *)
 
 let show_msg = function
-  | Up { u_phase; u_s } -> Printf.sprintf "up(p%d,|S|=%d)" u_phase (ISet.cardinal u_s)
+  | Up { u_phase; u_s } -> Printf.sprintf "up(p%d,|S|=%d)" u_phase (Uset.cardinal u_s)
   | Decision { d_phase; d_s; d_live } ->
-      Printf.sprintf "decision(p%d,|S|=%d,|T|=%d)" d_phase (ISet.cardinal d_s)
+      Printf.sprintf "decision(p%d,|S|=%d,|T|=%d)" d_phase (Uset.cardinal d_s)
         (ISet.cardinal d_live)
   | Help -> "help?"
   | FOrd o -> "F:" ^ Ckpt_script.show_ord o
 
 type working_st = {
   w_phase : int;
-  s_after : ISet.t;
+  s_after : Uset.t;
   w_live : ISet.t;
-  slice : int array;
+  slice : Uset.t;
+  slice_n : int;  (* [Uset.cardinal slice], precomputed *)
   idx : int;
   block : int;
 }
 
 type collecting_st = {
   c_phase : int;
-  c_s : ISet.t;
+  c_s : Uset.t;
   c_live : ISet.t;  (* senders seen so far, plus self *)
   stage : int;  (* two collection rounds absorb one round of skew *)
 }
 
 type awaiting_st = {
   a_phase : int;
-  a_s : ISet.t;
+  a_s : Uset.t;
   a_live : ISet.t;
   helps_left : int;
   next_act : round;  (* only send helps / give up at this round *)
@@ -47,14 +51,14 @@ type mode =
   | FWait of { deadline : round; own_c : int; last : Ckpt_script.last }
   | FActive of Ckpt_script.action list
 
-type state = { latest : (int * ISet.t * ISet.t) option; mode : mode }
+type state = { latest : (int * Uset.t * ISet.t) option; mode : mode }
 
 let grade set x = ISet.cardinal (ISet.filter (fun y -> y < x) set)
 
 let make spec =
   let n = Spec.n spec in
   let t = Spec.processes spec in
-  let all_units = ISet.of_list (List.init n Fun.id) in
+  let all_units = Uset.of_range 0 n in
   let grid = Grid.make spec in
   let big_l = Grid.max_active_rounds grid in
   (* Every coordinator-phase activity ends below t_max; fallback windows are
@@ -65,23 +69,22 @@ let make spec =
   let w0 = max t_max (t * (big_l + 3)) + 1 in
   let others pid = List.filter (fun k -> k <> pid) (List.init t Fun.id) in
   let enter_work ~phase ~s ~live pid =
-    let block = max 1 (Intmath.ceil_div (ISet.cardinal s) (ISet.cardinal live)) in
+    let block = max 1 (Intmath.ceil_div (Uset.cardinal s) (ISet.cardinal live)) in
     let slice =
-      if not (ISet.mem pid live) then [||]
-      else begin
-        let sorted = Array.of_list (ISet.elements s) in
+      if not (ISet.mem pid live) then Uset.empty
+      else
         let rank = grade live pid in
-        let lo = min (rank * block) (Array.length sorted) in
-        let hi = min (lo + block) (Array.length sorted) in
-        if lo >= hi then [||] else Array.sub sorted lo (hi - lo)
-      end
+        let lo = rank * block in
+        Uset.slice s ~lo ~hi:(lo + block)
     in
-    Working { w_phase = phase; s_after = s; w_live = live; slice; idx = 0; block }
+    Working
+      { w_phase = phase; s_after = s; w_live = live; slice;
+        slice_n = Uset.cardinal slice; idx = 0; block }
   in
   (* Adopt a decision: move to the next work phase or terminate. *)
   let adopt pid r (phase, s, live) replies =
     let latest = Some (phase, s, live) in
-    if ISet.is_empty s then
+    if Uset.is_empty s then
       { state =
           { latest;
             mode = Awaiting { a_phase = phase; a_s = s; a_live = live;
@@ -94,12 +97,12 @@ let make spec =
   (* Synthetic Protocol-A knowledge from an outstanding set: the largest
      prefix of subchunks whose units are all known done. *)
   let synthetic_c s =
-    let done_set = ISet.diff all_units s in
+    let done_set = Uset.diff all_units s in
     let rec go c =
       if c >= Grid.n_subchunks grid then c
-      else if List.for_all (fun u -> ISet.mem u done_set) (Grid.subchunk_units grid (c + 1))
-      then go (c + 1)
-      else c
+      else
+        let lo, hi = Grid.subchunk_range grid (c + 1) in
+        if Uset.contains_range lo hi done_set then go (c + 1) else c
     in
     go 0
   in
@@ -148,9 +151,9 @@ let make spec =
             (* resync: abandon the stale phase and adopt *)
             adopt pid r d help_replies
         | None ->
-            let work = if w.idx < Array.length w.slice then [ w.slice.(w.idx) ] else [] in
+            let work = if w.idx < w.slice_n then [ Uset.nth w.slice w.idx ] else [] in
             let s_after =
-              List.fold_left (fun acc u -> ISet.remove u acc) w.s_after work
+              List.fold_left (fun acc u -> Uset.remove u acc) w.s_after work
             in
             if w.idx < w.block - 1 then
               { state = { st with mode = Working { w with idx = w.idx + 1; s_after } };
@@ -185,7 +188,7 @@ let make spec =
             (fun c { src; payload; _ } ->
               match payload with
               | Up { u_phase; u_s } when u_phase = c.c_phase ->
-                  { c with c_s = ISet.inter c.c_s u_s; c_live = ISet.add src c.c_live }
+                  { c with c_s = Uset.inter c.c_s u_s; c_live = ISet.add src c.c_live }
               | Up _ | Decision _ | Help | FOrd _ -> c)
             c inbox
         in

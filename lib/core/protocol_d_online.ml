@@ -1,5 +1,6 @@
 open Simkit.Types
 module ISet = Set.Make (Int)
+module Uset = Dhw_util.Unitset
 module Intmath = Dhw_util.Intmath
 
 type config = {
@@ -8,46 +9,50 @@ type config = {
   idle_block : int;
 }
 
+(* Job-id sets (known/done/mine) are interval sets: arrivals are scattered
+   but sparse, and the done set grows by contiguous slices, so runs stay
+   few. Process sets stay ISets. *)
 type msg = {
   v_phase : int;
-  v_known : ISet.t;
-  v_done : ISet.t;
+  v_known : Uset.t;
+  v_done : Uset.t;
   v_live : ISet.t;
   v_final : bool;
 }
 
 let show_msg m =
   Printf.sprintf "oview(p%d,k%d,d%d,|T|=%d,%b)" m.v_phase
-    (ISet.cardinal m.v_known) (ISet.cardinal m.v_done) (ISet.cardinal m.v_live)
+    (Uset.cardinal m.v_known) (Uset.cardinal m.v_done) (ISet.cardinal m.v_live)
     m.v_final
 
 type working_st = {
   w_phase : int;
-  mine : ISet.t;  (* every unit that ever arrived at this site; monotone,
+  mine : Uset.t;  (* every unit that ever arrived at this site; monotone,
                      survives view adoption *)
-  known : ISet.t;
-  done_ : ISet.t;  (* includes my own units as I perform them *)
+  known : Uset.t;
+  done_ : Uset.t;  (* includes my own units as I perform them *)
   w_live : ISet.t;
   w_round0 : int;
-  slice : int array;
+  slice : Uset.t;
+  slice_n : int;
   idx : int;
   block : int;
-  stash_known : ISet.t;
-  stash_done : ISet.t;
+  stash_known : Uset.t;
+  stash_done : Uset.t;
   stash_live : ISet.t;
-  stash_final : (ISet.t * ISet.t * ISet.t) option;  (* known, done, live *)
+  stash_final : (Uset.t * Uset.t * ISet.t) option;  (* known, done, live *)
 }
 
 type agreeing_st = {
   a_phase : int;
-  a_mine : ISet.t;
-  a_known : ISet.t;
-  a_done : ISet.t;
+  a_mine : Uset.t;
+  a_known : Uset.t;
+  a_done : Uset.t;
   a_live : ISet.t;  (* T being re-accumulated *)
   a_u : ISet.t;
   a_round0 : int;
   a_iter : int;
-  a_adopted : (ISet.t * ISet.t * ISet.t) option;
+  a_adopted : (Uset.t * Uset.t * ISet.t) option;
 }
 
 type mode = Working of working_st | Agreeing of agreeing_st
@@ -68,17 +73,15 @@ let protocol cfg =
   let make spec =
     let t = Spec.processes spec in
     let enter_work ~phase ~mine ~known ~done_ ~live ~round0 pid =
-      let known = ISet.union known mine in
-      let outstanding = ISet.diff known done_ in
+      let known = Uset.union known mine in
+      let outstanding = Uset.diff known done_ in
       let block =
-        if ISet.is_empty outstanding then cfg.idle_block
-        else max 1 (Intmath.ceil_div (ISet.cardinal outstanding) (ISet.cardinal live))
+        if Uset.is_empty outstanding then cfg.idle_block
+        else max 1 (Intmath.ceil_div (Uset.cardinal outstanding) (ISet.cardinal live))
       in
-      let sorted = Array.of_list (ISet.elements outstanding) in
       let rank = grade live pid in
-      let lo = min (rank * block) (Array.length sorted) in
-      let hi = min (lo + block) (Array.length sorted) in
-      let slice = if lo >= hi then [||] else Array.sub sorted lo (hi - lo) in
+      let lo = rank * block in
+      let slice = Uset.slice outstanding ~lo ~hi:(lo + block) in
       Working
         {
           w_phase = phase;
@@ -88,17 +91,18 @@ let protocol cfg =
           w_live = live;
           w_round0 = round0;
           slice;
+          slice_n = Uset.cardinal slice;
           idx = 0;
           block;
-          stash_known = ISet.empty;
-          stash_done = ISet.empty;
+          stash_known = Uset.empty;
+          stash_done = Uset.empty;
           stash_live = ISet.empty;
           stash_final = None;
         }
     in
     let init pid =
       let all = ISet.of_list (List.init t Fun.id) in
-      ( enter_work ~phase:1 ~mine:ISet.empty ~known:ISet.empty ~done_:ISet.empty
+      ( enter_work ~phase:1 ~mine:Uset.empty ~known:Uset.empty ~done_:Uset.empty
           ~live:all ~round0:1 pid,
         Some 0 )
     in
@@ -115,7 +119,7 @@ let protocol cfg =
           (fun (k, d, tv, ad) (_, v) ->
             if v.v_final then
               (v.v_known, v.v_done, v.v_live, Some (v.v_known, v.v_done, v.v_live))
-            else (ISet.union k v.v_known, ISet.union d v.v_done, ISet.union tv v.v_live, ad))
+            else (Uset.union k v.v_known, Uset.union d v.v_done, ISet.union tv v.v_live, ad))
           (a.a_known, a.a_done, a.a_live, a.a_adopted)
           views
       in
@@ -129,7 +133,7 @@ let protocol cfg =
         | Some (k, d, tv) ->
             (* an adopted final view must not erase units that arrived here
                and were never shared *)
-            (ISet.union k a.a_mine, d, tv)
+            (Uset.union k a.a_mine, d, tv)
         | None -> (known, done_, live)
       in
       let final = adopted <> None || (stable && counter >= 1) in
@@ -155,7 +159,7 @@ let protocol cfg =
           terminate = false;
           wakeup = Some (r + 1);
         }
-      else if ISet.subset known done_ && r >= cfg.horizon then
+      else if Uset.subset known done_ && r >= cfg.horizon then
         { state = Agreeing a; sends = bcast; work = []; terminate = true; wakeup = None }
       else
         {
@@ -172,9 +176,9 @@ let protocol cfg =
       match st with
       | Working w ->
           (* absorb my own fresh arrivals and any early agreement traffic *)
-          let fresh = ISet.of_list (arrivals_for pid r) in
+          let fresh = Uset.of_list (arrivals_for pid r) in
           let w =
-            { w with known = ISet.union w.known fresh; mine = ISet.union w.mine fresh }
+            { w with known = Uset.union w.known fresh; mine = Uset.union w.mine fresh }
           in
           let w =
             List.fold_left
@@ -185,15 +189,16 @@ let protocol cfg =
                 else
                   {
                     w with
-                    stash_known = ISet.union w.stash_known v.v_known;
-                    stash_done = ISet.union w.stash_done v.v_done;
+                    stash_known = Uset.union w.stash_known v.v_known;
+                    stash_done = Uset.union w.stash_done v.v_done;
                     stash_live = ISet.union w.stash_live v.v_live;
                   })
               w inbox
           in
           let work, done_ =
-            if w.idx < Array.length w.slice then
-              ([ w.slice.(w.idx) ], ISet.add w.slice.(w.idx) w.done_)
+            if w.idx < w.slice_n then
+              let u = Uset.nth w.slice w.idx in
+              ([ u ], Uset.add u w.done_)
             else ([], w.done_)
           in
           let w = { w with done_ } in
@@ -206,8 +211,8 @@ let protocol cfg =
               wakeup = Some (r + 1);
             }
           else begin
-            let known = ISet.union w.known w.stash_known in
-            let done_all = ISet.union w.done_ w.stash_done in
+            let known = Uset.union w.known w.stash_known in
+            let done_all = Uset.union w.done_ w.stash_done in
             let bcast =
               List.map
                 (fun dst ->
@@ -240,11 +245,11 @@ let protocol cfg =
             }
           end
       | Agreeing a ->
-          let fresh = ISet.of_list (arrivals_for pid r) in
+          let fresh = Uset.of_list (arrivals_for pid r) in
           let a =
             { a with
-              a_known = ISet.union a.a_known fresh;
-              a_mine = ISet.union a.a_mine fresh }
+              a_known = Uset.union a.a_known fresh;
+              a_mine = Uset.union a.a_mine fresh }
           in
           agree_step pid r a inbox
     in

@@ -70,25 +70,25 @@ let run ?(crash_at = []) ?(max_rounds = 10_000_000) ~n_cells ~n_processes ~n_uni
         wakeups.(pid) <- w;
         s)
   in
-  let crash_round pid =
-    List.fold_left
-      (fun acc (p, r) ->
-        if p = pid then Some (min r (Option.value ~default:r acc)) else acc)
-      None crash_at
-  in
+  (* Earliest scheduled crash per pid, precomputed once (max_int = never) —
+     the round loop must not rescan the schedule or allocate options. *)
+  let crash_rounds = Array.make t max_int in
+  List.iter
+    (fun (p, r) ->
+      if p >= 0 && p < t && r < crash_rounds.(p) then crash_rounds.(p) <- r)
+    crash_at;
   let alive pid = statuses.(pid) = Running in
   let rec loop r =
     if r > max_rounds then Round_limit r
     else begin
       (* crashes scheduled at or before this round take effect first *)
-      Array.iteri
-        (fun pid st ->
-          match (st, crash_round pid) with
-          | Running, Some c when c <= r ->
-              statuses.(pid) <- Crashed c;
-              Simkit.Metrics.record_crash metrics pid c
-          | _ -> ())
-        statuses;
+      for pid = 0 to t - 1 do
+        let c = crash_rounds.(pid) in
+        if c <= r && statuses.(pid) = Running then begin
+          statuses.(pid) <- Crashed c;
+          Simkit.Metrics.record_crash metrics pid c
+        end
+      done;
       for pid = 0 to t - 1 do
         if alive pid then
           match wakeups.(pid) with
@@ -116,20 +116,17 @@ let run ?(crash_at = []) ?(max_rounds = 10_000_000) ~n_cells ~n_processes ~n_uni
       if Array.for_all is_retired statuses then Completed
       else begin
         (* next interesting round: min pending wakeup or crash *)
-        let next = ref None in
-        let consider x =
-          match !next with Some c when c <= x -> () | _ -> next := Some x
-        in
-        Array.iteri
-          (fun pid w ->
-            if alive pid then begin
-              (match w with Some w -> consider (max w (r + 1)) | None -> ());
-              match crash_round pid with
-              | Some c when c > r -> consider c
-              | _ -> ()
-            end)
-          wakeups;
-        match !next with None -> Stalled r | Some r' -> loop r'
+        let next = ref max_int in
+        for pid = 0 to t - 1 do
+          if alive pid then begin
+            (match wakeups.(pid) with
+            | Some w -> if max w (r + 1) < !next then next := max w (r + 1)
+            | None -> ());
+            let c = crash_rounds.(pid) in
+            if c > r && c < !next then next := c
+          end
+        done;
+        if !next = max_int then Stalled r else loop !next
       end
     end
   in

@@ -39,11 +39,14 @@ type t = {
   plan_corrupts : pid -> round -> tamper option;
       (* consuming query: a [Some] answer spends that corruption entry *)
   plan_byzantine_from : pid -> round option;
+  plan_trivial : bool;
+      (* statically known to never crash/corrupt/subvert/restart anything;
+         lets the kernel skip the per-round fault sweep entirely *)
   committed : (pid, round) Hashtbl.t;
       (* crashes the kernel actually committed; authoritative for all plans *)
 }
 
-let make ?(restarts = []) ?(on_restart = fun _ _ -> ())
+let make ?(trivial = false) ?(restarts = []) ?(on_restart = fun _ _ -> ())
     ?(corrupts = fun _ _ -> None) ?(byzantine_from = fun _ -> None) ~crashed_by
     ~on_step () =
   {
@@ -53,10 +56,13 @@ let make ?(restarts = []) ?(on_restart = fun _ _ -> ())
     plan_on_restart = on_restart;
     plan_corrupts = corrupts;
     plan_byzantine_from = byzantine_from;
+    plan_trivial = trivial && restarts = [];
     committed = Hashtbl.create 16;
   }
 
-let custom = make
+let custom ?restarts ?on_restart ?corrupts ?byzantine_from ~crashed_by ~on_step
+    () =
+  make ?restarts ?on_restart ?corrupts ?byzantine_from ~crashed_by ~on_step ()
 
 let crashed_by t pid round =
   (match Hashtbl.find_opt t.committed pid with
@@ -87,7 +93,9 @@ let note_restart t pid round =
   Hashtbl.remove t.committed pid;
   t.plan_on_restart pid round
 
-let none = make ~crashed_by:(fun _ _ -> false) ~on_step:(fun _ -> Survive) ()
+let none = make ~trivial:true ~crashed_by:(fun _ _ -> false) ~on_step:(fun _ -> Survive) ()
+
+let is_trivial t = t.plan_trivial
 
 let earliest_per_pid entries key_of =
   let tbl = Hashtbl.create 16 in
@@ -105,7 +113,7 @@ let crash_silently_at entries =
   let crashed_by pid round =
     match Hashtbl.find_opt tbl pid with Some (r, _) -> round >= r | None -> false
   in
-  make ~crashed_by ~on_step:(fun _ -> Survive) ()
+  make ~trivial:(entries = []) ~crashed_by ~on_step:(fun _ -> Survive) ()
 
 let crash_acting_at entries =
   let tbl = earliest_per_pid entries (fun (p, r, _) -> (p, r)) in

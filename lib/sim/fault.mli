@@ -57,6 +57,15 @@ type t
 val none : t
 (** No process ever crashes. *)
 
+val is_trivial : t -> bool
+(** True only for plans that are statically known to never do anything:
+    no crashes, no restarts, no corruption, no Byzantine subversion
+    ({!none}, or degenerate constructions such as {!crash_silently_at}[ []]).
+    The kernel uses this to skip the per-round fault sweep over all [t]
+    processes and schedule only the processes that are actually due — the
+    difference between O(rounds·t) and O(activity) on failure-free runs at
+    n=10^6+. A [false] answer is always safe (it merely keeps the sweep). *)
+
 val crash_silently_at : (pid * round) list -> t
 (** Each listed process is dead from the start of the given round: it takes
     no action in that round or later. Duplicate pids keep the earliest

@@ -29,6 +29,17 @@ let config ?(fault = Fault.none) ?(max_rounds = max_int / 2) ?trace ?obs
     ?(show = fun _ -> "<msg>") ?spans ?tamper ~n_processes ~n_units () =
   { n_processes; n_units; fault; max_rounds; trace; obs; show; spans; tamper }
 
+(* The round loop is written to allocate nothing of its own: inboxes are a
+   pair of preallocated per-destination arrays (messages sent in round r into
+   one buffer while the other is being consumed, swapped each delivery),
+   wakeups live in an int array (-1 = none) shadowed by a lazy binary
+   min-heap so the next active round is found in O(log t) instead of an O(t)
+   scan, and every trace/obs event is constructed only when a sink is
+   actually attached. When the fault plan is statically trivial
+   ({!Fault.is_trivial}) and no tamper model is armed, the per-round sweep
+   over all t processes collapses to just the processes that are due — the
+   protocol's own activity is then the only per-round cost. *)
+
 let run ?recover ?metrics cfg proc =
   let t = cfg.n_processes in
   if t <= 0 then invalid_arg "Kernel.run: need at least one process";
@@ -43,20 +54,116 @@ let run ?recover ?metrics cfg proc =
   let recover =
     match recover with Some f -> f | None -> fun pid _r -> proc.init pid
   in
+  let fast = Fault.is_trivial cfg.fault && Option.is_none cfg.tamper in
+  let observing = Option.is_some cfg.trace || Option.is_some cfg.obs in
+  let has_obs = Option.is_some cfg.obs in
   let statuses = Array.make t Running in
-  let wakeups = Array.make t None in
+  let wakeups = Array.make t (-1) in
+
+  (* Lazy min-heap over (wakeup round, pid), lexicographic. Entries are
+     pushed on every wakeup change and validated against [wakeups]/[statuses]
+     when they surface, so stale entries cost one pop each, ever. *)
+  let heap_w = ref (Array.make (max 8 (2 * t)) 0) in
+  let heap_p = ref (Array.make (max 8 (2 * t)) 0) in
+  let heap_n = ref 0 in
+  let heap_less i j =
+    let hw = !heap_w in
+    hw.(i) < hw.(j) || (hw.(i) = hw.(j) && !heap_p.(i) < !heap_p.(j))
+  in
+  let heap_swap i j =
+    let hw = !heap_w and hp = !heap_p in
+    let w = hw.(i) and p = hp.(i) in
+    hw.(i) <- hw.(j);
+    hp.(i) <- hp.(j);
+    hw.(j) <- w;
+    hp.(j) <- p
+  in
+  let heap_push w p =
+    if !heap_n = Array.length !heap_w then begin
+      let cap = 2 * !heap_n in
+      let nw = Array.make cap 0 and np = Array.make cap 0 in
+      Array.blit !heap_w 0 nw 0 !heap_n;
+      Array.blit !heap_p 0 np 0 !heap_n;
+      heap_w := nw;
+      heap_p := np
+    end;
+    !heap_w.(!heap_n) <- w;
+    !heap_p.(!heap_n) <- p;
+    incr heap_n;
+    let i = ref (!heap_n - 1) in
+    while !i > 0 && heap_less !i ((!i - 1) / 2) do
+      heap_swap !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+  in
+  let heap_pop () =
+    (* caller guarantees non-empty; returns nothing — read top first *)
+    decr heap_n;
+    if !heap_n > 0 then begin
+      heap_swap 0 !heap_n;
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let s = ref !i in
+        if l < !heap_n && heap_less l !s then s := l;
+        if r < !heap_n && heap_less r !s then s := r;
+        if !s = !i then continue := false
+        else begin
+          heap_swap !i !s;
+          i := !s
+        end
+      done
+    end
+  in
+  let entry_valid w p = statuses.(p) = Running && wakeups.(p) = w in
+  (* Smallest valid wakeup, discarding stale entries; max_int when none. *)
+  let rec heap_peek () =
+    if !heap_n = 0 then max_int
+    else
+      let w = !heap_w.(0) and p = !heap_p.(0) in
+      if entry_valid w p then w
+      else begin
+        heap_pop ();
+        heap_peek ()
+      end
+  in
+  let set_wakeup p w =
+    wakeups.(p) <- w;
+    if w >= 0 then heap_push w p
+  in
+
   let states =
     Array.init t (fun pid ->
         let s, w = proc.init pid in
         (match w with
-        | Some w0 when w0 < 0 -> invalid_arg "Kernel.run: negative initial wakeup"
-        | _ -> ());
-        wakeups.(pid) <- w;
+        | Some w0 when w0 < 0 ->
+            invalid_arg "Kernel.run: negative initial wakeup"
+        | Some w0 -> set_wakeup pid w0
+        | None -> wakeups.(pid) <- -1);
         s)
   in
-  (* Messages in flight: sent during [fst pending], to be delivered at
-     [fst pending + 1]. At most one round's worth exists at any time. *)
-  let pending : (round * 'm envelope list array) option ref = ref None in
+
+  (* Messages in flight: sent during [pending_sent_at] into buffer
+     [pending_idx], delivered at [pending_sent_at + 1]. At most one round's
+     worth exists at any time, so two buffers suffice. *)
+  let bufs = [| Array.make t ([] : 'm envelope list); Array.make t [] |] in
+  let touched = [| Array.make t 0; Array.make t 0 |] in
+  let touched_n = [| 0; 0 |] in
+  let pending_sent_at = ref (-1) in
+  let pending_idx = ref 0 in
+  let out_idx = ref 0 in
+  let any_sent = ref false in
+  let enqueue dst env =
+    let b = bufs.(!out_idx) in
+    if b.(dst) == [] then begin
+      touched.(!out_idx).(touched_n.(!out_idx)) <- dst;
+      touched_n.(!out_idx) <- touched_n.(!out_idx) + 1
+    end;
+    b.(dst) <- env :: b.(dst);
+    any_sent := true
+  in
+
   let trace_ev e =
     (match cfg.trace with Some tr -> Trace.record tr e | None -> ());
     match cfg.obs with Some sink -> sink (Obs.of_trace_event e) | None -> ()
@@ -99,8 +206,8 @@ let run ?recover ?metrics cfg proc =
       for pid = 0 to t - 1 do
         match Fault.byzantine_from cfg.fault pid with
         | Some b0 ->
-            wakeups.(pid) <-
-              Some (match wakeups.(pid) with Some w -> min w b0 | None -> b0)
+            set_wakeup pid
+              (match wakeups.(pid) with -1 -> b0 | w -> min w b0)
         | None -> ()
       done
   | None -> ());
@@ -126,7 +233,7 @@ let run ?recover ?metrics cfg proc =
             incs.(pid) <- incs.(pid) + 1;
             let s, w = recover pid r in
             states.(pid) <- s;
-            wakeups.(pid) <- w;
+            (match w with Some w0 -> set_wakeup pid w0 | None -> wakeups.(pid) <- -1);
             Fault.note_restart cfg.fault pid r;
             Metrics.record_restart metrics pid r;
             trace_ev (Trace.Restarted_ev { pid; round = r })
@@ -136,28 +243,16 @@ let run ?recover ?metrics cfg proc =
     in
     go ()
   in
-  let next_round () =
-    (* Smallest round at which anything can happen. *)
-    let candidate = ref None in
-    let consider r =
-      match !candidate with
-      | Some c when c <= r -> ()
-      | _ -> candidate := Some r
-    in
-    (match !pending with Some (sent_at, _) -> consider (sent_at + 1) | None -> ());
-    Array.iteri
-      (fun pid w ->
-        match w with Some r when alive pid -> consider r | _ -> ())
-      wakeups;
-    List.iter (fun (rr, pid) -> if applicable (rr, pid) then consider rr) !restart_queue;
-    !candidate
+  let rec min_restart acc = function
+    | [] -> acc
+    | (rr, p) :: rest ->
+        min_restart (if applicable (rr, p) && rr < acc then rr else acc) rest
   in
-  let deliveries_for r =
-    match !pending with
-    | Some (sent_at, boxes) when sent_at + 1 = r ->
-        pending := None;
-        Some boxes
-    | _ -> None
+  let next_round () =
+    (* Smallest round at which anything can happen; max_int = nothing. *)
+    let c = heap_peek () in
+    let c = if !pending_sent_at >= 0 then min c (!pending_sent_at + 1) else c in
+    min_restart c !restart_queue
   in
   let apply_delivery_filter decision sends =
     match decision with
@@ -181,183 +276,267 @@ let run ?recover ?metrics cfg proc =
         in
         (List.rev kept, List.rev dropped)
   in
+  let n_running = ref t in
+  let rec commit_work pid r = function
+    | [] -> ()
+    | u :: rest ->
+        Metrics.record_work metrics pid u;
+        if observing then trace_ev (Trace.Worked { pid; round = r; unit_id = u });
+        commit_work pid r rest
+  in
+  let rec commit_sends pid r = function
+    | [] -> ()
+    | { dst; payload } :: rest ->
+        Metrics.record_send metrics pid;
+        if observing then
+          trace_ev (Trace.Sent { src = pid; dst; round = r; what = cfg.show payload });
+        if dst >= 0 && dst < t then enqueue dst { src = pid; sent_at = r; payload };
+        commit_sends pid r rest
+  in
+  let rec trace_dropped pid r = function
+    | [] -> ()
+    | { dst; payload } :: rest ->
+        trace_ev (Trace.Dropped { src = pid; dst; round = r; what = cfg.show payload });
+        trace_dropped pid r rest
+  in
+  let rec forge_loop pid r = function
+    | [] -> ()
+    | { dst; payload } :: rest ->
+        Metrics.record_corruption metrics;
+        if has_obs then obs_ev (Obs.Tamper { pid; at = r });
+        if dst >= 0 && dst < t then enqueue dst { src = pid; sent_at = r; payload };
+        forge_loop pid r rest
+  in
+  (* Link tampering: a consuming query — asked only when there are messages
+     to corrupt and a model to corrupt them with. *)
+  let tampered_sends pid r (o : ('s, 'm) outcome) =
+    match cfg.tamper with
+    | Some tm when o.sends <> [] -> (
+        match Fault.corrupts cfg.fault pid r with
+        | Some tam ->
+            List.map
+              (fun { dst; payload } ->
+                Metrics.record_corruption metrics;
+                if has_obs then obs_ev (Obs.Tamper { pid; at = r });
+                { dst; payload = tm.mutate tam ~src:pid ~dst ~at:r payload })
+              o.sends
+        | None -> o.sends)
+    | _ -> o.sends
+  in
+  let step_pid r pid mail =
+    let w = wakeups.(pid) in
+    let due = w >= 0 && w <= r in
+    if mail != [] || due then begin
+      if observing then trace_ev (Trace.Stepped { pid; round = r });
+      let o =
+        match cfg.spans with
+        | None -> proc.step pid r states.(pid) mail
+        | Some _ ->
+            with_span ~name:"step" ~pid ~inc:incs.(pid) r (fun () ->
+                proc.step pid r states.(pid) mail)
+      in
+      let decision =
+        if fast then Fault.Survive
+        else
+          Fault.on_step cfg.fault
+            {
+              Fault.sv_pid = pid;
+              sv_round = r;
+              sv_sends = List.length o.sends;
+              sv_works = List.length o.work;
+              sv_terminating = o.terminate;
+              sv_works_done_before = Metrics.work_by metrics pid;
+            }
+      in
+      match decision with
+      | Fault.Survive ->
+          states.(pid) <- o.state;
+          commit_work pid r o.work;
+          commit_sends pid r (tampered_sends pid r o);
+          Metrics.record_round metrics r;
+          if o.terminate then begin
+            statuses.(pid) <- Terminated r;
+            wakeups.(pid) <- -1;
+            decr n_running;
+            Metrics.record_terminate metrics pid r;
+            if observing then trace_ev (Trace.Terminated_ev { pid; round = r })
+          end
+          else begin
+            match o.wakeup with
+            | Some w ->
+                if w <= r then
+                  invalid_arg
+                    (Printf.sprintf
+                       "Kernel.run: process %d at round %d asked for non-future wakeup %d"
+                       pid r w);
+                set_wakeup pid w
+            | None -> wakeups.(pid) <- -1
+          end
+      | Fault.Crash { keep_work; delivery } ->
+          let delivered, dropped = apply_delivery_filter delivery o.sends in
+          (* Program-order causality: within a round, work precedes sends, so
+             a crash that lets any message out must also let the work count
+             (otherwise a victim could announce work it never performed). *)
+          let keep_work = keep_work || delivered <> [] in
+          if keep_work then commit_work pid r o.work;
+          commit_sends pid r delivered;
+          if observing then trace_dropped pid r dropped;
+          statuses.(pid) <- Crashed r;
+          wakeups.(pid) <- -1;
+          Fault.note_crash cfg.fault pid r;
+          Metrics.record_crash metrics pid r;
+          Metrics.record_round metrics r;
+          if observing then trace_ev (Trace.Crashed_ev { pid; round = r })
+    end
+  in
+  (* The general sweep: every live pid is visited so silent crashes and
+     Byzantine activations land at exactly the adversary's round. *)
+  let slow_pids r delivering del_idx =
+    for pid = 0 to t - 1 do
+      if alive pid then begin
+        if Fault.crashed_by cfg.fault pid r || byz_degraded_crash pid r then begin
+          statuses.(pid) <- Crashed r;
+          Fault.note_crash cfg.fault pid r;
+          Metrics.record_crash metrics pid r;
+          if observing then trace_ev (Trace.Crashed_ev { pid; round = r })
+        end
+        else if byz_active pid r then begin
+          (* Adversary-controlled: the protocol state is abandoned; the
+             tamper model forges this round's messages. Forged traffic is
+             counted as corruption, not as honest sends — audits and the
+             message bounds judge only what honest processes do. *)
+          (match cfg.tamper with
+          | Some tm -> forge_loop pid r (tm.forge pid ~at:r)
+          | None -> ());
+          set_wakeup pid (r + 1)
+        end
+        else step_pid r pid (if delivering then bufs.(del_idx).(pid) else [])
+      end
+    done
+  in
+  (* The trivial-fault fast path: only the pids that are actually due — a
+     message in the inbox or a wakeup at exactly this round — are visited,
+     in pid order, merging the (already (round, pid)-ordered) heap pops with
+     the sorted inbox-destination list. Observably identical to the sweep:
+     with a trivial plan the non-due pids do nothing there either. *)
+  let due_scratch = Array.make t 0 in
+  let fast_pids r delivering del_idx =
+    let nw = ref 0 in
+    while !heap_n > 0 && !heap_w.(0) <= r do
+      let w = !heap_w.(0) and p = !heap_p.(0) in
+      heap_pop ();
+      if
+        w = r && entry_valid w p
+        && (!nw = 0 || due_scratch.(!nw - 1) <> p)
+      then begin
+        due_scratch.(!nw) <- p;
+        incr nw
+      end
+    done;
+    let mail = touched.(del_idx) in
+    let mail_n = if delivering then touched_n.(del_idx) else 0 in
+    if mail_n > 0 then begin
+      (* insertion sort: destinations arrive nearly ordered (senders run in
+         pid order and broadcast to ascending member lists) *)
+      for i = 1 to mail_n - 1 do
+        let v = mail.(i) in
+        let j = ref (i - 1) in
+        while !j >= 0 && mail.(!j) > v do
+          mail.(!j + 1) <- mail.(!j);
+          decr j
+        done;
+        mail.(!j + 1) <- v
+      done
+    end;
+    let i = ref 0 and j = ref 0 in
+    let last = ref (-1) in
+    while !i < !nw || !j < mail_n do
+      let p =
+        if !i >= !nw then mail.(!j)
+        else if !j >= mail_n then due_scratch.(!i)
+        else min due_scratch.(!i) mail.(!j)
+      in
+      if !i < !nw && due_scratch.(!i) = p then incr i;
+      if !j < mail_n && mail.(!j) = p then incr j;
+      if p <> !last then begin
+        last := p;
+        if alive p then
+          step_pid r p (if delivering then bufs.(del_idx).(p) else [])
+      end
+    done
+  in
+  let cmp_src a b = compare a.src b.src in
+  let deliver_commit r =
+    (* Inboxes sorted by sender for determinism. *)
+    let oi = !out_idx in
+    let ta = touched.(oi) and b = bufs.(oi) in
+    for i = 0 to touched_n.(oi) - 1 do
+      let dst = ta.(i) in
+      b.(dst) <- List.sort cmp_src b.(dst)
+    done;
+    pending_sent_at := r;
+    pending_idx := oi
+  in
+  let round_body r =
+    apply_restarts r;
+    let delivering = !pending_sent_at >= 0 && !pending_sent_at + 1 = r in
+    let del_idx = !pending_idx in
+    if delivering then pending_sent_at := -1;
+    out_idx := (if delivering then 1 - del_idx else del_idx);
+    any_sent := false;
+    if fast then fast_pids r delivering del_idx
+    else slow_pids r delivering del_idx;
+    (* consumed inboxes are cleared whether or not their pid was stepped
+       (crashed and sleeping destinations lose their mail, as before) *)
+    if delivering then begin
+      let ta = touched.(del_idx) and b = bufs.(del_idx) in
+      for i = 0 to touched_n.(del_idx) - 1 do
+        b.(ta.(i)) <- []
+      done;
+      touched_n.(del_idx) <- 0
+    end;
+    if !any_sent then
+      with_span ~name:"deliver" ~pid:(-1) ~inc:0 r (fun () -> deliver_commit r)
+  in
+  (* A subverted pid never terminates; completion is the honest pids'
+     affair. Without a tamper model nothing changes: byzantine entries
+     degraded to crashes and every pid still retires. *)
+  let retired_or_subverted pid =
+    is_retired statuses.(pid)
+    ||
+    match (cfg.tamper, Fault.byzantine_from cfg.fault pid) with
+    | Some _, Some _ -> true
+    | _ -> false
+  in
+  let all_retired () =
+    if fast then !n_running = 0
+    else
+      let rec go pid = pid >= t || (retired_or_subverted pid && go (pid + 1)) in
+      go 0
+  in
   let rec loop r =
     if r > cfg.max_rounds then Round_limit r
     else begin
-      with_span ~name:"round" ~pid:(-1) ~inc:0 r (fun () ->
-      apply_restarts r;
-      let boxes = deliveries_for r in
-      let inbox pid = match boxes with Some b -> b.(pid) | None -> [] in
-      (* Collect this round's sends; delivered next round, grouped per dst. *)
-      let out = Array.make t ([] : 'm envelope list) in
-      let any_sent = ref false in
-      for pid = 0 to t - 1 do
-        if alive pid then begin
-          if Fault.crashed_by cfg.fault pid r || byz_degraded_crash pid r
-          then begin
-            statuses.(pid) <- Crashed r;
-            Fault.note_crash cfg.fault pid r;
-            Metrics.record_crash metrics pid r;
-            trace_ev (Trace.Crashed_ev { pid; round = r })
-          end
-          else if byz_active pid r then begin
-            (* Adversary-controlled: the protocol state is abandoned; the
-               tamper model forges this round's messages. Forged traffic is
-               counted as corruption, not as honest sends — audits and the
-               message bounds judge only what honest processes do. *)
-            (match cfg.tamper with
-            | Some tm ->
-                List.iter
-                  (fun { dst; payload } ->
-                    Metrics.record_corruption metrics;
-                    obs_ev (Obs.Tamper { pid; at = r });
-                    if dst >= 0 && dst < t then begin
-                      out.(dst) <- { src = pid; sent_at = r; payload } :: out.(dst);
-                      any_sent := true
-                    end)
-                  (tm.forge pid ~at:r)
-            | None -> ());
-            wakeups.(pid) <- Some (r + 1)
-          end
-          else begin
-            let mail = inbox pid in
-            let due = match wakeups.(pid) with Some w -> w <= r | None -> false in
-            if mail <> [] || due then begin
-              trace_ev (Trace.Stepped { pid; round = r });
-              let o =
-                with_span ~name:"step" ~pid ~inc:incs.(pid) r (fun () ->
-                    proc.step pid r states.(pid) mail)
-              in
-              let view =
-                {
-                  Fault.sv_pid = pid;
-                  sv_round = r;
-                  sv_sends = List.length o.sends;
-                  sv_works = List.length o.work;
-                  sv_terminating = o.terminate;
-                  sv_works_done_before = Metrics.work_by metrics pid;
-                }
-              in
-              let decision = Fault.on_step cfg.fault view in
-              let commit_sends sends =
-                List.iter
-                  (fun { dst; payload } ->
-                    Metrics.record_send metrics pid;
-                    trace_ev
-                      (Trace.Sent { src = pid; dst; round = r; what = cfg.show payload });
-                    if dst >= 0 && dst < t then begin
-                      out.(dst) <- { src = pid; sent_at = r; payload } :: out.(dst);
-                      any_sent := true
-                    end)
-                  sends
-              in
-              let commit_work () =
-                List.iter
-                  (fun u ->
-                    Metrics.record_work metrics pid u;
-                    trace_ev (Trace.Worked { pid; round = r; unit_id = u }))
-                  o.work
-              in
-              (* Link tampering: a consuming query — asked only when there
-                 are messages to corrupt and a model to corrupt them with. *)
-              let tampered_sends () =
-                match cfg.tamper with
-                | Some tm when o.sends <> [] -> (
-                    match Fault.corrupts cfg.fault pid r with
-                    | Some tam ->
-                        List.map
-                          (fun { dst; payload } ->
-                            Metrics.record_corruption metrics;
-                            obs_ev (Obs.Tamper { pid; at = r });
-                            { dst; payload = tm.mutate tam ~src:pid ~dst ~at:r payload })
-                          o.sends
-                    | None -> o.sends)
-                | _ -> o.sends
-              in
-              match decision with
-              | Fault.Survive ->
-                  states.(pid) <- o.state;
-                  commit_work ();
-                  commit_sends (tampered_sends ());
-                  Metrics.record_round metrics r;
-                  if o.terminate then begin
-                    statuses.(pid) <- Terminated r;
-                    wakeups.(pid) <- None;
-                    Metrics.record_terminate metrics pid r;
-                    trace_ev (Trace.Terminated_ev { pid; round = r })
-                  end
-                  else begin
-                    (match o.wakeup with
-                    | Some w when w <= r ->
-                        invalid_arg
-                          (Printf.sprintf
-                             "Kernel.run: process %d at round %d asked for non-future wakeup %d"
-                             pid r w)
-                    | _ -> ());
-                    wakeups.(pid) <- o.wakeup
-                  end
-              | Fault.Crash { keep_work; delivery } ->
-                  let delivered, dropped = apply_delivery_filter delivery o.sends in
-                  (* Program-order causality: within a round, work precedes
-                     sends, so a crash that lets any message out must also
-                     let the work count (otherwise a victim could announce
-                     work it never performed). *)
-                  let keep_work = keep_work || delivered <> [] in
-                  if keep_work then commit_work ();
-                  commit_sends delivered;
-                  List.iter
-                    (fun { dst; payload } ->
-                      trace_ev
-                        (Trace.Dropped
-                           { src = pid; dst; round = r; what = cfg.show payload }))
-                    dropped;
-                  statuses.(pid) <- Crashed r;
-                  wakeups.(pid) <- None;
-                  Fault.note_crash cfg.fault pid r;
-                  Metrics.record_crash metrics pid r;
-                  Metrics.record_round metrics r;
-                  trace_ev (Trace.Crashed_ev { pid; round = r })
-            end
-          end
+      (match cfg.spans with
+      | None -> round_body r
+      | Some _ -> with_span ~name:"round" ~pid:(-1) ~inc:0 r (fun () -> round_body r));
+      if all_retired () && not (pending_restart ()) then Completed
+      else begin
+        let r' = next_round () in
+        if r' = max_int then Stalled r
+        else begin
+          (* r' can equal r only if a wakeup request slipped through the
+             strictness check, which [invalid_arg]s above; assert here. *)
+          assert (r' > r);
+          loop r'
         end
-      done;
-      if !any_sent then
-        with_span ~name:"deliver" ~pid:(-1) ~inc:0 r (fun () ->
-            (* Inboxes sorted by sender for determinism. *)
-            Array.iteri
-              (fun dst msgs ->
-                out.(dst) <- List.sort (fun a b -> compare a.src b.src) msgs;
-                ignore dst)
-              out;
-            pending := Some (r, out)));
-      (* A subverted pid never terminates; completion is the honest pids'
-         affair. Without a tamper model nothing changes: byzantine entries
-         degraded to crashes and every pid still retires. *)
-      let retired_or_subverted pid =
-        is_retired statuses.(pid)
-        ||
-        match (cfg.tamper, Fault.byzantine_from cfg.fault pid) with
-        | Some _, Some _ -> true
-        | _ -> false
-      in
-      let all_retired =
-        let rec go pid = pid >= t || (retired_or_subverted pid && go (pid + 1)) in
-        go 0
-      in
-      if all_retired && not (pending_restart ()) then Completed
-      else
-        match next_round () with
-        | Some r' ->
-            (* r' can equal r only if a wakeup request slipped through the
-               strictness check, which [invalid_arg]s above; assert here. *)
-            assert (r' > r);
-            loop r'
-        | None -> Stalled r
+      end
     end
   in
   let outcome =
-    match next_round () with
-    | Some r0 -> loop r0
-    | None -> if Array.for_all is_retired statuses then Completed else Stalled 0
+    let r0 = next_round () in
+    if r0 = max_int then
+      if Array.for_all is_retired statuses then Completed else Stalled 0
+    else loop r0
   in
   { metrics; statuses; outcome }

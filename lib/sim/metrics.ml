@@ -1,5 +1,11 @@
 open Types
 
+(* Unit coverage is a dense bitset (one bit per unit, 1.25 MB at n=10^7)
+   plus a sparse overflow table for the rare units performed more than once
+   — the redundant work every protocol here tries to bound. This keeps
+   [record_work] allocation-free on the first-performance path (the kernel
+   hot loop), and makes [units_covered]/[all_units_done] O(1) instead of an
+   O(n) fold per oracle query. *)
 type t = {
   np : int;
   nu : int;
@@ -12,7 +18,9 @@ type t = {
   mutable n_persists : int;
   mutable n_corruptions : int;
   mutable n_rejected : int;
-  unit_mult : int array;
+  covered_bits : Bytes.t;
+  mutable covered_n : int;
+  redone : (int, int) Hashtbl.t; (* unit -> multiplicity, only when >= 2 *)
   per_work : int array;
   per_msgs : int array;
   per_persists : int array;
@@ -31,7 +39,9 @@ let create ~n_processes ~n_units =
     n_persists = 0;
     n_corruptions = 0;
     n_rejected = 0;
-    unit_mult = Array.make (max 1 n_units) 0;
+    covered_bits = Bytes.make ((max 1 n_units + 7) / 8) '\000';
+    covered_n = 0;
+    redone = Hashtbl.create 8;
     per_work = Array.make (max 1 n_processes) 0;
     per_msgs = Array.make (max 1 n_processes) 0;
     per_persists = Array.make (max 1 n_processes) 0;
@@ -44,11 +54,24 @@ let record_send t pid =
   t.msgs <- t.msgs + 1;
   t.per_msgs.(pid) <- t.per_msgs.(pid) + 1
 
+let bit_is_set t u = Char.code (Bytes.unsafe_get t.covered_bits (u lsr 3)) land (1 lsl (u land 7)) <> 0
+
+let bit_set t u =
+  let i = u lsr 3 in
+  Bytes.unsafe_set t.covered_bits i
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get t.covered_bits i) lor (1 lsl (u land 7))))
+
 let record_work t pid unit_id =
   t.wrk <- t.wrk + 1;
   t.per_work.(pid) <- t.per_work.(pid) + 1;
   if unit_id >= 0 && unit_id < t.nu then
-    t.unit_mult.(unit_id) <- t.unit_mult.(unit_id) + 1
+    if not (bit_is_set t unit_id) then begin
+      bit_set t unit_id;
+      t.covered_n <- t.covered_n + 1
+    end
+    else
+      let m = match Hashtbl.find_opt t.redone unit_id with Some m -> m | None -> 1 in
+      Hashtbl.replace t.redone unit_id (m + 1)
 
 let record_round t r = if r > t.max_round then t.max_round <- r
 
@@ -90,12 +113,12 @@ let rejected t = t.n_rejected
 
 let unit_multiplicity t u =
   if u < 0 || u >= t.nu then invalid_arg "Metrics.unit_multiplicity";
-  t.unit_mult.(u)
+  if not (bit_is_set t u) then 0
+  else match Hashtbl.find_opt t.redone u with Some m -> m | None -> 1
 
-let units_covered t =
-  Array.fold_left (fun acc m -> if m > 0 then acc + 1 else acc) 0 t.unit_mult
+let units_covered t = t.covered_n
 
-let all_units_done t = units_covered t = t.nu
+let all_units_done t = t.covered_n = t.nu
 
 let work_by t pid = t.per_work.(pid)
 let messages_by t pid = t.per_msgs.(pid)

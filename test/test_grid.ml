@@ -101,9 +101,10 @@ let test_deadline_budget_dominates () =
       let l = Grid.max_active_rounds g in
       for pid = 0 to t - 1 do
         let script = Doall.Ckpt_script.takeover_script g pid Doall.Ckpt_script.No_msg in
-        if List.length script >= l then
-          Alcotest.failf "script length %d >= budget %d at n=%d t=%d pid=%d"
-            (List.length script) l n t pid
+        let rounds = Doall.Ckpt_script.script_rounds script in
+        if rounds >= l then
+          Alcotest.failf "script takes %d rounds >= budget %d at n=%d t=%d pid=%d"
+            rounds l n t pid
       done)
     [ (1, 1); (10, 3); (100, 16); (64, 8); (37, 11); (200, 25); (5, 20) ]
 

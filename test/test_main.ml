@@ -2,6 +2,7 @@ let () =
   Alcotest.run "dhw-work"
     [
       ("util", Test_util.suite);
+      ("unitset", Test_unitset.suite);
       ("sim-kernel", Test_sim.suite);
       ("audit", Test_audit.suite);
       ("grid", Test_grid.suite);
